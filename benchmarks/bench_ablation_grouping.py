@@ -1,0 +1,58 @@
+"""Ablation — group size under physical constraints (Sec 4.4 made concrete).
+
+Sweeps the WRHT group size m over every odd candidate on a 1024-node ring
+and prints: steps θ, communication time (VGG16), Eq 7's worst-path length,
+and whether the default physical budget admits it. Shows the two regimes
+the planner navigates: small m is penalized *twice* (more steps AND longer
+worst paths via extra hierarchy levels), large m is capped by wavelengths.
+"""
+
+from repro.core.constraints import OpticalPhyParams, group_size_feasible, max_communication_length
+from repro.core.steps import wrht_steps
+from repro.core.timing import wrht_time
+from repro.core.planner import plan_wrht
+from repro.dnn.workload import workload_by_name
+from repro.optical.config import OpticalSystemConfig
+from repro.util.tables import AsciiTable
+
+N, W = 1024, 64
+
+
+def _sweep():
+    phy = OpticalPhyParams()
+    cost = OpticalSystemConfig(n_nodes=N, n_wavelengths=W).cost_model()
+    d = float(workload_by_name("VGG16").gradient_bytes)
+    rows = []
+    for m in (3, 5, 9, 17, 33, 65, 99, 129):
+        rows.append(
+            (
+                m,
+                wrht_steps(N, m, W),
+                wrht_time(N, d, cost, m=m, w=W) * 1e3,
+                max_communication_length(m, N),
+                group_size_feasible(m, N, phy),
+            )
+        )
+    return rows
+
+
+def test_group_size_sweep(once):
+    rows = once(_sweep)
+    table = AsciiTable(["m", "θ", "VGG16 time (ms)", "L_max (hops)", "phy feasible"])
+    for row in rows:
+        table.add_row(row)
+    print()
+    print(f"WRHT group-size design space (N={N}, w={W}):")
+    print(table.render())
+
+    by_m = {m: (theta, t, lmax, ok) for m, theta, t, lmax, ok in rows}
+    # Steps monotone non-increasing in m; time likewise.
+    thetas = [by_m[m][0] for m in sorted(by_m)]
+    assert thetas == sorted(thetas, reverse=True)
+    # Small groups infeasible under Eq 7 (m=3 -> 729-hop top level).
+    assert not by_m[3][3]
+    assert by_m[3][2] == 729
+    # The planner lands on the largest feasible-and-wavelength-legal m.
+    plan = plan_wrht(N, W, phy=OpticalPhyParams())
+    assert plan.m == 129
+    assert by_m[plan.m][3]

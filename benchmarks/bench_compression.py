@@ -1,0 +1,84 @@
+"""Extension bench — sparse (top-k) synchronization vs dense All-reduce.
+
+The related-work direction the paper cites ([12]): how much communication
+time does top-k sparsification save on the optical ring, and what does it
+cost in convergence? Prices the sparse all-gather against dense WRHT and
+Ring for the ResNet50 gradient across compression ratios, then shows a
+small end-to-end training comparison (loss after a fixed budget).
+"""
+
+import numpy as np
+
+from repro.comm.primitives import build_allgather_schedule
+from repro.collectives.registry import build_schedule
+from repro.dnn.autograd import MLP
+from repro.dnn.compression import CompressedDataParallelTrainer
+from repro.dnn.datasets import SyntheticClassification
+from repro.dnn.training import DataParallelTrainer
+from repro.dnn.workload import workload_by_name
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.network import OpticalRingNetwork
+from repro.util.tables import AsciiTable
+
+N = 64
+RATIOS = (0.001, 0.01, 0.1)
+
+
+def _measure():
+    workload = workload_by_name("ResNet50")
+    net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=N, n_wavelengths=64))
+    timing = {}
+    dense_wrht = build_schedule(
+        "wrht", N, workload.n_params, n_wavelengths=64, materialize=False
+    )
+    timing["dense WRHT"] = net.execute(
+        dense_wrht, bytes_per_elem=workload.bytes_per_param
+    ).total_time
+    dense_ring = build_schedule("ring", N, workload.n_params, materialize=False)
+    timing["dense Ring"] = net.execute(
+        dense_ring, bytes_per_elem=workload.bytes_per_param
+    ).total_time
+    for ratio in RATIOS:
+        k = max(1, int(np.ceil(ratio * workload.n_params)))
+        sched = build_allgather_schedule(N, 2 * k * N)
+        timing[f"top-k {ratio:g}"] = net.execute(
+            sched, bytes_per_elem=workload.bytes_per_param
+        ).total_time
+
+    # Convergence at a fixed iteration budget (small model, real training).
+    ds = SyntheticClassification(n_features=24, n_classes=4, noise_scale=0.4, seed=2)
+    batches = [ds.batch(64) for _ in range(30)]
+    factory = lambda: MLP.of_widths([24, 16, 4], seed=4)  # noqa: E731
+    losses = {}
+    dense = DataParallelTrainer(factory, 8, algorithm="wrht", n_wavelengths=8, lr=0.1)
+    losses["dense"] = dense.train(batches).losses[-1]
+    for ratio in (0.05, 0.2):
+        sparse = CompressedDataParallelTrainer(
+            factory, 8, compression_ratio=ratio, lr=0.1
+        )
+        losses[f"top-k {ratio:g}"] = sparse.train(batches).losses[-1]
+    return timing, losses
+
+
+def test_sparse_vs_dense(once):
+    timing, losses = once(_measure)
+    table = AsciiTable(["synchronization", "comm time (ms)"])
+    for label, t in timing.items():
+        table.add_row([label, t * 1e3])
+    print()
+    print(f"ResNet50 gradient sync on a {N}-node optical ring:")
+    print(table.render())
+
+    loss_table = AsciiTable(["training", "final loss (30 iters)"])
+    for label, loss in losses.items():
+        loss_table.add_row([label, loss])
+    print()
+    print(loss_table.render())
+
+    # Aggressive sparsification beats even WRHT on pure communication time.
+    assert timing["top-k 0.001"] < timing["dense WRHT"]
+    assert timing["top-k 0.001"] < timing["dense Ring"]
+    # Communication time grows with the ratio.
+    assert timing["top-k 0.001"] < timing["top-k 0.01"] < timing["top-k 0.1"]
+    # Error feedback keeps sparse training usable at the fixed budget.
+    assert losses["top-k 0.2"] < 3 * max(losses["dense"], 1e-3)

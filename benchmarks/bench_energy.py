@@ -1,0 +1,72 @@
+"""Extension bench — energy per All-reduce (Sec 1's power claim).
+
+Prices the energy of one gradient All-reduce for every evaluation workload
+on both substrates: E-Ring and RD on the electrical fat-tree, O-Ring and
+WRHT on the optical ring (N=256). Asserts the paper's qualitative power
+claim — optical spends fewer picojoules per payload bit — and shows the
+reconfiguration-energy advantage WRHT's step count brings.
+"""
+
+from repro.analysis.energy import electrical_allreduce_energy, optical_allreduce_energy
+from repro.collectives.registry import build_schedule
+from repro.dnn.workload import PAPER_WORKLOADS
+from repro.electrical.config import ElectricalSystemConfig
+from repro.optical.config import OpticalSystemConfig
+from repro.util.tables import AsciiTable
+
+N = 256
+
+
+def _measure():
+    optical_cfg = OpticalSystemConfig(n_nodes=N, n_wavelengths=64)
+    electrical_cfg = ElectricalSystemConfig(n_nodes=N)
+    rows = []
+    for wl in PAPER_WORKLOADS:
+        entry = {"workload": wl.name}
+        for label, algo, flavor in (
+            ("E-Ring", "ring", "electrical"),
+            ("E-RD", "rd", "electrical"),
+            ("O-Ring", "ring", "optical"),
+            ("WRHT", "wrht", "optical"),
+        ):
+            kwargs = {"materialize": False}
+            if algo == "wrht":
+                kwargs["n_wavelengths"] = 64
+            sched = build_schedule(algo, N, wl.n_params, **kwargs)
+            if flavor == "electrical":
+                energy = electrical_allreduce_energy(
+                    sched, electrical_cfg, bytes_per_elem=wl.bytes_per_param
+                )
+            else:
+                energy = optical_allreduce_energy(
+                    sched, optical_cfg, bytes_per_elem=wl.bytes_per_param
+                )
+            entry[label] = energy
+        rows.append(entry)
+    return rows
+
+
+def test_energy_per_allreduce(once):
+    rows = once(_measure)
+    table = AsciiTable(
+        ["workload", "E-Ring (J)", "E-RD (J)", "O-Ring (J)", "WRHT (J)",
+         "O-Ring pJ/bit", "E-Ring pJ/bit"]
+    )
+    for entry in rows:
+        table.add_row(
+            [entry["workload"],
+             entry["E-Ring"].total, entry["E-RD"].total,
+             entry["O-Ring"].total, entry["WRHT"].total,
+             entry["O-Ring"].pj_per_bit, entry["E-Ring"].pj_per_bit]
+        )
+    print()
+    print(f"Energy per gradient All-reduce, N={N}:")
+    print(table.render())
+
+    for entry in rows:
+        # The paper's power claim: optical cheaper per payload bit.
+        assert entry["O-Ring"].pj_per_bit < entry["E-Ring"].pj_per_bit
+        # WRHT's 3-4 steps vs Ring's 510: far less reconfiguration energy.
+        assert entry["WRHT"].components["reconfig"] < (
+            entry["O-Ring"].components["reconfig"] / 50
+        )

@@ -1,0 +1,44 @@
+"""Figure 4 — WRHT with different numbers of grouped nodes.
+
+1024-node optical ring, WRHT_0..WRHT_3 at m = 17/33/65/129, all four DNN
+workloads. The paper's claims (Sec 5.3): communication time decreases with
+m and then flattens; WRHT_2/WRHT_3 land at roughly half of WRHT_0; the
+normalized bars are workload-independent (circuit switching, no congestion).
+"""
+
+from benchmarks.conftest import print_experiment
+from repro.runner.experiments import run_fig4
+from repro.util.tables import AsciiTable
+
+
+def test_fig4_analytical(once):
+    result = once(run_fig4, mode="analytical")
+    print_experiment(result, [])
+    norm_table = AsciiTable(["workload"] + [f"m={m}" for m in result.x_values])
+    for wl in result.workloads:
+        norm = result.normalized(wl, "WRHT", result.x_values[-1])
+        norm_table.add_row([wl] + [round(v, 3) for v in norm[(wl, "WRHT")]])
+    print()
+    print("normalized to WRHT_3 per workload (paper Fig 4 bars):")
+    print(norm_table.render())
+
+    for wl in result.workloads:
+        times = result.series[(wl, "WRHT")]
+        assert times == sorted(times, reverse=True)  # decreasing...
+        assert times[-2] == times[-1]  # ...then flat
+        # WRHT_0 vs WRHT_3 ratio ~5/3 (θ=5 vs θ=3); paper eyeballs "half".
+        assert 1.5 <= times[0] / times[-1] <= 2.1
+    # Workload independence of the normalized shape.
+    shapes = {
+        tuple(round(v / result.series[(wl, "WRHT")][-1], 6) for v in result.series[(wl, "WRHT")])
+        for wl in result.workloads
+    }
+    assert len(shapes) == 1
+
+
+def test_fig4_simulated(once):
+    result = once(run_fig4, mode="simulated")
+    print_experiment(result, [])
+    for wl in result.workloads:
+        times = result.series[(wl, "WRHT")]
+        assert times == sorted(times, reverse=True)

@@ -1,0 +1,73 @@
+"""Extension bench — heterogeneous fleets (the paper's named future work).
+
+A 64-worker data-parallel fleet where a fraction of devices run at reduced
+speed. Prices the naive equal-shard policy against speed-proportional
+sharding (both with WRHT gradient sync on the optical ring) and shows the
+straggler penalty, the recovery from balancing, and how the communication
+fraction — the quantity the paper optimizes — shifts once compute is
+balanced.
+"""
+
+from repro.core.timing import CostModel
+from repro.dnn.heterogeneity import HeterogeneousIteration
+from repro.dnn.iteration import comm_backend_from_analytical
+from repro.dnn.profile import profile_model
+from repro.optical.config import OpticalSystemConfig
+from repro.util.tables import AsciiTable
+
+N_WORKERS = 64
+BATCH = 1024
+SLOW_SPEED = 0.4
+
+SCENARIOS = {
+    "homogeneous": [1.0] * N_WORKERS,
+    "1 straggler": [1.0] * (N_WORKERS - 1) + [SLOW_SPEED],
+    "25% slow": [1.0] * 48 + [SLOW_SPEED] * 16,
+    "50% slow": [1.0] * 32 + [SLOW_SPEED] * 32,
+}
+
+
+def _measure():
+    profile = profile_model("ResNet50")
+    cost = OpticalSystemConfig(
+        n_nodes=N_WORKERS, n_wavelengths=64
+    ).cost_model()
+    comm = comm_backend_from_analytical("WRHT", N_WORKERS, cost, w=64)
+    rows = []
+    for label, speeds in SCENARIOS.items():
+        fleet = HeterogeneousIteration(profile, speeds, comm)
+        naive = fleet.equal_shards(BATCH)
+        balanced = fleet.balanced_shards(BATCH)
+        rows.append((label, naive, balanced, fleet.balancing_speedup(BATCH)))
+    return rows
+
+
+def test_heterogeneous_fleets(once):
+    rows = once(_measure)
+    table = AsciiTable(
+        ["fleet", "naive iter (ms)", "balanced iter (ms)", "speedup",
+         "naive comm %", "balanced comm %"]
+    )
+    for label, naive, balanced, speedup in rows:
+        table.add_row(
+            [label, naive.total * 1e3, balanced.total * 1e3,
+             f"{speedup:.2f}x", naive.comm_fraction * 100,
+             balanced.comm_fraction * 100]
+        )
+    print()
+    print(f"{N_WORKERS}-worker fleets, ResNet50, batch {BATCH}, "
+          "WRHT gradient sync:")
+    print(table.render())
+
+    results = {label: (n, b, s) for label, n, b, s in rows}
+    # Homogeneous fleets gain nothing from balancing.
+    assert results["homogeneous"][2] == 1.0
+    # One straggler stalls the whole naive fleet by ~1/SLOW_SPEED on compute.
+    homo = results["homogeneous"][0]
+    one = results["1 straggler"][0]
+    assert one.compute > 2.0 * homo.compute
+    # Balancing recovers: a single straggler barely hurts the balanced fleet.
+    assert results["1 straggler"][1].total < 1.1 * results["homogeneous"][1].total
+    # Speedup grows with straggler severity up to the 50% point.
+    assert results["1 straggler"][2] > 1.5
+    assert results["25% slow"][2] > 1.2

@@ -1,0 +1,93 @@
+"""Infrastructure bench — DES kernel and simulator throughput.
+
+Measures the machinery everything else stands on: raw event throughput of
+the kernel, process/resource overhead, the live optical simulation's
+event rate, and the packet-level electrical simulation. These are real
+pytest-benchmark measurements (multiple rounds), unlike the single-shot
+experiment benches — regressions here slow every validation run.
+"""
+
+from repro.collectives.registry import build_schedule
+from repro.electrical.config import ElectricalSystemConfig
+from repro.electrical.packets import PacketLevelNetwork
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.livesim import LiveOpticalSimulation
+from repro.sim import Resource, Simulator
+
+
+def test_kernel_timeout_throughput(benchmark):
+    """Schedule-and-drain 20k independent timeouts."""
+
+    def run():
+        sim = Simulator()
+        for i in range(20_000):
+            sim.timeout((i % 97) * 1e-6)
+        sim.run()
+        return sim.n_processed
+
+    events = benchmark(run)
+    assert events == 20_000
+
+
+def test_kernel_process_chains(benchmark):
+    """1000 processes of 20 sequential timeouts each."""
+
+    def run():
+        sim = Simulator()
+
+        def worker():
+            for _ in range(20):
+                yield sim.timeout(1e-6)
+            return True
+
+        procs = [sim.process(worker()) for _ in range(1000)]
+        sim.run()
+        return sum(1 for p in procs if p.value)
+
+    assert benchmark(run) == 1000
+
+
+def test_kernel_resource_contention(benchmark):
+    """2000 processes contending for a 4-slot resource."""
+
+    def run():
+        sim = Simulator()
+        resource = Resource(sim, 4)
+        done = []
+
+        def worker():
+            yield resource.acquire()
+            yield sim.timeout(1e-6)
+            resource.release()
+            done.append(1)
+
+        for _ in range(2000):
+            sim.process(worker())
+        sim.run()
+        return len(done)
+
+    assert benchmark(run) == 2000
+
+
+def test_live_optical_simulation_rate(benchmark):
+    """Event-driven replay of a 64-node WRHT All-reduce."""
+    cfg = OpticalSystemConfig(n_nodes=64, n_wavelengths=8)
+    sched = build_schedule("wrht", 64, 640, n_wavelengths=8)
+
+    def run():
+        return LiveOpticalSimulation(cfg).run(sched).n_events
+
+    events = benchmark(run)
+    assert events > 100
+
+
+def test_packet_level_simulation_rate(benchmark):
+    """Store-and-forward packets for a 16-node BT All-reduce."""
+    cfg = ElectricalSystemConfig(n_nodes=16)
+    sched = build_schedule("bt", 16, 1800)
+
+    def run():
+        return PacketLevelNetwork(cfg).execute(sched).n_packets
+
+    packets = benchmark(run)
+    assert packets > 0

@@ -1,0 +1,82 @@
+"""Analysis bench — latency/bandwidth decomposition across cluster sizes.
+
+The numbers behind the Fig 6 trend discussion: for each algorithm, how
+much of the communication time is per-step overhead (the MRR
+reconfiguration term ``a·θ``) versus payload serialization, from 128 to
+4096 nodes on the ResNet50 gradient. Asserts the paper's trend claims
+precisely: Ring becomes latency-bound, WRHT stays bandwidth-bound, BT is
+bandwidth-bound but at a log-N payload multiple.
+"""
+
+from repro.analysis.scaling import scaling_series
+from repro.dnn.workload import workload_by_name
+from repro.optical.config import OpticalSystemConfig
+from repro.util.tables import AsciiTable
+
+NODES = (128, 256, 512, 1024, 2048, 4096)
+
+
+def _measure():
+    cost = OpticalSystemConfig(n_nodes=4096, n_wavelengths=64).cost_model()
+    d = float(workload_by_name("ResNet50").gradient_bytes)
+    return {
+        algo: scaling_series(algo, NODES, d, cost)
+        for algo in ("Ring", "H-Ring", "BT", "RD", "WRHT")
+    }
+
+
+def test_scaling_decomposition(once):
+    series = once(_measure)
+    table = AsciiTable(
+        ["algorithm", "N", "steps", "total (ms)", "latency (ms)",
+         "bandwidth (ms)", "latency %"]
+    )
+    for algo, points in series.items():
+        for p in points:
+            table.add_row(
+                [algo, p.n_nodes, p.steps, p.total_time * 1e3,
+                 p.latency_time * 1e3, p.bandwidth_time * 1e3,
+                 p.latency_fraction * 100]
+            )
+    print()
+    print("Latency/bandwidth decomposition (ResNet50, w=64, calibrated):")
+    print(table.render())
+
+    ring = series["Ring"]
+    assert ring[-1].latency_fraction > 0.8  # latency-bound at 4096 nodes
+    assert ring[-1].latency_time > 30 * ring[0].latency_time  # linear rise
+    for p in series["WRHT"]:
+        assert p.latency_fraction < 0.02  # steps never dominate WRHT
+        assert p.steps <= 4
+    bt = series["BT"]
+    assert all(p.latency_fraction < 0.01 for p in bt)  # full-d payloads
+    assert bt[-1].bandwidth_time > bt[0].bandwidth_time  # log-N growth
+    hring = series["H-Ring"]
+    assert hring[-1].latency_fraction < ring[-1].latency_fraction
+
+
+def test_lower_bound_optimality(once):
+    """How close each algorithm gets to the algorithm-independent ring
+    lower bounds (information-spread steps, ingress bandwidth)."""
+    from repro.core.lowerbounds import min_allreduce_steps, optimality_report
+
+    def measure():
+        cost = OpticalSystemConfig(n_nodes=1024, n_wavelengths=64).cost_model()
+        d = float(workload_by_name("ResNet50").gradient_bytes)
+        return optimality_report(1024, d, 64, cost)
+
+    report = once(measure)
+    table = AsciiTable(["algorithm", "time (ms)", "steps / floor", "time / floor"])
+    for entry in report:
+        table.add_row(
+            [entry.algorithm, entry.time * 1e3, entry.step_ratio, entry.time_ratio]
+        )
+    print()
+    print(f"Distance from the universal ring lower bounds "
+          f"(N=1024, w=64, floor steps = {min_allreduce_steps(1024, 64)}):")
+    print(table.render())
+
+    by_name = {e.algorithm: e for e in report}
+    assert by_name["WRHT"].step_ratio == 1.5  # 3 steps vs floor 2
+    assert min(report, key=lambda e: e.time_ratio).algorithm == "WRHT"
+    assert all(e.time_ratio >= 1.0 for e in report)

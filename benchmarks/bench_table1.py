@@ -1,0 +1,39 @@
+"""Table 1 — communication step comparison (N=1024, w=64).
+
+Regenerates every row of Table 1 and checks the paper's exact numbers:
+Ring 2046, H-Ring 417 (m=5), BT 20, WRHT 3 (m=129).
+"""
+
+from repro.runner.experiments import run_table1
+from repro.util.tables import AsciiTable
+
+PAPER_STEPS = {"Ring": 2046, "H-Ring": 417, "BT": 20, "WRHT": 3}
+
+
+def test_table1_steps(once):
+    counts = once(run_table1, 1024, 64)
+    table = AsciiTable(["algorithm", "steps (measured)", "steps (paper)"])
+    for name, paper in PAPER_STEPS.items():
+        table.add_row([name, counts[name], paper])
+        assert counts[name] == paper, name
+    print()
+    print(table.render())
+
+
+def test_table1_scaling_rows(once):
+    """Step counts across cluster sizes (the Table 1 formulas exercised at
+    every Fig 6/7 scale)."""
+
+    def build():
+        return {n: run_table1(n, 64) for n in (128, 256, 512, 1024, 2048, 4096)}
+
+    rows = once(build)
+    table = AsciiTable(["N", "Ring", "H-Ring", "BT", "RD", "WRHT"])
+    for n, counts in rows.items():
+        table.add_row([n, counts["Ring"], counts["H-Ring"], counts["BT"],
+                       counts["RD"], counts["WRHT"]])
+    print()
+    print(table.render())
+    # WRHT stays at 3-4 steps while Ring grows linearly.
+    assert rows[4096]["WRHT"] <= 4
+    assert rows[4096]["Ring"] == 8190

@@ -1,0 +1,39 @@
+"""Shared benchmark helpers.
+
+Every bench regenerates one paper table/figure, prints the rows/series the
+paper reports (run ``pytest benchmarks/ --benchmark-only -s`` to see them),
+asserts the paper's qualitative claims, and times the regeneration with
+pytest-benchmark. EXPERIMENTS.md records the printed numbers against the
+paper's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.report import ExperimentResult
+from repro.util.tables import AsciiTable
+
+
+def print_experiment(result: ExperimentResult, reductions: list[tuple[str, str, float]]) -> None:
+    """Render an experiment plus its paper-comparison summary."""
+    print()
+    print(result.render())
+    summary = AsciiTable(["comparison", "measured (%)", "paper (%)"])
+    for baseline, target, paper_value in reductions:
+        summary.add_row(
+            [f"{target} vs {baseline}", result.reduction_vs(baseline, target), paper_value]
+        )
+    print()
+    print(summary.render())
+
+
+@pytest.fixture
+def once(benchmark):
+    """Benchmark a callable exactly once (experiments are deterministic and
+    some simulate minutes of fabric time; statistical rounds add nothing)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Wavelength failures and replanning on the optical ring.
+
+Comb-laser lines die; micro-rings stick. This example injects wavelength
+failures into a 256-node system running WRHT and shows the two response
+modes:
+
+1. **keep the old plan** — the RWA routes around the failed wavelengths,
+   spilling transfers into extra reconfiguration rounds (correct but slow);
+2. **replan against the surviving budget** — a smaller group size brings
+   every step back to a single round, recovering most of the loss.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro.collectives import build_schedule
+from repro.core.planner import plan_wrht
+from repro.optical import OpticalRingNetwork, OpticalSystemConfig
+from repro.util.tables import AsciiTable
+from repro.util.units import format_seconds
+
+N, W = 256, 16
+ELEMS = 25_000_000  # ResNet50-sized gradient
+
+
+def main() -> None:
+    naive = build_schedule("wrht", N, ELEMS, n_wavelengths=W, materialize=False)
+    table = AsciiTable(
+        ["failed λ", "plan", "group m", "steps", "rounds", "comm time"]
+    )
+    for n_failed in (0, 2, 4, 8):
+        failed = frozenset(range(n_failed))
+        cfg = OpticalSystemConfig(
+            n_nodes=N, n_wavelengths=W, failed_wavelengths=failed
+        )
+        net = OpticalRingNetwork(cfg)
+
+        result = net.execute(naive)
+        table.add_row(
+            [n_failed, "keep old", naive.meta["plan"].m, result.n_steps,
+             result.total_rounds, format_seconds(result.total_time)]
+        )
+        if n_failed:
+            plan = plan_wrht(N, cfg.usable_wavelengths)
+            replanned = build_schedule("wrht", N, ELEMS, plan=plan,
+                                       materialize=False)
+            result = net.execute(replanned)
+            table.add_row(
+                [n_failed, "replanned", plan.m, result.n_steps,
+                 result.total_rounds, format_seconds(result.total_time)]
+            )
+    print(f"=== WRHT under wavelength failures (N={N}, w={W}) ===")
+    print(table.render())
+    print(
+        "\nKeeping the stale plan pays extra reconfiguration rounds as the"
+        "\nRWA squeezes around the dead wavelengths; replanning against the"
+        "\nsurviving budget restores one round per step at a smaller group"
+        "\nsize. Correctness is never at risk either way — the wavelength"
+        "\nassignment is conflict-checked on every round."
+    )
+
+
+if __name__ == "__main__":
+    main()

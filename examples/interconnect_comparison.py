@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Optical vs electrical interconnects for All-reduce (the Fig 7 story).
+
+Prices the same gradient synchronization four ways, exactly as the paper's
+Sec 5.6 comparison: Ring and Recursive Doubling on a SimGrid-style fluid
+fat-tree (32-port routers, 25 µs per hop, ECMP), and Ring and WRHT on the
+WDM optical ring. Prints absolute times, the paper-style normalized bars,
+and the average reductions next to the paper's reported 48.74% / 61.23% /
+55.51%.
+
+Run:  python examples/interconnect_comparison.py [--nodes 128 256 512 1024]
+"""
+
+import argparse
+
+from repro.runner.experiments import run_fig7
+from repro.util.tables import AsciiTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, nargs="+", default=[128, 256, 512, 1024])
+    args = parser.parse_args()
+
+    result = run_fig7(nodes=tuple(args.nodes))
+    print(result.render())
+
+    ref_wl, ref_algo, ref_x = result.meta["reference"]
+    print(f"\nnormalized to {ref_algo}@{ref_wl}@N={ref_x} (paper Fig 7 bars):")
+    norm_table = AsciiTable(
+        ["workload", "algorithm"] + [f"N={n}" for n in result.x_values]
+    )
+    for wl in result.workloads:
+        norm = result.normalized(ref_wl, ref_algo, ref_x)
+        for algo in result.algorithms():
+            norm_table.add_row([wl, algo] + [round(v, 2) for v in norm[(wl, algo)]])
+    print(norm_table.render())
+
+    summary = AsciiTable(["comparison", "measured (%)", "paper (%)"])
+    summary.add_row(["O-Ring vs E-Ring", result.reduction_vs("E-Ring", "O-Ring"), 48.74])
+    summary.add_row(["WRHT vs E-Ring", result.reduction_vs("E-Ring", "WRHT"), 61.23])
+    summary.add_row(["WRHT vs RD", result.reduction_vs("RD", "WRHT"), 55.51])
+    print("\naverage communication-time reductions:")
+    print(summary.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""GPT-3 on the optical ring with hybrid parallelism (Sec 6.2).
+
+The paper's discussion argues WRHT remains useful for LLMs that cannot
+train data-parallel. This example quantifies the whole argument:
+
+1. memory: a GPT-3 replica needs terabytes of optimizer state — pure data
+   parallelism is impossible at any scale;
+2. a (tp, pp, dp) grid over the ring makes it fit;
+3. the per-training-step communication decomposes into tensor-parallel,
+   pipeline and data-parallel parts, each priced as real grouped schedules
+   on the optical substrate — including the finding that small DP groups
+   with huge gradient shards prefer Ring over WRHT.
+
+Run:  python examples/llm_hybrid_parallelism.py
+"""
+
+from repro.dnn.models import gpt3
+from repro.dnn.parallelism import HybridParallelComm, MemoryModel, ParallelismPlan
+from repro.optical import OpticalRingNetwork, OpticalSystemConfig
+from repro.util.tables import AsciiTable
+
+N_RING = 256
+
+
+def main() -> None:
+    model = gpt3()
+    memory = MemoryModel()
+    print(f"=== {model.name}: {model.param_count/1e9:.0f}B parameters ===\n")
+
+    mem_table = AsciiTable(["plan (N=1024)", "per-rank state (GB)", "fits 80 GB GPU"])
+    for label, plan in (
+        ("dp=1024 (pure data-parallel)", ParallelismPlan(1024, dp=1024)),
+        ("tp=8, pp=16, dp=8", ParallelismPlan(1024, tp=8, pp=16, dp=8)),
+        ("tp=8, pp=8,  dp=16", ParallelismPlan(1024, tp=8, pp=8, dp=16)),
+    ):
+        gb = memory.per_rank_bytes(model, plan) / 1e9
+        mem_table.add_row([label, gb, "yes" if memory.fits(model, plan) else "NO"])
+    print(mem_table.render())
+
+    plan = ParallelismPlan(N_RING, tp=8, pp=8, dp=4)
+    network = OpticalRingNetwork(
+        OpticalSystemConfig(n_nodes=N_RING, n_wavelengths=64)
+    )
+    print(f"\n=== per-step communication on a {N_RING}-node ring "
+          f"(tp=8, pp=8, dp=4) ===")
+    cost_table = AsciiTable(
+        ["DP collective", "TP (ms)", "PP (ms)", "DP (ms)", "total (ms)"]
+    )
+    for dp_algo in ("ring", "wrht"):
+        kwargs = {"n_wavelengths": 64} if dp_algo == "wrht" else {}
+        comm = HybridParallelComm(model, plan, network, dp_algorithm=dp_algo, **kwargs)
+        cost = comm.step_cost(micro_batch=1, n_micro_batches=4)
+        cost_table.add_row(
+            [dp_algo.upper(), cost.tp_time * 1e3, cost.pp_time * 1e3,
+             cost.dp_time * 1e3, cost.total * 1e3]
+        )
+    print(cost_table.render())
+    print(
+        "\nNote the inversion: with only dp=4 replicas moving a ~1.3 GB"
+        "\ngradient shard each, Ring's chunked steps beat WRHT's full-shard"
+        "\nsteps — the same payload-vs-steps trade-off as the paper's small-"
+        "\nwavelength regime (Fig 5b), now driven by group size. WRHT's win"
+        "\nis the wide-group regime of the main experiments."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""MPI-style collectives over the simulated optical ring.
+
+The :mod:`repro.comm` facade mirrors mpi4py's lowercase collective
+conventions, except everything runs in-process on exact numpy buffers and
+each call reports what it would cost on an attached interconnect. This
+example walks the full primitive set and shows the classic identity
+``allreduce == reduce_scatter ∘ allgather`` both numerically and in cost.
+
+Run:  python examples/mpi_style_collectives.py
+"""
+
+import numpy as np
+
+from repro.comm import Communicator
+from repro.optical import OpticalRingNetwork, OpticalSystemConfig
+from repro.util.tables import AsciiTable
+from repro.util.units import format_seconds
+
+N_RANKS = 16
+VECTOR = 4096
+
+
+def main() -> None:
+    network = OpticalRingNetwork(
+        OpticalSystemConfig(n_nodes=N_RANKS, n_wavelengths=8)
+    )
+    comm = Communicator(
+        N_RANKS, algorithm="wrht", network=network, n_wavelengths=8
+    )
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(N_RANKS, VECTOR))
+
+    table = AsciiTable(["collective", "steps", "payload", "est. time"])
+
+    result, stats = comm.allreduce(data)
+    assert np.allclose(result, np.tile(data.sum(0), (N_RANKS, 1)))
+    table.add_row(["allreduce", stats.n_steps,
+                   f"{stats.payload_bytes/1e3:.0f} KB",
+                   format_seconds(stats.est_time)])
+
+    total, stats = comm.reduce(data, root=3)
+    assert np.allclose(total, data.sum(0))
+    table.add_row(["reduce(root=3)", stats.n_steps,
+                   f"{stats.payload_bytes/1e3:.0f} KB",
+                   format_seconds(stats.est_time)])
+
+    rows, stats = comm.broadcast(data[0], root=0)
+    assert np.allclose(rows, np.tile(data[0], (N_RANKS, 1)))
+    table.add_row(["broadcast", stats.n_steps,
+                   f"{stats.payload_bytes/1e3:.0f} KB",
+                   format_seconds(stats.est_time)])
+
+    chunks, rs_stats = comm.reduce_scatter(data)
+    table.add_row(["reduce_scatter", rs_stats.n_steps,
+                   f"{rs_stats.payload_bytes/1e3:.0f} KB",
+                   format_seconds(rs_stats.est_time)])
+
+    full, ag_stats = comm.allgather(chunks)
+    table.add_row(["allgather", ag_stats.n_steps,
+                   f"{ag_stats.payload_bytes/1e3:.0f} KB",
+                   format_seconds(ag_stats.est_time)])
+
+    print(f"=== {N_RANKS}-rank collectives on the optical ring (WRHT) ===")
+    print(table.render())
+
+    # The identity: RS + AG computes exactly an allreduce.
+    assert np.allclose(full, np.tile(data.sum(0), (N_RANKS, 1)))
+    rs_ag = rs_stats.est_time + ag_stats.est_time
+    _, ar_stats = comm.allreduce(data)
+    print(
+        f"\nreduce_scatter + allgather = allreduce (numerically exact);"
+        f"\n  composed cost {format_seconds(rs_ag)} vs "
+        f"WRHT allreduce {format_seconds(ar_stats.est_time)} — the paper's"
+        f"\n  point: WRHT's {ar_stats.n_steps} steps beat the ring pair's "
+        f"{rs_stats.n_steps + ag_stats.n_steps} on this fabric."
+    )
+
+
+if __name__ == "__main__":
+    main()

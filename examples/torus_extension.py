@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""WRHT on torus and mesh topologies (the Sec 6.1 extension).
+
+Builds executable WRHT schedules for 2-D tori/meshes, verifies the
+All-reduce postcondition numerically, and compares step counts against the
+1-D ring WRHT and a plain Ring All-reduce on the same node count — showing
+the extension keeps the logarithmic step behaviour the ring version has.
+
+Run:  python examples/torus_extension.py
+"""
+
+from repro.collectives import build_schedule, verify_allreduce
+from repro.core.steps import ring_steps, wrht_steps
+from repro.core.torus import build_torus_wrht_schedule
+from repro.util.tables import AsciiTable
+
+WAVELENGTHS = 16
+GROUP_SIZE = 5
+
+
+def main() -> None:
+    table = AsciiTable(
+        ["grid", "nodes", "torus WRHT", "mesh WRHT", "ring WRHT", "Ring all-reduce"]
+    )
+    for rows, cols in ((4, 4), (8, 8), (16, 16), (32, 32)):
+        n = rows * cols
+        torus = build_torus_wrht_schedule(
+            rows, cols, 64, m=GROUP_SIZE, n_wavelengths=WAVELENGTHS, topology="torus"
+        )
+        mesh = build_torus_wrht_schedule(
+            rows, cols, 64, m=GROUP_SIZE, n_wavelengths=WAVELENGTHS, topology="mesh"
+        )
+        verify_allreduce(torus)
+        verify_allreduce(mesh)
+        ring_wrht = wrht_steps(n, min(2 * WAVELENGTHS + 1, n), WAVELENGTHS)
+        table.add_row(
+            [f"{rows}x{cols}", n, torus.n_steps, mesh.n_steps, ring_wrht, ring_steps(n)]
+        )
+    print(f"=== WRHT step counts across topologies "
+          f"(m={GROUP_SIZE}, w={WAVELENGTHS}) ===")
+    print(table.render())
+    print(
+        "\nAll torus/mesh schedules above passed the exact-sum All-reduce"
+        "\nverification. The row/column decomposition trades a few extra"
+        "\nsteps against the ring version's single hierarchy, while Ring"
+        "\nAll-reduce grows linearly in the node count."
+    )
+
+    # A 1-D ring with the same node budget, for reference.
+    sched = build_schedule("wrht", 64, 64, n_wavelengths=WAVELENGTHS)
+    verify_allreduce(sched)
+    print(f"\n1-D ring WRHT on 64 nodes: {sched.n_steps} steps "
+          f"(plan m={sched.meta['plan'].m}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Data-parallel DNN training with real All-reduce schedules (Eqs 1–5).
+
+The paper's motivating workload, end to end in this library: 16 simulated
+workers train an MLP on a synthetic MNIST-like dataset; every iteration's
+gradient synchronization executes an actual All-reduce schedule (WRHT by
+default — switch with ``--algorithm``), and each synchronization is priced
+on the optical ring so you can see the communication cost WRHT saves.
+
+The script also cross-checks the headline property: data-parallel training
+with any collective produces exactly the same weights as one worker
+training on the full batch.
+
+Run:  python examples/train_data_parallel.py [--algorithm ring|bt|rd|hring|wrht]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.dnn.autograd import MLP
+from repro.dnn.datasets import SyntheticClassification
+from repro.dnn.training import DataParallelTrainer
+from repro.optical import OpticalRingNetwork, OpticalSystemConfig
+from repro.util.units import format_seconds
+
+N_WORKERS = 16
+N_WAVELENGTHS = 8
+BATCH = 128
+ITERATIONS = 40
+
+
+def model_factory() -> MLP:
+    return MLP.of_widths([64, 48, 10], seed=42)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--algorithm", default="wrht",
+        choices=("ring", "bt", "rd", "hring", "wrht"),
+    )
+    args = parser.parse_args()
+
+    dataset = SyntheticClassification(n_features=64, n_classes=10,
+                                      noise_scale=0.6, seed=7)
+    batches = [dataset.batch(BATCH) for _ in range(ITERATIONS)]
+
+    kwargs = {"n_wavelengths": N_WAVELENGTHS} if args.algorithm == "wrht" else {}
+    trainer = DataParallelTrainer(
+        model_factory, N_WORKERS, algorithm=args.algorithm, lr=0.1, **kwargs
+    )
+    net = OpticalRingNetwork(
+        OpticalSystemConfig(n_nodes=N_WORKERS, n_wavelengths=N_WAVELENGTHS)
+    )
+    report = trainer.train(
+        batches, comm_pricer=lambda t: net.execute(t.schedule).total_time
+    )
+
+    print(f"=== {N_WORKERS}-worker data-parallel training, "
+          f"{args.algorithm.upper()} gradient sync ===")
+    for i in range(0, ITERATIONS, 8):
+        print(f"  iter {i:3d}  loss {report.losses[i]:.4f}")
+    print(f"  iter {ITERATIONS - 1:3d}  loss {report.losses[-1]:.4f}")
+    print(f"\nAll-reduce schedule: {trainer.schedule.n_steps} steps per iteration")
+    print(f"Comm time per iteration on the optical ring: "
+          f"{format_seconds(report.comm_time_per_iter)}")
+
+    # Equivalence check against single-worker full-batch training.
+    reference = model_factory()
+    for x, y in batches:
+        reference.loss_and_gradients(x, y)
+        reference.sgd_step(0.1)
+    if np.allclose(trainer.consensus_state(), reference.state_vector(),
+                   rtol=1e-9, atol=1e-12):
+        print("\nWeights match single-worker full-batch training exactly: "
+              "the schedule is a correct All-reduce.")
+    else:  # pragma: no cover - would indicate a library bug
+        raise SystemExit("DIVERGED from single-worker reference!")
+
+
+if __name__ == "__main__":
+    main()

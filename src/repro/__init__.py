@@ -1,0 +1,73 @@
+"""WRHT reproduction: wavelength-reused hierarchical-tree All-reduce.
+
+A from-scratch reproduction of *"WRHT: Efficient All-reduce for Distributed
+DNN Training in Optical Interconnect Systems"* (Dai, Chen, Huang, Zhang —
+ICPP 2023): the WRHT scheme itself, the Ring/H-Ring/BT/RD baselines, the
+optical-ring and electrical-fat-tree substrates they are priced on, the DNN
+workloads, a data-parallel training loop that runs the real schedules, and
+a benchmark harness regenerating every table and figure of the paper's
+evaluation.
+
+Quick start::
+
+    from repro import plan_wrht, build_schedule, verify_allreduce
+    from repro.optical import OpticalSystemConfig, OpticalRingNetwork
+
+    plan = plan_wrht(n_nodes=1024, n_wavelengths=64)
+    print(plan.describe())                     # θ = 3 steps, m = 129
+
+    sched = build_schedule("wrht", 64, 10_000, n_wavelengths=8)
+    verify_allreduce(sched)                    # exact-sum postcondition
+
+    net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=64, n_wavelengths=8))
+    print(net.execute(sched).total_time)       # seconds on the ring
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.collectives import build_schedule, verify_allreduce
+from repro.comm import Communicator
+from repro.core import (
+    OpticalPhyParams,
+    WrhtPlan,
+    bt_steps,
+    hring_steps,
+    plan_wrht,
+    rd_steps,
+    ring_steps,
+    wrht_steps,
+)
+from repro.dnn import PAPER_WORKLOADS, DataParallelTrainer, DnnWorkload
+from repro.electrical import ElectricalNetwork, ElectricalSystemConfig
+from repro.optical import OpticalRingNetwork, OpticalSystemConfig
+from repro.runner import run_fig4, run_fig5, run_fig6, run_fig7, run_table1
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Communicator",
+    "DataParallelTrainer",
+    "DnnWorkload",
+    "ElectricalNetwork",
+    "ElectricalSystemConfig",
+    "OpticalPhyParams",
+    "OpticalRingNetwork",
+    "OpticalSystemConfig",
+    "PAPER_WORKLOADS",
+    "WrhtPlan",
+    "__version__",
+    "bt_steps",
+    "build_schedule",
+    "hring_steps",
+    "plan_wrht",
+    "rd_steps",
+    "ring_steps",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_table1",
+    "verify_allreduce",
+    "wrht_steps",
+]

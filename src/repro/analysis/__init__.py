@@ -1,0 +1,28 @@
+"""Cross-cutting analyses on top of the substrates.
+
+- :mod:`~repro.analysis.energy` — energy per All-reduce on the optical and
+  electrical substrates (quantifies the paper's Sec 1 claim that optical
+  interconnects spend less power).
+- :mod:`~repro.analysis.scaling` — asymptotic scaling series (steps, time,
+  bandwidth-latency decomposition) across cluster sizes for every
+  algorithm, the data behind the Fig 6/7 trend discussion.
+"""
+
+from repro.analysis.energy import (
+    ElectricalEnergyModel,
+    EnergyBreakdown,
+    OpticalEnergyModel,
+    electrical_allreduce_energy,
+    optical_allreduce_energy,
+)
+from repro.analysis.scaling import ScalingPoint, scaling_series
+
+__all__ = [
+    "ElectricalEnergyModel",
+    "EnergyBreakdown",
+    "OpticalEnergyModel",
+    "ScalingPoint",
+    "electrical_allreduce_energy",
+    "optical_allreduce_energy",
+    "scaling_series",
+]

@@ -1,0 +1,161 @@
+"""Energy per All-reduce on the two substrates.
+
+The paper motivates optical interconnects partly by power (Sec 1); this
+module makes the comparison concrete with representative silicon-photonics
+and datacenter-switch numbers (all overridable):
+
+**Optical** (circuit-switched WDM): while a circuit is up, its wall power
+is the comb-laser line (≈50 mW wall per wavelength at typical wall-plug
+efficiency) plus thermal tuning of the Tx/Rx micro-rings (≈20 mW per
+endpoint pair); data pays an O/E/O serialization energy (≈2 pJ/bit); each
+reconfiguration round costs a control-plane transient.
+
+**Electrical** (packet-switched fat-tree): the canonical per-bit
+accounting — every router traversal costs switching energy (≈12 pJ/bit),
+and each end host NIC costs serdes energy (≈5 pJ/bit per side).
+
+Both models price a *schedule*, reusing the substrates' own executors and
+routing, so the energy numbers are consistent with the timing numbers by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.base import Schedule
+from repro.electrical.config import ElectricalSystemConfig
+from repro.electrical.fattree import FatTree
+from repro.electrical.routing import route
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.network import OpticalRingNetwork
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one collective, by component.
+
+    Attributes:
+        components: ``name -> joules``.
+        payload_bits: Bits moved (for energy-per-bit reporting).
+    """
+
+    components: dict[str, float]
+    payload_bits: float
+
+    @property
+    def total(self) -> float:
+        """Total joules."""
+        return sum(self.components.values())
+
+    @property
+    def pj_per_bit(self) -> float:
+        """Picojoules per payload bit (∞ if no payload)."""
+        if self.payload_bits == 0:
+            return float("inf")
+        return self.total / self.payload_bits * 1e12
+
+
+@dataclass(frozen=True)
+class OpticalEnergyModel:
+    """Optical substrate energy parameters.
+
+    Attributes:
+        laser_wall_power_w: Wall power per active wavelength circuit.
+        tuning_power_w: MRR thermal tuning per circuit (Tx + Rx rings).
+        oeo_energy_per_bit: Serialization/deserialization energy.
+        reconfig_energy_j: Control-plane energy per reconfiguration round.
+    """
+
+    laser_wall_power_w: float = 0.050
+    tuning_power_w: float = 0.020
+    oeo_energy_per_bit: float = 2.0e-12
+    reconfig_energy_j: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        for name in (
+            "laser_wall_power_w", "tuning_power_w",
+            "oeo_energy_per_bit", "reconfig_energy_j",
+        ):
+            check_positive(name, getattr(self, name))
+
+
+@dataclass(frozen=True)
+class ElectricalEnergyModel:
+    """Electrical substrate energy parameters.
+
+    Attributes:
+        switch_energy_per_bit: Per router traversal.
+        nic_energy_per_bit: Per end-host NIC (charged twice per transfer).
+    """
+
+    switch_energy_per_bit: float = 12.0e-12
+    nic_energy_per_bit: float = 5.0e-12
+
+    def __post_init__(self) -> None:
+        check_positive("switch_energy_per_bit", self.switch_energy_per_bit)
+        check_positive("nic_energy_per_bit", self.nic_energy_per_bit)
+
+
+def optical_allreduce_energy(
+    schedule: Schedule,
+    config: OpticalSystemConfig,
+    model: OpticalEnergyModel | None = None,
+    bytes_per_elem: float = 4.0,
+) -> EnergyBreakdown:
+    """Energy to run ``schedule`` on the optical ring.
+
+    Active-power terms integrate over each circuit's actual duration as
+    computed by the step-timing executor (every circuit of a round burns
+    laser + tuning power for the round's payload time).
+    """
+    model = model or OpticalEnergyModel()
+    net = OpticalRingNetwork(config, validate=False)
+    active_seconds = 0.0  # Σ over circuits of their duration
+    rounds = 0
+    payload_bytes = 0.0
+    for step, count in schedule.timing_profile:
+        circuit_rounds = net.plan_step_rounds(step, bytes_per_elem)
+        rounds += len(circuit_rounds) * count
+        for circuits in circuit_rounds:
+            round_max = max(c.duration for c in circuits)
+            # Circuits stay configured for the whole round.
+            active_seconds += round_max * len(circuits) * count
+            payload_bytes += sum(c.payload_bytes for c in circuits) * count
+    bits = payload_bytes * 8
+    components = {
+        "laser": active_seconds * model.laser_wall_power_w,
+        "mrr_tuning": active_seconds * model.tuning_power_w,
+        "oeo": bits * model.oeo_energy_per_bit,
+        "reconfig": rounds * model.reconfig_energy_j,
+    }
+    return EnergyBreakdown(components=components, payload_bits=bits)
+
+
+def electrical_allreduce_energy(
+    schedule: Schedule,
+    config: ElectricalSystemConfig,
+    model: ElectricalEnergyModel | None = None,
+    bytes_per_elem: float = 4.0,
+) -> EnergyBreakdown:
+    """Energy to run ``schedule`` on the electrical fat-tree."""
+    model = model or ElectricalEnergyModel()
+    tree = FatTree(config)
+    switch_bits = 0.0
+    nic_bits = 0.0
+    payload_bits = 0.0
+    for step, count in schedule.timing_profile:
+        for t in step.transfers:
+            bits = t.n_elems * bytes_per_elem * 8 * count
+            if bits == 0:
+                continue
+            payload_bits += bits
+            path = route(tree, t.src, t.dst, ecmp=config.ecmp)
+            switch_bits += bits * path.n_routers
+            nic_bits += bits * 2  # sending and receiving host
+    components = {
+        "switching": switch_bits * model.switch_energy_per_bit,
+        "nic": nic_bits * model.nic_energy_per_bit,
+    }
+    return EnergyBreakdown(components=components, payload_bits=payload_bits)

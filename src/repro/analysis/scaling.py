@@ -1,0 +1,100 @@
+"""Asymptotic scaling series: the data behind the Fig 6/7 trend claims.
+
+For every algorithm, decompose communication time at each cluster size
+into its **bandwidth term** (payload serialization) and **latency term**
+(per-step overhead × steps). The paper's qualitative statements — "Ring
+rises linearly", "the communication time for distributed DNN training is
+primarily determined by the number of communication steps" — are exactly
+statements about which term dominates; this module lets you check them at
+any configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.steps import bt_steps, hring_steps, rd_steps, ring_steps, wrht_steps
+from repro.core.timing import CostModel, algorithm_time
+from repro.core.wavelengths import optimal_group_size
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (algorithm, N) decomposition.
+
+    Attributes:
+        algorithm: Algorithm name.
+        n_nodes: Cluster size.
+        steps: Communication steps.
+        total_time: Seconds (full model).
+        latency_time: Seconds from per-step overhead alone.
+        bandwidth_time: Seconds from payload serialization alone.
+    """
+
+    algorithm: str
+    n_nodes: int
+    steps: int
+    total_time: float
+    latency_time: float
+    bandwidth_time: float
+
+    @property
+    def latency_fraction(self) -> float:
+        """Share of the total spent on per-step overhead."""
+        return self.latency_time / self.total_time if self.total_time else 0.0
+
+
+def _steps(algorithm: str, n: int, w: int, hring_m: int) -> int:
+    if algorithm == "Ring":
+        return ring_steps(n)
+    if algorithm == "BT":
+        return bt_steps(n)
+    if algorithm == "RD":
+        return rd_steps(n)
+    if algorithm == "H-Ring":
+        return hring_steps(n, min(hring_m, n), w)
+    if algorithm == "WRHT":
+        return wrht_steps(n, min(optimal_group_size(w), n), w)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def scaling_series(
+    algorithm: str,
+    nodes: Sequence[int],
+    d_bytes: float,
+    model: CostModel,
+    w: int = 64,
+    hring_m: int = 5,
+) -> list[ScalingPoint]:
+    """Decomposed timings for one algorithm across cluster sizes.
+
+    The latency term is the model evaluated with a vanishing payload (the
+    ``a·θ`` part); the bandwidth term is the remainder — the decomposition
+    is exact because every model is affine in the payload.
+    """
+    check_positive("d_bytes", d_bytes)
+    zero_overhead = CostModel(
+        line_rate=model.line_rate,
+        step_overhead=0.0,
+        oeo_delay_per_packet=model.oeo_delay_per_packet,
+        packet_bytes=model.packet_bytes,
+    )
+    points = []
+    for n in nodes:
+        kwargs = {"hring_m": min(hring_m, n), "w": w}
+        total = algorithm_time(algorithm, n, d_bytes, model, **kwargs)
+        bandwidth = algorithm_time(algorithm, n, d_bytes, zero_overhead, **kwargs)
+        steps = _steps(algorithm, n, w, hring_m)
+        points.append(
+            ScalingPoint(
+                algorithm=algorithm,
+                n_nodes=n,
+                steps=steps,
+                total_time=total,
+                latency_time=total - bandwidth,
+                bandwidth_time=bandwidth,
+            )
+        )
+    return points

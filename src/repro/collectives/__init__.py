@@ -1,0 +1,58 @@
+"""All-reduce algorithms as executable communication schedules.
+
+A *schedule* is the topology-independent description of an All-reduce: a
+sequence of bulk-synchronous :class:`~repro.collectives.base.CommStep`\\ s,
+each holding concurrent :class:`~repro.collectives.base.Transfer`\\ s over
+element ranges of the gradient vector. The same schedule object is
+
+- executed numerically by :mod:`~repro.collectives.verify` to prove the
+  algorithm computes the exact sum on every node,
+- timed on the optical ring by :mod:`repro.optical.network`, and
+- timed on the electrical fat-tree by :mod:`repro.electrical.network`.
+
+Builders: Ring (reduce-scatter + all-gather), H-Ring (hierarchical ring),
+BT (binomial/binary tree), RD (recursive doubling with non-power-of-two
+fix-up) and WRHT (from a :class:`~repro.core.planner.WrhtPlan`).
+"""
+
+from repro.collectives.base import CommStep, Schedule, Transfer
+from repro.collectives.ring import build_ring_schedule
+from repro.collectives.hring import build_hring_schedule
+from repro.collectives.btree import build_bt_schedule
+from repro.collectives.rd import build_rd_schedule
+from repro.collectives.wrht_schedule import build_wrht_schedule
+from repro.collectives.alltoall import build_alltoall_step
+from repro.collectives.dbtree import build_dbtree_schedule
+from repro.collectives.grouped import (
+    build_grouped_allreduce,
+    remap_schedule,
+    verify_grouped_allreduce,
+)
+from repro.collectives.render import render_schedule, render_step
+from repro.collectives.serialize import dump_schedule, load_schedule
+from repro.collectives.verify import run_schedule, verify_allreduce
+from repro.collectives.registry import available_algorithms, build_schedule
+
+__all__ = [
+    "CommStep",
+    "Schedule",
+    "Transfer",
+    "available_algorithms",
+    "build_alltoall_step",
+    "build_bt_schedule",
+    "build_dbtree_schedule",
+    "build_grouped_allreduce",
+    "build_hring_schedule",
+    "build_rd_schedule",
+    "build_ring_schedule",
+    "build_schedule",
+    "build_wrht_schedule",
+    "dump_schedule",
+    "load_schedule",
+    "remap_schedule",
+    "render_schedule",
+    "render_step",
+    "run_schedule",
+    "verify_allreduce",
+    "verify_grouped_allreduce",
+]

@@ -1,0 +1,203 @@
+"""Schedule data model shared by all All-reduce builders and executors.
+
+Semantics
+---------
+
+A :class:`Schedule` is executed step by step; steps are bulk-synchronous
+barriers (the paper's model: MRRs reconfigure between steps, and a step
+completes when its slowest transfer completes). Within one step every
+:class:`Transfer` reads the *pre-step* contents of its source buffer, so
+symmetric exchanges (recursive doubling, all-to-all) are well-defined.
+
+A transfer moves the element range ``[lo, hi)`` of the source node's vector
+to the destination, where it is combined according to ``op``:
+
+- ``"sum"``  — destination accumulates (``dst[lo:hi] += src[lo:hi]``),
+- ``"copy"`` — destination overwrites (``dst[lo:hi] = src[lo:hi]``).
+
+Timing profiles
+---------------
+
+Materializing every step of Ring All-reduce at N=4096 would allocate ~33M
+transfer objects. Since timing depends only on each step's communication
+*pattern* (who sends how many bytes to whom), builders also expose
+``timing_profile``: a list of ``(CommStep, repeat_count)`` pairs with one
+representative step per run of identical-pattern steps. Executors consume
+the profile; the numerical verifier consumes the exact materialized steps
+(built only for sizes where that is cheap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Literal, Sequence
+
+from repro.util.validation import check_positive_int
+
+Op = Literal["sum", "copy"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point transfer of an element range.
+
+    Attributes:
+        src: Sending node id.
+        dst: Receiving node id.
+        lo: First element index (inclusive).
+        hi: Last element index (exclusive).
+        op: How the destination combines the payload (``sum``/``copy``).
+    """
+
+    src: int
+    dst: int
+    lo: int
+    hi: int
+    op: Op = "sum"
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"self-transfer at node {self.src}")
+        if not (0 <= self.lo <= self.hi):
+            raise ValueError(f"bad element range [{self.lo}, {self.hi})")
+        if self.op not in ("sum", "copy"):
+            raise ValueError(f"op must be 'sum' or 'copy', got {self.op!r}")
+
+    @property
+    def n_elems(self) -> int:
+        """Number of vector elements moved."""
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True)
+class CommStep:
+    """One bulk-synchronous step of concurrent transfers.
+
+    Attributes:
+        transfers: Concurrent transfers; a destination may receive multiple
+            ``sum`` transfers in one step (WRHT group collect), but at most
+            one ``copy`` per overlapping range (checked by the verifier).
+        stage: ``"reduce"``, ``"broadcast"`` or ``"exchange"`` — used for
+            reporting and assertions, not semantics.
+        level: Hierarchy level (1-based) for tree/WRHT steps, 0 otherwise.
+    """
+
+    transfers: tuple[Transfer, ...]
+    stage: str = "reduce"
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.transfers:
+            raise ValueError("a CommStep needs at least one transfer")
+
+    @property
+    def n_transfers(self) -> int:
+        """Number of concurrent transfers."""
+        return len(self.transfers)
+
+    def total_elems(self) -> int:
+        """Sum of element counts across transfers (for byte accounting)."""
+        return sum(t.n_elems for t in self.transfers)
+
+    def pattern_key(self) -> tuple:
+        """Hashable key identifying the step's timing-relevant pattern.
+
+        Two steps with the same key take exactly the same time on any of the
+        substrates: same (src, dst, size, op) multiset. Element *positions*
+        are deliberately excluded — a Ring reduce-scatter step moving chunk
+        ``c`` costs the same as one moving chunk ``c+1``.
+        """
+        return tuple(sorted((t.src, t.dst, t.n_elems, t.op) for t in self.transfers))
+
+
+@dataclass
+class Schedule:
+    """A complete All-reduce schedule plus its compressed timing profile.
+
+    Attributes:
+        algorithm: Builder name (``"ring"``, ``"wrht"``, ...).
+        n_nodes: Number of participating nodes.
+        total_elems: Length of the gradient vector being reduced.
+        steps: Materialized steps (may be ``None`` at large scale).
+        timing_profile: ``(representative_step, count)`` pairs covering the
+            whole schedule in order.
+        meta: Builder-specific extras (e.g. the :class:`WrhtPlan`).
+    """
+
+    algorithm: str
+    n_nodes: int
+    total_elems: int
+    steps: list[CommStep] | None
+    timing_profile: list[tuple[CommStep, int]]
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_nodes", self.n_nodes)
+        check_positive_int("total_elems", self.total_elems)
+        if not self.timing_profile and self.n_nodes > 1:
+            raise ValueError("schedule must have a timing profile")
+
+    @property
+    def n_steps(self) -> int:
+        """Total communication steps."""
+        return sum(count for _, count in self.timing_profile)
+
+    def iter_steps(self) -> Iterator[CommStep]:
+        """Iterate materialized steps (requires ``steps`` to be present)."""
+        if self.steps is None:
+            raise RuntimeError(
+                f"{self.algorithm} schedule was built without materialized "
+                "steps (pass materialize=True to the builder)"
+            )
+        return iter(self.steps)
+
+    def validate_against_profile(self) -> None:
+        """Check that materialized steps and timing profile agree.
+
+        Called by tests: step count must match, and each materialized step's
+        pattern key must equal its profile representative's.
+        """
+        if self.steps is None:
+            return
+        if len(self.steps) != self.n_steps:
+            raise AssertionError(
+                f"{self.algorithm}: {len(self.steps)} materialized steps vs "
+                f"profile total {self.n_steps}"
+            )
+        idx = 0
+        for rep, count in self.timing_profile:
+            key = rep.pattern_key()
+            for _ in range(count):
+                actual = self.steps[idx].pattern_key()
+                if actual != key:
+                    raise AssertionError(
+                        f"{self.algorithm}: step {idx} pattern differs from "
+                        "its profile representative"
+                    )
+                idx += 1
+
+
+def compress_steps(steps: Sequence[CommStep]) -> list[tuple[CommStep, int]]:
+    """Run-length encode consecutive steps with identical pattern keys."""
+    profile: list[tuple[CommStep, int]] = []
+    prev_key = None
+    for step in steps:
+        key = step.pattern_key()
+        if profile and key == prev_key:
+            rep, count = profile[-1]
+            profile[-1] = (rep, count + 1)
+        else:
+            profile.append((step, 1))
+            prev_key = key
+    return profile
+
+
+def singleton_schedule(algorithm: str, total_elems: int) -> Schedule:
+    """The degenerate 1-node schedule: nothing to communicate."""
+    return Schedule(
+        algorithm=algorithm,
+        n_nodes=1,
+        total_elems=total_elems,
+        steps=[],
+        timing_profile=[],
+    )

@@ -1,0 +1,78 @@
+"""Binary-tree (BT) All-reduce: binomial reduce + binomial broadcast.
+
+The paper's Figure 2(a) baseline [33]: in reduce step ``k`` (1-based) the
+ring is viewed in blocks of ``2^k``; the node at offset ``2^(k−1)`` of each
+block sends its full partial sum to the block's first node. After
+``⌈log₂ N⌉`` steps node 0 holds the global sum; broadcast replays the steps
+in reverse with ``copy`` transfers. Every transfer carries the **full**
+vector — the step count is logarithmic but each step pays ``d/B``, which is
+why BT struggles on large models (Sec 5.5).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.collectives.base import (
+    CommStep,
+    Schedule,
+    Transfer,
+    compress_steps,
+    singleton_schedule,
+)
+from repro.util.validation import check_positive_int
+
+
+def _reduce_step_transfers(n: int, k: int, total: int) -> tuple[Transfer, ...]:
+    half = 1 << (k - 1)
+    return tuple(
+        Transfer(src=j, dst=j - half, lo=0, hi=total, op="sum")
+        for j in range(half, n, 1 << k)
+    )
+
+
+def _broadcast_step_transfers(n: int, k: int, total: int) -> tuple[Transfer, ...]:
+    half = 1 << (k - 1)
+    return tuple(
+        Transfer(src=j - half, dst=j, lo=0, hi=total, op="copy")
+        for j in range(half, n, 1 << k)
+    )
+
+
+def build_bt_schedule(n_nodes: int, total_elems: int, materialize: bool | None = None) -> Schedule:
+    """Build the binary-tree All-reduce schedule (``2⌈log₂N⌉`` steps).
+
+    Args:
+        n_nodes: Participants N >= 1 (any N, not just powers of two).
+        total_elems: Gradient vector length.
+        materialize: Kept for builder-API symmetry; BT schedules are always
+            cheap to materialize (O(N log N) transfers), so exact steps are
+            built unless explicitly disabled.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("total_elems", total_elems)
+    if n_nodes == 1:
+        return singleton_schedule("bt", total_elems)
+    n_levels = math.ceil(math.log2(n_nodes))
+    steps: list[CommStep] = []
+    for k in range(1, n_levels + 1):
+        steps.append(
+            CommStep(_reduce_step_transfers(n_nodes, k, total_elems), stage="reduce", level=k)
+        )
+    for k in range(n_levels, 0, -1):
+        steps.append(
+            CommStep(
+                _broadcast_step_transfers(n_nodes, k, total_elems),
+                stage="broadcast",
+                level=k,
+            )
+        )
+    profile = compress_steps(steps)
+    return Schedule(
+        algorithm="bt",
+        n_nodes=n_nodes,
+        total_elems=total_elems,
+        steps=steps if materialize is not False else None,
+        timing_profile=profile,
+        meta={"profile_exact": True, "n_levels": n_levels},
+    )

@@ -1,0 +1,169 @@
+"""Group-parallel collectives: many disjoint All-reduces as one schedule.
+
+Hybrid parallelism (Sec 6.2) runs *many* concurrent All-reduces: every
+tensor-parallel group synchronizes activations, every data-parallel group
+synchronizes its gradient shard — at the same time, on the same ring.
+This module builds that as a single bulk-synchronous schedule:
+
+- :func:`remap_schedule` rewrites a logical-rank schedule onto physical
+  ring node ids (placement changes routing distances, hence timing);
+- :func:`build_grouped_allreduce` builds one All-reduce per group (all
+  groups the same size), remaps each onto its members, and merges them
+  step-by-step into one schedule whose step count equals a single group's —
+  the wavelength assignment then decides constructively whether the groups
+  really can overlap or must serialize into rounds;
+- :func:`verify_grouped_allreduce` checks the group-wise postcondition
+  (every member of a group ends with exactly its group's sum).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.base import CommStep, Schedule, Transfer, compress_steps
+from repro.collectives.registry import build_schedule
+from repro.collectives.verify import initial_buffers, run_schedule
+from repro.util.validation import check_positive_int
+
+
+def remap_schedule(schedule: Schedule, mapping: Sequence[int], n_nodes: int) -> Schedule:
+    """Rewrite node ids: logical rank ``i`` becomes ``mapping[i]``.
+
+    Args:
+        schedule: A materialized schedule over ranks ``0..k-1``.
+        mapping: Physical node id per logical rank (distinct).
+        n_nodes: Physical system size (bounds-checks the mapping).
+
+    Returns:
+        A new schedule over the physical ids, same structure.
+    """
+    mapping = list(mapping)
+    if len(mapping) != schedule.n_nodes:
+        raise ValueError(
+            f"mapping has {len(mapping)} entries for a {schedule.n_nodes}-rank schedule"
+        )
+    if len(set(mapping)) != len(mapping):
+        raise ValueError("mapping must be injective")
+    for node in mapping:
+        if not (0 <= node < n_nodes):
+            raise ValueError(f"physical node {node} out of range [0, {n_nodes})")
+    steps = [
+        CommStep(
+            tuple(
+                Transfer(mapping[t.src], mapping[t.dst], t.lo, t.hi, t.op)
+                for t in step.transfers
+            ),
+            stage=step.stage,
+            level=step.level,
+        )
+        for step in schedule.iter_steps()
+    ]
+    return Schedule(
+        algorithm=schedule.algorithm,
+        n_nodes=n_nodes,
+        total_elems=schedule.total_elems,
+        steps=steps,
+        timing_profile=compress_steps(steps),
+        meta={**schedule.meta, "mapping": tuple(mapping)},
+    )
+
+
+def build_grouped_allreduce(
+    groups: Sequence[Sequence[int]],
+    total_elems: int,
+    n_nodes: int,
+    algorithm: str = "wrht",
+    **kwargs,
+) -> Schedule:
+    """One concurrent All-reduce per group, merged into a single schedule.
+
+    Args:
+        groups: Disjoint physical node-id groups, all the same size.
+        total_elems: Vector length each group reduces.
+        n_nodes: Physical system size.
+        algorithm: Per-group All-reduce algorithm.
+        **kwargs: Forwarded to the per-group builder.
+
+    Returns:
+        A schedule with as many steps as one group's All-reduce; step ``k``
+        holds the union of every group's step-``k`` transfers. ``meta``
+        carries the groups for verification.
+    """
+    check_positive_int("total_elems", total_elems)
+    check_positive_int("n_nodes", n_nodes)
+    if not groups:
+        raise ValueError("need at least one group")
+    sizes = {len(g) for g in groups}
+    if len(sizes) != 1:
+        raise ValueError(f"all groups must have the same size, got sizes {sorted(sizes)}")
+    group_size = sizes.pop()
+    check_positive_int("group size", group_size)
+    flat = [node for g in groups for node in g]
+    if len(set(flat)) != len(flat):
+        raise ValueError("groups must be disjoint")
+
+    template = build_schedule(
+        algorithm, group_size, total_elems, materialize=True, **kwargs
+    )
+    remapped = [remap_schedule(template, list(g), n_nodes) for g in groups]
+    merged_steps: list[CommStep] = []
+    for k in range(template.n_steps):
+        transfers: list[Transfer] = []
+        stage = "exchange"
+        for sub in remapped:
+            step = list(sub.iter_steps())[k]
+            transfers.extend(step.transfers)
+            stage = step.stage
+        merged_steps.append(CommStep(tuple(transfers), stage=stage, level=0))
+    if not merged_steps:
+        from repro.collectives.base import singleton_schedule
+
+        sched = singleton_schedule(f"grouped-{algorithm}", total_elems)
+        sched.meta["groups"] = tuple(tuple(g) for g in groups)
+        return sched
+    return Schedule(
+        algorithm=f"grouped-{algorithm}",
+        n_nodes=n_nodes,
+        total_elems=total_elems,
+        steps=merged_steps,
+        timing_profile=compress_steps(merged_steps),
+        meta={
+            "profile_exact": template.meta.get("profile_exact", False),
+            "groups": tuple(tuple(g) for g in groups),
+            "group_algorithm": algorithm,
+        },
+    )
+
+
+def verify_grouped_allreduce(schedule: Schedule) -> None:
+    """Assert the group-wise All-reduce postcondition.
+
+    Every node in each of ``schedule.meta["groups"]`` must end with the
+    exact elementwise sum over that group's initial vectors; nodes outside
+    all groups must be untouched.
+    """
+    groups = schedule.meta.get("groups")
+    if groups is None:
+        raise ValueError("schedule has no groups metadata")
+    buffers = initial_buffers(schedule.n_nodes, schedule.total_elems)
+    original = buffers.copy()
+    run_schedule(schedule, buffers)
+    grouped_nodes = set()
+    for group in groups:
+        expected = original[list(group)].sum(axis=0)
+        for node in group:
+            grouped_nodes.add(node)
+            if not np.array_equal(buffers[node], expected):
+                raise AssertionError(
+                    f"{schedule.algorithm}: node {node} of group {group} "
+                    "does not hold its group sum"
+                )
+    for node in range(schedule.n_nodes):
+        if node not in grouped_nodes and not np.array_equal(
+            buffers[node], original[node]
+        ):
+            raise AssertionError(
+                f"{schedule.algorithm}: bystander node {node} was modified"
+            )

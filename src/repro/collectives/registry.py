@@ -1,0 +1,61 @@
+"""Name-based factory for All-reduce schedules.
+
+The experiment runner, CLI and training substrate all select algorithms by
+the short names used throughout the paper's figures: ``ring``, ``hring``,
+``bt``, ``rd`` and ``wrht``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.collectives.base import Schedule
+from repro.collectives.btree import build_bt_schedule
+from repro.collectives.dbtree import build_dbtree_schedule
+from repro.collectives.hring import build_hring_schedule
+from repro.collectives.rd import build_rd_schedule
+from repro.collectives.ring import build_ring_schedule
+from repro.collectives.wrht_schedule import build_wrht_schedule
+
+_BUILDERS: dict[str, Callable[..., Schedule]] = {
+    "ring": build_ring_schedule,
+    "hring": build_hring_schedule,
+    "bt": build_bt_schedule,
+    "dbtree": build_dbtree_schedule,
+    "rd": build_rd_schedule,
+    "wrht": build_wrht_schedule,
+}
+
+# Pretty names as used in the paper's figures.
+DISPLAY_NAMES = {
+    "ring": "Ring",
+    "hring": "H-Ring",
+    "bt": "BT",
+    "dbtree": "DBTree",
+    "rd": "RD",
+    "wrht": "WRHT",
+}
+
+
+def available_algorithms() -> list[str]:
+    """Registered algorithm names, sorted."""
+    return sorted(_BUILDERS)
+
+
+def build_schedule(name: str, n_nodes: int, total_elems: int, **kwargs) -> Schedule:
+    """Build a schedule by algorithm name.
+
+    Args:
+        name: One of :func:`available_algorithms` (case-insensitive; the
+            display names "Ring"/"H-Ring"/... are accepted too).
+        n_nodes: Participants.
+        total_elems: Gradient vector length.
+        **kwargs: Forwarded to the specific builder (``m``,
+            ``n_wavelengths``, ``materialize``, ...).
+    """
+    key = name.lower().replace("-", "")
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        )
+    return _BUILDERS[key](n_nodes, total_elems, **kwargs)

@@ -1,0 +1,77 @@
+"""ASCII rendering of schedules — the debugging view of Figure 2/3.
+
+``render_schedule`` draws a step-by-node grid showing, for every node and
+step, whether it sends (``>``/``<`` by ring direction), receives (``v``),
+does both (``x``) or idles (``.``) — the textual equivalent of the paper's
+arrow diagrams. ``render_step`` lists one step's transfers with their
+ranges. Used by the CLI's ``show`` command and handy in test failures.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.base import CommStep, Schedule
+
+
+def _node_symbol(node: int, step: CommStep, n_nodes: int) -> str:
+    sends_cw = sends_ccw = receives = False
+    for t in step.transfers:
+        if t.n_elems == 0:
+            continue
+        if t.src == node:
+            if (t.dst - t.src) % n_nodes <= n_nodes // 2:
+                sends_cw = True
+            else:
+                sends_ccw = True
+        if t.dst == node:
+            receives = True
+    sending = sends_cw or sends_ccw
+    if sending and receives:
+        return "x"
+    if sends_cw and sends_ccw:
+        return "*"
+    if sends_cw:
+        return ">"
+    if sends_ccw:
+        return "<"
+    if receives:
+        return "v"
+    return "."
+
+
+def render_schedule(schedule: Schedule, max_nodes: int = 64, max_steps: int = 40) -> str:
+    """Step-by-node activity grid.
+
+    Args:
+        schedule: A materialized schedule.
+        max_nodes: Clip the node axis beyond this (with an ellipsis note).
+        max_steps: Clip the step axis beyond this.
+
+    Returns:
+        A multi-line string; one row per step.
+    """
+    steps = list(schedule.iter_steps())
+    n = schedule.n_nodes
+    clipped_nodes = min(n, max_nodes)
+    lines = [
+        f"{schedule.algorithm}: {len(steps)} steps x {n} nodes"
+        + (f" (showing first {clipped_nodes} nodes)" if clipped_nodes < n else "")
+    ]
+    header = "          " + "".join(str(i % 10) for i in range(clipped_nodes))
+    lines.append(header)
+    for i, step in enumerate(steps[:max_steps]):
+        row = "".join(_node_symbol(node, step, n) for node in range(clipped_nodes))
+        lines.append(f"{i + 1:3d} {step.stage[:5]:>5s} {row}")
+    if len(steps) > max_steps:
+        lines.append(f"... ({len(steps) - max_steps} more steps)")
+    lines.append("legend: > cw send   < ccw send   v receive   x send+receive   . idle")
+    return "\n".join(lines)
+
+
+def render_step(step: CommStep, max_transfers: int = 32) -> str:
+    """One step's transfers, one line each."""
+    lines = [f"step[{step.stage}] {step.n_transfers} transfer(s):"]
+    for t in step.transfers[:max_transfers]:
+        lines.append(f"  {t.src:5d} -> {t.dst:5d}  [{t.lo}, {t.hi})  {t.op}")
+    if step.n_transfers > max_transfers:
+        lines.append(f"  ... ({step.n_transfers - max_transfers} more)")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Schedule serialization: JSON round-trips for caching and sharing.
+
+Building a schedule is cheap; *planning* around one (RWA validation at
+scale, external tooling, regression fixtures) benefits from a stable
+on-disk form. The format is deliberately plain: versioned JSON with one
+object per step and ``[src, dst, lo, hi, op]`` rows per transfer, so other
+tools (or a human with ``jq``) can read it.
+
+Only structural metadata survives the round trip (plan objects and other
+rich ``meta`` values are dropped with a marker); correctness-relevant
+content — steps, transfers, profile run lengths — round-trips exactly, and
+the loader re-verifies invariants through the normal constructors.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.collectives.base import CommStep, Schedule, Transfer
+
+FORMAT_VERSION = 1
+
+_JSON_SAFE = (str, int, float, bool, type(None))
+
+
+def schedule_to_dict(schedule: Schedule) -> dict:
+    """Convert a materialized schedule to a JSON-safe dict."""
+    if schedule.steps is None:
+        raise ValueError("only materialized schedules can be serialized")
+    meta = {
+        key: value
+        for key, value in schedule.meta.items()
+        if isinstance(value, _JSON_SAFE)
+    }
+    dropped = sorted(set(schedule.meta) - set(meta))
+    if dropped:
+        meta["_dropped_meta"] = dropped
+    return {
+        "format_version": FORMAT_VERSION,
+        "algorithm": schedule.algorithm,
+        "n_nodes": schedule.n_nodes,
+        "total_elems": schedule.total_elems,
+        "steps": [
+            {
+                "stage": step.stage,
+                "level": step.level,
+                "transfers": [[t.src, t.dst, t.lo, t.hi, t.op] for t in step.transfers],
+            }
+            for step in schedule.steps
+        ],
+        "profile_counts": [count for _, count in schedule.timing_profile],
+        "meta": meta,
+    }
+
+
+def schedule_from_dict(data: dict) -> Schedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output.
+
+    The timing profile is reconstructed from the materialized steps using
+    the stored run lengths, so profile and steps agree by construction.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported schedule format version {version!r}")
+    steps = [
+        CommStep(
+            tuple(Transfer(src, dst, lo, hi, op) for src, dst, lo, hi, op in s["transfers"]),
+            stage=s["stage"],
+            level=s["level"],
+        )
+        for s in data["steps"]
+    ]
+    counts = data["profile_counts"]
+    if sum(counts) != len(steps):
+        raise ValueError(
+            f"profile counts sum to {sum(counts)} but there are {len(steps)} steps"
+        )
+    profile = []
+    idx = 0
+    for count in counts:
+        profile.append((steps[idx], count))
+        idx += count
+    return Schedule(
+        algorithm=data["algorithm"],
+        n_nodes=data["n_nodes"],
+        total_elems=data["total_elems"],
+        steps=steps,
+        timing_profile=profile,
+        meta=dict(data.get("meta", {})),
+    )
+
+
+def dump_schedule(schedule: Schedule, path: str) -> None:
+    """Write a schedule to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(schedule_to_dict(schedule), fh)
+
+
+def load_schedule(path: str) -> Schedule:
+    """Read a schedule from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return schedule_from_dict(json.load(fh))

@@ -1,0 +1,37 @@
+"""MPI-style collective communication facade.
+
+The schedules, verifier and substrates generalize beyond All-reduce; this
+package packages them behind a familiar communicator API (naming follows
+mpi4py's lowercase-object conventions):
+
+    from repro.comm import Communicator
+
+    comm = Communicator(16, algorithm="wrht", n_wavelengths=8)
+    result, stats = comm.allreduce(per_rank_data)     # (16, d) array
+    chunks, stats = comm.reduce_scatter(per_rank_data)
+    full, stats = comm.allgather(chunks)
+    total, stats = comm.reduce(per_rank_data, root=3)
+    copies, stats = comm.broadcast(row, root=3)
+
+Every call executes a real communication schedule numerically (exact
+arithmetic, conflict-checked) and, when the communicator is attached to a
+substrate, reports what the operation would cost on the optical ring or
+electrical fat-tree.
+"""
+
+from repro.comm.communicator import CommStats, Communicator
+from repro.comm.primitives import (
+    build_allgather_schedule,
+    build_broadcast_schedule,
+    build_reduce_schedule,
+    build_reduce_scatter_schedule,
+)
+
+__all__ = [
+    "CommStats",
+    "Communicator",
+    "build_allgather_schedule",
+    "build_broadcast_schedule",
+    "build_reduce_scatter_schedule",
+    "build_reduce_schedule",
+]

@@ -1,0 +1,216 @@
+"""The communicator: numerical collectives with attached cost accounting.
+
+One :class:`Communicator` owns ``n_ranks`` and (optionally) a substrate
+executor. Each collective call:
+
+1. builds (and caches) the schedule for the current vector length,
+2. executes it numerically on the caller's data (exact, conflict-checked),
+3. prices it on the attached substrate (optical ring by default),
+
+returning ``(result, CommStats)``. Data layouts follow mpi4py conventions
+adapted to the single-process setting: per-rank data is a 2-D array with
+one row per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.collectives.base import Schedule
+from repro.collectives.registry import build_schedule
+from repro.collectives.ring import chunk_bounds
+from repro.collectives.verify import run_schedule
+from repro.comm.primitives import (
+    build_allgather_schedule,
+    build_broadcast_schedule,
+    build_reduce_schedule,
+    build_reduce_scatter_schedule,
+)
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class CommStats:
+    """What one collective call did and what it would cost.
+
+    Attributes:
+        operation: Collective name.
+        n_steps: Communication steps of the executed schedule.
+        est_time: Seconds on the attached substrate (``None`` if detached).
+        payload_bytes: Total bytes the schedule moves.
+    """
+
+    operation: str
+    n_steps: int
+    est_time: float | None
+    payload_bytes: float
+
+
+class Communicator:
+    """A fixed-size group of ranks with simulated collectives."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        algorithm: str = "wrht",
+        network=None,
+        bytes_per_elem: float = 8.0,
+        **schedule_kwargs,
+    ) -> None:
+        """Create a communicator.
+
+        Args:
+            n_ranks: Group size.
+            algorithm: All-reduce algorithm (``ring``/``bt``/``rd``/
+                ``hring``/``wrht``).
+            network: Optional substrate executor with an
+                ``execute(schedule, bytes_per_elem)`` method (an
+                :class:`~repro.optical.network.OpticalRingNetwork` or
+                :class:`~repro.electrical.network.ElectricalNetwork`).
+            bytes_per_elem: Element width for pricing (float64 default,
+                matching the numerical arrays).
+            **schedule_kwargs: Forwarded to the All-reduce builder
+                (``n_wavelengths``, ``m``, ...).
+        """
+        check_positive_int("n_ranks", n_ranks)
+        self.n_ranks = n_ranks
+        self.algorithm = algorithm
+        self.network = network
+        self.bytes_per_elem = bytes_per_elem
+        self._schedule_kwargs = schedule_kwargs
+        self._cache: dict[tuple, Schedule] = {}
+
+    # -- plumbing --------------------------------------------------------
+    def _as_matrix(self, data) -> np.ndarray:
+        arr = np.array(data, dtype=np.float64, copy=True)
+        if arr.ndim == 1:
+            raise ValueError(
+                "per-rank data must be 2-D (n_ranks, d); got a 1-D array — "
+                "did you mean broadcast()?"
+            )
+        if arr.shape[0] != self.n_ranks:
+            raise ValueError(
+                f"data has {arr.shape[0]} rows but communicator has "
+                f"{self.n_ranks} ranks"
+            )
+        return arr
+
+    def _get_schedule(self, kind: str, elems: int, **extra) -> Schedule:
+        key = (kind, elems, tuple(sorted(extra.items())))
+        schedule = self._cache.get(key)
+        if schedule is None:
+            if kind == "allreduce":
+                schedule = build_schedule(
+                    self.algorithm, self.n_ranks, elems,
+                    materialize=True, **self._schedule_kwargs,
+                )
+            elif kind == "reduce":
+                schedule = build_reduce_schedule(self.n_ranks, elems, **extra)
+            elif kind == "broadcast":
+                schedule = build_broadcast_schedule(self.n_ranks, elems, **extra)
+            elif kind == "reduce_scatter":
+                schedule = build_reduce_scatter_schedule(self.n_ranks, elems)
+            elif kind == "allgather":
+                schedule = build_allgather_schedule(self.n_ranks, elems)
+            else:  # pragma: no cover
+                raise ValueError(kind)
+            self._cache[key] = schedule
+        return schedule
+
+    def _stats(self, operation: str, schedule: Schedule) -> CommStats:
+        est = None
+        if self.network is not None and schedule.n_steps:
+            est = self.network.execute(
+                schedule, bytes_per_elem=self.bytes_per_elem
+            ).total_time
+        payload = sum(
+            step.total_elems() * self.bytes_per_elem * count
+            for step, count in schedule.timing_profile
+        )
+        return CommStats(
+            operation=operation, n_steps=schedule.n_steps,
+            est_time=est, payload_bytes=payload,
+        )
+
+    # -- collectives -----------------------------------------------------
+    def allreduce(self, data, op: str = "sum") -> tuple[np.ndarray, CommStats]:
+        """All-reduce: every rank receives the elementwise sum (or mean).
+
+        Args:
+            data: ``(n_ranks, d)`` per-rank contributions.
+            op: ``"sum"`` or ``"mean"``.
+        """
+        if op not in ("sum", "mean"):
+            raise ValueError(f"op must be 'sum' or 'mean', got {op!r}")
+        buffers = self._as_matrix(data)
+        schedule = self._get_schedule("allreduce", buffers.shape[1])
+        run_schedule(schedule, buffers)
+        if op == "mean":
+            buffers /= self.n_ranks
+        return buffers, self._stats("allreduce", schedule)
+
+    def reduce(self, data, root: int = 0) -> tuple[np.ndarray, CommStats]:
+        """Reduce: ``root`` receives the elementwise sum (returned as the
+        root's row; other rows hold partial sums, as in MPI)."""
+        buffers = self._as_matrix(data)
+        schedule = self._get_schedule("reduce", buffers.shape[1], root=root)
+        run_schedule(schedule, buffers)
+        return buffers[root], self._stats("reduce", schedule)
+
+    def broadcast(self, row, root: int = 0) -> tuple[np.ndarray, CommStats]:
+        """Broadcast: every rank receives ``root``'s vector.
+
+        Args:
+            row: 1-D vector held by the root.
+            root: Sending rank.
+        """
+        vec = np.asarray(row, dtype=np.float64)
+        if vec.ndim != 1:
+            raise ValueError(f"broadcast takes a 1-D vector, got shape {vec.shape}")
+        buffers = np.zeros((self.n_ranks, vec.size))
+        buffers[root] = vec
+        schedule = self._get_schedule("broadcast", vec.size, root=root)
+        run_schedule(schedule, buffers)
+        return buffers, self._stats("broadcast", schedule)
+
+    def reduce_scatter(self, data) -> tuple[list[np.ndarray], CommStats]:
+        """Reduce-scatter: rank ``i`` receives the reduced chunk ``i``.
+
+        Returns:
+            A list of per-rank owned chunks (balanced split of the vector).
+        """
+        buffers = self._as_matrix(data)
+        elems = buffers.shape[1]
+        schedule = self._get_schedule("reduce_scatter", elems)
+        run_schedule(schedule, buffers)
+        bounds = chunk_bounds(elems, self.n_ranks)
+        chunks = [buffers[i, lo:hi].copy() for i, (lo, hi) in enumerate(bounds)]
+        return chunks, self._stats("reduce_scatter", schedule)
+
+    def allgather(self, chunks) -> tuple[np.ndarray, CommStats]:
+        """All-gather: every rank receives the concatenation of all chunks.
+
+        Args:
+            chunks: One owned chunk per rank (balanced sizes, as produced by
+                :meth:`reduce_scatter`).
+        """
+        if len(chunks) != self.n_ranks:
+            raise ValueError(
+                f"need {self.n_ranks} chunks, got {len(chunks)}"
+            )
+        elems = sum(len(c) for c in chunks)
+        bounds = chunk_bounds(elems, self.n_ranks)
+        for i, ((lo, hi), chunk) in enumerate(zip(bounds, chunks)):
+            if hi - lo != len(chunk):
+                raise ValueError(
+                    f"chunk {i} has {len(chunk)} elements, expected {hi - lo} "
+                    "(balanced split)"
+                )
+        buffers = np.zeros((self.n_ranks, elems))
+        for i, (lo, hi) in enumerate(bounds):
+            buffers[i, lo:hi] = chunks[i]
+        schedule = self._get_schedule("allgather", elems)
+        run_schedule(schedule, buffers)
+        return buffers, self._stats("allgather", schedule)

@@ -1,0 +1,141 @@
+"""Schedule builders for the non-All-reduce collectives.
+
+All-reduce composes from these (reduce+broadcast, or reduce-scatter+
+all-gather); here they are exposed individually:
+
+- **reduce(root)** — binomial tree onto an arbitrary root (virtual-rank
+  relabeling of the BT reduce stage), ``⌈log₂N⌉`` steps.
+- **broadcast(root)** — the mirror image, ``⌈log₂N⌉`` steps.
+- **reduce-scatter** — the ring reduce-scatter phase, normalized so rank
+  ``i`` ends owning the fully reduced chunk ``i``; ``N−1`` steps.
+- **all-gather** — the ring all-gather phase from that ownership;
+  ``N−1`` steps.
+
+Postconditions are verified by dedicated checkers in the test suite (each
+primitive has a different correctness contract than All-reduce).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.collectives.base import (
+    CommStep,
+    Schedule,
+    Transfer,
+    compress_steps,
+    singleton_schedule,
+)
+from repro.collectives.ring import chunk_bounds
+from repro.util.validation import check_positive_int
+
+
+def _check_root(root: int, n_nodes: int) -> None:
+    if not (0 <= root < n_nodes):
+        raise ValueError(f"root {root} out of range [0, {n_nodes})")
+
+
+def build_reduce_schedule(
+    n_nodes: int, total_elems: int, root: int = 0
+) -> Schedule:
+    """Binomial-tree reduce onto ``root`` (full vector, ``sum``)."""
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("total_elems", total_elems)
+    _check_root(root, n_nodes)
+    if n_nodes == 1:
+        return singleton_schedule("reduce", total_elems)
+    n_levels = math.ceil(math.log2(n_nodes))
+    steps = []
+    for k in range(1, n_levels + 1):
+        half = 1 << (k - 1)
+        transfers = tuple(
+            Transfer(
+                src=(v + root) % n_nodes,
+                dst=(v - half + root) % n_nodes,
+                lo=0, hi=total_elems, op="sum",
+            )
+            for v in range(half, n_nodes, 1 << k)
+        )
+        steps.append(CommStep(transfers, stage="reduce", level=k))
+    return Schedule(
+        algorithm="reduce", n_nodes=n_nodes, total_elems=total_elems,
+        steps=steps, timing_profile=compress_steps(steps),
+        meta={"profile_exact": True, "root": root},
+    )
+
+
+def build_broadcast_schedule(
+    n_nodes: int, total_elems: int, root: int = 0
+) -> Schedule:
+    """Binomial-tree broadcast from ``root`` (full vector, ``copy``)."""
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("total_elems", total_elems)
+    _check_root(root, n_nodes)
+    if n_nodes == 1:
+        return singleton_schedule("broadcast", total_elems)
+    n_levels = math.ceil(math.log2(n_nodes))
+    steps = []
+    for k in range(n_levels, 0, -1):
+        half = 1 << (k - 1)
+        transfers = tuple(
+            Transfer(
+                src=(v - half + root) % n_nodes,
+                dst=(v + root) % n_nodes,
+                lo=0, hi=total_elems, op="copy",
+            )
+            for v in range(half, n_nodes, 1 << k)
+        )
+        steps.append(CommStep(transfers, stage="broadcast", level=k))
+    return Schedule(
+        algorithm="broadcast", n_nodes=n_nodes, total_elems=total_elems,
+        steps=steps, timing_profile=compress_steps(steps),
+        meta={"profile_exact": True, "root": root},
+    )
+
+
+def build_reduce_scatter_schedule(n_nodes: int, total_elems: int) -> Schedule:
+    """Ring reduce-scatter: rank ``i`` ends owning reduced chunk ``i``.
+
+    The chunk a rank sends at step ``s`` is shifted one position relative
+    to the All-reduce builder's phase so the final ownership lands on the
+    rank's own index (the MPI ``reduce_scatter_block`` contract).
+    """
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("total_elems", total_elems)
+    if n_nodes == 1:
+        return singleton_schedule("reduce_scatter", total_elems)
+    bounds = chunk_bounds(total_elems, n_nodes)
+    steps = []
+    for s in range(n_nodes - 1):
+        transfers = []
+        for i in range(n_nodes):
+            lo, hi = bounds[(i - s - 1) % n_nodes]
+            transfers.append(Transfer(i, (i + 1) % n_nodes, lo, hi, "sum"))
+        steps.append(CommStep(tuple(transfers), stage="reduce"))
+    return Schedule(
+        algorithm="reduce_scatter", n_nodes=n_nodes, total_elems=total_elems,
+        steps=steps, timing_profile=compress_steps(steps),
+        meta={"profile_exact": total_elems % n_nodes == 0},
+    )
+
+
+def build_allgather_schedule(n_nodes: int, total_elems: int) -> Schedule:
+    """Ring all-gather from per-rank chunk ownership (rank ``i`` owns chunk
+    ``i`` initially; everyone owns everything afterwards)."""
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("total_elems", total_elems)
+    if n_nodes == 1:
+        return singleton_schedule("allgather", total_elems)
+    bounds = chunk_bounds(total_elems, n_nodes)
+    steps = []
+    for s in range(n_nodes - 1):
+        transfers = []
+        for i in range(n_nodes):
+            lo, hi = bounds[(i - s) % n_nodes]
+            transfers.append(Transfer(i, (i + 1) % n_nodes, lo, hi, "copy"))
+        steps.append(CommStep(tuple(transfers), stage="broadcast"))
+    return Schedule(
+        algorithm="allgather", n_nodes=n_nodes, total_elems=total_elems,
+        steps=steps, timing_profile=compress_steps(steps),
+        meta={"profile_exact": total_elems % n_nodes == 0},
+    )

@@ -1,0 +1,108 @@
+"""WRHT core: the paper's primary contribution.
+
+This package contains the algorithmic heart of the reproduction:
+
+- :mod:`~repro.core.grouping` — hierarchical grouping of ring nodes with
+  middle-node representatives (Sec 4.1.1).
+- :mod:`~repro.core.wavelengths` — wavelength-requirement arithmetic
+  (``⌊m/2⌋`` per group, ``⌈m*²/8⌉`` for the final all-to-all, optimal
+  ``m = 2w+1`` of Lemma 1) (Sec 4.1.2).
+- :mod:`~repro.core.steps` — closed-form communication-step counts for
+  WRHT, Ring, H-Ring, BT and Recursive Doubling (Table 1, Sec 4.2).
+- :mod:`~repro.core.timing` — analytical communication-time models
+  (Eq 6 and per-baseline equivalents) (Sec 4.3).
+- :mod:`~repro.core.constraints` — insertion-loss and crosstalk budgets
+  (Eqs 7–13) and the maximum feasible group size ``m'`` (Sec 4.4).
+- :mod:`~repro.core.planner` — ties the above together into a
+  :class:`~repro.core.planner.WrhtPlan` for a concrete system.
+- :mod:`~repro.core.torus` — the Sec 6.1 extension to torus/mesh.
+"""
+
+from repro.core.grouping import Group, GroupingLevel, hierarchical_grouping, partition_ring
+from repro.core.pipeline import (
+    PipelinedPlan,
+    build_pipelined_wrht_schedule,
+    optimal_bucket_count,
+    pipelined_wrht_time,
+)
+from repro.core.lowerbounds import (
+    min_allreduce_steps,
+    min_allreduce_time,
+    min_bandwidth_time,
+    optimality_report,
+)
+from repro.core.planner import WrhtPlan, plan_wrht
+from repro.core.torus import build_torus_wrht_schedule, torus_wrht_steps
+from repro.core.steps import (
+    bt_steps,
+    hring_steps,
+    rd_steps,
+    ring_steps,
+    wrht_steps,
+)
+from repro.core.timing import (
+    CostModel,
+    bt_time,
+    hring_time,
+    rd_time,
+    ring_time,
+    wrht_time,
+)
+from repro.core.wavelengths import (
+    alltoall_wavelengths,
+    group_wavelengths,
+    optimal_group_size,
+    wrht_wavelength_requirement,
+)
+from repro.core.constraints import (
+    OpticalPhyParams,
+    ber_from_snr,
+    insertion_loss_db,
+    max_communication_length,
+    max_group_size,
+    required_snr_for_ber,
+    snr_db,
+    worst_case_crosstalk_power,
+)
+
+__all__ = [
+    "CostModel",
+    "Group",
+    "GroupingLevel",
+    "OpticalPhyParams",
+    "PipelinedPlan",
+    "WrhtPlan",
+    "alltoall_wavelengths",
+    "ber_from_snr",
+    "bt_steps",
+    "bt_time",
+    "build_pipelined_wrht_schedule",
+    "build_torus_wrht_schedule",
+    "group_wavelengths",
+    "hierarchical_grouping",
+    "hring_steps",
+    "hring_time",
+    "insertion_loss_db",
+    "max_communication_length",
+    "max_group_size",
+    "min_allreduce_steps",
+    "min_allreduce_time",
+    "min_bandwidth_time",
+    "optimal_bucket_count",
+    "optimal_group_size",
+    "optimality_report",
+    "partition_ring",
+    "pipelined_wrht_time",
+    "plan_wrht",
+    "rd_steps",
+    "rd_time",
+    "required_snr_for_ber",
+    "ring_steps",
+    "ring_time",
+    "snr_db",
+    "torus_wrht_steps",
+    "worst_case_crosstalk_power",
+    "wrht_steps",
+    "wrht_time",
+    "wrht_wavelength_requirement",
+]

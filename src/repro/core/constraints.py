@@ -1,0 +1,173 @@
+"""Optical communication constraints (Sec 4.4, Eqs 7–13).
+
+Two physical effects cap the WRHT group size ``m``:
+
+- **Insertion loss** (Eqs 7–10): every optical interface a signal passes
+  attenuates it by ``P_pass`` dB; the longest WRHT path spans ``L_max``
+  interfaces (Eq 7), so the laser budget must cover
+  ``P_m + L_max·P_pass + P_p`` (Eqs 8–9).
+- **Crosstalk** (Eqs 11–13): each passed interface also leaks ``P_Rx`` of
+  neighbouring channels into the detector; the resulting SNR must keep the
+  bit-error rate at or below 1e-9.
+
+Powers follow the paper's conventions: the link budget (Eqs 8–10) is in dB /
+dBm, while crosstalk noise (Eqs 11–12) combines linear powers (mW here).
+Default parameter values are representative silicon-photonics numbers chosen
+so that the constraint binds near the paper's largest evaluated group size
+(m = 129 is feasible on a 1024-node ring, the next odd candidate sizes that
+would save a hierarchy level are not) — see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.wavelengths import reduce_levels
+from repro.util.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class OpticalPhyParams:
+    """Physical-layer parameters for the loss/crosstalk budget.
+
+    Attributes:
+        laser_power_dbm: Comb-laser power per wavelength ``P_laser`` (dBm).
+        modulator_loss_db: Tx modulator loss ``P_m`` (dB).
+        per_interface_loss_db: Loss per passed optical interface
+            ``P_pass`` (dB).
+        extinction_ratio_penalty_db: Power penalty ``P_p`` (dB).
+        signal_power_mw: Received signal power ``P_S`` (mW).
+        rx_crosstalk_mw: Worst-case per-interface Rx crosstalk ``P_Rx`` (mW).
+        tx_crosstalk_mw: Worst-case Tx-side crosstalk ``P_Tx`` (mW).
+        other_noise_mw: Other noise power ``P_O`` (mW).
+        max_ber: Reliability target; the paper requires 1e-9.
+    """
+
+    laser_power_dbm: float = 13.0
+    modulator_loss_db: float = 1.5
+    per_interface_loss_db: float = 0.05
+    extinction_ratio_penalty_db: float = 4.5
+    signal_power_mw: float = 1.0
+    rx_crosstalk_mw: float = 5.0e-11
+    tx_crosstalk_mw: float = 2.0e-10
+    other_noise_mw: float = 1.0e-9
+    max_ber: float = 1.0e-9
+
+    def __post_init__(self) -> None:
+        check_positive("per_interface_loss_db", self.per_interface_loss_db)
+        check_positive("signal_power_mw", self.signal_power_mw)
+        check_positive("max_ber", self.max_ber)
+        for name in ("rx_crosstalk_mw", "tx_crosstalk_mw", "other_noise_mw"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+def max_communication_length(m: int, n_nodes: int) -> int:
+    """``L_max`` — longest WRHT path in interfaces, Eq 7.
+
+    ``⌊m/2⌋`` when one level suffices (members reach the representative
+    within half a group); ``m^(levels−1)`` otherwise (top-level groups span
+    ``m`` representatives that are themselves ``m^(levels−2)`` nodes apart).
+    """
+    check_positive_int("n_nodes", n_nodes)
+    if m < 2:
+        raise ValueError(f"group size m must be >= 2, got {m!r}")
+    levels = reduce_levels(n_nodes, m)
+    if levels <= 1:
+        return m // 2
+    return m ** (levels - 1)
+
+
+def insertion_loss_db(l_max: int, params: OpticalPhyParams) -> float:
+    """Total optical loss ``L_l = P_m + L_max · P_pass`` (Eq 8)."""
+    if l_max < 0:
+        raise ValueError(f"l_max must be >= 0, got {l_max!r}")
+    return params.modulator_loss_db + l_max * params.per_interface_loss_db
+
+
+def loss_feasible(m: int, n_nodes: int, params: OpticalPhyParams) -> bool:
+    """Eq 9: ``P_laser ≥ L_l + P_p`` for the group size's worst path."""
+    l_max = max_communication_length(m, n_nodes)
+    return params.laser_power_dbm >= insertion_loss_db(l_max, params) + (
+        params.extinction_ratio_penalty_db
+    )
+
+
+def worst_case_crosstalk_power(l_max: int, params: OpticalPhyParams) -> float:
+    """``P_Nw = L_max · P_Rx + P_Tx`` in mW (Eq 12)."""
+    if l_max < 0:
+        raise ValueError(f"l_max must be >= 0, got {l_max!r}")
+    return l_max * params.rx_crosstalk_mw + params.tx_crosstalk_mw
+
+
+def snr_db(signal_mw: float, crosstalk_mw: float, other_noise_mw: float) -> float:
+    """``SNR = 10·log₁₀(P_S / (P_N + P_O))`` in dB (Eq 11)."""
+    check_positive("signal_mw", signal_mw)
+    denom = crosstalk_mw + other_noise_mw
+    if denom <= 0:
+        return math.inf
+    return 10.0 * math.log10(signal_mw / denom)
+
+
+def ber_from_snr(snr: float) -> float:
+    """``BER = ½·e^(−SNR_W/4)`` (Eq 13)."""
+    return 0.5 * math.exp(-snr / 4.0)
+
+
+def required_snr_for_ber(ber: float) -> float:
+    """Inverse of Eq 13: minimum SNR for a target BER."""
+    check_positive("ber", ber)
+    if ber >= 0.5:
+        return 0.0
+    return -4.0 * math.log(2.0 * ber)
+
+
+def crosstalk_feasible(m: int, n_nodes: int, params: OpticalPhyParams) -> bool:
+    """Whether the worst-case path's BER stays within ``params.max_ber``."""
+    l_max = max_communication_length(m, n_nodes)
+    noise = worst_case_crosstalk_power(l_max, params)
+    snr = snr_db(params.signal_power_mw, noise, params.other_noise_mw)
+    return ber_from_snr(snr) <= params.max_ber
+
+
+def group_size_feasible(m: int, n_nodes: int, params: OpticalPhyParams) -> bool:
+    """Both constraints (Eqs 9 and 13) for group size ``m``."""
+    return loss_feasible(m, n_nodes, params) and crosstalk_feasible(m, n_nodes, params)
+
+
+def max_group_size(
+    n_nodes: int,
+    params: OpticalPhyParams | None = None,
+    w: int | None = None,
+) -> int:
+    """Largest odd group size ``m'`` satisfying Eqs 9 and 13 (and ``≤ 2w+1``).
+
+    Feasibility is not monotone in ``m`` (``L_max`` drops whenever a larger
+    ``m`` removes a hierarchy level), so every odd candidate is checked.
+
+    Args:
+        n_nodes: Ring size N.
+        params: Physical-layer parameters (defaults used when ``None``).
+        w: Wavelengths available; caps the search at Lemma 1's ``2w+1``.
+
+    Returns:
+        The maximum feasible odd ``m'`` (at least 3 candidates are always
+        scanned; raises if not even m=3 is feasible).
+    """
+    check_positive_int("n_nodes", n_nodes)
+    params = params or OpticalPhyParams()
+    upper = n_nodes
+    if w is not None:
+        check_positive_int("w", w)
+        upper = min(upper, 2 * w + 1)
+    best = 0
+    for m in range(3, max(upper, 3) + 1, 2):
+        if group_size_feasible(m, n_nodes, params):
+            best = m
+    if best == 0:
+        raise ValueError(
+            "no feasible group size: the optical budget cannot support even "
+            f"m=3 on {n_nodes} nodes with {params!r}"
+        )
+    return best

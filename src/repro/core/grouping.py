@@ -1,0 +1,178 @@
+"""Hierarchical ring grouping with middle-node representatives (Sec 4.1.1).
+
+WRHT partitions the ring into contiguous groups of (up to) ``m`` nodes. The
+*middle* node of each group is its representative: members stream to it from
+both sides, which is what lets one wavelength be reused per distance rank on
+each side (each node has a Tx/Rx set per ring direction). Representatives of
+level ``i`` become the member population of level ``i+1`` until one group
+remains.
+
+Positions are ring indices ``0..N-1``; groups are contiguous runs of the
+*current level's population* (which, beyond level 1, is itself spread around
+the ring), so group fiber spans never overlap and wavelengths can be reused
+across groups — the "wavelength reused" part of the scheme's name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Group:
+    """One contiguous group of ring nodes with its representative.
+
+    Attributes:
+        members: Ring positions in ring order (contiguous within the level's
+            population).
+        representative: The middle member (``members[len(members) // 2]``).
+    """
+
+    members: tuple[int, ...]
+    representative: int
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a group needs at least one member")
+        if self.representative not in self.members:
+            raise ValueError(
+                f"representative {self.representative} not in members {self.members}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of members (including the representative)."""
+        return len(self.members)
+
+    @property
+    def non_representatives(self) -> tuple[int, ...]:
+        """Members excluding the representative, in ring order."""
+        return tuple(n for n in self.members if n != self.representative)
+
+    def sides(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Split members into (before, after) the representative.
+
+        ``before`` collects toward the representative clockwise (ascending
+        ring order), ``after`` counter-clockwise. Within each side the tuple
+        is ordered nearest-to-farthest from the representative, which is the
+        order wavelength ranks are assigned in.
+        """
+        idx = self.members.index(self.representative)
+        before = tuple(reversed(self.members[:idx]))
+        after = tuple(self.members[idx + 1 :])
+        return before, after
+
+
+@dataclass(frozen=True)
+class GroupingLevel:
+    """All groups of one hierarchy level.
+
+    Attributes:
+        level: 1-based level number (level 1 groups raw ring nodes).
+        groups: Groups in ring order.
+    """
+
+    level: int
+    groups: tuple[Group, ...] = field(default_factory=tuple)
+
+    @property
+    def population(self) -> tuple[int, ...]:
+        """Every node participating at this level, in ring order."""
+        return tuple(n for g in self.groups for n in g.members)
+
+    @property
+    def representatives(self) -> tuple[int, ...]:
+        """Representatives of this level, in ring order."""
+        return tuple(g.representative for g in self.groups)
+
+    @property
+    def max_group_size(self) -> int:
+        """Largest group at this level."""
+        return max(g.size for g in self.groups)
+
+
+def middle_index(size: int) -> int:
+    """Index of the middle element of a run of ``size`` nodes.
+
+    For odd sizes this is the exact middle; for even sizes the element just
+    past the midpoint (so both sides have at most ``size // 2`` members,
+    matching the ``⌊m/2⌋`` wavelength requirement).
+    """
+    check_positive_int("size", size)
+    return size // 2
+
+
+def partition_ring(population: list[int] | tuple[int, ...], m: int) -> tuple[Group, ...]:
+    """Partition an ordered population into contiguous groups of up to ``m``.
+
+    The first ``len(population) // m`` groups have exactly ``m`` members; a
+    final partial group holds the remainder (as in the paper's 15-node
+    example, where N=15, m=5 gives three full groups).
+
+    Args:
+        population: Node ids in ring order (the current level's nodes).
+        m: Target group size, >= 1.
+
+    Returns:
+        Groups in ring order; their members exactly cover ``population``.
+    """
+    check_positive_int("m", m)
+    if not population:
+        raise ValueError("population must be non-empty")
+    if len(set(population)) != len(population):
+        raise ValueError("population contains duplicate node ids")
+    groups = []
+    for start in range(0, len(population), m):
+        members = tuple(population[start : start + m])
+        rep = members[middle_index(len(members))]
+        groups.append(Group(members=members, representative=rep))
+    return tuple(groups)
+
+
+def hierarchical_grouping(n_nodes: int, m: int) -> tuple[GroupingLevel, ...]:
+    """Build the full WRHT grouping hierarchy for ``n_nodes`` and group size ``m``.
+
+    Level 1 groups ring positions ``0..n_nodes-1``; each subsequent level
+    groups the previous level's representatives. The hierarchy ends when a
+    level has a single group (whether its representative set then does a
+    plain collect or an all-to-all is the planner's decision — the grouping
+    is the same either way).
+
+    Args:
+        n_nodes: Ring size N >= 1.
+        m: Group size m >= 2 (m=1 would never terminate).
+
+    Returns:
+        One :class:`GroupingLevel` per reduce level; its length equals
+        ``⌈log_m N⌉`` for N >= 2 (property-checked in the test suite).
+    """
+    check_positive_int("n_nodes", n_nodes)
+    if m < 2:
+        raise ValueError(f"group size m must be >= 2, got {m!r}")
+    levels: list[GroupingLevel] = []
+    population: tuple[int, ...] = tuple(range(n_nodes))
+    if n_nodes == 1:
+        return tuple(levels)
+    level_no = 0
+    while len(population) > 1:
+        level_no += 1
+        groups = partition_ring(population, m)
+        levels.append(GroupingLevel(level=level_no, groups=groups))
+        population = tuple(g.representative for g in groups)
+        if len(groups) == 1:
+            break
+    return tuple(levels)
+
+
+def grouping_summary(levels: tuple[GroupingLevel, ...]) -> str:
+    """One-line-per-level description (used by the CLI's ``plan`` command)."""
+    lines = []
+    for lv in levels:
+        sizes = [g.size for g in lv.groups]
+        lines.append(
+            f"level {lv.level}: {len(lv.groups)} group(s), sizes "
+            f"{min(sizes)}..{max(sizes)}, reps={len(lv.representatives)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Algorithm-independent lower bounds for All-reduce on the WDM ring.
+
+Lemma 1 bounds *WRHT's* steps; these are bounds on **any** All-reduce:
+
+- **Step (latency) bound.** In one step a node can receive on at most
+  ``2w`` wavelength channels (``w`` per direction), so the set of nodes
+  whose data has influenced a given node grows by at most ``×(2w+1)`` per
+  step; every node needs influence from all N inputs, hence
+  ``θ ≥ ⌈log_{2w+1} N⌉`` for *any* All-reduce — including gossip-style
+  algorithms like recursive doubling, whose symmetric exchanges spread
+  influence in all directions at once (which is why the naive
+  "reduce-then-broadcast ⇒ 2×" strengthening is false in general).
+  WRHT's ``2⌈log_{2w+1}N⌉ − 1`` is therefore within 2× of the universal
+  bound; the paper's Lemma 1 is the optimum *within the hierarchical-tree
+  family*, where reduction must complete before dissemination starts.
+- **Bandwidth bound.** Every node must ingest at least ``d·(N−1)/N`` bytes
+  of foreign information (its final vector depends on all other inputs,
+  reduced or not) through an ingress of at most ``2w`` wavelengths:
+  ``T ≥ d·(N−1)/(N·2w·B)``.
+- **Combined.** ``T ≥ max(latency, bandwidth)`` with the per-step overhead
+  ``a`` applied to the step bound.
+
+`optimality_report` tabulates how close each algorithm gets — Ring is
+near-optimal on pure bandwidth at one wavelength but pays Θ(N) steps;
+WRHT is step-optimal but leaves ingress parallelism unused on the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timing import CostModel, algorithm_time
+from repro.util.validation import check_positive, check_positive_int
+
+
+def min_allreduce_steps(n_nodes: int, n_wavelengths: int) -> int:
+    """``⌈log_{2w+1} N⌉``: steps any All-reduce needs on the ring.
+
+    Computed by iterated multiplication (no floating-point logs) so exact
+    at powers of ``2w+1``.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("n_wavelengths", n_wavelengths)
+    if n_nodes == 1:
+        return 0
+    factor = 2 * n_wavelengths + 1
+    steps = 0
+    influence = 1
+    while influence < n_nodes:
+        influence *= factor
+        steps += 1
+    return steps
+
+
+def min_bandwidth_time(
+    n_nodes: int, d_bytes: float, n_wavelengths: int, model: CostModel
+) -> float:
+    """``d·(N−1)/(N·2w·B)``: ingress-limited time floor."""
+    check_positive_int("n_nodes", n_nodes)
+    check_positive("d_bytes", d_bytes)
+    if n_nodes == 1:
+        return 0.0
+    ingress = 2 * n_wavelengths * model.line_rate
+    return d_bytes * (n_nodes - 1) / (n_nodes * ingress)
+
+
+def min_allreduce_time(
+    n_nodes: int, d_bytes: float, n_wavelengths: int, model: CostModel
+) -> float:
+    """Combined floor: step bound × overhead, against the bandwidth floor."""
+    steps = min_allreduce_steps(n_nodes, n_wavelengths)
+    return max(
+        steps * model.step_overhead,
+        min_bandwidth_time(n_nodes, d_bytes, n_wavelengths, model),
+    )
+
+
+@dataclass(frozen=True)
+class OptimalityEntry:
+    """One algorithm's distance from the lower bounds.
+
+    Attributes:
+        algorithm: Name.
+        time: Modeled communication seconds.
+        step_ratio: Algorithm steps / step lower bound.
+        time_ratio: Algorithm time / combined time lower bound.
+    """
+
+    algorithm: str
+    time: float
+    step_ratio: float
+    time_ratio: float
+
+
+def optimality_report(
+    n_nodes: int,
+    d_bytes: float,
+    n_wavelengths: int,
+    model: CostModel,
+    algorithms: tuple[str, ...] = ("Ring", "H-Ring", "BT", "RD", "WRHT"),
+) -> list[OptimalityEntry]:
+    """Each algorithm's step/time ratios against the ring lower bounds."""
+    from repro.core.steps import steps_table
+
+    hring_m = min(5, n_nodes)
+    steps = steps_table(n_nodes, n_wavelengths, hring_m=hring_m)
+    step_floor = min_allreduce_steps(n_nodes, n_wavelengths)
+    time_floor = min_allreduce_time(n_nodes, d_bytes, n_wavelengths, model)
+    report = []
+    for name in algorithms:
+        time = algorithm_time(
+            name, n_nodes, d_bytes, model, w=n_wavelengths, hring_m=hring_m
+        )
+        report.append(
+            OptimalityEntry(
+                algorithm=name,
+                time=time,
+                step_ratio=steps[name] / step_floor if step_floor else 1.0,
+                time_ratio=time / time_floor if time_floor else 1.0,
+            )
+        )
+    return report

@@ -1,0 +1,157 @@
+"""WRHT planning: choose a group size and lay out the full hierarchy.
+
+The planner reconciles three inputs — ring size ``N``, available wavelengths
+``w``, and the physical-layer budget — into a concrete
+:class:`WrhtPlan`: the grouping hierarchy, whether the final reduce step is
+an all-to-all, the step count θ, and the peak wavelength demand. Schedule
+builders (:mod:`repro.collectives.wrht_schedule`) and the analytical model
+(:mod:`repro.core.timing`) both consume plans, which keeps the two views of
+the algorithm consistent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import OpticalPhyParams, max_group_size
+from repro.core.grouping import GroupingLevel, hierarchical_grouping
+from repro.core.steps import wrht_steps
+from repro.core.wavelengths import (
+    alltoall_feasible,
+    alltoall_wavelengths,
+    group_wavelengths,
+    optimal_group_size,
+    representatives_at_last_level,
+)
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class WrhtPlan:
+    """A fully resolved WRHT configuration.
+
+    Attributes:
+        n_nodes: Ring size N.
+        n_wavelengths: Wavelengths available per direction (``w``).
+        m: Chosen group size.
+        levels: The grouping hierarchy (``⌈log_m N⌉`` levels).
+        alltoall: Whether the last reduce step is an all-to-all exchange.
+        m_star: Representatives entering the final reduce step.
+        theta: Total communication steps (``2·L`` or ``2·L − 1``).
+        peak_wavelengths: Largest per-step wavelength demand of the plan.
+        limited_by: Which constraint bounded ``m``:
+            ``"wavelengths"``, ``"phy"``, ``"n_nodes"`` or ``"user"``.
+    """
+
+    n_nodes: int
+    n_wavelengths: int
+    m: int
+    levels: tuple[GroupingLevel, ...]
+    alltoall: bool
+    m_star: int
+    theta: int
+    peak_wavelengths: int
+    limited_by: str
+
+    @property
+    def n_levels(self) -> int:
+        """Reduce levels ``⌈log_m N⌉``."""
+        return len(self.levels)
+
+    @property
+    def reduce_steps(self) -> int:
+        """Steps in the reduce stage (always ``n_levels``)."""
+        return self.n_levels
+
+    @property
+    def broadcast_steps(self) -> int:
+        """Steps in the broadcast stage (``n_levels`` or ``n_levels − 1``)."""
+        return self.theta - self.n_levels
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (CLI ``plan`` command)."""
+        lines = [
+            f"WRHT plan: N={self.n_nodes}, w={self.n_wavelengths}, "
+            f"m={self.m} (limited by {self.limited_by})",
+            f"  reduce levels: {self.n_levels}, final reps m*={self.m_star}, "
+            f"all-to-all={'yes' if self.alltoall else 'no'}",
+            f"  steps: θ={self.theta} "
+            f"({self.reduce_steps} reduce + {self.broadcast_steps} broadcast)",
+            f"  peak wavelength demand: {self.peak_wavelengths}/{self.n_wavelengths}",
+        ]
+        for lv in self.levels:
+            sizes = sorted({g.size for g in lv.groups})
+            lines.append(
+                f"  level {lv.level}: {len(lv.groups)} group(s), sizes {sizes}"
+            )
+        return "\n".join(lines)
+
+
+def plan_wrht(
+    n_nodes: int,
+    n_wavelengths: int,
+    m: int | None = None,
+    phy: OpticalPhyParams | None = None,
+) -> WrhtPlan:
+    """Resolve a WRHT plan for a concrete system.
+
+    Group-size choice, when ``m`` is not forced: start from Lemma 1's
+    optimum ``2w+1``, cap by the ring size, and cap by the physical-layer
+    maximum ``m'`` when ``phy`` is given. Forced ``m`` is validated against
+    the wavelength budget (``⌊m/2⌋ ≤ w``).
+
+    Args:
+        n_nodes: Ring size N >= 2.
+        n_wavelengths: Available wavelengths per direction, >= 1.
+        m: Optional user-forced group size (odd recommended).
+        phy: Optional physical-layer parameters enabling the Sec 4.4 caps.
+
+    Returns:
+        A frozen :class:`WrhtPlan`.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("n_wavelengths", n_wavelengths)
+    if n_nodes < 2:
+        raise ValueError("WRHT needs at least 2 nodes")
+
+    limited_by = "wavelengths"
+    if m is None:
+        chosen = optimal_group_size(n_wavelengths)
+        if chosen >= n_nodes:
+            chosen = n_nodes
+            limited_by = "n_nodes"
+        if phy is not None:
+            phy_cap = max_group_size(n_nodes, phy, w=n_wavelengths)
+            if phy_cap < chosen:
+                chosen = phy_cap
+                limited_by = "phy"
+    else:
+        if m < 2:
+            raise ValueError(f"group size m must be >= 2, got {m!r}")
+        if group_wavelengths(min(m, n_nodes)) > n_wavelengths:
+            raise ValueError(
+                f"group size m={m} needs {group_wavelengths(m)} wavelengths "
+                f"but only {n_wavelengths} are available"
+            )
+        chosen = min(m, n_nodes)
+        limited_by = "user"
+
+    levels = hierarchical_grouping(n_nodes, chosen)
+    m_star = representatives_at_last_level(n_nodes, chosen)
+    alltoall = alltoall_feasible(n_nodes, chosen, n_wavelengths)
+    theta = wrht_steps(n_nodes, chosen, n_wavelengths)
+
+    demand = max(group_wavelengths(lv.max_group_size) for lv in levels)
+    if alltoall:
+        demand = max(demand, alltoall_wavelengths(m_star))
+    return WrhtPlan(
+        n_nodes=n_nodes,
+        n_wavelengths=n_wavelengths,
+        m=chosen,
+        levels=levels,
+        alltoall=alltoall,
+        m_star=m_star,
+        theta=theta,
+        peak_wavelengths=demand,
+        limited_by=limited_by,
+    )

@@ -1,0 +1,133 @@
+"""Closed-form communication step counts (Table 1, Sec 4.2).
+
+All-reduce cost in the paper's optical model is dominated by the number of
+communication steps, because MRRs must be reconfigured (25 µs) before every
+step. These are the exact formulas from Table 1:
+
+================  =========================================================
+Algorithm         Steps
+================  =========================================================
+Ring              ``2(N − 1)``
+H-Ring            ``⌈2(m² + N)/m⌉ − 3`` when ``⌈m/w⌉ = 1``;
+                  ``⌈2(2m² + N)/m⌉ − 6`` when ``⌈m/w⌉ > 1``
+BT                ``2⌈log₂ N⌉``
+WRHT              ``2⌈log_m N⌉`` or ``2⌈log_m N⌉ − 1`` (all-to-all shortcut)
+================  =========================================================
+
+Recursive Doubling (the electrical baseline of Sec 5.6) is included too:
+``⌈log₂ N⌉`` for powers of two, plus two fix-up steps otherwise (the
+standard MPICH construction).
+
+Sanity anchor (checked in tests): N=1024, w=64 gives Ring 2046,
+H-Ring 417 (m=5), BT 20, WRHT 3 (m=129) — Table 1's rightmost column.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.wavelengths import alltoall_feasible, reduce_levels
+from repro.util.validation import check_positive_int
+
+
+def ring_steps(n_nodes: int) -> int:
+    """Ring All-reduce: ``2(N−1)`` (reduce-scatter + all-gather)."""
+    check_positive_int("n_nodes", n_nodes)
+    return 2 * (n_nodes - 1)
+
+
+def bt_steps(n_nodes: int) -> int:
+    """Binary-tree All-reduce: ``2⌈log₂ N⌉`` (reduce then broadcast)."""
+    check_positive_int("n_nodes", n_nodes)
+    if n_nodes == 1:
+        return 0
+    return 2 * math.ceil(math.log2(n_nodes))
+
+
+def rd_steps(n_nodes: int, variant: str = "doubling") -> int:
+    """Recursive-doubling All-reduce steps.
+
+    ``"doubling"``: ``log₂ N`` full-vector exchanges for powers of two;
+    otherwise the MPICH fix-up adds a pre-reduce and a post-broadcast step
+    around the power-of-two core: ``⌊log₂ N⌋ + 2``.
+
+    ``"halving_doubling"`` (Rabenseifner): the core takes ``2·log₂ P``
+    steps (recursive-halving reduce-scatter + recursive-doubling
+    all-gather) with the same two fix-up steps for non-powers of two.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    if variant not in ("doubling", "halving_doubling"):
+        raise ValueError(f"unknown RD variant {variant!r}")
+    if n_nodes == 1:
+        return 0
+    floor_log = n_nodes.bit_length() - 1
+    core = floor_log if variant == "doubling" else 2 * floor_log
+    if n_nodes == 1 << floor_log:
+        return core
+    return core + 2
+
+
+def hring_steps(n_nodes: int, m: int, w: int) -> int:
+    """Hierarchical-Ring All-reduce steps (Ueno & Yokota [28], as in Table 1).
+
+    Args:
+        n_nodes: Total node count N.
+        m: Intra-group node count.
+        w: Available wavelengths (controls intra-group serialization).
+    """
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("m", m)
+    check_positive_int("w", w)
+    if m > n_nodes:
+        raise ValueError(f"group size m={m} exceeds n_nodes={n_nodes}")
+    if math.ceil(m / w) == 1:
+        return math.ceil(2 * (m * m + n_nodes) / m) - 3
+    return math.ceil(2 * (2 * m * m + n_nodes) / m) - 6
+
+
+def wrht_steps(n_nodes: int, m: int, w: int | None = None) -> int:
+    """WRHT steps: ``2⌈log_m N⌉``, minus one when the all-to-all shortcut fits.
+
+    Args:
+        n_nodes: Ring size N.
+        m: Group size (the planner caps it at ``2w+1`` and the physical
+            -layer maximum; this function takes it as given).
+        w: Available wavelengths. ``None`` means "unconstrained", in which
+            case the all-to-all shortcut is always taken when more than one
+            representative survives to the final step.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    if m < 2:
+        raise ValueError(f"group size m must be >= 2, got {m!r}")
+    levels = reduce_levels(n_nodes, m)
+    if levels == 0:
+        return 0
+    if w is None:
+        from repro.core.wavelengths import representatives_at_last_level
+
+        shortcut = representatives_at_last_level(n_nodes, m) > 1
+    else:
+        shortcut = alltoall_feasible(n_nodes, m, w)
+    return 2 * levels - 1 if shortcut else 2 * levels
+
+
+def steps_table(n_nodes: int, w: int, hring_m: int = 5, wrht_m: int | None = None) -> dict[str, int]:
+    """Step counts for every algorithm at one configuration (Table 1 row set).
+
+    Args:
+        n_nodes: N.
+        w: Wavelengths.
+        hring_m: H-Ring intra-group size (paper uses 5).
+        wrht_m: WRHT group size; defaults to Lemma 1's ``2w+1``.
+    """
+    from repro.core.wavelengths import optimal_group_size
+
+    m = wrht_m if wrht_m is not None else optimal_group_size(w)
+    m = min(m, n_nodes)
+    return {
+        "Ring": ring_steps(n_nodes),
+        "H-Ring": hring_steps(n_nodes, hring_m, w),
+        "BT": bt_steps(n_nodes),
+        "RD": rd_steps(n_nodes),
+        "WRHT": wrht_steps(n_nodes, m, w),
+    }

@@ -1,0 +1,171 @@
+"""Analytical communication-time models (Eq 6 of Sec 4.3 and equivalents).
+
+The paper's model: ``T_comm = d·θ/B + a·θ`` where ``d`` is the per-step
+payload, ``B`` the per-wavelength rate, ``a`` the per-step overhead (MRR
+reconfiguration + O/E/O conversion), and ``θ`` the step count. The payload
+``d`` differs per algorithm:
+
+- WRHT and BT move the **full** gradient ``d`` every step (reduction keeps
+  the size constant).
+- Ring moves ``d/N`` per step (reduce-scatter / all-gather chunks).
+- Recursive Doubling moves the full ``d`` every exchange.
+- H-Ring moves ``d/m`` in intra-group steps and ``d·m/N`` in inter-group
+  steps (see DESIGN.md §6 for the decomposition; the paper only gives the
+  step count, formulas from the standard hierarchical-ring construction).
+
+Every function here returns seconds and takes an explicit
+:class:`CostModel`, so the same code produces the "strict" (B = 40 Gbit/s)
+and "calibrated" (B = 40 GB/s, see DESIGN.md §6) variants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.steps import bt_steps, hring_steps, rd_steps, ring_steps, wrht_steps
+from repro.util.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Parameters of the analytical time model.
+
+    Attributes:
+        line_rate: Per-wavelength payload rate in bytes/second (``B``).
+        step_overhead: Per-step constant ``a`` in seconds (MRR
+            reconfiguration delay; 25 µs in Table 2).
+        oeo_delay_per_packet: O/E/O conversion delay per packet in seconds
+            (497 fs in Table 2; negligible but modeled).
+        packet_bytes: Packet size used for the O/E/O term (72 B in Table 2).
+    """
+
+    line_rate: float
+    step_overhead: float
+    oeo_delay_per_packet: float = 0.0
+    packet_bytes: int = 72
+
+    def __post_init__(self) -> None:
+        check_positive("line_rate", self.line_rate)
+        if self.step_overhead < 0:
+            raise ValueError(f"step_overhead must be >= 0, got {self.step_overhead!r}")
+        if self.oeo_delay_per_packet < 0:
+            raise ValueError(
+                f"oeo_delay_per_packet must be >= 0, got {self.oeo_delay_per_packet!r}"
+            )
+        check_positive_int("packet_bytes", self.packet_bytes)
+
+    def payload_time(self, payload_bytes: float) -> float:
+        """Serialization + O/E/O time for one payload on one wavelength."""
+        if payload_bytes < 0:
+            raise ValueError(f"payload must be >= 0, got {payload_bytes!r}")
+        n_packets = math.ceil(payload_bytes / self.packet_bytes)
+        return payload_bytes / self.line_rate + n_packets * self.oeo_delay_per_packet
+
+    def step_time(self, payload_bytes: float) -> float:
+        """One full communication step: payload plus the constant overhead."""
+        return self.payload_time(payload_bytes) + self.step_overhead
+
+
+def wrht_time(
+    n_nodes: int, d_bytes: float, model: CostModel, m: int, w: int | None = None
+) -> float:
+    """WRHT communication time: ``θ · (d/B + a)`` (Eq 6).
+
+    Args:
+        n_nodes: Ring size N.
+        d_bytes: Gradient size per node (bytes).
+        model: Cost parameters.
+        m: Group size.
+        w: Wavelengths available (``None`` = unconstrained all-to-all check).
+    """
+    theta = wrht_steps(n_nodes, m, w)
+    return theta * model.step_time(d_bytes)
+
+
+def ring_time(n_nodes: int, d_bytes: float, model: CostModel) -> float:
+    """Ring All-reduce time: ``2(N−1) · (d/(N·B) + a)``."""
+    check_positive_int("n_nodes", n_nodes)
+    if n_nodes == 1:
+        return 0.0
+    chunk = d_bytes / n_nodes
+    return ring_steps(n_nodes) * model.step_time(chunk)
+
+
+def bt_time(n_nodes: int, d_bytes: float, model: CostModel) -> float:
+    """Binary-tree All-reduce time: ``2⌈log₂N⌉ · (d/B + a)``."""
+    return bt_steps(n_nodes) * model.step_time(d_bytes)
+
+
+def rd_time(n_nodes: int, d_bytes: float, model: CostModel) -> float:
+    """Recursive-doubling All-reduce time: full-vector exchange per step."""
+    return rd_steps(n_nodes) * model.step_time(d_bytes)
+
+
+def hring_time(n_nodes: int, d_bytes: float, model: CostModel, m: int, w: int) -> float:
+    """H-Ring All-reduce time.
+
+    Step count is the Table 1 closed form (so the ``a`` overhead matches the
+    paper exactly); payloads follow the standard hierarchical decomposition:
+    two intra-group ring phases at ``d/m`` per step and one inter-group ring
+    phase at ``d·m/N`` per step, plus a final intra-group broadcast at full
+    ``d`` when ``⌈m/w⌉ = 1``.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("m", m)
+    check_positive_int("w", w)
+    if n_nodes == 1:
+        return 0.0
+    if m > n_nodes:
+        raise ValueError(f"group size m={m} exceeds n_nodes={n_nodes}")
+    total_steps = hring_steps(n_nodes, m, w)
+    n_groups = math.ceil(n_nodes / m)
+    serialization = math.ceil(m / w)
+    intra_steps_per_phase = (m - 1) * (1 if serialization == 1 else 2)
+    inter_steps = max(0, 2 * (n_groups - 1))
+    # Whatever steps the closed form counts beyond intra+inter are broadcast
+    # -style steps carrying the full gradient.
+    bcast_steps = max(0, total_steps - 2 * intra_steps_per_phase - inter_steps)
+    payload_time = (
+        2 * intra_steps_per_phase * model.payload_time(d_bytes / m)
+        + inter_steps * model.payload_time(d_bytes * m / n_nodes)
+        + bcast_steps * model.payload_time(d_bytes)
+    )
+    return payload_time + total_steps * model.step_overhead
+
+
+def algorithm_time(
+    name: str,
+    n_nodes: int,
+    d_bytes: float,
+    model: CostModel,
+    *,
+    wrht_m: int | None = None,
+    hring_m: int = 5,
+    w: int = 64,
+) -> float:
+    """Dispatch helper used by the experiment runner.
+
+    Args:
+        name: One of ``"Ring"``, ``"H-Ring"``, ``"BT"``, ``"RD"``, ``"WRHT"``.
+        n_nodes: N.
+        d_bytes: Gradient bytes per node.
+        model: Cost parameters.
+        wrht_m: WRHT group size (defaults to Lemma 1's ``min(2w+1, N)``).
+        hring_m: H-Ring intra-group size.
+        w: Wavelengths available.
+    """
+    if name == "Ring":
+        return ring_time(n_nodes, d_bytes, model)
+    if name == "BT":
+        return bt_time(n_nodes, d_bytes, model)
+    if name == "RD":
+        return rd_time(n_nodes, d_bytes, model)
+    if name == "H-Ring":
+        return hring_time(n_nodes, d_bytes, model, hring_m, w)
+    if name == "WRHT":
+        from repro.core.wavelengths import optimal_group_size
+
+        m = wrht_m if wrht_m is not None else min(optimal_group_size(w), n_nodes)
+        return wrht_time(n_nodes, d_bytes, model, m, w)
+    raise ValueError(f"unknown algorithm {name!r}")

@@ -1,0 +1,211 @@
+"""WRHT extended to torus/mesh topologies (Sec 6.1).
+
+The paper sketches the extension: on an ``R × C`` torus, run WRHT's reduce
+stage along every row concurrently (each row is a ``C``-node ring), then
+synchronize the ``R`` row representatives along their column (another WRHT
+pass, or a one-step all-to-all when wavelengths allow), then broadcast in
+reverse. A mesh differs only in the physical layer — rows/columns are lines
+instead of rings, so the final stage uses the one-stage *line* model of
+[13] (``⌈k²/4⌉`` wavelengths instead of ``⌈k²/8⌉``, as a line has no second
+direction to split load across... more precisely no wrap path); schedules
+are identical.
+
+This module provides the step/wavelength arithmetic and an executable
+schedule builder whose output passes the same numerical All-reduce
+verification as the ring schedules.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.collectives.alltoall import build_alltoall_step
+from repro.collectives.base import CommStep, Schedule, Transfer, compress_steps
+from repro.core.grouping import GroupingLevel, partition_ring
+from repro.core.wavelengths import reduce_levels
+from repro.util.validation import check_positive_int
+
+TOPOLOGIES = ("torus", "mesh")
+
+
+def torus_alltoall_wavelengths(k: int, topology: str = "torus") -> int:
+    """Wavelengths for a one-step all-to-all among ``k`` nodes of a row/column.
+
+    ``⌈k²/8⌉`` on a torus ring (two wrap directions), ``⌈k²/4⌉`` on a mesh
+    line (Liang & Shen's line model [13]).
+    """
+    check_positive_int("k", k)
+    if topology not in TOPOLOGIES:
+        raise ValueError(f"topology must be one of {TOPOLOGIES}, got {topology!r}")
+    if k == 1:
+        return 0
+    denom = 8 if topology == "torus" else 4
+    return math.ceil(k * k / denom)
+
+
+def torus_wrht_steps(rows: int, cols: int, m: int, w: int, topology: str = "torus") -> int:
+    """Total WRHT steps on an ``rows × cols`` torus/mesh with group size ``m``.
+
+    Row phase: ``⌈log_m C⌉`` reduce + same broadcast; column phase between
+    them: ``2⌈log_m R⌉`` (or one less with the all-to-all shortcut).
+    """
+    check_positive_int("rows", rows)
+    check_positive_int("cols", cols)
+    row_levels = reduce_levels(cols, m) if cols > 1 else 0
+    col_levels = reduce_levels(rows, m) if rows > 1 else 0
+    col_steps = 2 * col_levels
+    if col_levels:
+        m_star = rows
+        for _ in range(col_levels - 1):
+            m_star = math.ceil(m_star / m)
+        if m_star > 1 and torus_alltoall_wavelengths(m_star, topology) <= w:
+            col_steps -= 1
+    if col_steps == 0 and rows > 1:
+        raise AssertionError("unreachable: rows > 1 implies a column phase")
+    return 2 * row_levels + col_steps
+
+
+def _levels_for(population: tuple[int, ...], m: int) -> list[GroupingLevel]:
+    """Hierarchical grouping of an arbitrary ordered population."""
+    levels: list[GroupingLevel] = []
+    current = population
+    level_no = 0
+    while len(current) > 1:
+        level_no += 1
+        groups = partition_ring(current, m)
+        levels.append(GroupingLevel(level=level_no, groups=groups))
+        current = tuple(g.representative for g in groups)
+        if len(groups) == 1:
+            break
+    return levels
+
+
+def build_torus_wrht_schedule(
+    rows: int,
+    cols: int,
+    total_elems: int,
+    m: int = 5,
+    n_wavelengths: int = 64,
+    topology: str = "torus",
+) -> Schedule:
+    """Executable WRHT All-reduce on an ``rows × cols`` torus/mesh.
+
+    Node ids are row-major (``node = r·cols + c``). Row reduce levels are
+    synchronized across rows (one :class:`CommStep` per level containing all
+    rows' collects); likewise for the broadcasts.
+
+    Args:
+        rows: Torus height R >= 1.
+        cols: Torus width C >= 1.
+        total_elems: Gradient vector length.
+        m: Group size for both row and column phases.
+        n_wavelengths: Budget for the column all-to-all shortcut.
+        topology: ``"torus"`` or ``"mesh"`` (affects only the shortcut test).
+    """
+    check_positive_int("rows", rows)
+    check_positive_int("cols", cols)
+    check_positive_int("total_elems", total_elems)
+    if m < 2:
+        raise ValueError(f"group size m must be >= 2, got {m!r}")
+    if topology not in TOPOLOGIES:
+        raise ValueError(f"topology must be one of {TOPOLOGIES}, got {topology!r}")
+    if rows * cols == 1:
+        from repro.collectives.base import singleton_schedule
+
+        return singleton_schedule("wrht-torus", total_elems)
+
+    # Row phase grouping (identical structure for every row; we instantiate
+    # per row because node ids differ).
+    row_level_sets: list[list[GroupingLevel]] = []
+    for r in range(rows):
+        row_nodes = tuple(r * cols + c for c in range(cols))
+        row_level_sets.append(_levels_for(row_nodes, m) if cols > 1 else [])
+    n_row_levels = len(row_level_sets[0])
+
+    steps: list[CommStep] = []
+
+    def _row_step(level_idx: int, op: str) -> CommStep:
+        transfers = []
+        for levels in row_level_sets:
+            level = levels[level_idx]
+            for group in level.groups:
+                for member in group.non_representatives:
+                    if op == "sum":
+                        transfers.append(
+                            Transfer(member, group.representative, 0, total_elems, "sum")
+                        )
+                    else:
+                        transfers.append(
+                            Transfer(group.representative, member, 0, total_elems, "copy")
+                        )
+        return CommStep(tuple(transfers), stage="reduce" if op == "sum" else "broadcast",
+                        level=level_idx + 1)
+
+    for li in range(n_row_levels):  # row reduce
+        steps.append(_row_step(li, "sum"))
+
+    # Column phase among the row representatives.
+    col_alltoall = False
+    col_levels: list[GroupingLevel] = []
+    if rows > 1:
+        reps = tuple(
+            (row_level_sets[r][-1].groups[0].representative if cols > 1 else r * cols)
+            for r in range(rows)
+        )
+        col_levels = _levels_for(reps, m)
+        m_star = len(col_levels[-1].population)
+        col_alltoall = (
+            m_star > 1 and torus_alltoall_wavelengths(m_star, topology) <= n_wavelengths
+        )
+        for level in col_levels[:-1]:
+            transfers = [
+                Transfer(member, g.representative, 0, total_elems, "sum")
+                for g in level.groups
+                for member in g.non_representatives
+            ]
+            steps.append(CommStep(tuple(transfers), stage="reduce", level=level.level))
+        last = col_levels[-1]
+        if col_alltoall:
+            steps.append(
+                build_alltoall_step(last.population, total_elems, stage="reduce")
+            )
+            bcast_col = col_levels[:-1]
+        else:
+            transfers = [
+                Transfer(member, g.representative, 0, total_elems, "sum")
+                for g in last.groups
+                for member in g.non_representatives
+            ]
+            steps.append(CommStep(tuple(transfers), stage="reduce", level=last.level))
+            bcast_col = col_levels
+        for level in reversed(bcast_col):
+            transfers = [
+                Transfer(g.representative, member, 0, total_elems, "copy")
+                for g in level.groups
+                for member in g.non_representatives
+            ]
+            steps.append(CommStep(tuple(transfers), stage="broadcast", level=level.level))
+
+    for li in range(n_row_levels - 1, -1, -1):  # row broadcast
+        steps.append(_row_step(li, "copy"))
+
+    expected = torus_wrht_steps(rows, cols, m, n_wavelengths, topology)
+    if len(steps) != expected:
+        raise AssertionError(
+            f"torus schedule has {len(steps)} steps, formula says {expected}"
+        )
+    return Schedule(
+        algorithm="wrht-torus",
+        n_nodes=rows * cols,
+        total_elems=total_elems,
+        steps=steps,
+        timing_profile=compress_steps(steps),
+        meta={
+            "profile_exact": True,
+            "rows": rows,
+            "cols": cols,
+            "m": m,
+            "topology": topology,
+            "col_alltoall": col_alltoall,
+        },
+    )

@@ -1,0 +1,110 @@
+"""Wavelength-requirement arithmetic (Sec 4.1.2 and Lemma 1).
+
+Three facts drive the whole scheme:
+
+1. A group of ``m`` nodes collecting to its middle representative needs
+   ``⌊m/2⌋`` wavelengths: the two sides collect concurrently in opposite
+   ring directions, and within a side the transmissions overlap on the
+   segments adjacent to the representative, so each distance rank needs its
+   own wavelength. The same wavelength set is reused by the opposite side
+   (separate fiber direction) and by every other group (disjoint segments).
+2. An all-to-all exchange among ``k`` evenly spread ring nodes needs
+   ``⌈k²/8⌉`` wavelengths (one-stage ring model of Liang & Shen [13], cited
+   by the paper for the final reduce step).
+3. Therefore, with ``w`` wavelengths available, the largest usable group is
+   ``m = 2w + 1`` — Lemma 1's optimum, since steps ``2⌈log_m N⌉`` decrease
+   monotonically in ``m``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive_int
+
+
+def group_wavelengths(m: int) -> int:
+    """Wavelengths needed for one group of ``m`` nodes to collect: ``⌊m/2⌋``."""
+    check_positive_int("m", m)
+    return m // 2
+
+
+def alltoall_wavelengths(k: int) -> int:
+    """Wavelengths for a one-step all-to-all among ``k`` ring nodes: ``⌈k²/8⌉``.
+
+    For ``k == 1`` no communication happens, so the requirement is 0.
+    """
+    check_positive_int("k", k)
+    if k == 1:
+        return 0
+    return math.ceil(k * k / 8)
+
+
+def optimal_group_size(w: int) -> int:
+    """Largest group size supportable with ``w`` wavelengths: ``2w + 1`` (Lemma 1)."""
+    check_positive_int("w", w)
+    return 2 * w + 1
+
+
+def max_group_size_for_wavelengths(w: int) -> int:
+    """Alias of :func:`optimal_group_size`; kept for readability at call sites
+    that express a *constraint* rather than an *optimum*."""
+    return optimal_group_size(w)
+
+
+def reduce_levels(n_nodes: int, m: int) -> int:
+    """Number of reduce levels ``⌈log_m N⌉`` (0 for a single node).
+
+    Computed by iterated integer division rather than floating-point logs so
+    that boundary cases (e.g. N an exact power of m) are exact.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    if m < 2:
+        raise ValueError(f"group size m must be >= 2, got {m!r}")
+    levels = 0
+    remaining = n_nodes
+    while remaining > 1:
+        remaining = math.ceil(remaining / m)
+        levels += 1
+    return levels
+
+
+def representatives_at_last_level(n_nodes: int, m: int) -> int:
+    """``m* = ⌈N / m^(⌈log_m N⌉ - 1)⌉`` — reps entering the final reduce step.
+
+    Computed by iterating the actual grouping recurrence (ceil division per
+    level), which also matches :func:`hierarchical_grouping`.
+    """
+    levels = reduce_levels(n_nodes, m)
+    if levels == 0:
+        return 1
+    remaining = n_nodes
+    for _ in range(levels - 1):
+        remaining = math.ceil(remaining / m)
+    return remaining
+
+
+def wrht_wavelength_requirement(n_nodes: int, m: int) -> int:
+    """Peak wavelength demand of a WRHT run with group size ``m``.
+
+    The grouping steps need ``⌊m/2⌋`` each; the final step needs either
+    ``⌊m*/2⌋`` (plain collect) or ``⌈m*²/8⌉`` (all-to-all). This returns the
+    demand assuming the *cheaper legal* final step — i.e. the minimum number
+    of wavelengths for which the schedule is feasible at all (the planner
+    separately decides whether the all-to-all shortcut is worth it).
+    """
+    levels = reduce_levels(n_nodes, m)
+    if levels == 0:
+        return 0
+    base = group_wavelengths(min(m, n_nodes))
+    m_star = representatives_at_last_level(n_nodes, m)
+    return max(base, group_wavelengths(m_star))
+
+
+def alltoall_feasible(n_nodes: int, m: int, w: int) -> bool:
+    """Whether the final reduce step can be an all-to-all under ``w`` wavelengths."""
+    check_positive_int("w", w)
+    m_star = representatives_at_last_level(n_nodes, m)
+    if m_star <= 1:
+        return False
+    return alltoall_wavelengths(m_star) <= w

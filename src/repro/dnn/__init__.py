@@ -1,0 +1,84 @@
+"""DNN workload models and the data-parallel training substrate.
+
+Two roles:
+
+1. **Workload catalogs** (:mod:`~repro.dnn.layers`, :mod:`~repro.dnn.models`,
+   :mod:`~repro.dnn.workload`) — layer-level parameter counts for the four
+   evaluation models (BEiT-L, VGG16, AlexNet, ResNet50). The paper's
+   profiling step reduces to a single number per model — the gradient bytes
+   synchronized per iteration — which these catalogs derive and validate
+   against the paper's stated sizes (307M / 138M / 62.3M / 25M parameters).
+2. **Training substrate** (:mod:`~repro.dnn.autograd`,
+   :mod:`~repro.dnn.training`, :mod:`~repro.dnn.datasets`) — a from-scratch
+   numpy implementation of forward/backward propagation (Eqs 1–4) and
+   data-parallel SGD whose gradient synchronization runs the *actual*
+   All-reduce schedules (Eq 5), proving end to end that every schedule in
+   this library is a correct All-reduce, not just a cost model.
+"""
+
+from repro.dnn.layers import (
+    AttentionSpec,
+    BatchNormSpec,
+    Conv2DSpec,
+    DenseSpec,
+    EmbeddingSpec,
+    LayerNormSpec,
+    TransformerBlockSpec,
+)
+from repro.dnn.models import MODEL_BUILDERS, ModelSpec, alexnet, beit_large, resnet50, vgg16
+from repro.dnn.workload import PAPER_WORKLOADS, DnnWorkload, workload_by_name
+from repro.dnn.autograd import MLP, Conv2D, Dense, relu, softmax_cross_entropy
+from repro.dnn.datasets import SyntheticClassification
+from repro.dnn.training import DataParallelTrainer, TrainingReport
+from repro.dnn.profile import DeviceModel, LayerProfile, ModelProfile, profile_model
+from repro.dnn.iteration import (
+    IterationBreakdown,
+    IterationModel,
+    comm_backend_from_analytical,
+    make_buckets,
+)
+from repro.dnn.parallelism import HybridParallelComm, MemoryModel, ParallelismPlan
+from repro.dnn.heterogeneity import HeterogeneousIteration, proportional_shards
+from repro.dnn.compression import CompressedDataParallelTrainer, TopKCompressor
+
+__all__ = [
+    "AttentionSpec",
+    "BatchNormSpec",
+    "CompressedDataParallelTrainer",
+    "Conv2D",
+    "Conv2DSpec",
+    "DataParallelTrainer",
+    "Dense",
+    "DenseSpec",
+    "DeviceModel",
+    "DnnWorkload",
+    "EmbeddingSpec",
+    "HeterogeneousIteration",
+    "HybridParallelComm",
+    "IterationBreakdown",
+    "IterationModel",
+    "LayerNormSpec",
+    "LayerProfile",
+    "MLP",
+    "MODEL_BUILDERS",
+    "MemoryModel",
+    "ModelProfile",
+    "ModelSpec",
+    "PAPER_WORKLOADS",
+    "ParallelismPlan",
+    "SyntheticClassification",
+    "TopKCompressor",
+    "TrainingReport",
+    "TransformerBlockSpec",
+    "alexnet",
+    "beit_large",
+    "comm_backend_from_analytical",
+    "make_buckets",
+    "profile_model",
+    "proportional_shards",
+    "relu",
+    "resnet50",
+    "softmax_cross_entropy",
+    "vgg16",
+    "workload_by_name",
+]

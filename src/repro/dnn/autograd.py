@@ -1,0 +1,326 @@
+"""From-scratch forward/backward propagation (Sec 3.1, Eqs 1–4).
+
+A small, exactly-testable training engine:
+
+- :class:`Dense` implements Eq 1's ``Z = f(W·Z_prev + B)`` and the Eq 2/3
+  backward pass (error propagation and ``ΔW = Zᵀ·E``),
+- :class:`Conv2D` lowers convolution to matrix multiplication with im2col
+  (the transformation the paper invokes to cover convolutional layers with
+  the same equations),
+- :class:`MLP` stacks layers, runs softmax cross-entropy, applies Eq 4's
+  SGD update, and can flatten/unflatten its gradient into the single vector
+  the All-reduce schedules operate on.
+
+Conventions: batches are leading (``Z`` is ``(batch, features)`` or
+``(batch, C, H, W)``); weights are ``(in, out)`` so the forward product is
+``Z @ W + b``; loss gradients are averaged over the batch *inside the
+loss*, so summing per-worker gradients weighted by shard size reproduces
+the full-batch gradient exactly — the property the data-parallel
+equivalence test relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+Activation = Callable[[np.ndarray], np.ndarray]
+
+
+# -- activations ---------------------------------------------------------
+def relu(x: np.ndarray) -> np.ndarray:
+    """max(x, 0)."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(pre: np.ndarray) -> np.ndarray:
+    """Derivative of relu at pre-activation ``pre``."""
+    return (pre > 0).astype(pre.dtype)
+
+
+def identity(x: np.ndarray) -> np.ndarray:
+    """Pass-through (output layers feed softmax cross-entropy)."""
+    return x
+
+
+def identity_grad(pre: np.ndarray) -> np.ndarray:
+    """Derivative of identity."""
+    return np.ones_like(pre)
+
+
+_ACTIVATIONS: dict[str, tuple[Activation, Activation]] = {
+    "relu": (relu, relu_grad),
+    "identity": (identity, identity_grad),
+}
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise stable softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. logits.
+
+    Args:
+        logits: ``(batch, classes)``.
+        labels: Integer class ids, ``(batch,)``.
+
+    Returns:
+        ``(loss, dL/dlogits)`` with the gradient already divided by the
+        batch size.
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    batch = logits.shape[0]
+    if labels.shape != (batch,):
+        raise ValueError(f"labels shape {labels.shape} != ({batch},)")
+    probs = softmax(logits)
+    picked = probs[np.arange(batch), labels]
+    loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+    grad = probs
+    grad[np.arange(batch), labels] -= 1.0
+    return loss, grad / batch
+
+
+# -- layers ---------------------------------------------------------------
+class Dense:
+    """Fully connected layer with an element-wise activation (Eq 1)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str = "relu",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        check_positive_int("in_features", in_features)
+        check_positive_int("out_features", out_features)
+        if activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; have {sorted(_ACTIVATIONS)}"
+            )
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = rng.normal(0.0, scale, (in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.activation = activation
+        self._f, self._f_grad = _ACTIVATIONS[activation]
+        self._input: np.ndarray | None = None
+        self._pre: np.ndarray | None = None
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Eq 1: ``Z = f(x·W + b)``; caches for backward."""
+        self._input = x
+        self._pre = x @ self.weight + self.bias
+        return self._f(self._pre)
+
+    def backward(self, error: np.ndarray) -> np.ndarray:
+        """Eqs 2–3: accumulate ``ΔW``/``Δb`` and return the upstream error."""
+        if self._input is None or self._pre is None:
+            raise RuntimeError("backward before forward")
+        delta = error * self._f_grad(self._pre)
+        self.grad_weight[...] = self._input.T @ delta  # Eq 3
+        self.grad_bias[...] = delta.sum(axis=0)
+        return delta @ self.weight.T  # Eq 2
+
+    # -- parameter plumbing ------------------------------------------------
+    def parameters(self) -> list[np.ndarray]:
+        """Trainable arrays, in a stable order."""
+        return [self.weight, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradient arrays matching :meth:`parameters`."""
+        return [self.grad_weight, self.grad_bias]
+
+
+class Conv2D:
+    """2-D convolution lowered to matmul via im2col (valid padding).
+
+    Input ``(batch, C, H, W)``; output ``(batch, F, H−kh+1, W−kw+1)``;
+    weights stored ``(C·kh·kw, F)`` so the forward pass is exactly a Dense
+    layer over unfolded patches — the paper's im2col argument made literal.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        activation: str = "relu",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        check_positive_int("in_channels", in_channels)
+        check_positive_int("out_channels", out_channels)
+        check_positive_int("kernel", kernel)
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel * kernel
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.weight = rng.normal(0.0, np.sqrt(2.0 / fan_in), (fan_in, out_channels))
+        self.bias = np.zeros(out_channels)
+        self.activation = activation
+        self._f, self._f_grad = _ACTIVATIONS[activation]
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cols: np.ndarray | None = None
+        self._pre: np.ndarray | None = None
+        self._in_shape: tuple[int, ...] | None = None
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        batch, c, h, w = x.shape
+        k = self.kernel
+        oh, ow = h - k + 1, w - k + 1
+        if oh < 1 or ow < 1:
+            raise ValueError(f"input {h}x{w} smaller than kernel {k}")
+        # windows: (batch, C, oh, ow, k, k) as a zero-copy strided view.
+        windows = np.lib.stride_tricks.sliding_window_view(x, (k, k), axis=(2, 3))
+        cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(batch * oh * ow, c * k * k)
+        return np.ascontiguousarray(cols)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Convolve (valid), apply activation; caches unfolded patches."""
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        batch, _, h, w = x.shape
+        k = self.kernel
+        oh, ow = h - k + 1, w - k + 1
+        self._in_shape = x.shape
+        self._cols = self._im2col(x)
+        pre = self._cols @ self.weight + self.bias
+        self._pre = pre
+        out = self._f(pre)
+        return out.reshape(batch, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, error: np.ndarray) -> np.ndarray:
+        """Backward through activation, matmul and col2im."""
+        if self._cols is None or self._pre is None or self._in_shape is None:
+            raise RuntimeError("backward before forward")
+        batch, c, h, w = self._in_shape
+        k = self.kernel
+        oh, ow = h - k + 1, w - k + 1
+        err2d = error.transpose(0, 2, 3, 1).reshape(batch * oh * ow, self.out_channels)
+        delta = err2d * self._f_grad(self._pre)
+        self.grad_weight[...] = self._cols.T @ delta
+        self.grad_bias[...] = delta.sum(axis=0)
+        dcols = delta @ self.weight.T  # (batch*oh*ow, C*k*k)
+        dcols = dcols.reshape(batch, oh, ow, c, k, k)
+        dx = np.zeros(self._in_shape)
+        # col2im: scatter-add each patch gradient back to its window.
+        for di in range(k):
+            for dj in range(k):
+                dx[:, :, di : di + oh, dj : dj + ow] += dcols[:, :, :, :, di, dj].transpose(
+                    0, 3, 1, 2
+                )
+        return dx
+
+    def parameters(self) -> list[np.ndarray]:
+        """Trainable arrays."""
+        return [self.weight, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradient arrays matching :meth:`parameters`."""
+        return [self.grad_weight, self.grad_bias]
+
+
+# -- model container ------------------------------------------------------
+class MLP:
+    """A stack of layers trained with softmax cross-entropy and SGD (Eq 4)."""
+
+    def __init__(self, layers: list) -> None:
+        if not layers:
+            raise ValueError("MLP needs at least one layer")
+        self.layers = list(layers)
+
+    @classmethod
+    def of_widths(
+        cls, widths: list[int], seed: int = 0, hidden_activation: str = "relu"
+    ) -> "MLP":
+        """Dense MLP from a width list, last layer linear (logits)."""
+        if len(widths) < 2:
+            raise ValueError("need at least input and output widths")
+        rng = np.random.default_rng(seed)
+        layers = []
+        for i, (a, b) in enumerate(zip(widths, widths[1:])):
+            act = "identity" if i == len(widths) - 2 else hidden_activation
+            layers.append(Dense(a, b, activation=act, rng=rng))
+        return cls(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run all layers; returns logits."""
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate the loss gradient through every layer (Eqs 2–3)."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def loss_and_gradients(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """One forward/backward pass; gradients land in each layer."""
+        logits = self.forward(x)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        self.backward(grad)
+        return loss
+
+    # -- flattened parameter/gradient views ---------------------------------
+    def parameters(self) -> list[np.ndarray]:
+        """All trainable arrays in layer order."""
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def gradients(self) -> list[np.ndarray]:
+        """All gradient arrays in layer order."""
+        return [g for layer in self.layers for g in layer.gradients()]
+
+    @property
+    def n_params(self) -> int:
+        """Total trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    def gradient_vector(self) -> np.ndarray:
+        """Flatten all gradients into one vector (All-reduce payload)."""
+        return np.concatenate([g.ravel() for g in self.gradients()])
+
+    def set_gradient_vector(self, vec: np.ndarray) -> None:
+        """Scatter a flat vector back into the per-layer gradient arrays."""
+        if vec.shape != (self.n_params,):
+            raise ValueError(f"expected shape ({self.n_params},), got {vec.shape}")
+        offset = 0
+        for g in self.gradients():
+            g[...] = vec[offset : offset + g.size].reshape(g.shape)
+            offset += g.size
+
+    def sgd_step(self, lr: float) -> None:
+        """Eq 4: ``W ← W − σ·ΔW`` (descent; the paper writes the generic
+        ``+σΔW`` update form)."""
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr!r}")
+        for p, g in zip(self.parameters(), self.gradients()):
+            p -= lr * g
+
+    def state_vector(self) -> np.ndarray:
+        """Flatten all parameters (for exact-equality assertions)."""
+        return np.concatenate([p.ravel() for p in self.parameters()])
+
+    def load_state_vector(self, vec: np.ndarray) -> None:
+        """Inverse of :meth:`state_vector`."""
+        if vec.shape != (self.n_params,):
+            raise ValueError(f"expected shape ({self.n_params},), got {vec.shape}")
+        offset = 0
+        for p in self.parameters():
+            p[...] = vec[offset : offset + p.size].reshape(p.shape)
+            offset += p.size

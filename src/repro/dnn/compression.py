@@ -1,0 +1,147 @@
+"""Sparse (top-k) gradient synchronization with error feedback.
+
+The related-work direction the paper cites as [12] (near-optimal sparse
+All-reduce): instead of All-reducing the dense gradient, each worker sends
+only its ``k`` largest-magnitude entries. Synchronization becomes an
+*all-gather* of ``(index, value)`` pairs — every worker receives every
+other worker's selection and accumulates locally — moving
+``2k·n`` scalars instead of the dense algorithm's gradient volume.
+
+Top-k is lossy; the standard fix is **error feedback**: each worker keeps
+the residual it did not send and adds it to the next iteration's gradient,
+so dropped coordinates eventually get transmitted. With ``ratio = 1`` the
+mechanism is exact and reproduces dense training bit-for-bit (tested).
+
+The all-gather runs as a real schedule
+(:func:`repro.comm.primitives.build_allgather_schedule`) over a
+``(n_workers, 2k·n_workers)`` buffer, so it can be priced on the
+substrates like every other collective in the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.ring import chunk_bounds
+from repro.collectives.verify import run_schedule
+from repro.comm.primitives import build_allgather_schedule
+from repro.dnn.training import DataParallelTrainer
+from repro.util.validation import check_positive
+
+
+class TopKCompressor:
+    """Per-worker top-k selection with error feedback.
+
+    Attributes:
+        ratio: Fraction of gradient entries to keep (0 < ratio <= 1).
+        error_feedback: Carry the unsent residual into the next round.
+    """
+
+    def __init__(self, ratio: float = 0.01, error_feedback: bool = True) -> None:
+        check_positive("ratio", ratio)
+        if ratio > 1:
+            raise ValueError(f"ratio must be <= 1, got {ratio!r}")
+        self.ratio = ratio
+        self.error_feedback = error_feedback
+        self._residual: np.ndarray | None = None
+
+    def k_for(self, n_params: int) -> int:
+        """Entries kept per worker."""
+        return max(1, int(np.ceil(self.ratio * n_params)))
+
+    def compress(self, grad: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Select the top-k of ``grad`` (+ residual), update the residual.
+
+        Returns:
+            ``(indices, values)`` arrays of length ``k_for(len(grad))``.
+        """
+        if grad.ndim != 1:
+            raise ValueError(f"expected a flat gradient, got shape {grad.shape}")
+        if self.error_feedback:
+            if self._residual is None:
+                self._residual = np.zeros_like(grad)
+            corrected = grad + self._residual
+        else:
+            corrected = grad
+        k = self.k_for(corrected.size)
+        indices = np.argpartition(np.abs(corrected), -k)[-k:]
+        values = corrected[indices]
+        if self.error_feedback:
+            self._residual = corrected.copy()
+            self._residual[indices] = 0.0
+        return indices.astype(np.float64), values
+
+    def reset(self) -> None:
+        """Drop the accumulated residual."""
+        self._residual = None
+
+
+class CompressedDataParallelTrainer(DataParallelTrainer):
+    """Data-parallel SGD with sparse (top-k) gradient synchronization.
+
+    The dense All-reduce schedule is replaced by an all-gather of each
+    worker's ``(indices, values)`` block; every worker then reconstructs
+    the averaged sparse update locally. ``compression_ratio=1.0`` recovers
+    dense training exactly.
+    """
+
+    def __init__(
+        self,
+        model_factory,
+        n_workers: int,
+        compression_ratio: float = 0.01,
+        error_feedback: bool = True,
+        lr: float = 0.05,
+    ) -> None:
+        super().__init__(model_factory, n_workers, algorithm="ring", lr=lr)
+        self.compressors = [
+            TopKCompressor(compression_ratio, error_feedback)
+            for _ in range(n_workers)
+        ]
+        self._k = self.compressors[0].k_for(self.n_params)
+        if n_workers > 1:
+            block = 2 * self._k
+            total = block * n_workers
+            if total % n_workers:
+                raise AssertionError("block layout must divide evenly")
+            self._gather_schedule = build_allgather_schedule(n_workers, total)
+        else:
+            self._gather_schedule = None
+
+    @property
+    def k(self) -> int:
+        """Entries each worker transmits per iteration."""
+        return self._k
+
+    @property
+    def bytes_per_sync(self) -> int:
+        """Payload bytes one worker contributes per synchronization
+        (float64 index/value pairs)."""
+        return 2 * self._k * 8
+
+    @property
+    def dense_bytes_per_sync(self) -> int:
+        """What the dense gradient would have been (same element width)."""
+        return self.n_params * 8
+
+    def _synchronize(self, grads: np.ndarray) -> np.ndarray:
+        if self._gather_schedule is None:
+            return grads[0] / self.n_workers
+        block = 2 * self._k
+        buffers = np.zeros((self.n_workers, block * self.n_workers))
+        bounds = chunk_bounds(block * self.n_workers, self.n_workers)
+        for w in range(self.n_workers):
+            indices, values = self.compressors[w].compress(grads[w])
+            lo, hi = bounds[w]
+            buffers[w, lo : lo + self._k] = indices
+            buffers[w, lo + self._k : hi] = values
+        run_schedule(self._gather_schedule, buffers)
+        # Every worker now holds all blocks; reconstruct the sparse sum.
+        dense = np.zeros(self.n_params)
+        row = buffers[0]
+        for w in range(self.n_workers):
+            lo, _ = bounds[w]
+            indices = row[lo : lo + self._k].astype(np.intp)
+            values = row[lo + self._k : lo + 2 * self._k]
+            np.add.at(dense, indices, values)
+        return dense / self.n_workers

@@ -1,0 +1,115 @@
+"""Per-layer FLOP counting for the evaluation models.
+
+The paper profiles GPU compute time per iteration (Sec 5.1) to argue the
+motivation claim that All-reduce dominates iteration time at scale (Sec 1).
+We reproduce that pipeline synthetically: standard FLOP counts per layer
+(multiply-accumulate counted as 2 FLOPs), combined with a device model in
+:mod:`repro.dnn.profile`.
+
+Conventions (the usual ones):
+
+- Dense: ``2·in·out`` per sample forward.
+- Conv2D: ``2·(in/groups)·out·kh·kw·oh·ow`` per sample forward — the spec's
+  ``output_spatial`` carries ``(oh, ow)``.
+- Norm layers: a handful of FLOPs per element; counted as ``10·features``
+  (they are never the bottleneck).
+- Attention: QKV/output projections as Dense, plus the two ``seq²·dim``
+  attention matmuls.
+- Backward ≈ 2× forward (gradient w.r.t. inputs and weights) — the standard
+  rule of thumb used by every training-time estimator.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.layers import (
+    AttentionSpec,
+    BatchNormSpec,
+    Conv2DSpec,
+    DenseSpec,
+    EmbeddingSpec,
+    LayerNormSpec,
+    TransformerBlockSpec,
+)
+
+BACKWARD_FACTOR = 2.0
+"""Backward-pass FLOPs as a multiple of forward FLOPs."""
+
+
+def dense_flops(spec: DenseSpec) -> float:
+    """Forward FLOPs per sample."""
+    return 2.0 * spec.in_features * spec.out_features
+
+
+def conv2d_flops(spec: Conv2DSpec, output_spatial: tuple[int, int]) -> float:
+    """Forward FLOPs per sample for the given output map size."""
+    oh, ow = output_spatial
+    if oh < 1 or ow < 1:
+        raise ValueError(f"bad output spatial {output_spatial!r}")
+    per_position = (
+        2.0 * (spec.in_channels // spec.groups) * spec.kernel_h * spec.kernel_w
+    )
+    return per_position * spec.out_channels * oh * ow
+
+
+def norm_flops(features: int, spatial: int = 1) -> float:
+    """Forward FLOPs per sample for a (batch/layer) norm over a map."""
+    return 10.0 * features * spatial
+
+
+def attention_flops(spec: AttentionSpec, seq_len: int) -> float:
+    """Forward FLOPs per sample: projections + the two attention matmuls."""
+    if seq_len < 1:
+        raise ValueError(f"seq_len must be >= 1, got {seq_len!r}")
+    projections = 2.0 * seq_len * (spec.dim * 3 * spec.dim + spec.dim * spec.dim)
+    attention = 2.0 * 2.0 * seq_len * seq_len * spec.dim
+    return projections + attention
+
+
+def transformer_block_flops(spec: TransformerBlockSpec, seq_len: int) -> float:
+    """Forward FLOPs per sample for a full pre-norm block."""
+    attn = attention_flops(
+        AttentionSpec(spec.dim, spec.n_heads), seq_len
+    )
+    hidden = spec.dim * spec.mlp_ratio
+    mlp = 2.0 * seq_len * (spec.dim * hidden + hidden * spec.dim)
+    norms = 2 * norm_flops(spec.dim, seq_len)
+    return attn + mlp + norms
+
+
+def layer_forward_flops(spec, context: dict | None = None) -> float:
+    """Forward FLOPs per sample for any layer spec.
+
+    Args:
+        spec: One of the :mod:`repro.dnn.layers` spec types.
+        context: Layer-type-specific extras: ``output_spatial`` for convs,
+            ``seq_len`` for attention/transformer blocks, ``spatial`` for
+            norms.
+    """
+    context = context or {}
+    if isinstance(spec, DenseSpec):
+        return dense_flops(spec)
+    if isinstance(spec, Conv2DSpec):
+        spatial = context.get("output_spatial")
+        if spatial is None:
+            raise ValueError("Conv2DSpec needs context['output_spatial']")
+        return conv2d_flops(spec, spatial)
+    if isinstance(spec, (BatchNormSpec, LayerNormSpec)):
+        return norm_flops(spec.features, context.get("spatial", 1))
+    if isinstance(spec, TransformerBlockSpec):
+        seq = context.get("seq_len")
+        if seq is None:
+            raise ValueError("TransformerBlockSpec needs context['seq_len']")
+        return transformer_block_flops(spec, seq)
+    if isinstance(spec, AttentionSpec):
+        seq = context.get("seq_len")
+        if seq is None:
+            raise ValueError("AttentionSpec needs context['seq_len']")
+        return attention_flops(spec, seq)
+    if isinstance(spec, EmbeddingSpec):
+        return 0.0  # table lookup
+    raise TypeError(f"unknown layer spec {type(spec).__name__}")
+
+
+def layer_backward_flops(spec, context: dict | None = None) -> float:
+    """Backward FLOPs per sample (the 2× forward rule)."""
+    return BACKWARD_FACTOR * layer_forward_flops(spec, context)

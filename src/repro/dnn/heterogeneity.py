@@ -1,0 +1,146 @@
+"""Heterogeneous-worker data parallelism (the paper's named future work).
+
+Sec 7: "Future work can be done by extending our work to ... heterogeneous
+computing device scenarios." In synchronous data parallelism, heterogeneity
+means stragglers: the All-reduce cannot start until the slowest worker
+finishes backward, so one slow device stalls the fleet. Two standard
+mitigations are modeled:
+
+- **naive (equal shards)** — iteration time is governed by the slowest
+  device processing ``batch/n`` samples;
+- **speed-proportional shards** — each worker gets work proportional to
+  its throughput, equalizing finish times. The split stays *exact* for
+  Eq 5 because the trainer re-weights shard gradients by shard size
+  (see :mod:`repro.dnn.training`), so convergence is untouched.
+
+:func:`proportional_shards` computes the integer split (largest-remainder
+rounding); :class:`HeterogeneousIteration` prices both policies with any
+communication backend, quantifying how much balancing recovers and how the
+comm fraction shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dnn.iteration import CommTimeFn
+from repro.dnn.profile import DeviceModel, ModelProfile
+from repro.util.validation import check_positive_int
+
+
+def proportional_shards(batch: int, speeds: Sequence[float]) -> list[int]:
+    """Integer shard sizes proportional to worker speeds.
+
+    Largest-remainder rounding: exact total, every worker gets at least one
+    sample when ``batch >= len(speeds)``.
+
+    Args:
+        batch: Global batch size.
+        speeds: Positive relative throughputs, one per worker.
+    """
+    check_positive_int("batch", batch)
+    if not speeds:
+        raise ValueError("need at least one worker")
+    if any(s <= 0 for s in speeds):
+        raise ValueError("all speeds must be positive")
+    if batch < len(speeds):
+        raise ValueError(f"batch {batch} smaller than worker count {len(speeds)}")
+    total_speed = sum(speeds)
+    raw = [batch * s / total_speed for s in speeds]
+    shards = [int(r) for r in raw]
+    # Largest-remainder: hand out the leftover samples by fractional part
+    # (ties by index for determinism); yields an exact total.
+    leftover = batch - sum(shards)
+    order = sorted(range(len(raw)), key=lambda i: (raw[i] - shards[i], -i), reverse=True)
+    for i in range(leftover):
+        shards[order[i % len(order)]] += 1
+    # Every worker needs at least one sample: take from the largest shard.
+    for i in range(len(shards)):
+        while shards[i] < 1:
+            donor = max(range(len(shards)), key=lambda j: shards[j])
+            if shards[donor] <= 1:
+                raise AssertionError("batch >= n_workers guarantees a donor")
+            shards[donor] -= 1
+            shards[i] += 1
+    assert sum(shards) == batch
+    return shards
+
+
+@dataclass(frozen=True)
+class HeterogeneousBreakdown:
+    """One policy's iteration decomposition.
+
+    Attributes:
+        compute: Seconds until the last worker finishes forward+backward.
+        comm: All-reduce seconds.
+        total: Iteration seconds.
+        shards: The shard sizes used.
+    """
+
+    compute: float
+    comm: float
+    total: float
+    shards: tuple[int, ...]
+
+    @property
+    def comm_fraction(self) -> float:
+        """Communication share of the iteration."""
+        return self.comm / self.total if self.total else 0.0
+
+
+class HeterogeneousIteration:
+    """Prices synchronous data-parallel iterations on mixed fleets."""
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        speeds: Sequence[float],
+        comm_time: CommTimeFn,
+        device: DeviceModel | None = None,
+    ) -> None:
+        if not speeds or any(s <= 0 for s in speeds):
+            raise ValueError("speeds must be a non-empty positive sequence")
+        self.profile = profile
+        self.speeds = tuple(float(s) for s in speeds)
+        self.comm_time = comm_time
+        self.device = device or DeviceModel()
+
+    @property
+    def n_workers(self) -> int:
+        """Fleet size."""
+        return len(self.speeds)
+
+    def _compute_time(self, shard: int, speed: float) -> float:
+        base = self.profile.forward_time(shard, self.device) + (
+            self.profile.backward_time(shard, self.device)
+        )
+        return base / speed
+
+    def _run(self, shards: Sequence[int], bytes_per_param: int) -> HeterogeneousBreakdown:
+        compute = max(
+            self._compute_time(shard, speed)
+            for shard, speed in zip(shards, self.speeds)
+        )
+        comm = self.comm_time(float(self.profile.total_params * bytes_per_param))
+        return HeterogeneousBreakdown(
+            compute=compute, comm=comm, total=compute + comm,
+            shards=tuple(shards),
+        )
+
+    def equal_shards(self, batch: int, bytes_per_param: int = 4) -> HeterogeneousBreakdown:
+        """The naive policy: ``batch/n`` samples everywhere."""
+        check_positive_int("batch", batch)
+        base, extra = divmod(batch, self.n_workers)
+        shards = [base + (1 if i < extra else 0) for i in range(self.n_workers)]
+        if any(s == 0 for s in shards):
+            raise ValueError(f"batch {batch} too small for {self.n_workers} workers")
+        return self._run(shards, bytes_per_param)
+
+    def balanced_shards(self, batch: int, bytes_per_param: int = 4) -> HeterogeneousBreakdown:
+        """Speed-proportional shards (finish times equalized)."""
+        return self._run(proportional_shards(batch, self.speeds), bytes_per_param)
+
+    def balancing_speedup(self, batch: int) -> float:
+        """Iteration-time ratio naive / balanced (>= 1 up to rounding)."""
+        return self.equal_shards(batch).total / self.balanced_shards(batch).total

@@ -1,0 +1,179 @@
+"""Per-iteration time model: compute, communication, and their overlap.
+
+Reproduces the paper's Sec 1 motivation quantitatively: "communications for
+All-reduce with a large number of workers may occupy 50–90% of
+per-iteration training time" [35]. An iteration is
+
+    forward → backward (gradients release output→input) → All-reduce → step
+
+and synchronous data-parallel training can either serialize communication
+after backward (``no_overlap``) or start All-reducing each gradient bucket
+as soon as backprop releases it (``overlapped`` — the standard
+bucket-fusion optimization of DDP frameworks). In both cases the network
+processes buckets one at a time (one collective at a time per ring).
+
+The communication backend is any callable pricing one All-reduce of ``n``
+bytes — the experiment harness plugs in the analytical models or the
+substrate executors, so the same iteration model quantifies the motivation
+claim on the electrical fat-tree and the improvement WRHT buys on the
+optical ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dnn.profile import DeviceModel, ModelProfile
+from repro.util.validation import check_positive, check_positive_int
+
+CommTimeFn = Callable[[float], float]
+"""Prices one All-reduce: gradient bytes -> seconds."""
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A fused group of layer gradients.
+
+    Attributes:
+        grad_bytes: Payload of the fused All-reduce call.
+        release_time: Seconds after backward start when the *last* fused
+            gradient becomes available.
+        n_layers: Layers fused into this bucket.
+    """
+
+    grad_bytes: float
+    release_time: float
+    n_layers: int
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """One iteration's timing decomposition.
+
+    Attributes:
+        forward: Forward-pass seconds.
+        backward: Backward-pass seconds.
+        comm_total: Sum of all All-reduce call durations.
+        comm_exposed: Communication seconds not hidden behind backward.
+        total: End-to-end iteration seconds.
+    """
+
+    forward: float
+    backward: float
+    comm_total: float
+    comm_exposed: float
+    total: float
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of the iteration spent in *exposed* communication."""
+        return self.comm_exposed / self.total if self.total > 0 else 0.0
+
+
+def make_buckets(
+    profile: ModelProfile,
+    batch: int,
+    device: DeviceModel,
+    bucket_bytes: float,
+    bytes_per_param: int = 4,
+) -> list[Bucket]:
+    """Fuse released gradients into buckets of at least ``bucket_bytes``.
+
+    Gradients fuse in release (output→input) order; a bucket closes once it
+    reaches the threshold, releasing at its last member's release time. The
+    final bucket may be smaller. ``bucket_bytes = 0`` gives one bucket per
+    parameterized layer; ``bucket_bytes = inf`` gives a single bucket.
+    """
+    if bucket_bytes < 0:
+        raise ValueError(f"bucket_bytes must be >= 0, got {bucket_bytes!r}")
+    check_positive_int("bytes_per_param", bytes_per_param)
+    schedule = profile.gradient_release_schedule(batch, device)
+    buckets: list[Bucket] = []
+    acc_bytes = 0.0
+    acc_layers = 0
+    release = 0.0
+    for layer, time in schedule:
+        acc_bytes += layer.params * bytes_per_param
+        acc_layers += 1
+        release = time
+        if acc_bytes >= bucket_bytes:
+            buckets.append(Bucket(acc_bytes, release, acc_layers))
+            acc_bytes, acc_layers = 0.0, 0
+    if acc_layers:
+        buckets.append(Bucket(acc_bytes, release, acc_layers))
+    # Catalog extras (class tokens etc.) ride in the last bucket.
+    if buckets and profile.extra_params:
+        last = buckets[-1]
+        buckets[-1] = Bucket(
+            last.grad_bytes + profile.extra_params * bytes_per_param,
+            last.release_time,
+            last.n_layers,
+        )
+    return buckets
+
+
+class IterationModel:
+    """Times one synchronous data-parallel iteration."""
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        comm_time: CommTimeFn,
+        device: DeviceModel | None = None,
+    ) -> None:
+        self.profile = profile
+        self.comm_time = comm_time
+        self.device = device or DeviceModel()
+
+    def no_overlap(self, batch: int, bytes_per_param: int = 4) -> IterationBreakdown:
+        """Serial iteration: all communication after backward completes."""
+        check_positive_int("batch", batch)
+        fwd = self.profile.forward_time(batch, self.device)
+        bwd = self.profile.backward_time(batch, self.device)
+        comm = self.comm_time(float(self.profile.total_params * bytes_per_param))
+        return IterationBreakdown(
+            forward=fwd, backward=bwd, comm_total=comm, comm_exposed=comm,
+            total=fwd + bwd + comm,
+        )
+
+    def overlapped(
+        self,
+        batch: int,
+        bucket_bytes: float = 25e6,
+        bytes_per_param: int = 4,
+    ) -> IterationBreakdown:
+        """Bucketed iteration: each bucket's All-reduce starts at its
+        release time (or when the network frees up), overlapping backward."""
+        check_positive_int("batch", batch)
+        fwd = self.profile.forward_time(batch, self.device)
+        bwd = self.profile.backward_time(batch, self.device)
+        buckets = make_buckets(
+            self.profile, batch, self.device, bucket_bytes, bytes_per_param
+        )
+        clock = 0.0  # network time, measured from backward start
+        comm_total = 0.0
+        for bucket in buckets:
+            duration = self.comm_time(bucket.grad_bytes)
+            comm_total += duration
+            clock = max(clock, bucket.release_time) + duration
+        exposed = max(0.0, clock - bwd)
+        return IterationBreakdown(
+            forward=fwd, backward=bwd, comm_total=comm_total,
+            comm_exposed=exposed, total=fwd + bwd + exposed,
+        )
+
+
+def comm_backend_from_analytical(
+    algorithm: str, n_nodes: int, cost_model, **kwargs
+) -> CommTimeFn:
+    """Adapt :func:`repro.core.timing.algorithm_time` to a pricing callable."""
+    from repro.core.timing import algorithm_time
+
+    check_positive_int("n_nodes", n_nodes)
+    check_positive("line_rate", cost_model.line_rate)
+
+    def price(grad_bytes: float) -> float:
+        return algorithm_time(algorithm, n_nodes, grad_bytes, cost_model, **kwargs)
+
+    return price

@@ -1,0 +1,187 @@
+"""Layer specifications with exact parameter counting.
+
+These are *static* descriptions used to derive each evaluation model's
+gradient size (the only workload property the communication model needs —
+Sec 5.1 notes that datasets and apps leave All-reduce cost unchanged at a
+fixed batch size). The trainable-parameter conventions follow the standard
+frameworks: biases counted, batch-norm running statistics not counted,
+grouped convolutions divide the input-channel fan-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class DenseSpec:
+    """Fully connected layer: ``in·out`` weights plus ``out`` biases."""
+
+    in_features: int
+    out_features: int
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive_int("in_features", self.in_features)
+        check_positive_int("out_features", self.out_features)
+
+    @property
+    def param_count(self) -> int:
+        """Trainable parameters."""
+        return self.in_features * self.out_features + (
+            self.out_features if self.bias else 0
+        )
+
+
+@dataclass(frozen=True)
+class Conv2DSpec:
+    """2-D convolution (optionally grouped).
+
+    Parameters: ``(in/groups)·out·kh·kw`` weights plus ``out`` biases.
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel_h: int
+    kernel_w: int
+    groups: int = 1
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("in_channels", "out_channels", "kernel_h", "kernel_w", "groups"):
+            check_positive_int(name, getattr(self, name))
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError(
+                f"groups={self.groups} must divide in={self.in_channels} "
+                f"and out={self.out_channels}"
+            )
+
+    @property
+    def param_count(self) -> int:
+        """Trainable parameters."""
+        weights = (
+            (self.in_channels // self.groups)
+            * self.out_channels
+            * self.kernel_h
+            * self.kernel_w
+        )
+        return weights + (self.out_channels if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class BatchNormSpec:
+    """Batch normalization: scale + shift per feature (running stats are
+    buffers, not parameters)."""
+
+    features: int
+
+    def __post_init__(self) -> None:
+        check_positive_int("features", self.features)
+
+    @property
+    def param_count(self) -> int:
+        """Trainable parameters."""
+        return 2 * self.features
+
+
+@dataclass(frozen=True)
+class LayerNormSpec:
+    """Layer normalization: scale + shift per feature."""
+
+    features: int
+
+    def __post_init__(self) -> None:
+        check_positive_int("features", self.features)
+
+    @property
+    def param_count(self) -> int:
+        """Trainable parameters."""
+        return 2 * self.features
+
+
+@dataclass(frozen=True)
+class EmbeddingSpec:
+    """Lookup table of ``count`` vectors of ``dim`` features."""
+
+    count: int
+    dim: int
+
+    def __post_init__(self) -> None:
+        check_positive_int("count", self.count)
+        check_positive_int("dim", self.dim)
+
+    @property
+    def param_count(self) -> int:
+        """Trainable parameters."""
+        return self.count * self.dim
+
+
+@dataclass(frozen=True)
+class AttentionSpec:
+    """Multi-head self-attention: fused QKV projection plus output projection.
+
+    BEiT-style options: ``qkv_bias`` adds biases to Q and V only in the
+    original implementation, but the common accounting (used here) is a
+    bias per projection when enabled; ``relative_position_entries`` counts
+    the per-head relative position bias table entries.
+    """
+
+    dim: int
+    n_heads: int
+    qkv_bias: bool = True
+    relative_position_entries: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int("dim", self.dim)
+        check_positive_int("n_heads", self.n_heads)
+        if self.dim % self.n_heads:
+            raise ValueError(f"dim={self.dim} not divisible by heads={self.n_heads}")
+        if self.relative_position_entries < 0:
+            raise ValueError("relative_position_entries must be >= 0")
+
+    @property
+    def param_count(self) -> int:
+        """Trainable parameters."""
+        qkv = self.dim * 3 * self.dim + (3 * self.dim if self.qkv_bias else 0)
+        proj = self.dim * self.dim + self.dim
+        rel = self.relative_position_entries * self.n_heads
+        return qkv + proj + rel
+
+
+@dataclass(frozen=True)
+class TransformerBlockSpec:
+    """Pre-norm transformer block: LN → MHSA → LN → MLP (+ LayerScale).
+
+    Attributes:
+        dim: Hidden width.
+        n_heads: Attention heads.
+        mlp_ratio: MLP expansion factor (4 in ViT/BEiT).
+        layer_scale: BEiT's per-channel residual scaling (two γ vectors).
+        relative_position_entries: Forwarded to :class:`AttentionSpec`.
+    """
+
+    dim: int
+    n_heads: int
+    mlp_ratio: int = 4
+    layer_scale: bool = False
+    relative_position_entries: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int("dim", self.dim)
+        check_positive_int("mlp_ratio", self.mlp_ratio)
+
+    @property
+    def param_count(self) -> int:
+        """Trainable parameters."""
+        hidden = self.dim * self.mlp_ratio
+        attn = AttentionSpec(
+            self.dim,
+            self.n_heads,
+            relative_position_entries=self.relative_position_entries,
+        ).param_count
+        mlp = DenseSpec(self.dim, hidden).param_count + DenseSpec(hidden, self.dim).param_count
+        norms = 2 * LayerNormSpec(self.dim).param_count
+        scale = 2 * self.dim if self.layer_scale else 0
+        return attn + mlp + norms + scale

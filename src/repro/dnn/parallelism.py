@@ -1,0 +1,268 @@
+"""Hybrid tensor/pipeline/data parallelism on the optical ring (Sec 6.2).
+
+The paper's discussion section: LLMs like GPT-3 cannot train data-parallel
+(no accelerator holds the replica), but WRHT still applies inside the
+communicator groups of a hybrid parallelization. This module makes that
+concrete on the ring:
+
+**Layout.** A ``(dp, pp, tp)`` grid over ``N = dp·pp·tp`` ring nodes, with
+tensor-parallel groups innermost (contiguous ring segments — they
+communicate most), pipeline stages next, data-parallel replicas outermost:
+``node = dp_idx·(pp·tp) + pp_idx·tp + tp_idx``.
+
+**Communication per training step** (Megatron-style accounting):
+
+- tensor-parallel: 4 activation All-reduces per transformer layer per
+  micro-batch (2 forward + 2 backward), each of ``micro_batch·seq·hidden``
+  elements, inside each contiguous TP group;
+- pipeline-parallel: activation send/receive between adjacent stages per
+  micro-batch (point-to-point, priced as 1-hop-adjacent ring transfers);
+- data-parallel: one gradient All-reduce per step over each DP group
+  (stride ``pp·tp`` on the ring) of the rank's parameter shard,
+  ``params/(pp·tp)`` elements.
+
+All groups of a kind synchronize *concurrently* — built as grouped
+schedules (:mod:`repro.collectives.grouped`) so the ring's wavelength
+assignment decides constructively how much overlap the fabric admits.
+
+**Memory.** ``bytes_per_param_state`` (default 18: fp16 weight+gradient +
+fp32 Adam moments + master weight fractions) times the per-rank shard must
+fit ``device_memory`` — the feasibility check that rules out pure data
+parallelism for GPT-3, reproducing Sec 6.2's argument quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.grouped import build_grouped_allreduce
+from repro.collectives.base import CommStep, Schedule, Transfer, compress_steps
+from repro.dnn.models import ModelSpec
+from repro.util.validation import check_positive, check_positive_int
+
+
+LAYOUTS = ("tp_inner", "dp_inner")
+
+
+@dataclass(frozen=True)
+class ParallelismPlan:
+    """A ``(dp, pp, tp)`` decomposition of the ring.
+
+    Attributes:
+        n_nodes: Ring size (must equal ``dp·pp·tp``).
+        tp: Tensor-parallel group size.
+        pp: Pipeline stages.
+        dp: Data-parallel replicas.
+        layout: Which dimension occupies contiguous ring segments:
+            ``"tp_inner"`` (default — TP groups contiguous, DP strided;
+            right when activation traffic dominates) or ``"dp_inner"``
+            (DP groups contiguous, TP strided; right when the gradient
+            All-reduce dominates). The placement ablation bench quantifies
+            the difference.
+    """
+
+    n_nodes: int
+    tp: int = 1
+    pp: int = 1
+    dp: int = 1
+    layout: str = "tp_inner"
+
+    def __post_init__(self) -> None:
+        for name in ("n_nodes", "tp", "pp", "dp"):
+            check_positive_int(name, getattr(self, name))
+        if self.dp * self.pp * self.tp != self.n_nodes:
+            raise ValueError(
+                f"dp*pp*tp = {self.dp * self.pp * self.tp} != n_nodes = {self.n_nodes}"
+            )
+        if self.layout not in LAYOUTS:
+            raise ValueError(f"layout must be one of {LAYOUTS}, got {self.layout!r}")
+
+    def node(self, dp_idx: int, pp_idx: int, tp_idx: int) -> int:
+        """Physical ring id of one grid coordinate."""
+        if not (0 <= dp_idx < self.dp and 0 <= pp_idx < self.pp and 0 <= tp_idx < self.tp):
+            raise ValueError("grid coordinate out of range")
+        if self.layout == "tp_inner":
+            return dp_idx * (self.pp * self.tp) + pp_idx * self.tp + tp_idx
+        return (pp_idx * self.tp + tp_idx) * self.dp + dp_idx
+
+    def tp_groups(self) -> list[list[int]]:
+        """Tensor-parallel groups, one per (dp, pp) pair (contiguous on the
+        ring under ``tp_inner``, strided under ``dp_inner``)."""
+        return [
+            [self.node(d, p, t) for t in range(self.tp)]
+            for d in range(self.dp)
+            for p in range(self.pp)
+        ]
+
+    def dp_groups(self) -> list[list[int]]:
+        """Data-parallel groups, one per (pp, tp) pair (strided under
+        ``tp_inner``, contiguous under ``dp_inner``)."""
+        return [
+            [self.node(d, p, t) for d in range(self.dp)]
+            for p in range(self.pp)
+            for t in range(self.tp)
+        ]
+
+    def pp_pairs(self) -> list[tuple[int, int]]:
+        """Adjacent-stage (sender, receiver) pairs for every replica."""
+        return [
+            (self.node(d, p, t), self.node(d, p + 1, t))
+            for d in range(self.dp)
+            for p in range(self.pp - 1)
+            for t in range(self.tp)
+        ]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-rank memory accounting.
+
+    Attributes:
+        device_memory: Accelerator capacity in bytes (80 GB default).
+        bytes_per_param_state: Weights + gradients + optimizer state per
+            parameter (18 B: mixed-precision Adam).
+        activation_bytes_per_token_layer: Activation residency per token
+            per local layer (rough Megatron estimate, bytes).
+    """
+
+    device_memory: float = 80e9
+    bytes_per_param_state: float = 18.0
+    activation_bytes_per_token_layer: float = 70.0
+
+    def __post_init__(self) -> None:
+        check_positive("device_memory", self.device_memory)
+        check_positive("bytes_per_param_state", self.bytes_per_param_state)
+
+    def per_rank_bytes(
+        self, model: ModelSpec, plan: ParallelismPlan,
+        micro_batch: int = 1, seq_len: int = 2048,
+    ) -> float:
+        """Bytes one rank holds under ``plan``."""
+        shard = model.param_count / (plan.tp * plan.pp)
+        states = shard * self.bytes_per_param_state
+        local_layers = max(1, model.n_layers // plan.pp)
+        activations = (
+            micro_batch * seq_len * local_layers
+            * self.activation_bytes_per_token_layer / plan.tp
+        )
+        return states + activations
+
+    def fits(self, model: ModelSpec, plan: ParallelismPlan, **kwargs) -> bool:
+        """Whether the plan's per-rank footprint fits the device."""
+        return self.per_rank_bytes(model, plan, **kwargs) <= self.device_memory
+
+
+@dataclass(frozen=True)
+class StepCommCost:
+    """Per-training-step communication cost under a plan.
+
+    Attributes:
+        tp_time: Seconds of tensor-parallel activation All-reduces.
+        pp_time: Seconds of pipeline stage-to-stage transfers.
+        dp_time: Seconds of the data-parallel gradient All-reduce.
+    """
+
+    tp_time: float
+    pp_time: float
+    dp_time: float
+
+    @property
+    def total(self) -> float:
+        """End-to-end communication seconds per training step."""
+        return self.tp_time + self.pp_time + self.dp_time
+
+
+class HybridParallelComm:
+    """Builds and prices the communication of one hybrid training step."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        plan: ParallelismPlan,
+        network,
+        dp_algorithm: str = "wrht",
+        hidden: int = 12288,
+        seq_len: int = 2048,
+        bytes_per_elem: float = 2.0,  # fp16 activations/gradients
+        **dp_kwargs,
+    ) -> None:
+        check_positive_int("hidden", hidden)
+        check_positive_int("seq_len", seq_len)
+        check_positive("bytes_per_elem", bytes_per_elem)
+        self.model = model
+        self.plan = plan
+        self.network = network
+        self.dp_algorithm = dp_algorithm
+        self.hidden = hidden
+        self.seq_len = seq_len
+        self.bytes_per_elem = bytes_per_elem
+        self._dp_kwargs = dp_kwargs
+
+    def tp_schedule(self, micro_batch: int) -> Schedule | None:
+        """One concurrent activation All-reduce across every TP group."""
+        if self.plan.tp == 1:
+            return None
+        elems = micro_batch * self.seq_len * self.hidden
+        return build_grouped_allreduce(
+            self.plan.tp_groups(), elems, self.plan.n_nodes, algorithm="ring"
+        )
+
+    def dp_schedule(self) -> Schedule | None:
+        """The concurrent gradient All-reduce across every DP group."""
+        if self.plan.dp == 1:
+            return None
+        shard = max(1, self.model.param_count // (self.plan.tp * self.plan.pp))
+        return build_grouped_allreduce(
+            self.plan.dp_groups(), shard, self.plan.n_nodes,
+            algorithm=self.dp_algorithm, **self._dp_kwargs,
+        )
+
+    def pp_schedule(self, micro_batch: int) -> Schedule | None:
+        """One wave of stage-to-stage activation transfers."""
+        pairs = self.plan.pp_pairs()
+        if not pairs:
+            return None
+        elems = micro_batch * self.seq_len * self.hidden
+        step = CommStep(
+            tuple(Transfer(a, b, 0, elems, "copy") for a, b in pairs),
+            stage="exchange",
+        )
+        return Schedule(
+            algorithm="pp-activations", n_nodes=self.plan.n_nodes,
+            total_elems=elems, steps=[step],
+            timing_profile=compress_steps([step]),
+        )
+
+    def step_cost(
+        self, micro_batch: int = 1, n_micro_batches: int = 8, n_layers: int | None = None
+    ) -> StepCommCost:
+        """Price one full training step.
+
+        Args:
+            micro_batch: Samples per micro-batch per replica.
+            n_micro_batches: Pipeline micro-batches per step.
+            n_layers: Transformer layers (defaults to the model's block
+                count) — 4 TP All-reduces each per micro-batch.
+        """
+        check_positive_int("micro_batch", micro_batch)
+        check_positive_int("n_micro_batches", n_micro_batches)
+        layers = n_layers if n_layers is not None else max(1, self.model.n_layers - 2)
+        tp_time = 0.0
+        sched = self.tp_schedule(micro_batch)
+        if sched is not None:
+            once = self.network.execute(sched, bytes_per_elem=self.bytes_per_elem)
+            local_layers = max(1, layers // self.plan.pp)
+            tp_time = once.total_time * 4 * local_layers * n_micro_batches
+        pp_time = 0.0
+        sched = self.pp_schedule(micro_batch)
+        if sched is not None:
+            once = self.network.execute(sched, bytes_per_elem=self.bytes_per_elem)
+            # Forward + backward crossings per micro-batch.
+            pp_time = once.total_time * 2 * n_micro_batches
+        dp_time = 0.0
+        sched = self.dp_schedule()
+        if sched is not None:
+            dp_time = self.network.execute(
+                sched, bytes_per_elem=self.bytes_per_elem
+            ).total_time
+        return StepCommCost(tp_time=tp_time, pp_time=pp_time, dp_time=dp_time)

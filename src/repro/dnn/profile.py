@@ -1,0 +1,197 @@
+"""Synthetic workload profiling: compute time and gradient release order.
+
+Stands in for the paper's TensorFlow-profiler step (Sec 5.1): per-layer
+forward/backward FLOPs (from :mod:`repro.dnn.flops` with each model's
+standard activation-map geometry) divided by a device model give per-layer
+compute times; running backward from the output layer to the input layer
+gives the *gradient release schedule* — the order and times at which layer
+gradients become available for All-reduce, which the iteration model
+(:mod:`repro.dnn.iteration`) uses to overlap communication with compute.
+
+The device default approximates the paper's testbed GPU (TITAN Xp-class:
+~12 TFLOP/s FP32 peak at a typical ~35% training efficiency). As the paper
+notes, these numbers shift total training time but not All-reduce cost;
+they only need to be order-of-magnitude right for the Sec 1 motivation
+claim, which the bench suite checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.flops import layer_backward_flops, layer_forward_flops
+from repro.dnn.layers import Conv2DSpec, DenseSpec
+from repro.dnn.models import MODEL_BUILDERS, ModelSpec
+from repro.util.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A simple accelerator throughput model.
+
+    Attributes:
+        peak_flops: Peak FP32 throughput (FLOP/s).
+        efficiency: Sustained fraction of peak during training.
+    """
+
+    peak_flops: float = 12.1e12
+    efficiency: float = 0.35
+
+    def __post_init__(self) -> None:
+        check_positive("peak_flops", self.peak_flops)
+        if not (0 < self.efficiency <= 1):
+            raise ValueError(f"efficiency must be in (0, 1], got {self.efficiency!r}")
+
+    def time(self, flops: float) -> float:
+        """Seconds to execute ``flops``."""
+        if flops < 0:
+            raise ValueError(f"flops must be >= 0, got {flops!r}")
+        return flops / (self.peak_flops * self.efficiency)
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """One layer's compute/communication footprint.
+
+    Attributes:
+        index: Position in the model (0 = input side).
+        label: Layer type plus shape hint.
+        params: Trainable parameters (gradient elements).
+        forward_flops: Per-sample forward FLOPs.
+        backward_flops: Per-sample backward FLOPs.
+    """
+
+    index: int
+    label: str
+    params: int
+    forward_flops: float
+    backward_flops: float
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """A profiled model: per-layer footprints plus totals.
+
+    Layer order matches the catalog (input → output); backward visits it in
+    reverse.
+    """
+
+    name: str
+    layers: tuple[LayerProfile, ...]
+    extra_params: int = 0
+
+    @property
+    def total_params(self) -> int:
+        """All trainable parameters (catalog extras included)."""
+        return sum(l.params for l in self.layers) + self.extra_params
+
+    def forward_time(self, batch: int, device: DeviceModel) -> float:
+        """Seconds for one forward pass."""
+        check_positive_int("batch", batch)
+        return device.time(batch * sum(l.forward_flops for l in self.layers))
+
+    def backward_time(self, batch: int, device: DeviceModel) -> float:
+        """Seconds for one backward pass."""
+        check_positive_int("batch", batch)
+        return device.time(batch * sum(l.backward_flops for l in self.layers))
+
+    def gradient_release_schedule(
+        self, batch: int, device: DeviceModel
+    ) -> list[tuple[LayerProfile, float]]:
+        """``(layer, release_time)`` pairs in release (output→input) order.
+
+        A layer's gradient is available once backward has run through every
+        layer above it; release times are the cumulative backward times
+        measured from the start of the backward pass.
+        """
+        check_positive_int("batch", batch)
+        schedule = []
+        clock = 0.0
+        for layer in reversed(self.layers):
+            clock += device.time(batch * layer.backward_flops)
+            if layer.params > 0:
+                schedule.append((layer, clock))
+        return schedule
+
+
+def _label(spec, context: dict) -> str:
+    name = type(spec).__name__.replace("Spec", "")
+    if isinstance(spec, Conv2DSpec) and "output_spatial" in context:
+        oh, ow = context["output_spatial"]
+        return f"{name}{spec.kernel_h}x{spec.kernel_w}@{oh}x{ow}"
+    if isinstance(spec, DenseSpec):
+        return f"{name}{spec.in_features}->{spec.out_features}"
+    return name
+
+
+def _alexnet_contexts(model: ModelSpec) -> list[dict]:
+    spatial = [(55, 55), (27, 27), (13, 13), (13, 13), (13, 13)]
+    return [{"output_spatial": s} for s in spatial] + [{}] * 3
+
+
+def _vgg16_contexts(model: ModelSpec) -> list[dict]:
+    sides = [224, 224, 112, 112, 56, 56, 56, 28, 28, 28, 14, 14, 14]
+    return [{"output_spatial": (s, s)} for s in sides] + [{}] * 3
+
+
+def _resnet50_contexts(model: ModelSpec) -> list[dict]:
+    contexts: list[dict] = [
+        {"output_spatial": (112, 112)},               # conv1
+        {"spatial": 112 * 112},                        # bn1
+    ]
+    stage_sides = {64: 56, 128: 28, 256: 14, 512: 7}
+    for width, blocks in ((64, 3), (128, 4), (256, 6), (512, 3)):
+        side = stage_sides[width]
+        for b in range(blocks):
+            per_conv = [{"output_spatial": (side, side)}, {"spatial": side * side}]
+            contexts.extend(per_conv * 3)              # 1x1, 3x3, 1x1 (+BNs)
+            if b == 0:
+                contexts.extend(per_conv)               # downsample conv + BN
+    contexts.append({})                                 # fc
+    return contexts
+
+
+def _beit_contexts(model: ModelSpec) -> list[dict]:
+    seq = 1 + (224 // 16) ** 2
+    return (
+        [{"output_spatial": (14, 14)}]
+        + [{"seq_len": seq}] * 24
+        + [{"spatial": seq}, {}]
+    )
+
+
+_CONTEXT_BUILDERS = {
+    "AlexNet": _alexnet_contexts,
+    "VGG16": _vgg16_contexts,
+    "ResNet50": _resnet50_contexts,
+    "BEiT-L": _beit_contexts,
+}
+
+
+def profile_model(name: str) -> ModelProfile:
+    """Profile one of the four evaluation models by figure name."""
+    try:
+        model = MODEL_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; have {sorted(MODEL_BUILDERS)}"
+        ) from None
+    contexts = _CONTEXT_BUILDERS[name](model)
+    if len(contexts) != len(model.layers):
+        raise AssertionError(
+            f"{name}: {len(contexts)} contexts for {len(model.layers)} layers"
+        )
+    layers = []
+    for i, (spec, context) in enumerate(zip(model.layers, contexts)):
+        fwd = layer_forward_flops(spec, context)
+        layers.append(
+            LayerProfile(
+                index=i,
+                label=_label(spec, context),
+                params=spec.param_count,
+                forward_flops=fwd,
+                backward_flops=layer_backward_flops(spec, context),
+            )
+        )
+    extra = sum(count for _, count in model.extra_params)
+    return ModelProfile(name=name, layers=tuple(layers), extra_params=extra)

@@ -1,0 +1,190 @@
+"""Data-parallel SGD whose gradient sync runs the real schedules (Eq 5).
+
+Each of ``n_workers`` holds a model replica (identical initialization) and
+computes gradients on its batch shard. Synchronization stacks the workers'
+gradient vectors into an ``(n_workers, n_params)`` buffer and executes an
+actual All-reduce :class:`~repro.collectives.base.Schedule` on it with the
+numerical executor — the same schedule objects the interconnect substrates
+price. After the All-reduce every worker averages (Eq 5) and applies Eq 4.
+
+Because the loss averages over each *shard* while Eq 5 averages over
+*workers*, shard gradients are re-weighted by shard size so that the
+synchronized gradient equals the exact full-batch gradient; the test suite
+asserts bit-identical weights against single-worker training for every
+collective.
+
+The trainer can also report what each synchronization would cost on the
+optical and electrical substrates, tying the training loop to the paper's
+communication analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.collectives.registry import build_schedule
+from repro.collectives.verify import run_schedule
+from repro.dnn.autograd import MLP
+from repro.util.validation import check_positive, check_positive_int
+
+
+@dataclass
+class TrainingReport:
+    """Per-iteration records of one training run.
+
+    Attributes:
+        losses: Full-batch-equivalent loss per iteration (weighted mean of
+            shard losses).
+        comm_time_per_iter: Seconds one gradient All-reduce would take on
+            the priced substrate (``None`` when no substrate was attached).
+        algorithm: Collective used for synchronization.
+        n_workers: Data-parallel width.
+    """
+
+    algorithm: str
+    n_workers: int
+    losses: list[float] = field(default_factory=list)
+    comm_time_per_iter: float | None = None
+
+
+class DataParallelTrainer:
+    """Synchronous data-parallel SGD over simulated workers."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], MLP],
+        n_workers: int,
+        algorithm: str = "wrht",
+        lr: float = 0.05,
+        **schedule_kwargs,
+    ) -> None:
+        check_positive_int("n_workers", n_workers)
+        check_positive("lr", lr)
+        self.n_workers = n_workers
+        self.algorithm = algorithm
+        self.lr = lr
+        self.workers = [model_factory() for _ in range(n_workers)]
+        reference = self.workers[0].state_vector()
+        for worker in self.workers[1:]:
+            worker.load_state_vector(reference.copy())
+        self.n_params = self.workers[0].n_params
+        self._schedule = (
+            build_schedule(
+                algorithm, n_workers, self.n_params,
+                materialize=True, **schedule_kwargs,
+            )
+            if n_workers > 1
+            else None
+        )
+
+    @property
+    def schedule(self):
+        """The All-reduce schedule used for gradient sync (None for 1 worker)."""
+        return self._schedule
+
+    def _shard(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        shard_sizes: list[int] | None = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        if len(x) < self.n_workers:
+            raise ValueError(
+                f"batch of {len(x)} cannot be split across {self.n_workers} workers"
+            )
+        if shard_sizes is None:
+            xs = np.array_split(x, self.n_workers)
+            ys = np.array_split(labels, self.n_workers)
+            return list(zip(xs, ys))
+        if len(shard_sizes) != self.n_workers:
+            raise ValueError(
+                f"{len(shard_sizes)} shard sizes for {self.n_workers} workers"
+            )
+        if sum(shard_sizes) != len(x) or any(s < 1 for s in shard_sizes):
+            raise ValueError(
+                f"shard sizes {shard_sizes} must be positive and sum to {len(x)}"
+            )
+        cuts = np.cumsum(shard_sizes)[:-1]
+        return list(zip(np.split(x, cuts), np.split(labels, cuts)))
+
+    def train_step(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        shard_sizes: list[int] | None = None,
+    ) -> float:
+        """One synchronous iteration over the full batch.
+
+        Args:
+            x: Full batch inputs.
+            labels: Full batch labels.
+            shard_sizes: Optional uneven per-worker shard sizes (e.g. the
+                speed-proportional split of
+                :func:`repro.dnn.heterogeneity.proportional_shards`); the
+                shard-size re-weighting keeps the synchronized gradient
+                exactly the full-batch gradient either way.
+
+        Returns:
+            The full-batch loss (shard losses weighted by shard size).
+        """
+        shards = self._shard(x, labels, shard_sizes)
+        total = len(x)
+        grads = np.empty((self.n_workers, self.n_params))
+        loss = 0.0
+        for w, (worker, (xs, ys)) in enumerate(zip(self.workers, shards)):
+            shard_loss = worker.loss_and_gradients(xs, ys)
+            loss += shard_loss * (len(xs) / total)
+            # Shard losses average over the shard; Eq 5 sums over workers and
+            # divides by n. Re-weight so the average equals the full-batch
+            # gradient: grad_full = Σ_w (|shard_w|/|batch|)·grad_w
+            #                     = (1/n)·Σ_w (n·|shard_w|/|batch|)·grad_w.
+            grads[w] = worker.gradient_vector() * (
+                self.n_workers * len(xs) / total
+            )
+        synced = self._synchronize(grads)
+        for worker in self.workers:
+            worker.set_gradient_vector(synced)
+            worker.sgd_step(self.lr)
+        return loss
+
+    def _synchronize(self, grads: np.ndarray) -> np.ndarray:
+        """All-reduce the per-worker gradients; returns the Eq 5 average.
+
+        Subclasses override this to change the synchronization mechanism
+        (e.g. :class:`~repro.dnn.compression.CompressedDataParallelTrainer`
+        replaces the dense All-reduce with a sparse all-gather).
+        """
+        if self._schedule is not None:
+            run_schedule(self._schedule, grads)  # every row -> Σ_w grads[w]
+        return grads[0] / self.n_workers  # Eq 5 average
+
+    def train(
+        self,
+        batches: list[tuple[np.ndarray, np.ndarray]],
+        comm_pricer: Callable[["DataParallelTrainer"], float] | None = None,
+    ) -> TrainingReport:
+        """Run over ``batches`` and collect a report.
+
+        Args:
+            batches: ``(x, labels)`` pairs.
+            comm_pricer: Optional callable returning the seconds one
+                gradient All-reduce costs (e.g. wrapping an
+                :class:`~repro.optical.network.OpticalRingNetwork`).
+        """
+        report = TrainingReport(algorithm=self.algorithm, n_workers=self.n_workers)
+        for x, labels in batches:
+            report.losses.append(self.train_step(x, labels))
+        if comm_pricer is not None:
+            report.comm_time_per_iter = comm_pricer(self)
+        return report
+
+    def consensus_state(self) -> np.ndarray:
+        """All workers' (identical) parameters; raises if replicas diverged."""
+        states = [w.state_vector() for w in self.workers]
+        for i, state in enumerate(states[1:], start=1):
+            if not np.allclose(state, states[0], rtol=0, atol=0):
+                raise AssertionError(f"worker {i} diverged from worker 0")
+        return states[0]

@@ -1,0 +1,75 @@
+"""DNN communication workloads: the numbers the figures are driven by.
+
+The paper profiles each model once and then feeds a single quantity into
+both simulators: the transferred data size per All-reduce — the gradient,
+``4 bytes × parameter count`` for float32 (Sec 5.1 notes batch size and
+dataset only shift compute time, not All-reduce cost). ``PAPER_WORKLOADS``
+pins the paper's headline parameter counts so experiment inputs match the
+figures exactly; :func:`DnnWorkload.from_model` derives a workload from a
+layer catalog instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.models import MODEL_BUILDERS, ModelSpec
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class DnnWorkload:
+    """One data-parallel training workload.
+
+    Attributes:
+        name: Display name (figure labels).
+        n_params: Trainable parameter count.
+        bytes_per_param: Gradient element width (float32 → 4).
+    """
+
+    name: str
+    n_params: int
+    bytes_per_param: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_params", self.n_params)
+        check_positive_int("bytes_per_param", self.bytes_per_param)
+
+    @property
+    def gradient_bytes(self) -> int:
+        """Bytes each node contributes to one All-reduce (``d``)."""
+        return self.n_params * self.bytes_per_param
+
+    @classmethod
+    def from_model(cls, model: ModelSpec, bytes_per_param: int = 4) -> "DnnWorkload":
+        """Derive a workload from a layer catalog."""
+        return cls(model.name, model.param_count, bytes_per_param)
+
+
+PAPER_WORKLOADS: tuple[DnnWorkload, ...] = (
+    DnnWorkload("BEiT-L", 307_000_000),
+    DnnWorkload("VGG16", 138_000_000),
+    DnnWorkload("AlexNet", 62_300_000),
+    DnnWorkload("ResNet50", 25_000_000),
+)
+"""The four Sec 5.1 workloads with the paper's headline parameter counts."""
+
+
+def workload_by_name(name: str, derived: bool = False) -> DnnWorkload:
+    """Look up a workload.
+
+    Args:
+        name: Figure label (``"BEiT-L"``, ``"VGG16"``, ``"AlexNet"``,
+            ``"ResNet50"``).
+        derived: Use the layer-catalog parameter count instead of the
+            paper's headline number.
+    """
+    if derived:
+        try:
+            return DnnWorkload.from_model(MODEL_BUILDERS[name]())
+        except KeyError:
+            raise KeyError(f"unknown model {name!r}") from None
+    for workload in PAPER_WORKLOADS:
+        if workload.name == name:
+            return workload
+    raise KeyError(f"unknown workload {name!r}; have {[w.name for w in PAPER_WORKLOADS]}")

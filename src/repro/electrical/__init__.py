@@ -1,0 +1,39 @@
+"""Electrical fat-tree interconnect substrate (Table 2, electrical rows).
+
+The paper simulates its electrical baseline with SimGrid 3.3 on a two-level
+fat-tree of 32-port routers (40 Gbit/s links, 25 µs router delay, 72-byte
+packets, shortest-path routing). SimGrid is unavailable offline, so this
+package implements the equivalent *fluid flow-level* model from scratch
+(DESIGN.md §5): per step, every transfer becomes a flow over its
+shortest-path links; link bandwidth is shared max-min fairly; a flow's
+completion time is its fluid finish time plus 25 µs per traversed router.
+
+Modules: :mod:`~repro.electrical.config` (parameters),
+:mod:`~repro.electrical.fattree` (topology), :mod:`~repro.electrical.switch`
+(router model), :mod:`~repro.electrical.routing` (paths + ECMP),
+:mod:`~repro.electrical.flows` (max-min fair fluid simulation),
+:mod:`~repro.electrical.network` (schedule executor).
+"""
+
+from repro.electrical.config import ElectricalSystemConfig
+from repro.electrical.fattree import FatTree, Link
+from repro.electrical.flows import Flow, FluidSimulation, max_min_rates
+from repro.electrical.network import ElectricalNetwork, ElectricalRunResult
+from repro.electrical.packets import PacketLevelNetwork, PacketRunResult
+from repro.electrical.routing import RoutePath
+from repro.electrical.switch import Router
+
+__all__ = [
+    "ElectricalNetwork",
+    "ElectricalRunResult",
+    "ElectricalSystemConfig",
+    "FatTree",
+    "Flow",
+    "FluidSimulation",
+    "Link",
+    "PacketLevelNetwork",
+    "PacketRunResult",
+    "RoutePath",
+    "Router",
+    "max_min_rates",
+]

@@ -1,0 +1,79 @@
+"""Electrical system configuration (Table 2, electrical rows).
+
+The line-rate ``interpretation`` mirrors the optical side (DESIGN.md §6) so
+that Fig 7's optical-vs-electrical comparison keeps both substrates on the
+same units, whichever reading is chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import gbit_per_s, gbyte_per_s, usec
+from repro.util.validation import check_positive, check_positive_int
+
+INTERPRETATIONS = ("calibrated", "strict")
+
+
+@dataclass(frozen=True)
+class ElectricalSystemConfig:
+    """Parameters of the simulated electrical fat-tree.
+
+    Attributes:
+        n_nodes: Host count N.
+        router_radix: Ports per router (Table 2: 32, i.e. 16 hosts and 16
+            uplinks per edge switch).
+        line_rate_value: Numeric link rate (40 in Table 2).
+        interpretation: ``"calibrated"`` (GB/s) or ``"strict"`` (Gbit/s).
+        router_delay: Forwarding delay per traversed router (25 µs).
+        packet_bytes: Packet size (72 B; kept for reporting parity with the
+            optical side — the fluid model is packet-size agnostic).
+        ecmp: Core selection among equal-cost paths: ``"hash"`` (realistic
+            flow hashing with occasional collisions — the default) or
+            ``"ideal"`` (per-host uplink assignment that is collision-free
+            for one-flow-per-host patterns; ablation only).
+    """
+
+    n_nodes: int
+    router_radix: int = 32
+    line_rate_value: float = 40.0
+    interpretation: str = "calibrated"
+    router_delay: float = usec(25)
+    packet_bytes: int = 72
+    ecmp: str = "hash"
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_nodes", self.n_nodes)
+        check_positive_int("router_radix", self.router_radix)
+        if self.router_radix < 2 or self.router_radix % 2 != 0:
+            raise ValueError(
+                f"router_radix must be an even number >= 2, got {self.router_radix!r}"
+            )
+        check_positive("line_rate_value", self.line_rate_value)
+        if self.router_delay < 0:
+            raise ValueError("router_delay must be >= 0")
+        check_positive_int("packet_bytes", self.packet_bytes)
+        if self.interpretation not in INTERPRETATIONS:
+            raise ValueError(
+                f"interpretation must be one of {INTERPRETATIONS}, "
+                f"got {self.interpretation!r}"
+            )
+        if self.ecmp not in ("hash", "ideal"):
+            raise ValueError(f"ecmp must be 'hash' or 'ideal', got {self.ecmp!r}")
+
+    @property
+    def line_rate(self) -> float:
+        """Link rate in bytes/second."""
+        if self.interpretation == "strict":
+            return gbit_per_s(self.line_rate_value)
+        return gbyte_per_s(self.line_rate_value)
+
+    @property
+    def hosts_per_edge(self) -> int:
+        """Hosts hanging off one edge switch (half the radix)."""
+        return self.router_radix // 2
+
+    @property
+    def n_core(self) -> int:
+        """Core switches (half the radix, one uplink per edge to each)."""
+        return self.router_radix // 2

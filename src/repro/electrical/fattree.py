@@ -1,0 +1,122 @@
+"""Two-level fat-tree (leaf–spine) topology builder.
+
+Layout for radix-``r`` routers: each edge switch serves ``r/2`` hosts and
+has ``r/2`` uplinks, one to each of the ``r/2`` core switches — full
+bisection bandwidth, as Table 2 specifies. Host ``h`` attaches to edge
+``h // (r/2)``.
+
+Link inventory (all at the configured line rate, full duplex modeled as a
+separate link per direction):
+
+- ``host_up[h]``   — host h → its edge switch,
+- ``host_down[h]`` — edge switch → host h,
+- ``up[e][c]``     — edge e → core c,
+- ``down[c][e]``   — core c → edge e.
+
+Note on scale: Table 2's two-level 32-port tree natively caps at
+``16 × 32 = 512`` hosts. The paper nevertheless evaluates 1024 electrical
+nodes (Fig 7); we follow the spec's *intent* — "full bisection bandwidth" —
+by letting core switches take one port per edge even beyond radix when
+``allow_oversubscribed_radix`` is set (the default, with the violation
+recorded in :attr:`FatTree.radix_exceeded`), rather than silently changing
+the topology. See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.electrical.config import ElectricalSystemConfig
+from repro.electrical.switch import Router
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed link.
+
+    Attributes:
+        link_id: Dense index into the capacity table.
+        kind: ``host_up`` / ``host_down`` / ``up`` / ``down``.
+        a: Source endpoint id (host or switch id depending on kind).
+        b: Destination endpoint id.
+        capacity: Bytes/second.
+    """
+
+    link_id: int
+    kind: str
+    a: int
+    b: int
+    capacity: float
+
+
+class FatTree:
+    """The built topology: routers, links, and host placement."""
+
+    def __init__(
+        self, config: ElectricalSystemConfig, allow_oversubscribed_radix: bool = True
+    ) -> None:
+        self.config = config
+        hpe = config.hosts_per_edge
+        self.n_edges = -(-config.n_nodes // hpe)  # ceil
+        self.n_core = config.n_core
+        self.radix_exceeded = self.n_edges > config.router_radix
+        if self.radix_exceeded and not allow_oversubscribed_radix:
+            raise ValueError(
+                f"{config.n_nodes} hosts need {self.n_edges} edge switches, "
+                f"but radix-{config.router_radix} cores support at most "
+                f"{config.router_radix}"
+            )
+        self.edges = [
+            Router(e, "edge", config.router_radix, config.router_delay)
+            for e in range(self.n_edges)
+        ]
+        core_radix = max(config.router_radix, self.n_edges)
+        self.cores = [
+            Router(c, "core", core_radix, config.router_delay)
+            for c in range(self.n_core)
+        ]
+
+        self._links: list[Link] = []
+        rate = config.line_rate
+        self.host_up: list[int] = []
+        self.host_down: list[int] = []
+        for h in range(config.n_nodes):
+            edge = self.edges[h // hpe]
+            edge.attach(1)
+            self.host_up.append(self._add("host_up", h, edge.router_id, rate))
+            self.host_down.append(self._add("host_down", edge.router_id, h, rate))
+        self.up: list[list[int]] = []
+        self.down: list[list[int]] = [[-1] * self.n_edges for _ in range(self.n_core)]
+        for e in range(self.n_edges):
+            row = []
+            for c in range(self.n_core):
+                self.edges[e].attach(1)
+                self.cores[c].attach(1)
+                row.append(self._add("up", e, c, rate))
+                self.down[c][e] = self._add("down", c, e, rate)
+            self.up.append(row)
+
+    def _add(self, kind: str, a: int, b: int, capacity: float) -> int:
+        link = Link(len(self._links), kind, a, b, capacity)
+        self._links.append(link)
+        return link.link_id
+
+    @property
+    def links(self) -> list[Link]:
+        """All links in id order."""
+        return self._links
+
+    @property
+    def n_links(self) -> int:
+        """Total directed link count."""
+        return len(self._links)
+
+    def edge_of(self, host: int) -> int:
+        """Edge switch serving ``host``."""
+        if not (0 <= host < self.config.n_nodes):
+            raise ValueError(f"host {host} out of range")
+        return host // self.config.hosts_per_edge
+
+    def capacities(self) -> list[float]:
+        """Per-link capacities indexed by link id."""
+        return [link.capacity for link in self._links]

@@ -1,0 +1,144 @@
+"""Schedule executor on the electrical fat-tree.
+
+Semantics mirror the optical executor (bulk-synchronous steps) so the two
+substrates are compared like-for-like in Fig 7: a step's transfers become
+concurrent fluid flows; the step lasts until the slowest flow finishes
+(fluid time under max-min sharing, plus 25 µs per traversed router). Step
+patterns are priced once and multiplied, exactly as on the optical side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collectives.base import CommStep, Schedule
+from repro.electrical.config import ElectricalSystemConfig
+from repro.electrical.fattree import FatTree
+from repro.electrical.flows import Flow, FluidSimulation
+from repro.electrical.routing import route
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+@dataclass(frozen=True)
+class ElectricalStepTiming:
+    """Timing of one profile entry on the fat-tree.
+
+    Attributes:
+        stage: Stage label of the representative step.
+        count: Steps sharing this pattern.
+        n_flows: Concurrent flows per step.
+        duration: Seconds per step.
+        max_link_share: Largest number of flows that shared one link
+            (1 means congestion-free).
+        bytes_per_step: Payload bytes one step moves.
+    """
+
+    stage: str
+    count: int
+    n_flows: int
+    duration: float
+    max_link_share: int
+    bytes_per_step: float
+
+
+@dataclass
+class ElectricalRunResult:
+    """Result of pricing a schedule on the electrical substrate."""
+
+    algorithm: str
+    n_steps: int
+    total_time: float
+    total_bytes: float
+    step_timings: list[ElectricalStepTiming] = field(default_factory=list)
+
+    @property
+    def max_link_share(self) -> int:
+        """Worst link sharing across all steps (congestion indicator)."""
+        return max((t.max_link_share for t in self.step_timings), default=0)
+
+
+class ElectricalNetwork:
+    """The electrical interconnect substrate's schedule executor."""
+
+    def __init__(
+        self,
+        config: ElectricalSystemConfig,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.config = config
+        self.tree = FatTree(config)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._fluid = FluidSimulation(self.tree.capacities())
+
+    def execute(self, schedule: Schedule, bytes_per_elem: float = 4.0) -> ElectricalRunResult:
+        """Price ``schedule`` end to end on the fat-tree.
+
+        Args:
+            schedule: Any schedule whose node ids fit the host count.
+            bytes_per_elem: Gradient element width (float32 → 4).
+        """
+        if schedule.n_nodes > self.config.n_nodes:
+            raise ValueError(
+                f"schedule spans {schedule.n_nodes} nodes but the fat-tree "
+                f"has {self.config.n_nodes} hosts"
+            )
+        if bytes_per_elem <= 0:
+            raise ValueError(f"bytes_per_elem must be positive, got {bytes_per_elem!r}")
+        result = ElectricalRunResult(
+            algorithm=schedule.algorithm,
+            n_steps=schedule.n_steps,
+            total_time=0.0,
+            total_bytes=0.0,
+        )
+        cache: dict[tuple, ElectricalStepTiming] = {}
+        for step, count in schedule.timing_profile:
+            key = step.pattern_key()
+            timing = cache.get(key)
+            if timing is None:
+                timing = self._time_step(step, count, bytes_per_elem)
+                cache[key] = timing
+            elif timing.count != count:
+                timing = ElectricalStepTiming(
+                    stage=step.stage, count=count, n_flows=timing.n_flows,
+                    duration=timing.duration,
+                    max_link_share=timing.max_link_share,
+                    bytes_per_step=timing.bytes_per_step,
+                )
+            result.step_timings.append(timing)
+            result.total_time += timing.duration * count
+            result.total_bytes += timing.bytes_per_step * count
+        return result
+
+    # -- internals ------------------------------------------------------
+    def _time_step(
+        self, step: CommStep, count: int, bytes_per_elem: float
+    ) -> ElectricalStepTiming:
+        flows: list[Flow] = []
+        link_load: dict[int, int] = {}
+        step_bytes = 0.0
+        for i, t in enumerate(step.transfers):
+            path = route(self.tree, t.src, t.dst, ecmp=self.config.ecmp)
+            size = t.n_elems * bytes_per_elem
+            step_bytes += size
+            flows.append(
+                Flow(
+                    flow_id=i,
+                    links=path.links,
+                    size=size,
+                    latency=path.n_routers * self.config.router_delay,
+                )
+            )
+            for link in path.links:
+                link_load[link] = link_load.get(link, 0) + 1
+        duration = self._fluid.run(flows)
+        max_share = max(link_load.values(), default=0)
+        self.tracer.emit(
+            duration, "electrical.step",
+            stage=step.stage, n_flows=len(flows),
+            max_link_share=max_share, duration=duration,
+        )
+        return ElectricalStepTiming(
+            stage=step.stage, count=count, n_flows=len(flows),
+            duration=duration, max_link_share=max_share,
+            bytes_per_step=step_bytes,
+        )

@@ -1,0 +1,53 @@
+"""Router (packet switch) model for the fat-tree.
+
+The fluid model only needs two things from a router: its port budget
+(validated at topology-build time) and its forwarding delay (charged once
+per traversal). Routers are plain records; link bandwidth lives on
+:class:`~repro.electrical.fattree.Link`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_positive_int
+
+
+@dataclass
+class Router:
+    """One switch in the fat-tree.
+
+    Attributes:
+        router_id: Unique id within its layer.
+        layer: ``"edge"`` or ``"core"``.
+        radix: Total ports.
+        forwarding_delay: Seconds added per traversal.
+        ports_used: Ports consumed so far (bumped as links attach).
+    """
+
+    router_id: int
+    layer: str
+    radix: int
+    forwarding_delay: float
+    ports_used: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        check_positive_int("radix", self.radix)
+        if self.layer not in ("edge", "core"):
+            raise ValueError(f"layer must be 'edge' or 'core', got {self.layer!r}")
+        if self.forwarding_delay < 0:
+            raise ValueError("forwarding_delay must be >= 0")
+
+    def attach(self, n_ports: int = 1) -> None:
+        """Consume ports for a new link; raises when the radix is exceeded."""
+        if self.ports_used + n_ports > self.radix:
+            raise ValueError(
+                f"{self.layer} router {self.router_id}: cannot attach "
+                f"{n_ports} port(s), {self.ports_used}/{self.radix} in use"
+            )
+        self.ports_used += n_ports
+
+    @property
+    def name(self) -> str:
+        """Stable display name."""
+        return f"{self.layer}{self.router_id}"

@@ -1,0 +1,56 @@
+"""Optical ring interconnect substrate (TeraRack-like, Sec 3.2 / Table 2).
+
+A circuit-switched WDM ring: N nodes joined by unidirectional fiber
+segments in both directions (clockwise and counter-clockwise, optionally
+multiple fibers per direction), ``w`` wavelengths per fiber at 40 Gbit/s
+each, micro-ring resonators reconfigured between communication steps
+(25 µs) and O/E/O conversion charged per 72-byte packet (497 fs).
+
+Modules:
+
+- :mod:`~repro.optical.config` — Table 2 parameters and the calibrated /
+  strict line-rate interpretations (DESIGN.md §6).
+- :mod:`~repro.optical.topology` — ring segments and directional paths.
+- :mod:`~repro.optical.node` — TeraRack node structure and per-round
+  transceiver constraints.
+- :mod:`~repro.optical.rwa` — routing and wavelength assignment
+  (First-Fit / Random-Fit) with exact segment-conflict checking.
+- :mod:`~repro.optical.circuit` — established circuits and conflict
+  validation helpers used by the tests.
+- :mod:`~repro.optical.phy` — per-path insertion-loss/crosstalk checks.
+- :mod:`~repro.optical.network` — the step-synchronous executor that prices
+  a :class:`~repro.collectives.base.Schedule` on this substrate.
+"""
+
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.topology import Direction, RingTopology, Route
+from repro.optical.rwa import AssignmentResult, assign_wavelengths
+from repro.optical.circuit import Circuit, validate_no_conflicts
+from repro.optical.livesim import LiveOpticalSimulation, LiveRunResult
+from repro.optical.network import OpticalRingNetwork, OpticalRunResult, StepTiming
+from repro.optical.node import TeraRackNode, validate_node_constraints
+from repro.optical.phy import path_feasible, validate_route_phy
+from repro.optical.torus import TorusOpticalNetwork, TorusRunResult, TorusTopology
+
+__all__ = [
+    "AssignmentResult",
+    "Circuit",
+    "Direction",
+    "LiveOpticalSimulation",
+    "LiveRunResult",
+    "OpticalRingNetwork",
+    "OpticalRunResult",
+    "OpticalSystemConfig",
+    "RingTopology",
+    "Route",
+    "StepTiming",
+    "TeraRackNode",
+    "TorusOpticalNetwork",
+    "TorusRunResult",
+    "TorusTopology",
+    "assign_wavelengths",
+    "path_feasible",
+    "validate_no_conflicts",
+    "validate_node_constraints",
+    "validate_route_phy",
+]

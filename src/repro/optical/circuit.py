@@ -1,0 +1,71 @@
+"""Established optical circuits and exclusivity validation.
+
+The executor turns each (transfer, route, channel) triple of a round into a
+:class:`Circuit` record. Circuits are the unit the test suite audits: within
+one round, no two circuits on the same (direction, fiber, wavelength) may
+share a segment — the defining property of circuit-switched WDM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.base import Transfer
+from repro.optical.topology import Route
+
+
+class CircuitConflictError(ValueError):
+    """Two circuits of one round collide on a WDM channel segment."""
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """One established lightpath within a round.
+
+    Attributes:
+        transfer: The logical transfer carried.
+        route: Direction and crossed segments.
+        fiber: Fiber index within the direction's pool.
+        wavelength: Wavelength index on that fiber.
+        payload_bytes: Bytes carried (elements × bytes/element).
+        duration: Seconds of serialization + O/E/O for the payload.
+    """
+
+    transfer: Transfer
+    route: Route
+    fiber: int
+    wavelength: int
+    payload_bytes: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.fiber < 0 or self.wavelength < 0:
+            raise ValueError("fiber and wavelength must be >= 0")
+        if self.payload_bytes < 0 or self.duration < 0:
+            raise ValueError("payload and duration must be >= 0")
+
+    @property
+    def channel(self) -> tuple[str, int, int]:
+        """The WDM channel key: (direction, fiber, wavelength)."""
+        return (self.route.direction.value, self.fiber, self.wavelength)
+
+
+def validate_no_conflicts(circuits: list[Circuit]) -> None:
+    """Assert segment-exclusivity of one round's circuits.
+
+    Raises:
+        CircuitConflictError: naming the first offending pair.
+    """
+    seen: dict[tuple[str, int, int, int], Circuit] = {}
+    for circuit in circuits:
+        direction, fiber, wavelength = circuit.channel
+        for segment in circuit.route.segments:
+            key = (direction, fiber, wavelength, segment)
+            other = seen.get(key)
+            if other is not None:
+                raise CircuitConflictError(
+                    f"circuits {other.transfer.src}->{other.transfer.dst} and "
+                    f"{circuit.transfer.src}->{circuit.transfer.dst} share "
+                    f"segment {segment} on channel {circuit.channel}"
+                )
+            seen[key] = circuit

@@ -1,0 +1,106 @@
+"""Optical system configuration (Table 2, optical rows).
+
+Two line-rate interpretations are exposed (see DESIGN.md §6 for the full
+derivation):
+
+- ``"strict"``     — 40 Gbit/s per wavelength, Table 2 taken literally.
+- ``"calibrated"`` — 40 GByte/s per wavelength; reproduces the paper's
+  reported figure shapes and average-reduction percentages (the most
+  plausible reading of the original simulator's unit handling).
+
+Everything else is shared: 64 wavelengths, 25 µs MRR reconfiguration per
+step, 497 fs O/E/O conversion per 72-byte packet, double ring (one fiber
+pool per direction by default; TeraRack's second fiber pair is available
+via ``fibers_per_direction=2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constraints import OpticalPhyParams
+from repro.core.timing import CostModel
+from repro.util.units import gbit_per_s, gbyte_per_s, usec
+from repro.util.validation import check_positive, check_positive_int
+
+INTERPRETATIONS = ("calibrated", "strict")
+
+
+@dataclass(frozen=True)
+class OpticalSystemConfig:
+    """Parameters of the simulated optical ring interconnect.
+
+    Attributes:
+        n_nodes: Ring size N.
+        n_wavelengths: Wavelengths per fiber (``w``; Table 2 uses 64).
+        fibers_per_direction: Parallel fiber rings per direction (TeraRack
+            has two; the paper's wavelength accounting assumes one pool, so
+            1 is the default).
+        line_rate_value: Numeric line rate per wavelength (40 in Table 2).
+        interpretation: ``"calibrated"`` (GB/s) or ``"strict"`` (Gbit/s).
+        mrr_reconfig_delay: Seconds of MRR reconfiguration before each step.
+        oeo_delay_per_packet: O/E/O conversion delay per packet (seconds).
+        packet_bytes: Packet size for the O/E/O term.
+        phy: Optional physical-layer parameters enabling Sec 4.4 checks.
+        failed_wavelengths: Wavelength indices that are unusable on every
+            fiber (failed comb-laser lines / stuck MRRs). Fault-injection
+            knob: the RWA routes around them, costing extra rounds; the
+            planner should be given the reduced effective budget
+            (:attr:`usable_wavelengths`) to replan instead.
+    """
+
+    n_nodes: int
+    n_wavelengths: int = 64
+    fibers_per_direction: int = 1
+    line_rate_value: float = 40.0
+    interpretation: str = "calibrated"
+    mrr_reconfig_delay: float = usec(25)
+    oeo_delay_per_packet: float = 497e-15
+    packet_bytes: int = 72
+    phy: OpticalPhyParams | None = field(default=None)
+    failed_wavelengths: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_nodes", self.n_nodes)
+        check_positive_int("n_wavelengths", self.n_wavelengths)
+        check_positive_int("fibers_per_direction", self.fibers_per_direction)
+        check_positive("line_rate_value", self.line_rate_value)
+        check_positive_int("packet_bytes", self.packet_bytes)
+        if self.interpretation not in INTERPRETATIONS:
+            raise ValueError(
+                f"interpretation must be one of {INTERPRETATIONS}, "
+                f"got {self.interpretation!r}"
+            )
+        if self.mrr_reconfig_delay < 0 or self.oeo_delay_per_packet < 0:
+            raise ValueError("delays must be >= 0")
+        object.__setattr__(
+            self, "failed_wavelengths", frozenset(self.failed_wavelengths)
+        )
+        for lam in self.failed_wavelengths:
+            if not (0 <= lam < self.n_wavelengths):
+                raise ValueError(
+                    f"failed wavelength {lam} out of range [0, {self.n_wavelengths})"
+                )
+        if len(self.failed_wavelengths) >= self.n_wavelengths:
+            raise ValueError("at least one wavelength must remain usable")
+
+    @property
+    def usable_wavelengths(self) -> int:
+        """Wavelengths per fiber after failures — the planning budget."""
+        return self.n_wavelengths - len(self.failed_wavelengths)
+
+    @property
+    def line_rate(self) -> float:
+        """Per-wavelength payload rate in bytes/second."""
+        if self.interpretation == "strict":
+            return gbit_per_s(self.line_rate_value)
+        return gbyte_per_s(self.line_rate_value)
+
+    def cost_model(self) -> CostModel:
+        """The equivalent analytical :class:`~repro.core.timing.CostModel`."""
+        return CostModel(
+            line_rate=self.line_rate,
+            step_overhead=self.mrr_reconfig_delay,
+            oeo_delay_per_packet=self.oeo_delay_per_packet,
+            packet_bytes=self.packet_bytes,
+        )

@@ -1,0 +1,107 @@
+"""TeraRack node structure and per-round transceiver constraints (Fig 1a).
+
+A TeraRack node carries four optical interfaces, each with an array of 64
+micro-ring resonators, organized as one transmit and one receive set per
+ring direction. The constraints this imposes on a single communication
+round are:
+
+- all of a node's concurrent transmissions **in one direction** must use
+  distinct wavelengths (one MRR modulates one wavelength), and likewise for
+  receptions;
+- a node may transmit and receive simultaneously in both directions (the
+  "two sets of transmitters and receivers" the paper relies on for the
+  two-sided group collect).
+
+Segment-exclusive wavelength assignment already implies these constraints
+(same-direction transmissions from one node share the node's adjacent
+segment), but :func:`validate_node_constraints` checks them independently —
+it is the test suite's cross-check that the RWA is not quietly violating
+hardware limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.base import Transfer
+from repro.optical.topology import Route
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class TeraRackNode:
+    """Static description of one node's optical hardware.
+
+    Attributes:
+        node_id: Ring position.
+        n_interfaces: Optical interfaces (4 on TeraRack).
+        mrrs_per_interface: Micro-ring resonators per interface (64).
+        tx_sets: Independent transmit sets (one per direction).
+        rx_sets: Independent receive sets (one per direction).
+    """
+
+    node_id: int
+    n_interfaces: int = 4
+    mrrs_per_interface: int = 64
+    tx_sets: int = 2
+    rx_sets: int = 2
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {self.node_id!r}")
+        check_positive_int("n_interfaces", self.n_interfaces)
+        check_positive_int("mrrs_per_interface", self.mrrs_per_interface)
+        check_positive_int("tx_sets", self.tx_sets)
+        check_positive_int("rx_sets", self.rx_sets)
+
+    @property
+    def max_concurrent_wavelengths(self) -> int:
+        """Wavelengths one Tx/Rx set can drive at once (one per MRR)."""
+        return self.mrrs_per_interface
+
+
+class NodeConstraintError(ValueError):
+    """A round violates a node's transceiver limits."""
+
+
+def validate_node_constraints(
+    assignments: list[tuple[Transfer, Route, int, int]],
+    mrrs_per_interface: int = 64,
+) -> None:
+    """Check one round's channel assignments against node hardware limits.
+
+    Args:
+        assignments: ``(transfer, route, fiber, wavelength)`` per circuit.
+        mrrs_per_interface: Wavelength capacity of one Tx/Rx set.
+
+    Raises:
+        NodeConstraintError: on duplicate wavelengths per (node, direction,
+            fiber, role) or on exceeding the MRR count.
+    """
+    tx_channels: dict[tuple[int, str, int], set[int]] = {}
+    rx_channels: dict[tuple[int, str, int], set[int]] = {}
+    for transfer, route, fiber, wavelength in assignments:
+        tx_key = (transfer.src, route.direction.value, fiber)
+        rx_key = (transfer.dst, route.direction.value, fiber)
+        tx_used = tx_channels.setdefault(tx_key, set())
+        if wavelength in tx_used:
+            raise NodeConstraintError(
+                f"node {transfer.src} transmits twice on wavelength "
+                f"{wavelength} ({route.direction.value}, fiber {fiber})"
+            )
+        tx_used.add(wavelength)
+        rx_used = rx_channels.setdefault(rx_key, set())
+        if wavelength in rx_used:
+            raise NodeConstraintError(
+                f"node {transfer.dst} receives twice on wavelength "
+                f"{wavelength} ({route.direction.value}, fiber {fiber})"
+            )
+        rx_used.add(wavelength)
+    for label, table in (("transmit", tx_channels), ("receive", rx_channels)):
+        for (node, direction, fiber), used in table.items():
+            if len(used) > mrrs_per_interface:
+                raise NodeConstraintError(
+                    f"node {node} drives {len(used)} {label} wavelengths "
+                    f"({direction}, fiber {fiber}) but has only "
+                    f"{mrrs_per_interface} MRRs"
+                )

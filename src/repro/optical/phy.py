@@ -1,0 +1,65 @@
+"""Per-route physical-layer validation (Sec 4.4 applied to actual paths).
+
+:mod:`repro.core.constraints` answers the *planning* question ("what group
+size keeps the worst-case WRHT path within budget?"). This module answers
+the *execution* question for each concrete circuit: does this route's hop
+count satisfy the insertion-loss budget (Eq 9) and the BER target (Eq 13)?
+The executor runs these checks when the system config carries
+:class:`~repro.core.constraints.OpticalPhyParams`.
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import (
+    OpticalPhyParams,
+    ber_from_snr,
+    insertion_loss_db,
+    snr_db,
+    worst_case_crosstalk_power,
+)
+from repro.optical.topology import Route
+
+
+class PhyViolationError(ValueError):
+    """A route exceeds the optical power or BER budget."""
+
+
+def path_feasible(hops: int, params: OpticalPhyParams) -> bool:
+    """Both Sec 4.4 constraints for a path of ``hops`` passed interfaces."""
+    if hops < 0:
+        raise ValueError(f"hops must be >= 0, got {hops!r}")
+    loss_ok = params.laser_power_dbm >= (
+        insertion_loss_db(hops, params) + params.extinction_ratio_penalty_db
+    )
+    noise = worst_case_crosstalk_power(hops, params)
+    ber = ber_from_snr(snr_db(params.signal_power_mw, noise, params.other_noise_mw))
+    return loss_ok and ber <= params.max_ber
+
+
+def max_feasible_hops(params: OpticalPhyParams, upper: int = 1 << 20) -> int:
+    """Longest path (in hops) satisfying both constraints.
+
+    Both constraints are monotone in the hop count, so binary search.
+    """
+    if not path_feasible(1, params):
+        return 0
+    lo, hi = 1, 1
+    while hi < upper and path_feasible(hi, params):
+        lo, hi = hi, hi * 2
+    hi = min(hi, upper)
+    while lo < hi - 1:
+        mid = (lo + hi) // 2
+        if path_feasible(mid, params):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def validate_route_phy(route: Route, params: OpticalPhyParams) -> None:
+    """Raise :class:`PhyViolationError` if ``route`` exceeds the budget."""
+    if not path_feasible(route.hops, params):
+        raise PhyViolationError(
+            f"route of {route.hops} hops ({route.direction.value}) violates "
+            "the optical loss/BER budget"
+        )

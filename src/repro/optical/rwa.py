@@ -1,0 +1,238 @@
+"""Routing and Wavelength Assignment (RWA) for one communication round.
+
+Given the concurrent transfers of a step (already routed), assign each a
+(fiber, wavelength) channel in its direction such that no two transfers
+sharing a fiber+wavelength cross a common segment. Two strategies from the
+paper's citations are provided:
+
+- **First-Fit** [21] — transfers sorted longest-route-first, each takes the
+  lowest-indexed free channel (deterministic, good packing).
+- **Random-Fit** [31] — each transfer takes a uniformly random free channel
+  (needs a :class:`~repro.sim.rng.SeededRng`).
+
+Transfers that cannot be assigned in this round are reported back; the
+executor schedules them into follow-up rounds (each paying another MRR
+reconfiguration), which is how wavelength scarcity turns into time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.optical.topology import Direction, Route
+from repro.sim.rng import SeededRng
+from repro.util.validation import check_positive_int
+
+STRATEGIES = ("first_fit", "random_fit")
+
+
+def dsatur_assign(
+    routes: list[Route],
+    n_segments: int,
+    n_wavelengths: int,
+    fibers_per_direction: int = 1,
+    blocked: frozenset[int] = frozenset(),
+) -> AssignmentResult | None:
+    """Optimal-leaning assignment via DSATUR graph coloring.
+
+    Greedy channel packing can exceed the minimum wavelength count on
+    circular-arc conflict graphs (the final WRHT all-to-all is exactly such
+    an instance, where the ``⌈k²/8⌉`` bound of [13] is tight). DSATUR —
+    color the vertex with the most distinctly-colored neighbours first —
+    empirically achieves the max-load optimum on these structured
+    instances. Used by the executor as a fallback when First-Fit spills.
+
+    Returns:
+        A complete assignment, or ``None`` if even DSATUR needs more than
+        ``fibers × wavelengths`` channels (the caller then falls back to
+        multi-round execution).
+    """
+    n = len(routes)
+    if n == 0:
+        return AssignmentResult()
+    seg_sets = [frozenset(r.segments) for r in routes]
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if routes[i].direction is routes[j].direction and seg_sets[i] & seg_sets[j]:
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    allowed = [
+        (f, lam)
+        for f in range(fibers_per_direction)
+        for lam in range(n_wavelengths)
+        if lam not in blocked
+    ]
+    capacity = len(allowed)
+    colors: dict[int, int] = {}
+    neighbour_colors: list[set[int]] = [set() for _ in range(n)]
+    uncolored = set(range(n))
+    while uncolored:
+        # Highest saturation, ties by degree then index (deterministic).
+        pick = max(
+            uncolored,
+            key=lambda v: (len(neighbour_colors[v]), len(adjacency[v]), -v),
+        )
+        color = 0
+        taken = neighbour_colors[pick]
+        while color in taken:
+            color += 1
+        if color >= capacity:
+            return None
+        colors[pick] = color
+        uncolored.discard(pick)
+        for peer in adjacency[pick]:
+            neighbour_colors[peer].add(color)
+    result = AssignmentResult()
+    for idx, color in colors.items():
+        fiber, lam = allowed[color]
+        result.assigned[idx] = (fiber, lam)
+        result.peak_wavelength = max(result.peak_wavelength, lam + 1)
+    return result
+
+
+@dataclass
+class AssignmentResult:
+    """Outcome of one RWA round.
+
+    Attributes:
+        assigned: Maps input index -> (fiber, wavelength).
+        unassigned: Input indices that did not fit this round.
+        peak_wavelength: Highest wavelength index used, plus one (i.e. the
+            number of distinct wavelength indices touched); 0 if nothing was
+            assigned.
+    """
+
+    assigned: dict[int, tuple[int, int]] = field(default_factory=dict)
+    unassigned: list[int] = field(default_factory=list)
+    peak_wavelength: int = 0
+
+
+def plan_rounds(
+    routes: list[Route],
+    n_segments: int,
+    n_wavelengths: int,
+    fibers_per_direction: int = 1,
+    strategy: str = "first_fit",
+    rng: SeededRng | None = None,
+    dsatur_fallback: bool = True,
+    blocked: frozenset[int] = frozenset(),
+) -> list[dict[int, tuple[int, int]]]:
+    """Split one step's transfers into conflict-free rounds.
+
+    Each returned dict maps the *original* route index to its (fiber,
+    wavelength). The first round tries the configured strategy and, when it
+    spills and ``dsatur_fallback`` is set, retries with
+    :func:`dsatur_assign` before paying an extra reconfiguration round.
+    Used by both the step-timing executor and the live event-driven
+    simulation so their round structure is identical by construction.
+    """
+    remaining = list(range(len(routes)))
+    rounds: list[dict[int, tuple[int, int]]] = []
+    first = True
+    while remaining:
+        subset = [routes[i] for i in remaining]
+        assignment = assign_wavelengths(
+            subset, n_segments, n_wavelengths, fibers_per_direction,
+            strategy=strategy, rng=rng, blocked=blocked,
+        )
+        if first and assignment.unassigned and dsatur_fallback:
+            structured = dsatur_assign(
+                subset, n_segments, n_wavelengths, fibers_per_direction,
+                blocked=blocked,
+            )
+            if structured is not None:
+                assignment = structured
+        first = False
+        if not assignment.assigned:
+            raise RuntimeError(
+                "RWA failed to place any transfer on an empty round; "
+                "file a bug"
+            )
+        rounds.append(
+            {remaining[local]: chan for local, chan in assignment.assigned.items()}
+        )
+        remaining = [remaining[j] for j in assignment.unassigned]
+    return rounds
+
+
+class _ChannelOccupancy:
+    """Per-direction segment occupancy of every (fiber, wavelength)."""
+
+    def __init__(self, n_segments: int, n_fibers: int, n_wavelengths: int) -> None:
+        self.n_segments = n_segments
+        self.n_fibers = n_fibers
+        self.n_wavelengths = n_wavelengths
+        self._busy = np.zeros((n_fibers, n_wavelengths, n_segments), dtype=bool)
+
+    def fits(self, fiber: int, wavelength: int, segments: np.ndarray) -> bool:
+        return not self._busy[fiber, wavelength, segments].any()
+
+    def take(self, fiber: int, wavelength: int, segments: np.ndarray) -> None:
+        self._busy[fiber, wavelength, segments] = True
+
+
+def assign_wavelengths(
+    routes: list[Route],
+    n_segments: int,
+    n_wavelengths: int,
+    fibers_per_direction: int = 1,
+    strategy: str = "first_fit",
+    rng: SeededRng | None = None,
+    blocked: frozenset[int] = frozenset(),
+) -> AssignmentResult:
+    """Assign channels to routed transfers for one round.
+
+    Args:
+        routes: One route per transfer (list index identifies the transfer).
+        n_segments: Ring size (segments per direction).
+        n_wavelengths: Wavelengths per fiber.
+        fibers_per_direction: Parallel fibers per direction.
+        strategy: ``"first_fit"`` or ``"random_fit"``.
+        rng: Required for ``"random_fit"``.
+
+    Returns:
+        An :class:`AssignmentResult`; ``assigned ∪ unassigned`` covers all
+        inputs exactly once.
+    """
+    check_positive_int("n_segments", n_segments)
+    check_positive_int("n_wavelengths", n_wavelengths)
+    check_positive_int("fibers_per_direction", fibers_per_direction)
+    if strategy not in STRATEGIES:
+        raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+    if strategy == "random_fit" and rng is None:
+        raise ValueError("random_fit requires an rng")
+
+    occupancy = {
+        direction: _ChannelOccupancy(n_segments, fibers_per_direction, n_wavelengths)
+        for direction in Direction
+    }
+    result = AssignmentResult()
+    # Longest routes are hardest to place; assign them first. Ties keep the
+    # original order so the outcome is deterministic.
+    order = sorted(range(len(routes)), key=lambda i: (-routes[i].hops, i))
+    for idx in order:
+        route = routes[idx]
+        segments = np.asarray(route.segments, dtype=np.intp)
+        occ = occupancy[route.direction]
+        channels = [
+            (f, lam)
+            for f in range(fibers_per_direction)
+            for lam in range(n_wavelengths)
+            if lam not in blocked
+        ]
+        if strategy == "random_fit":
+            rng.shuffle(channels)
+        placed = False
+        for fiber, lam in channels:
+            if occ.fits(fiber, lam, segments):
+                occ.take(fiber, lam, segments)
+                result.assigned[idx] = (fiber, lam)
+                result.peak_wavelength = max(result.peak_wavelength, lam + 1)
+                placed = True
+                break
+        if not placed:
+            result.unassigned.append(idx)
+    return result

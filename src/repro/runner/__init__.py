@@ -1,0 +1,30 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+:mod:`~repro.runner.experiments` defines ``run_table1`` and ``run_fig4`` …
+``run_fig7`` mirroring Sec 5's four experiments; each returns an
+:class:`~repro.runner.report.ExperimentResult` carrying raw seconds,
+paper-style normalizations and average-reduction summaries. The benchmark
+suite and the CLI both render these results; EXPERIMENTS.md records them
+against the paper's numbers.
+"""
+
+from repro.runner.experiments import (
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_table1,
+)
+from repro.runner.report import ExperimentResult, percent_reduction
+from repro.runner.sweep import sweep
+
+__all__ = [
+    "ExperimentResult",
+    "percent_reduction",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_table1",
+    "sweep",
+]

@@ -1,0 +1,111 @@
+"""Result containers and the paper's normalization/averaging conventions.
+
+The paper reports two kinds of numbers:
+
+- **normalized bars** — every figure divides by one designated cell (e.g.
+  Fig 6 divides by "the first result of WRHT in ResNet50");
+- **average reductions** — "WRHT reduces communication time by X% compared
+  with Y" means the mean over all (workload, x-axis) cells of
+  ``(t_Y − t_WRHT) / t_Y``.
+
+Both conventions are implemented here once so every experiment and bench
+reports them identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.util.tables import AsciiTable
+
+
+def percent_reduction(baseline: Sequence[float], target: Sequence[float]) -> float:
+    """Mean of ``(b − t)/b`` over paired cells, as a percentage.
+
+    Negative values mean the target is *slower* than the baseline.
+    """
+    if len(baseline) != len(target):
+        raise ValueError(f"length mismatch: {len(baseline)} vs {len(target)}")
+    if not baseline:
+        raise ValueError("need at least one cell")
+    total = 0.0
+    for b, t in zip(baseline, target):
+        if b <= 0:
+            raise ValueError(f"baseline cell must be positive, got {b!r}")
+        total += (b - t) / b
+    return 100.0 * total / len(baseline)
+
+
+@dataclass
+class ExperimentResult:
+    """All cells of one experiment.
+
+    Attributes:
+        name: Experiment id (``"fig6"``, ...).
+        mode: ``"analytical"`` or ``"simulated"``.
+        interpretation: Line-rate interpretation used (DESIGN.md §6).
+        x_label: Meaning of the x axis (``"nodes"``, ``"wavelengths"``, ...).
+        x_values: X-axis points, in order.
+        workloads: Workload names, in figure order.
+        series: ``(workload, algorithm) -> [seconds per x]``.
+        meta: Extra experiment-specific data.
+    """
+
+    name: str
+    mode: str
+    interpretation: str
+    x_label: str
+    x_values: list
+    workloads: list[str]
+    series: dict[tuple[str, str], list[float]] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def algorithms(self) -> list[str]:
+        """Algorithm labels present, preserving insertion order."""
+        seen: dict[str, None] = {}
+        for _, algo in self.series:
+            seen.setdefault(algo, None)
+        return list(seen)
+
+    def cell(self, workload: str, algorithm: str, x) -> float:
+        """One measurement in seconds."""
+        return self.series[(workload, algorithm)][self.x_values.index(x)]
+
+    def cells(self, algorithm: str) -> list[float]:
+        """All cells of one algorithm across workloads × x (row-major)."""
+        out = []
+        for workload in self.workloads:
+            out.extend(self.series[(workload, algorithm)])
+        return out
+
+    def reduction_vs(self, baseline: str, target: str = "WRHT") -> float:
+        """Paper-style average reduction of ``target`` vs ``baseline`` (%)."""
+        return percent_reduction(self.cells(baseline), self.cells(target))
+
+    def normalized(self, ref_workload: str, ref_algorithm: str, ref_x) -> dict:
+        """All series divided by one reference cell (figure normalization)."""
+        ref = self.cell(ref_workload, ref_algorithm, ref_x)
+        if ref <= 0:
+            raise ValueError("reference cell must be positive")
+        return {key: [v / ref for v in vals] for key, vals in self.series.items()}
+
+    def table(self, workload: str, unit: float = 1e-3, unit_name: str = "ms") -> AsciiTable:
+        """Seconds table for one workload (algorithms × x)."""
+        t = AsciiTable([f"{self.x_label}"] + [str(x) for x in self.x_values])
+        for algo in self.algorithms():
+            t.add_row(
+                [f"{algo} ({unit_name})"]
+                + [v / unit for v in self.series[(workload, algo)]]
+            )
+        return t
+
+    def render(self, unit: float = 1e-3, unit_name: str = "ms") -> str:
+        """Full multi-workload report as text."""
+        blocks = [
+            f"== {self.name} [{self.mode}, {self.interpretation} units] =="
+        ]
+        for workload in self.workloads:
+            blocks.append(f"-- {workload} --")
+            blocks.append(self.table(workload, unit, unit_name).render())
+        return "\n".join(blocks)

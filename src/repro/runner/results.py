@@ -1,0 +1,91 @@
+"""Machine-generated results document (``wrht-repro report``).
+
+Regenerates every experiment and writes a self-contained markdown record —
+raw series, paper-style normalizations, and average-reduction comparisons —
+so a fresh checkout can refresh EXPERIMENTS.md's measured columns with one
+command.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.runner.experiments import run_fig4, run_fig5, run_fig6, run_fig7, run_table1
+from repro.runner.report import ExperimentResult
+
+PAPER_REDUCTIONS = {
+    "fig5": [("Ring", "WRHT", 13.74), ("H-Ring", "WRHT", 9.29), ("BT", "WRHT", 75.0)],
+    "fig6": [("Ring", "WRHT", 65.23), ("H-Ring", "WRHT", 43.81), ("BT", "WRHT", 82.22)],
+    "fig7": [
+        ("E-Ring", "O-Ring", 48.74),
+        ("E-Ring", "WRHT", 61.23),
+        ("RD", "WRHT", 55.51),
+    ],
+}
+
+PAPER_TABLE1 = {"Ring": 2046, "H-Ring": 417, "BT": 20, "WRHT": 3}
+
+
+def _markdown_table(headers: list[str], rows: list[list]) -> str:
+    out = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    for row in rows:
+        cells = [f"{c:.4g}" if isinstance(c, float) else str(c) for c in row]
+        out.append("| " + " | ".join(cells) + " |")
+    return "\n".join(out)
+
+
+def _experiment_section(result: ExperimentResult, buf: io.StringIO) -> None:
+    buf.write(f"\n## {result.name} ({result.mode}, {result.interpretation} units)\n\n")
+    for workload in result.workloads:
+        rows = [
+            [algo] + [v * 1e3 for v in result.series[(workload, algo)]]
+            for algo in result.algorithms()
+        ]
+        buf.write(f"**{workload}** (ms by {result.x_label}):\n\n")
+        buf.write(
+            _markdown_table(
+                ["algorithm"] + [str(x) for x in result.x_values], rows
+            )
+        )
+        buf.write("\n\n")
+    reductions = PAPER_REDUCTIONS.get(result.name)
+    if reductions:
+        rows = [
+            [f"{target} vs {baseline}", result.reduction_vs(baseline, target), paper]
+            for baseline, target, paper in reductions
+        ]
+        buf.write("Average reductions:\n\n")
+        buf.write(_markdown_table(["comparison", "measured (%)", "paper (%)"], rows))
+        buf.write("\n")
+
+
+def generate_report(mode: str = "analytical", interpretation: str = "calibrated") -> str:
+    """Regenerate every experiment and render the markdown report."""
+    buf = io.StringIO()
+    buf.write("# Generated results (wrht-repro report)\n")
+    buf.write(f"\nMode: {mode}; line-rate interpretation: {interpretation}.\n")
+
+    counts = run_table1()
+    buf.write("\n## Table 1 — steps (N=1024, w=64)\n\n")
+    rows = [
+        [name, counts[name], PAPER_TABLE1.get(name, "—")]
+        for name in ("Ring", "H-Ring", "BT", "RD", "WRHT")
+    ]
+    buf.write(_markdown_table(["algorithm", "measured", "paper"], rows))
+    buf.write("\n")
+
+    for runner in (run_fig4, run_fig5, run_fig6, run_fig7):
+        _experiment_section(
+            runner(mode=mode, interpretation=interpretation), buf
+        )
+    return buf.getvalue()
+
+
+def write_report(
+    path: str, mode: str = "analytical", interpretation: str = "calibrated"
+) -> str:
+    """Write the report to ``path``; returns the rendered text."""
+    text = generate_report(mode=mode, interpretation=interpretation)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text

@@ -1,0 +1,34 @@
+"""Generic cartesian parameter sweeps.
+
+Used by the experiment definitions and the ablation benches: run a callable
+over the cartesian product of named parameter lists and collect results
+keyed by the parameter tuple.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Mapping, Sequence
+
+
+def sweep(
+    fn: Callable[..., Any],
+    parameters: Mapping[str, Sequence],
+) -> dict[tuple, Any]:
+    """Evaluate ``fn`` on every combination of ``parameters``.
+
+    Args:
+        fn: Called with one keyword argument per parameter name.
+        parameters: ``name -> list of values``; iteration order of the
+            mapping fixes the key-tuple order.
+
+    Returns:
+        ``{(v1, v2, ...): fn(name1=v1, name2=v2, ...)}`` in product order.
+    """
+    if not parameters:
+        raise ValueError("sweep needs at least one parameter")
+    names = list(parameters)
+    results: dict[tuple, Any] = {}
+    for combo in itertools.product(*(parameters[n] for n in names)):
+        results[combo] = fn(**dict(zip(names, combo)))
+    return results

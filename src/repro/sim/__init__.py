@@ -1,0 +1,40 @@
+"""Discrete-event simulation (DES) kernel.
+
+A small, deterministic, generator-based process engine in the style of SimPy,
+built from scratch for this reproduction (the paper's "in-house simulator"
+and its SimGrid usage both reduce to discrete-event scheduling):
+
+- :class:`~repro.sim.engine.Simulator` — the event loop: a binary-heap event
+  calendar with (time, priority, sequence) total ordering, so runs are fully
+  deterministic and causality is checkable.
+- :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.Timeout` —
+  one-shot occurrences that processes wait on.
+- :class:`~repro.sim.process.Process` — a Python generator driven by the
+  engine; ``yield`` an event to suspend until it fires.
+- :mod:`~repro.sim.resources` — capacity-limited resources, FIFO stores and
+  latency/bandwidth pipes used to model links.
+- :class:`~repro.sim.trace.Tracer` — structured event tracing for tests.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Interrupted, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Pipe, Resource, Store
+from repro.sim.rng import SeededRng
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupted",
+    "Pipe",
+    "Process",
+    "Resource",
+    "SeededRng",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,138 @@
+"""The discrete-event simulation engine.
+
+The engine keeps a binary-heap calendar of ``(time, priority, sequence,
+event)`` entries. The three-part key makes execution order total and
+deterministic: ties in time break by priority, then by insertion order.
+Determinism matters here — the optical and electrical substrates are compared
+against closed-form analytical models in the test suite, and any
+nondeterminism would make those comparisons flaky.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+# Priority bands: NORMAL for model events, URGENT for engine-internal
+# bookkeeping that must run before model events at the same timestamp.
+URGENT = 0
+NORMAL = 1
+
+
+class EmptyCalendar(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Attributes:
+        now: Current simulation time in seconds.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._n_processed = 0
+
+    # -- event factory helpers -----------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event bound to this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Composite event firing when all ``events`` fire."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Composite event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def schedule_callback(
+        self, delay: float, callback: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Run a plain callable ``delay`` seconds from now."""
+        event = self.timeout(delay)
+        event.name = name or "callback"
+        event.callbacks.append(lambda _e: callback())
+        return event
+
+    # -- calendar -------------------------------------------------------
+    def _enqueue(self, delay: float, event: Event, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, priority, self._sequence, event))
+
+    def peek(self) -> float:
+        """Time of the next event, or ``float('inf')`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises:
+            EmptyCalendar: if the calendar is empty.
+        """
+        if not self._queue:
+            raise EmptyCalendar
+        time, _priority, _seq, event = heapq.heappop(self._queue)
+        assert time >= self.now, "event calendar violated causality"
+        self.now = time
+        self._n_processed += 1
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the calendar drains or ``until`` is reached.
+
+        Args:
+            until: Absolute stop time; ``None`` runs to quiescence.
+
+        Returns:
+            The simulation time when the run stopped.
+        """
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self.now = until
+                return self.now
+            self.step()
+        return self.now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: start ``generator`` as a process and run to completion.
+
+        Returns the process's return value; re-raises its exception.
+        """
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.done:
+            raise RuntimeError(
+                f"process {name or generator!r} did not finish (deadlock?)"
+            )
+        if not proc.ok:
+            raise proc.value
+        return proc.value
+
+    @property
+    def n_processed(self) -> int:
+        """Total events processed since construction (for tests/telemetry)."""
+        return self._n_processed
+
+    @property
+    def n_pending(self) -> int:
+        """Events currently waiting on the calendar."""
+        return len(self._queue)

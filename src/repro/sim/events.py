@@ -1,0 +1,166 @@
+"""Event primitives for the DES kernel.
+
+An :class:`Event` is a one-shot occurrence. Processes wait on events by
+yielding them; the engine resumes every waiter when the event fires. Events
+carry an arbitrary ``value`` (delivered as the result of the ``yield``) or an
+exception (re-raised inside the waiting process).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Simulator
+
+# Event lifecycle states.
+PENDING = "pending"
+TRIGGERED = "triggered"  # scheduled on the calendar, not yet processed
+PROCESSED = "processed"  # callbacks have run
+
+
+class Interrupted(Exception):
+    """Raised inside a process that was interrupted while waiting."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks/processes can wait on."""
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool | None = None
+        self._state = PENDING
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise RuntimeError(f"event {self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception. Valid once triggered."""
+        if self._state == PENDING:
+            raise RuntimeError(f"event {self!r} has not been triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        self._trigger(ok=True, value=value, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a failure after ``delay``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(ok=False, value=exception, delay=delay)
+        return self
+
+    def _trigger(self, ok: bool, value: Any, delay: float) -> None:
+        if self._state != PENDING:
+            raise RuntimeError(f"event {self!r} already triggered")
+        self._ok = ok
+        self._value = value
+        self._state = TRIGGERED
+        self.sim._enqueue(delay, self)
+
+    def _process(self) -> None:
+        """Run callbacks; invoked by the engine at fire time."""
+        assert self._state == TRIGGERED
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or type(self).__name__
+        return f"<{label} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay!r}")
+        super().__init__(sim, name=f"Timeout({delay})")
+        self.delay = delay
+        self.succeed(value=value, delay=delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name=type(self).__name__)
+        self.events = tuple(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed(value=())
+            return
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("all events must belong to the same Simulator")
+            if event.triggered:
+                # Already-fired events are observed via a zero-delay callback
+                # so ordering stays consistent with the calendar.
+                event.callbacks.append(self._on_fire) if not event.processed else self._on_fire(event)
+            else:
+                event.callbacks.append(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._n_fired += 1
+        if self._check():
+            self.succeed(value=tuple(e.value for e in self.events if e.triggered and e.ok))
+
+    def _check(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired successfully."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._n_fired == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires successfully."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._n_fired >= 1

@@ -1,0 +1,109 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator. Each ``yield`` must produce an
+:class:`~repro.sim.events.Event`; the process suspends until that event
+fires, then resumes with the event's value (or the event's exception raised
+at the yield point). A process is itself an event that fires when the
+generator returns, delivering the generator's return value — so processes
+can wait on each other and compose with ``AllOf``/``AnyOf``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.events import Event, Interrupted
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Process(Event):
+    """A running simulation process (also an awaitable event)."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process needs a generator, got {type(generator).__name__} "
+                "(did you call the function instead of passing its generator?)"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick off at the current time via an immediate engine event.
+        bootstrap = sim.event(name=f"{self.name}.start")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def done(self) -> bool:
+        """True once the generator has returned or raised."""
+        return self.triggered
+
+    @property
+    def is_waiting(self) -> bool:
+        """True while suspended on an event."""
+        return self._waiting_on is not None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupted` inside the process at its yield point.
+
+        Interrupting a finished process is an error; interrupting a process
+        that has not yet started is allowed and takes effect at start.
+        """
+        if self.done:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        if target is not None:
+            # Detach from the event we were waiting on, then resume with an
+            # exception at the next engine tick.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        wakeup = self.sim.event(name=f"{self.name}.interrupt")
+        wakeup.callbacks.append(self._resume)
+        wakeup.fail(Interrupted(cause))
+
+    # -- engine plumbing -------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(
+                TypeError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event instances"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self._generator.close()
+            self.fail(ValueError("yielded event belongs to a different Simulator"))
+            return
+        self._waiting_on = target
+        if target.processed:
+            # Event already fired and ran callbacks: resume on a zero-delay
+            # echo event so we never re-enter the generator recursively.
+            echo = self.sim.event(name=f"{self.name}.echo")
+            echo.callbacks.append(self._resume)
+            if target.ok:
+                echo.succeed(target.value)
+            else:
+                echo.fail(target.value)
+        else:
+            target.callbacks.append(self._resume)

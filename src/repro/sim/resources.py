@@ -1,0 +1,148 @@
+"""Shared resources for simulation processes.
+
+Three primitives cover everything the substrates need:
+
+- :class:`Resource` — a counted semaphore with FIFO granting (models MRR
+  transmitter/receiver sets and switch ports).
+- :class:`Store` — an unbounded FIFO of items with blocking ``get`` (models
+  message queues between processes).
+- :class:`Pipe` — a latency + serialization channel: a ``put`` of ``n``
+  bytes occupies the pipe for ``n / rate`` seconds and the item becomes
+  available to ``get`` after an additional propagation ``latency`` (a simple
+  store-and-forward link model used by the electrical substrate's
+  packet-level mode and by tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Resource:
+    """Counted FIFO semaphore.
+
+    ``acquire()`` returns an event that fires (with a token) once capacity is
+    available; ``release()`` returns one unit of capacity and wakes the next
+    waiter.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.sim = sim
+        self.name = name or "resource"
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        """Request one unit; the returned event fires when granted."""
+        event = self.sim.event(name=f"{self.name}.acquire")
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit; grants the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"{self.name}: release without matching acquire")
+        if self._waiters:
+            # Hand the unit directly to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``."""
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name or "store"
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item (FIFO)."""
+        event = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Pipe:
+    """A serialized link: rate-limited occupancy plus fixed latency.
+
+    Items are serialized one at a time at ``rate`` bytes/second (the sender
+    holds the pipe for ``size / rate``), then arrive ``latency`` seconds
+    later. This is the classic store-and-forward link used to model
+    electrical hops; the optical substrate uses circuits instead.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        rate: float,
+        latency: float = 0.0,
+        name: str = "",
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency!r}")
+        self.sim = sim
+        self.rate = rate
+        self.latency = latency
+        self.name = name or "pipe"
+        self._store = Store(sim, name=f"{self.name}.buffer")
+        self._busy_until = 0.0
+        self.bytes_carried = 0.0
+
+    def put(self, item: Any, size: float) -> Event:
+        """Send ``item`` of ``size`` bytes; event fires when serialization ends."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size!r}")
+        start = max(self.sim.now, self._busy_until)
+        ser_done = start + size / self.rate
+        self._busy_until = ser_done
+        self.bytes_carried += size
+        done = self.sim.event(name=f"{self.name}.sent")
+        arrival_delay = (ser_done + self.latency) - self.sim.now
+        self.sim.schedule_callback(arrival_delay, lambda: self._store.put(item))
+        done.succeed(delay=ser_done - self.sim.now)
+        return done
+
+    def get(self) -> Event:
+        """Receive the next delivered item (FIFO)."""
+        return self._store.get()

@@ -1,0 +1,63 @@
+"""Structured tracing for simulations.
+
+Substrates emit :class:`TraceRecord` entries (time, category, payload dict)
+into a :class:`Tracer`. Tests assert on traces — e.g. that no two optical
+transfers overlap on the same (fiber, direction, wavelength, segment) — and
+the CLI can dump them for debugging. Tracing is off by default and costs one
+``if`` per emission when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        items = " ".join(f"{k}={v}" for k, v in sorted(self.payload.items()))
+        return f"[{self.time:.9f}] {self.category} {items}".rstrip()
+
+
+class Tracer:
+    """Collects trace records; can be bounded, filtered, or disabled."""
+
+    def __init__(self, enabled: bool = True, categories: set[str] | None = None) -> None:
+        self.enabled = enabled
+        self.categories = categories
+        self._records: list[TraceRecord] = []
+
+    def emit(self, time: float, category: str, **payload: Any) -> None:
+        """Record one entry if tracing is on and the category is selected."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self._records.append(TraceRecord(time, category, payload))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def records(self, category: str | None = None) -> list[TraceRecord]:
+        """All records, optionally filtered to one category."""
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r.category == category]
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self._records.clear()
+
+
+NULL_TRACER = Tracer(enabled=False)
+"""A shared disabled tracer used as the default everywhere."""

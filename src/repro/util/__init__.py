@@ -1,0 +1,56 @@
+"""Shared utilities: unit conversions, argument validation, ASCII tables.
+
+These helpers are deliberately dependency-free (stdlib only) so that every
+other subpackage — the DES kernel, the optical/electrical substrates, the
+collective schedule builders — can import them without cycles.
+"""
+
+from repro.util.units import (
+    GBPS,
+    GIBI,
+    KIBI,
+    MEBI,
+    MICROSECOND,
+    MILLISECOND,
+    NANOSECOND,
+    bits_to_bytes,
+    bytes_per_second,
+    bytes_to_bits,
+    format_bytes,
+    format_seconds,
+    gbit_per_s,
+    gbyte_per_s,
+    mbyte,
+    usec,
+)
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_power_of_two,
+)
+from repro.util.tables import AsciiTable
+
+__all__ = [
+    "AsciiTable",
+    "GBPS",
+    "GIBI",
+    "KIBI",
+    "MEBI",
+    "MICROSECOND",
+    "MILLISECOND",
+    "NANOSECOND",
+    "bits_to_bytes",
+    "bytes_per_second",
+    "bytes_to_bits",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+    "check_power_of_two",
+    "format_bytes",
+    "format_seconds",
+    "gbit_per_s",
+    "gbyte_per_s",
+    "mbyte",
+    "usec",
+]

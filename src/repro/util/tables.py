@@ -1,0 +1,74 @@
+"""Minimal ASCII table renderer for benchmark and CLI output.
+
+The benchmark harness prints the same rows the paper's tables/figures report;
+this renderer keeps that output aligned and diff-friendly without pulling in
+a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class AsciiTable:
+    """Accumulate rows and render a fixed-width ASCII table.
+
+    Example:
+        >>> t = AsciiTable(["algo", "steps"])
+        >>> t.add_row(["Ring", 2046])
+        >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+        algo | steps
+        -----+------
+        Ring |  2046
+    """
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ValueError("headers must be non-empty")
+        self._headers = [str(h) for h in headers]
+        self._rows: list[list[str]] = []
+
+    @property
+    def n_rows(self) -> int:
+        """Number of data rows added so far."""
+        return len(self._rows)
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append one row; cells are stringified, floats with 4 sig figs."""
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(f"{cell:.4g}")
+            else:
+                cells.append(str(cell))
+        if len(cells) != len(self._headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self._headers)} columns"
+            )
+        self._rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table as a string (no trailing newline)."""
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(h.ljust(w) for h, w in zip(self._headers, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in self._rows:
+            lines.append(
+                " | ".join(
+                    cell.rjust(w) if _is_numeric(cell) else cell.ljust(w)
+                    for cell, w in zip(row, widths)
+                )
+            )
+        return "\n".join(line.rstrip() for line in lines)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,93 @@
+"""Unit conversion helpers.
+
+All simulator-internal quantities use SI base units: seconds for time and
+bytes for data volume. Rates are bytes/second. The helpers below convert the
+paper's mixed units (Gbit/s line rates, µs delays, fs per-packet conversion
+delays, MB model sizes) into base units exactly once, at configuration time,
+so the hot simulation paths never multiply by unit constants.
+"""
+
+from __future__ import annotations
+
+# Binary size prefixes (bytes).
+KIBI = 1024
+MEBI = 1024**2
+GIBI = 1024**3
+
+# Time prefixes (seconds).
+NANOSECOND = 1e-9
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+FEMTOSECOND = 1e-15
+
+# One gigabit per second expressed in bytes per second.
+GBPS = 1e9 / 8.0
+
+_BITS_PER_BYTE = 8
+
+
+def bytes_to_bits(n_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return n_bytes * _BITS_PER_BYTE
+
+
+def bits_to_bytes(n_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return n_bits / _BITS_PER_BYTE
+
+
+def gbit_per_s(rate: float) -> float:
+    """Return ``rate`` gigabits/second as bytes/second."""
+    return rate * GBPS
+
+
+def gbyte_per_s(rate: float) -> float:
+    """Return ``rate`` gigabytes/second as bytes/second."""
+    return rate * 1e9
+
+
+def mbyte(n: float) -> float:
+    """Return ``n`` megabytes (1e6 bytes) as bytes."""
+    return n * 1e6
+
+
+def usec(n: float) -> float:
+    """Return ``n`` microseconds as seconds."""
+    return n * MICROSECOND
+
+
+def bytes_per_second(volume_bytes: float, seconds: float) -> float:
+    """Average rate for transferring ``volume_bytes`` in ``seconds``.
+
+    Raises:
+        ValueError: if ``seconds`` is not positive.
+    """
+    if seconds <= 0:
+        raise ValueError(f"duration must be positive, got {seconds!r}")
+    return volume_bytes / seconds
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable byte count (decimal prefixes, 3 significant digits)."""
+    value = float(n_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1000.0 or unit == "TB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.3g} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration picked from {s, ms, µs, ns}."""
+    if seconds == 0:
+        return "0 s"
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.4g} s"
+    if magnitude >= MILLISECOND:
+        return f"{seconds / MILLISECOND:.4g} ms"
+    if magnitude >= MICROSECOND:
+        return f"{seconds / MICROSECOND:.4g} us"
+    return f"{seconds / NANOSECOND:.4g} ns"

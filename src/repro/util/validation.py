@@ -1,0 +1,56 @@
+"""Argument validation helpers with consistent error messages.
+
+Every public constructor in the library validates its inputs eagerly with
+these helpers so that configuration mistakes surface at build time rather
+than as nonsense simulation output thousands of events later.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_positive_int(name: str, value: Any) -> int:
+    """Require an integral value >= 1; return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Require ``lo <= value <= hi``; return it for chaining."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Require ``value`` to be a positive power of two; return it."""
+    check_positive_int(name, value)
+    if value & (value - 1) != 0:
+        raise ValueError(f"{name} must be a power of two, got {value!r}")
+    return value
+
+
+def check_odd(name: str, value: int) -> int:
+    """Require an odd positive integer; return it."""
+    check_positive_int(name, value)
+    if value % 2 == 0:
+        raise ValueError(f"{name} must be odd, got {value!r}")
+    return value

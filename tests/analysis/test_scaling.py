@@ -1,0 +1,63 @@
+"""Scaling decomposition tests."""
+
+import pytest
+
+from repro.analysis.scaling import scaling_series
+from repro.core.timing import CostModel
+
+MODEL = CostModel(line_rate=40e9, step_overhead=25e-6)
+NODES = (128, 256, 512, 1024, 2048)
+D = 100e6  # ResNet50 gradient
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("algo", ["Ring", "BT", "RD", "H-Ring", "WRHT"])
+    def test_terms_sum_to_total(self, algo):
+        for p in scaling_series(algo, NODES, D, MODEL):
+            assert p.total_time == pytest.approx(
+                p.latency_time + p.bandwidth_time
+            )
+            assert 0 <= p.latency_fraction <= 1
+
+    def test_latency_equals_steps_times_overhead(self):
+        for p in scaling_series("Ring", NODES, D, MODEL):
+            assert p.latency_time == pytest.approx(p.steps * 25e-6)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            scaling_series("AllToAll", NODES, D, MODEL)
+
+
+class TestPaperTrends:
+    def test_ring_becomes_latency_bound_at_scale(self):
+        # "Ring rises linearly": its latency term overtakes bandwidth.
+        points = scaling_series("Ring", NODES, D, MODEL)
+        fractions = [p.latency_fraction for p in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 0.5
+
+    def test_ring_bandwidth_term_flat(self):
+        points = scaling_series("Ring", NODES, D, MODEL)
+        bw = [p.bandwidth_time for p in points]
+        assert max(bw) < 1.05 * min(bw)  # ~2d/B regardless of N
+
+    def test_wrht_stays_bandwidth_bound(self):
+        # WRHT's few steps keep latency negligible even at 2048 nodes.
+        for p in scaling_series("WRHT", NODES, D, MODEL):
+            assert p.latency_fraction < 0.05
+
+    def test_bt_bandwidth_grows_with_log_n(self):
+        points = scaling_series("BT", NODES, D, MODEL)
+        assert points[-1].bandwidth_time > points[0].bandwidth_time
+
+    def test_steps_determine_winner_ordering_on_small_payloads(self):
+        # "communication time is primarily determined by the number of
+        # communication steps" — true in the latency-bound regime.
+        tiny = 1e4
+        totals = {
+            algo: scaling_series(algo, (1024,), tiny, MODEL)[0]
+            for algo in ("Ring", "BT", "WRHT")
+        }
+        by_steps = sorted(totals, key=lambda a: totals[a].steps)
+        by_time = sorted(totals, key=lambda a: totals[a].total_time)
+        assert by_steps == by_time

@@ -1,0 +1,38 @@
+"""All-to-all exchange step tests."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.alltoall import build_alltoall_step
+from repro.collectives.base import Schedule
+from repro.collectives.verify import run_schedule
+
+
+class TestAlltoallStep:
+    def test_pair_count(self):
+        step = build_alltoall_step([1, 5, 9], 10)
+        assert step.n_transfers == 6
+
+    def test_all_pairs_present(self):
+        nodes = [0, 3, 7, 11]
+        step = build_alltoall_step(nodes, 10)
+        pairs = {(t.src, t.dst) for t in step.transfers}
+        assert pairs == {(a, b) for a in nodes for b in nodes if a != b}
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            build_alltoall_step([3], 10)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            build_alltoall_step([1, 1, 2], 10)
+
+    def test_exchange_computes_sum_everywhere(self):
+        nodes = [0, 1, 2, 3]
+        step = build_alltoall_step(nodes, 4)
+        sched = Schedule("a2a", 4, 4, steps=[step], timing_profile=[(step, 1)])
+        buffers = np.arange(16, dtype=float).reshape(4, 4)
+        expected = buffers.sum(axis=0)
+        run_schedule(sched, buffers)
+        for row in buffers:
+            assert np.array_equal(row, expected)

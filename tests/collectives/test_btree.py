@@ -1,0 +1,56 @@
+"""Binary-tree All-reduce builder tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.btree import build_bt_schedule
+from repro.collectives.verify import verify_allreduce
+from repro.core.steps import bt_steps
+
+
+class TestBtSchedule:
+    def test_step_count(self):
+        for n in (2, 3, 5, 16, 100, 1024):
+            assert build_bt_schedule(n, 8).n_steps == bt_steps(n)
+
+    def test_full_vector_every_transfer(self):
+        sched = build_bt_schedule(16, 100)
+        for step in sched.iter_steps():
+            for t in step.transfers:
+                assert (t.lo, t.hi) == (0, 100)
+
+    def test_reduce_targets_node_zero(self):
+        sched = build_bt_schedule(16, 8)
+        reduce_steps = [s for s in sched.iter_steps() if s.stage == "reduce"]
+        # Last reduce step: the surviving half sends to node 0.
+        last = reduce_steps[-1]
+        assert len(last.transfers) == 1
+        assert last.transfers[0].dst == 0
+
+    def test_broadcast_mirrors_reduce(self):
+        sched = build_bt_schedule(16, 8)
+        steps = list(sched.iter_steps())
+        k = len(steps) // 2
+        for r, b in zip(steps[:k], reversed(steps[k:])):
+            r_pairs = sorted((t.src, t.dst) for t in r.transfers)
+            b_pairs = sorted((t.dst, t.src) for t in b.transfers)
+            assert r_pairs == b_pairs
+
+    def test_motivating_example_15_nodes_8_steps(self):
+        # Figure 2(a): binary tree on 15 nodes takes 8 steps.
+        assert build_bt_schedule(15, 4).n_steps == 8
+
+    def test_non_power_of_two_steps_nonempty(self):
+        for n in (3, 5, 9, 17, 33):
+            for step in build_bt_schedule(n, 4).iter_steps():
+                assert step.n_transfers >= 1
+
+    def test_profile_exact(self):
+        sched = build_bt_schedule(33, 10)
+        assert sched.meta["profile_exact"]
+        sched.validate_against_profile()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 64), st.integers(1, 100))
+    def test_allreduce_property(self, n, elems):
+        verify_allreduce(build_bt_schedule(n, elems))

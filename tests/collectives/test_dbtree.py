@@ -1,0 +1,67 @@
+"""Double-binary-tree All-reduce tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.btree import build_bt_schedule
+from repro.collectives.dbtree import build_dbtree_schedule
+from repro.collectives.verify import verify_allreduce
+from repro.core.steps import bt_steps
+
+
+class TestDbtreeSchedule:
+    def test_step_count_equals_bt(self):
+        for n in (2, 5, 16, 100, 1024):
+            assert build_dbtree_schedule(n, 64).n_steps == bt_steps(n)
+
+    def test_per_transfer_payload_halved(self):
+        bt = build_bt_schedule(64, 1000)
+        db = build_dbtree_schedule(64, 1000)
+        max_bt = max(t.n_elems for s in bt.iter_steps() for t in s.transfers)
+        max_db = max(t.n_elems for s in db.iter_steps() for t in s.transfers)
+        assert max_db == max_bt // 2
+
+    def test_two_roots_are_distinct(self):
+        db = build_dbtree_schedule(16, 100)
+        last_reduce = [s for s in db.iter_steps() if s.stage == "reduce"][-1]
+        roots = {t.dst for t in last_reduce.transfers}
+        assert len(roots) == 2  # tree A's root and tree B's rotated root
+
+    def test_vector_halves_are_disjoint(self):
+        db = build_dbtree_schedule(16, 100)
+        for step in db.iter_steps():
+            for t in step.transfers:
+                assert (t.lo, t.hi) in ((0, 50), (50, 100))
+
+    def test_odd_total_elems(self):
+        sched = build_dbtree_schedule(8, 7)
+        verify_allreduce(sched)
+
+    def test_single_element_vector(self):
+        # One half is empty; the schedule must still all-reduce the other.
+        verify_allreduce(build_dbtree_schedule(8, 1))
+
+    def test_halves_bt_time_on_the_optical_ring(self):
+        from repro.optical import OpticalRingNetwork, OpticalSystemConfig
+
+        cfg = OpticalSystemConfig(n_nodes=64, n_wavelengths=64)
+        net = OpticalRingNetwork(cfg)
+        elems = 10_000_000
+        t_bt = net.execute(build_bt_schedule(64, elems)).total_time
+        t_db = net.execute(build_dbtree_schedule(64, elems)).total_time
+        overhead = 12 * cfg.mrr_reconfig_delay  # same steps on both
+        assert (t_db - overhead) == pytest.approx((t_bt - overhead) / 2, rel=1e-6)
+
+    def test_registry(self):
+        from repro.collectives.registry import available_algorithms, build_schedule
+
+        assert "dbtree" in available_algorithms()
+        assert build_schedule("DBTree", 8, 16).algorithm == "dbtree"
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 80), st.integers(1, 150))
+    def test_allreduce_property(self, n, elems):
+        sched = build_dbtree_schedule(n, elems)
+        verify_allreduce(sched)
+        assert sched.n_steps == bt_steps(n)

@@ -1,0 +1,105 @@
+"""Grouped collectives and schedule remapping tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.grouped import (
+    build_grouped_allreduce,
+    remap_schedule,
+    verify_grouped_allreduce,
+)
+from repro.collectives.registry import build_schedule
+from repro.collectives.verify import verify_allreduce
+
+
+class TestRemap:
+    def test_identity_mapping(self):
+        sched = build_schedule("ring", 6, 12)
+        remapped = remap_schedule(sched, list(range(6)), 6)
+        verify_allreduce(remapped)
+
+    def test_strided_mapping_still_allreduces(self):
+        sched = build_schedule("bt", 4, 8)
+        remapped = remap_schedule(sched, [0, 4, 8, 12], 16)
+        # Group-wise check: the 4 mapped nodes hold their group sum.
+        remapped.meta["groups"] = ((0, 4, 8, 12),)
+        verify_grouped_allreduce(remapped)
+
+    def test_mapping_validation(self):
+        sched = build_schedule("ring", 4, 8)
+        with pytest.raises(ValueError, match="entries"):
+            remap_schedule(sched, [0, 1], 8)
+        with pytest.raises(ValueError, match="injective"):
+            remap_schedule(sched, [0, 1, 1, 2], 8)
+        with pytest.raises(ValueError, match="range"):
+            remap_schedule(sched, [0, 1, 2, 9], 8)
+
+    def test_structure_preserved(self):
+        sched = build_schedule("wrht", 8, 16, n_wavelengths=4)
+        remapped = remap_schedule(sched, [3, 5, 7, 9, 11, 13, 15, 1], 16)
+        assert remapped.n_steps == sched.n_steps
+        assert remapped.meta["mapping"] == (3, 5, 7, 9, 11, 13, 15, 1)
+
+
+class TestGroupedAllreduce:
+    def test_contiguous_groups(self):
+        groups = [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11]]
+        sched = build_grouped_allreduce(groups, 16, 12, algorithm="ring")
+        verify_grouped_allreduce(sched)
+        assert sched.n_steps == 6  # one 4-rank ring all-reduce's steps
+
+    def test_strided_groups(self):
+        groups = [[0, 4, 8, 12], [1, 5, 9, 13], [2, 6, 10, 14]]
+        sched = build_grouped_allreduce(
+            groups, 12, 16, algorithm="wrht", n_wavelengths=4
+        )
+        verify_grouped_allreduce(sched)
+
+    def test_bystanders_untouched(self):
+        sched = build_grouped_allreduce([[0, 2], [5, 7]], 8, 10, algorithm="bt")
+        verify_grouped_allreduce(sched)  # includes the bystander check
+
+    def test_unequal_groups_rejected(self):
+        with pytest.raises(ValueError, match="same size"):
+            build_grouped_allreduce([[0, 1], [2, 3, 4]], 8, 8)
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            build_grouped_allreduce([[0, 1], [1, 2]], 8, 8)
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ValueError):
+            build_grouped_allreduce([], 8, 8)
+
+    def test_verify_needs_groups_meta(self):
+        sched = build_schedule("ring", 4, 8)
+        with pytest.raises(ValueError, match="groups"):
+            verify_grouped_allreduce(sched)
+
+    def test_detects_cross_group_corruption(self):
+        from repro.collectives.base import CommStep, Schedule, Transfer
+
+        # A "grouped" schedule that leaks between groups must be rejected.
+        step = CommStep((Transfer(0, 2, 0, 4, "sum"), Transfer(2, 0, 0, 4, "sum")))
+        bad = Schedule("leaky", 4, 4, steps=[step], timing_profile=[(step, 1)])
+        bad.meta["groups"] = ((0, 1), (2, 3))
+        with pytest.raises(AssertionError):
+            verify_grouped_allreduce(bad)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sampled_from(["ring", "bt", "rd", "wrht"]),
+        st.integers(2, 6),
+        st.integers(1, 5),
+        st.integers(1, 40),
+    )
+    def test_grouped_property(self, algo, group_size, n_groups, elems):
+        n = group_size * n_groups + 3  # leave bystanders
+        kwargs = {"n_wavelengths": 4} if algo == "wrht" else {}
+        groups = [
+            [g * group_size + i for i in range(group_size)]
+            for g in range(n_groups)
+        ]
+        sched = build_grouped_allreduce(groups, elems, n, algorithm=algo, **kwargs)
+        verify_grouped_allreduce(sched)

@@ -1,0 +1,59 @@
+"""H-Ring All-reduce builder tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.hring import build_hring_schedule
+from repro.collectives.verify import verify_allreduce
+from repro.core.steps import hring_steps
+
+
+class TestHRingSchedule:
+    def test_table1_step_count_1024_m5(self):
+        sched = build_hring_schedule(1024, 1024, m=5, materialize=False)
+        assert sched.n_steps == 417 == hring_steps(1024, 5, 64)
+
+    def test_divisible_structure(self):
+        # N=20, m=5: 4 groups; 2(m-1)=8 intra + 2(G-1)=6 inter + 1 bcast.
+        sched = build_hring_schedule(20, 40, m=5)
+        assert sched.n_steps == 15
+        stages = [s.stage for s in sched.iter_steps()]
+        assert stages.count("reduce") == 4 + 3  # intra RS + inter RS
+        assert stages[-1] == "broadcast"
+
+    def test_meta(self):
+        sched = build_hring_schedule(20, 40, m=5)
+        assert sched.meta["n_groups"] == 4
+        assert sched.meta["m"] == 5
+
+    def test_single_group_no_inter_phase(self):
+        # All nodes in one group: plain intra ring all-reduce, no broadcast.
+        sched = build_hring_schedule(5, 10, m=5)
+        assert sched.n_steps == 2 * 4
+
+    def test_m1_degenerates_to_leader_ring(self):
+        sched = build_hring_schedule(6, 12, m=1)
+        assert sched.n_steps == 2 * 5  # pure inter-group ring over 6 leaders
+        verify_allreduce(sched)
+
+    def test_group_exceeding_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            build_hring_schedule(4, 8, m=5)
+
+    def test_uneven_last_group(self):
+        sched = build_hring_schedule(13, 26, m=5)  # groups 5,5,3
+        verify_allreduce(sched)
+
+    def test_schedule_steps_close_to_closed_form(self):
+        # The executable schedule and the Table 1 closed form may differ by
+        # the ceil terms for non-divisible N; they must stay within 2 steps.
+        for n, m in [(20, 5), (100, 5), (128, 4), (60, 7), (1024, 5)]:
+            sched = build_hring_schedule(n, n, m=m, materialize=False)
+            assert abs(sched.n_steps - hring_steps(n, m, max(m, 64))) <= 2, (n, m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 50), st.integers(1, 10), st.integers(1, 120))
+    def test_allreduce_property(self, n, m, elems):
+        m = min(m, n)
+        verify_allreduce(build_hring_schedule(n, elems, m=m, materialize=True))

@@ -1,0 +1,166 @@
+"""Mutation tests: the verifier must *fail* on corrupted schedules.
+
+A verification oracle that accepts everything is worse than none. These
+tests take correct schedules, apply single-fault mutations (drop a
+transfer, flip an op, redirect a destination, shrink a range) and assert
+that :func:`verify_allreduce` rejects the result — demonstrating the
+exact-sum postcondition actually has teeth.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.base import CommStep, Schedule, Transfer
+from repro.collectives.registry import build_schedule
+from repro.collectives.verify import ScheduleConflictError, verify_allreduce
+
+ALGORITHMS = ["ring", "bt", "rd", "hring", "wrht"]
+
+
+def _build(algo: str, n: int = 12, elems: int = 24) -> Schedule:
+    kwargs = {}
+    if algo == "hring":
+        kwargs["m"] = 4
+    if algo == "wrht":
+        kwargs["n_wavelengths"] = 3
+    return build_schedule(algo, n, elems, materialize=True, **kwargs)
+
+
+def _mutate(schedule: Schedule, step_idx: int, kind: str) -> Schedule:
+    steps = list(schedule.iter_steps())
+    step = steps[step_idx]
+    transfers = list(step.transfers)
+    victim = max(range(len(transfers)), key=lambda i: transfers[i].n_elems)
+    t = transfers[victim]
+    if t.n_elems == 0:
+        return schedule  # nothing to corrupt meaningfully
+    if kind == "drop":
+        del transfers[victim]
+        if not transfers:
+            return schedule
+    elif kind == "flip_op":
+        transfers[victim] = Transfer(
+            t.src, t.dst, t.lo, t.hi, "copy" if t.op == "sum" else "sum"
+        )
+    elif kind == "redirect":
+        # Corrupt the *source*: the original sender's contribution vanishes
+        # and another node's is double-counted — unlike redirecting the
+        # destination, this can never be repaired downstream (a redirected
+        # dst on a chain algorithm still feeds the same accumulation path).
+        new_src = (t.src + 1) % schedule.n_nodes
+        if new_src == t.dst:
+            new_src = (new_src + 1) % schedule.n_nodes
+        transfers[victim] = Transfer(new_src, t.dst, t.lo, t.hi, t.op)
+    elif kind == "shrink":
+        if t.n_elems < 2:
+            return schedule
+        transfers[victim] = Transfer(t.src, t.dst, t.lo, t.hi - 1, t.op)
+    else:  # pragma: no cover
+        raise ValueError(kind)
+    steps[step_idx] = CommStep(tuple(transfers), stage=step.stage, level=step.level)
+    return Schedule(
+        algorithm=schedule.algorithm + "-mutated",
+        n_nodes=schedule.n_nodes,
+        total_elems=schedule.total_elems,
+        steps=steps,
+        timing_profile=[(s, 1) for s in steps],
+    )
+
+
+class TestSingleFaultDetection:
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    @pytest.mark.parametrize("kind", ["drop", "flip_op", "redirect", "shrink"])
+    def test_first_step_mutations_detected(self, algo, kind):
+        original = _build(algo)
+        mutated = _mutate(original, 0, kind)
+        if mutated is original:
+            pytest.skip("mutation was a no-op for this schedule")
+        with pytest.raises((AssertionError, ScheduleConflictError)):
+            verify_allreduce(mutated)
+
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_last_step_drop_detected(self, algo):
+        original = _build(algo)
+        last = original.n_steps - 1
+        mutated = _mutate(original, last, "drop")
+        if mutated is original:
+            pytest.skip("mutation was a no-op")
+        with pytest.raises((AssertionError, ScheduleConflictError)):
+            verify_allreduce(mutated)
+
+
+class TestExhaustiveFaultCensus:
+    """Every (algorithm, step, mutation-kind) single fault, exhaustively.
+
+    Not every fault *should* be detected, because the schedules carry
+    genuine replication: broadcast stages leave many nodes with identical
+    data (so swapping a copy's source to another finished node is a
+    semantic no-op), H-Ring's final leader broadcast masks late all-gather
+    copies, and H-Ring's intra-group all-reduce leaves whole groups holding
+    identical sums (so a source swap within the group is invisible even on
+    a ``sum`` transfer). The census asserts the precise invariant instead:
+    **dropping, op-flipping or truncating a ``sum`` transfer is always
+    detected** — a lost, doubled-as-copy or truncated contribution can
+    never self-repair — source swaps are only maskable by replication, and
+    overall detection stays above 80%.
+    """
+
+    def test_census(self):
+        total = detected = 0
+        undetected: list[tuple] = []
+        for algo in ALGORITHMS:
+            original = _build(algo)
+            for step_idx in range(original.n_steps):
+                for kind in ("drop", "flip_op", "redirect", "shrink"):
+                    victim_op = _victim_op(original, step_idx)
+                    mutated = _mutate(original, step_idx, kind)
+                    if mutated is original:
+                        continue
+                    total += 1
+                    try:
+                        verify_allreduce(mutated)
+                    except (AssertionError, ScheduleConflictError):
+                        detected += 1
+                    else:
+                        undetected.append((algo, step_idx, kind, victim_op))
+        # Surviving mutations are either on redundant copies, or are
+        # source swaps masked by data replication.
+        for algo, step_idx, kind, victim_op in undetected:
+            assert victim_op == "copy" or kind == "redirect", (
+                algo, step_idx, kind, victim_op,
+            )
+        assert detected / total > 0.8, (detected, total, undetected)
+
+
+def _victim_op(schedule: Schedule, step_idx: int) -> str:
+    steps = list(schedule.iter_steps())
+    transfers = steps[step_idx].transfers
+    victim = max(range(len(transfers)), key=lambda i: transfers[i].n_elems)
+    return transfers[victim].op
+
+
+class TestHRingRedundancy:
+    """A reproduction finding: H-Ring's leader broadcast masks faults in
+    intra-group all-gather copies whose only consumer would have been a
+    non-leader member — those transfers are redundant work."""
+
+    def test_dropping_redundant_ag_copy_is_harmless(self):
+        original = _build("hring")  # N=12, m=4: steps 0-5 intra, 6-9 inter
+        # Step 3 is the first intra all-gather step; its copies into
+        # non-leader members get overwritten by the final broadcast.
+        mutated = _mutate(original, 3, "drop")
+        assert mutated is not original
+        verify_allreduce(mutated)  # still a correct All-reduce
+
+    def test_dropping_intra_rs_is_fatal(self):
+        original = _build("hring")
+        mutated = _mutate(original, 0, "drop")  # reduce-scatter feeds leaders
+        with pytest.raises(AssertionError):
+            verify_allreduce(mutated)
+
+    def test_dropping_final_broadcast_is_fatal(self):
+        original = _build("hring")
+        mutated = _mutate(original, original.n_steps - 1, "drop")
+        with pytest.raises(AssertionError):
+            verify_allreduce(mutated)

@@ -1,0 +1,87 @@
+"""Cross-algorithm property-based tests.
+
+The invariants every All-reduce schedule in the library must satisfy,
+checked uniformly over random (algorithm, N, vector length) draws:
+
+1. exact-sum postcondition on every node,
+2. schedule step count equals the algorithm's closed form (where one
+   exists exactly),
+3. per-step conflict-freedom (no order-dependent writes),
+4. conservation: reduce stages never shrink information — the final state
+   is reproducible from a fresh run (determinism).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.base import Schedule
+from repro.collectives.registry import build_schedule
+from repro.collectives.verify import (
+    check_step_conflicts,
+    initial_buffers,
+    run_schedule,
+    verify_allreduce,
+)
+from repro.core.steps import bt_steps, rd_steps, ring_steps, wrht_steps
+
+ALGORITHMS = ["ring", "bt", "rd", "hring", "wrht"]
+
+
+def _build(algo: str, n: int, elems: int) -> Schedule:
+    if algo == "hring":
+        return build_schedule(algo, n, elems, m=min(5, n), materialize=True)
+    if algo == "wrht":
+        return build_schedule(algo, n, elems, n_wavelengths=8, materialize=True)
+    return build_schedule(algo, n, elems, materialize=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from(ALGORITHMS),
+    st.integers(2, 48),
+    st.integers(1, 150),
+)
+def test_allreduce_postcondition(algo, n, elems):
+    verify_allreduce(_build(algo, n, elems))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(ALGORITHMS), st.integers(2, 48))
+def test_no_step_conflicts(algo, n):
+    sched = _build(algo, n, 32)
+    for step in sched.iter_steps():
+        check_step_conflicts(step)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 100))
+def test_closed_form_step_counts(n):
+    assert _build("ring", n, 8).n_steps == ring_steps(n)
+    assert _build("bt", n, 8).n_steps == bt_steps(n)
+    assert _build("rd", n, 8).n_steps == rd_steps(n)
+    assert _build("wrht", n, 8).n_steps == wrht_steps(n, min(17, n), 8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(ALGORITHMS), st.integers(2, 32), st.integers(1, 64))
+def test_determinism(algo, n, elems):
+    sched = _build(algo, n, elems)
+    a = run_schedule(sched, initial_buffers(n, elems))
+    b = run_schedule(sched, initial_buffers(n, elems))
+    assert np.array_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(ALGORITHMS), st.integers(2, 32))
+def test_profile_step_totals_match_materialized(algo, n):
+    sched = _build(algo, n, 64)
+    assert sched.n_steps == len(list(sched.iter_steps()))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(["bt", "rd", "wrht"]), st.integers(2, 32), st.integers(1, 50))
+def test_exact_profiles_validate(algo, n, elems):
+    sched = _build(algo, n, elems)
+    if sched.meta.get("profile_exact"):
+        sched.validate_against_profile()

@@ -1,0 +1,51 @@
+"""Recursive-doubling All-reduce builder tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.rd import build_rd_schedule
+from repro.collectives.verify import verify_allreduce
+from repro.core.steps import rd_steps
+
+
+class TestRdSchedule:
+    def test_step_count_matches_formula(self):
+        for n in (2, 3, 4, 5, 8, 13, 16, 100, 1024):
+            assert build_rd_schedule(n, 8).n_steps == rd_steps(n)
+
+    def test_power_of_two_all_exchanges(self):
+        sched = build_rd_schedule(8, 10)
+        for step in sched.iter_steps():
+            assert step.stage == "exchange"
+            # Symmetric: for every a->b there is b->a.
+            pairs = {(t.src, t.dst) for t in step.transfers}
+            assert all((b, a) in pairs for a, b in pairs)
+
+    def test_power_of_two_full_participation(self):
+        sched = build_rd_schedule(16, 10)
+        for step in sched.iter_steps():
+            assert step.n_transfers == 16  # everyone sends every step
+
+    def test_non_power_of_two_fixups(self):
+        sched = build_rd_schedule(6, 10)
+        steps = list(sched.iter_steps())
+        assert steps[0].stage == "reduce"  # fold-in
+        assert steps[-1].stage == "broadcast"  # copy-back
+        # 6 = 4 + 2 extras: pre-step folds 2 odd nodes.
+        assert steps[0].n_transfers == 2
+        assert steps[-1].n_transfers == 2
+
+    def test_full_vector_transfers(self):
+        sched = build_rd_schedule(8, 77)
+        for step in sched.iter_steps():
+            for t in step.transfers:
+                assert t.n_elems == 77
+
+    def test_meta_power_of_two_flag(self):
+        assert build_rd_schedule(16, 4).meta["power_of_two"]
+        assert not build_rd_schedule(17, 4).meta["power_of_two"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 70), st.integers(1, 100))
+    def test_allreduce_property(self, n, elems):
+        verify_allreduce(build_rd_schedule(n, elems))

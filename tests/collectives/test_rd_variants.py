@@ -1,0 +1,61 @@
+"""Rabenseifner halving-doubling RD variant tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.rd import build_rd_schedule
+from repro.collectives.verify import verify_allreduce
+from repro.core.steps import rd_steps
+
+
+class TestHalvingDoubling:
+    def test_step_count_power_of_two(self):
+        sched = build_rd_schedule(16, 160, variant="halving_doubling")
+        assert sched.n_steps == 8 == rd_steps(16, "halving_doubling")
+
+    def test_step_count_non_power(self):
+        sched = build_rd_schedule(13, 160, variant="halving_doubling")
+        assert sched.n_steps == rd_steps(13, "halving_doubling") == 8
+
+    def test_payload_halves_in_reduce_scatter(self):
+        sched = build_rd_schedule(16, 1600, variant="halving_doubling")
+        rs = [s for s in sched.iter_steps() if s.stage == "reduce"]
+        sizes = [max(t.n_elems for t in s.transfers) for s in rs]
+        assert sizes == [800, 400, 200, 100]
+
+    def test_total_traffic_is_rabenseifner_bound(self):
+        # Each node moves 2·d·(1 − 1/P) bytes — the large-message optimum.
+        sched = build_rd_schedule(16, 1600, variant="halving_doubling")
+        per_node: dict[int, int] = {}
+        for step in sched.iter_steps():
+            for t in step.transfers:
+                per_node[t.src] = per_node.get(t.src, 0) + t.n_elems
+        assert set(per_node.values()) == {2 * 1600 * 15 // 16}
+
+    def test_much_less_traffic_than_full_vector_variant(self):
+        def traffic(variant):
+            sched = build_rd_schedule(64, 6400, variant=variant)
+            return sum(
+                t.n_elems for s in sched.iter_steps() for t in s.transfers
+            )
+
+        assert traffic("halving_doubling") < traffic("doubling") / 2
+
+    def test_meta_records_variant(self):
+        sched = build_rd_schedule(8, 10, variant="halving_doubling")
+        assert sched.meta["variant"] == "halving_doubling"
+        assert build_rd_schedule(8, 10).meta["variant"] == "doubling"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="variant"):
+            build_rd_schedule(8, 10, variant="quartering")
+        with pytest.raises(ValueError, match="variant"):
+            rd_steps(8, "quartering")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 80), st.integers(1, 200))
+    def test_allreduce_property(self, n, elems):
+        sched = build_rd_schedule(n, elems, variant="halving_doubling")
+        verify_allreduce(sched)
+        assert sched.n_steps == rd_steps(n, "halving_doubling")

@@ -1,0 +1,27 @@
+"""Algorithm registry tests."""
+
+import pytest
+
+from repro.collectives.registry import available_algorithms, build_schedule
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert available_algorithms() == [
+            "bt", "dbtree", "hring", "rd", "ring", "wrht",
+        ]
+
+    def test_display_names_accepted(self):
+        for name in ("Ring", "H-Ring", "BT", "DBTree", "RD", "WRHT"):
+            sched = build_schedule(name, 4, 8)
+            assert sched.n_nodes == 4
+
+    def test_kwargs_forwarded(self):
+        sched = build_schedule("wrht", 64, 8, n_wavelengths=4)
+        assert sched.meta["plan"].n_wavelengths == 4
+        sched = build_schedule("hring", 20, 8, m=4)
+        assert sched.meta["m"] == 4
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            build_schedule("allgatherv", 4, 8)

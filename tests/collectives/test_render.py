@@ -1,0 +1,60 @@
+"""Schedule rendering tests."""
+
+from repro.collectives.base import CommStep, Transfer
+from repro.collectives.registry import build_schedule
+from repro.collectives.render import render_schedule, render_step
+
+
+class TestRenderSchedule:
+    def test_wrht_grid_shape(self):
+        sched = build_schedule("wrht", 15, 15, n_wavelengths=2)
+        out = render_schedule(sched)
+        lines = out.splitlines()
+        assert "wrht: 3 steps x 15 nodes" in lines[0]
+        # 3 step rows + header + title + legend.
+        assert len(lines) == 6
+
+    def test_motivating_example_symbols(self):
+        # 15 nodes, w=2: step 1 collects to reps 2, 7, 12 — reps receive,
+        # everyone else sends.
+        sched = build_schedule("wrht", 15, 15, n_wavelengths=2)
+        out = render_schedule(sched)
+        step1 = next(l for l in out.splitlines() if l.startswith("  1"))
+        grid = step1.split()[-1]
+        for rep in (2, 7, 12):
+            assert grid[rep] == "v"
+        assert grid.count("v") == 3
+        assert set(grid) <= {">", "<", "v"}
+
+    def test_exchange_marks_both(self):
+        sched = build_schedule("rd", 8, 8)
+        out = render_schedule(sched)
+        step1 = next(l for l in out.splitlines() if l.startswith("  1"))
+        assert set(step1.split()[-1]) == {"x"}  # everyone sends and receives
+
+    def test_node_clipping(self):
+        sched = build_schedule("ring", 128, 128)
+        out = render_schedule(sched, max_nodes=16)
+        assert "showing first 16 nodes" in out
+
+    def test_step_clipping(self):
+        sched = build_schedule("ring", 32, 32)
+        out = render_schedule(sched, max_steps=5)
+        assert "more steps" in out
+
+    def test_legend_present(self):
+        sched = build_schedule("bt", 4, 4)
+        assert "legend:" in render_schedule(sched)
+
+
+class TestRenderStep:
+    def test_lists_transfers(self):
+        step = CommStep((Transfer(0, 1, 0, 10, "sum"), Transfer(2, 3, 5, 10, "copy")))
+        out = render_step(step)
+        assert "0 ->     1" in out
+        assert "[5, 10)" in out and "copy" in out
+
+    def test_clips_long_steps(self):
+        step = CommStep(tuple(Transfer(i, i + 1, 0, 4) for i in range(0, 100, 2)))
+        out = render_step(step, max_transfers=10)
+        assert "40 more" in out

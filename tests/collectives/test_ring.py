@@ -1,0 +1,77 @@
+"""Ring All-reduce builder tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.ring import build_ring_schedule, chunk_bounds
+from repro.collectives.verify import verify_allreduce
+from repro.core.steps import ring_steps
+
+
+class TestChunkBounds:
+    def test_divisible(self):
+        assert chunk_bounds(12, 4) == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_remainder_goes_to_first_chunks(self):
+        assert chunk_bounds(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_chunks_than_elems(self):
+        bounds = chunk_bounds(2, 4)
+        assert bounds == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_covers_exactly(self):
+        for total, n in [(100, 7), (5, 5), (3, 8)]:
+            bounds = chunk_bounds(total, n)
+            assert bounds[0][0] == 0 and bounds[-1][1] == total
+            for (_, h1), (l2, _) in zip(bounds, bounds[1:]):
+                assert h1 == l2
+
+
+class TestRingSchedule:
+    def test_step_count(self):
+        for n in (2, 3, 17, 64):
+            assert build_ring_schedule(n, 64).n_steps == ring_steps(n)
+
+    def test_all_transfers_are_neighbor_hops(self):
+        sched = build_ring_schedule(8, 16)
+        for step in sched.iter_steps():
+            for t in step.transfers:
+                assert t.dst == (t.src + 1) % 8
+
+    def test_chunk_size_is_d_over_n(self):
+        sched = build_ring_schedule(8, 64)
+        for step in sched.iter_steps():
+            for t in step.transfers:
+                assert t.n_elems == 8
+
+    def test_stage_split(self):
+        sched = build_ring_schedule(4, 8)
+        stages = [s.stage for s in sched.iter_steps()]
+        assert stages == ["reduce"] * 3 + ["broadcast"] * 3
+
+    def test_profile_compresses_to_two_entries(self):
+        sched = build_ring_schedule(512, 512 * 4, materialize=False)
+        assert len(sched.timing_profile) == 2
+        assert [c for _, c in sched.timing_profile] == [511, 511]
+
+    def test_profile_matches_materialized_when_divisible(self):
+        sched = build_ring_schedule(8, 64, materialize=True)
+        assert sched.meta["profile_exact"]
+        sched.validate_against_profile()
+
+    def test_profile_marked_approximate_when_not_divisible(self):
+        sched = build_ring_schedule(8, 63)
+        assert not sched.meta["profile_exact"]
+
+    def test_auto_materialization_cutoff(self):
+        assert build_ring_schedule(128, 128).steps is not None
+        assert build_ring_schedule(129, 129).steps is None
+
+    def test_single_node(self):
+        assert build_ring_schedule(1, 10).n_steps == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 40), st.integers(1, 200))
+    def test_allreduce_property(self, n, elems):
+        verify_allreduce(build_ring_schedule(n, elems, materialize=True))

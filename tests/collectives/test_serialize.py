@@ -1,0 +1,91 @@
+"""Schedule serialization tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.registry import build_schedule
+from repro.collectives.serialize import (
+    dump_schedule,
+    load_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.collectives.verify import verify_allreduce
+from repro.optical import OpticalRingNetwork, OpticalSystemConfig
+
+
+def _build(algo, n=16, elems=32):
+    kwargs = {"materialize": True}
+    if algo == "wrht":
+        kwargs["n_wavelengths"] = 4
+    return build_schedule(algo, n, elems, **kwargs)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("algo", ["ring", "bt", "dbtree", "rd", "hring", "wrht"])
+    def test_structure_survives(self, algo):
+        original = _build(algo)
+        restored = schedule_from_dict(schedule_to_dict(original))
+        assert restored.algorithm == original.algorithm
+        assert restored.n_steps == original.n_steps
+        for a, b in zip(original.iter_steps(), restored.iter_steps()):
+            assert a.transfers == b.transfers
+            assert a.stage == b.stage
+
+    @pytest.mark.parametrize("algo", ["ring", "wrht"])
+    def test_restored_schedule_still_allreduces(self, algo):
+        restored = schedule_from_dict(schedule_to_dict(_build(algo)))
+        verify_allreduce(restored)
+
+    def test_restored_schedule_prices_identically(self):
+        net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=16, n_wavelengths=4))
+        original = _build("wrht")
+        restored = schedule_from_dict(schedule_to_dict(original))
+        assert net.execute(restored).total_time == net.execute(original).total_time
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "sched.json")
+        original = _build("bt")
+        dump_schedule(original, path)
+        restored = load_schedule(path)
+        assert restored.n_steps == original.n_steps
+        verify_allreduce(restored)
+
+    def test_rich_meta_dropped_with_marker(self):
+        data = schedule_to_dict(_build("wrht"))
+        assert "plan" in data["meta"]["_dropped_meta"]
+        assert "plan" not in data["meta"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sampled_from(["ring", "bt", "dbtree", "rd", "wrht"]),
+        st.integers(2, 32),
+        st.integers(1, 80),
+    )
+    def test_round_trip_property(self, algo, n, elems):
+        original = _build(algo, n, elems)
+        restored = schedule_from_dict(schedule_to_dict(original))
+        verify_allreduce(restored)
+        assert [c for _, c in restored.timing_profile] == [
+            c for _, c in original.timing_profile
+        ]
+
+
+class TestValidation:
+    def test_unmaterialized_rejected(self):
+        sched = build_schedule("ring", 256, 256, materialize=False)
+        with pytest.raises(ValueError, match="materialized"):
+            schedule_to_dict(sched)
+
+    def test_version_checked(self):
+        data = schedule_to_dict(_build("ring"))
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            schedule_from_dict(data)
+
+    def test_profile_count_mismatch_rejected(self):
+        data = schedule_to_dict(_build("ring"))
+        data["profile_counts"] = [1]
+        with pytest.raises(ValueError, match="counts"):
+            schedule_from_dict(data)

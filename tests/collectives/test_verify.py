@@ -1,0 +1,94 @@
+"""Numerical executor and verifier tests."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.base import CommStep, Schedule, Transfer
+from repro.collectives.verify import (
+    ScheduleConflictError,
+    check_step_conflicts,
+    initial_buffers,
+    run_schedule,
+    verify_allreduce,
+)
+
+
+def _schedule(steps, n, elems):
+    return Schedule("test", n, elems, steps=list(steps),
+                    timing_profile=[(s, 1) for s in steps])
+
+
+class TestConflictChecks:
+    def test_two_copies_same_range_rejected(self):
+        step = CommStep((Transfer(0, 2, 0, 5, "copy"), Transfer(1, 2, 0, 5, "copy")))
+        with pytest.raises(ScheduleConflictError):
+            check_step_conflicts(step)
+
+    def test_copy_plus_sum_overlap_rejected(self):
+        step = CommStep((Transfer(0, 2, 0, 5, "copy"), Transfer(1, 2, 3, 8, "sum")))
+        with pytest.raises(ScheduleConflictError):
+            check_step_conflicts(step)
+
+    def test_many_sums_allowed(self):
+        step = CommStep(tuple(Transfer(i, 9, 0, 5, "sum") for i in range(9)))
+        check_step_conflicts(step)  # no raise
+
+    def test_disjoint_copies_allowed(self):
+        step = CommStep((Transfer(0, 2, 0, 5, "copy"), Transfer(1, 2, 5, 10, "copy")))
+        check_step_conflicts(step)
+
+    def test_empty_transfers_ignored(self):
+        step = CommStep((Transfer(0, 2, 3, 3, "copy"), Transfer(1, 2, 0, 5, "copy")))
+        check_step_conflicts(step)
+
+
+class TestRunSchedule:
+    def test_sum_semantics(self):
+        step = CommStep((Transfer(0, 1, 0, 3, "sum"),))
+        buffers = np.array([[1.0, 2.0, 3.0], [10.0, 20.0, 30.0]])
+        run_schedule(_schedule([step], 2, 3), buffers)
+        assert buffers[1].tolist() == [11.0, 22.0, 33.0]
+        assert buffers[0].tolist() == [1.0, 2.0, 3.0]  # source unchanged
+
+    def test_copy_semantics(self):
+        step = CommStep((Transfer(0, 1, 1, 3, "copy"),))
+        buffers = np.array([[1.0, 2.0, 3.0], [10.0, 20.0, 30.0]])
+        run_schedule(_schedule([step], 2, 3), buffers)
+        assert buffers[1].tolist() == [10.0, 2.0, 3.0]
+
+    def test_symmetric_exchange_reads_pre_state(self):
+        # Both nodes send their pre-step value — order must not matter.
+        step = CommStep((Transfer(0, 1, 0, 1, "sum"), Transfer(1, 0, 0, 1, "sum")))
+        buffers = np.array([[1.0], [2.0]])
+        run_schedule(_schedule([step], 2, 1), buffers)
+        assert buffers.tolist() == [[3.0], [3.0]]
+
+    def test_shape_mismatch_rejected(self):
+        step = CommStep((Transfer(0, 1, 0, 3, "sum"),))
+        with pytest.raises(ValueError, match="shape"):
+            run_schedule(_schedule([step], 2, 3), np.zeros((3, 3)))
+
+    def test_conflict_detected_at_runtime(self):
+        step = CommStep((Transfer(0, 2, 0, 2, "copy"), Transfer(1, 2, 0, 2, "copy")))
+        with pytest.raises(ScheduleConflictError):
+            run_schedule(_schedule([step], 3, 2), np.zeros((3, 2)))
+
+
+class TestVerifyAllreduce:
+    def test_initial_buffers_distinguish_cells(self):
+        buffers = initial_buffers(4, 6)
+        assert len(np.unique(buffers)) == 24
+
+    def test_detects_broken_allreduce(self):
+        # A schedule that only reduces to node 0 but never broadcasts.
+        step = CommStep((Transfer(1, 0, 0, 4, "sum"),))
+        broken = _schedule([step], 2, 4)
+        with pytest.raises(AssertionError, match="node 1"):
+            verify_allreduce(broken)
+
+    def test_accepts_correct_schedule(self):
+        steps = [
+            CommStep((Transfer(1, 0, 0, 4, "sum"),)),
+            CommStep((Transfer(0, 1, 0, 4, "copy"),)),
+        ]
+        verify_allreduce(_schedule(steps, 2, 4))

@@ -1,0 +1,81 @@
+"""WRHT schedule builder tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.wrht_schedule import build_wrht_schedule
+from repro.collectives.verify import verify_allreduce
+from repro.core.planner import plan_wrht
+from repro.core.steps import wrht_steps
+
+
+class TestWrhtSchedule:
+    def test_paper_config_three_steps(self):
+        sched = build_wrht_schedule(1024, 1024, n_wavelengths=64)
+        assert sched.n_steps == 3
+        stages = [s.stage for s in sched.iter_steps()]
+        assert stages == ["reduce", "reduce", "broadcast"]
+
+    def test_motivating_example_15_nodes_2_wavelengths(self):
+        # Figure 2(b): 15 nodes, w=2 -> m=5, 3 steps (collect, rep
+        # all-to-all, broadcast).
+        sched = build_wrht_schedule(15, 15, n_wavelengths=2)
+        assert sched.n_steps == 3
+        plan = sched.meta["plan"]
+        assert plan.m == 5
+        assert plan.m_star == 3
+        assert plan.alltoall
+
+    def test_alltoall_step_structure(self):
+        sched = build_wrht_schedule(15, 15, n_wavelengths=2)
+        exchange = list(sched.iter_steps())[1]
+        reps = {2, 7, 12}
+        assert {t.src for t in exchange.transfers} == reps
+        assert {t.dst for t in exchange.transfers} == reps
+        assert len(exchange.transfers) == 3 * 2
+
+    def test_without_alltoall_shortcut(self):
+        # m=33, w=16: 32 reps survive; their all-to-all needs 128
+        # wavelengths > 16, so the final reduce step is a plain collect and
+        # the broadcast replays every level: 2L = 4 steps.
+        tight = plan_wrht(1024, 16, m=33)
+        assert not tight.alltoall
+        sched = build_wrht_schedule(1024, 64, plan=tight)
+        assert sched.n_steps == wrht_steps(1024, 33, 16) == 2 * tight.n_levels == 4
+
+    def test_full_vector_transfers(self):
+        sched = build_wrht_schedule(60, 33, n_wavelengths=4)
+        for step in sched.iter_steps():
+            for t in step.transfers:
+                assert (t.lo, t.hi) == (0, 33)
+
+    def test_plan_ring_mismatch_rejected(self):
+        plan = plan_wrht(64, 8)
+        with pytest.raises(ValueError, match="plan is for"):
+            build_wrht_schedule(128, 10, plan=plan)
+
+    def test_plan_attached_to_meta(self):
+        sched = build_wrht_schedule(100, 10, n_wavelengths=8)
+        assert sched.meta["plan"].n_nodes == 100
+
+    def test_single_node(self):
+        assert build_wrht_schedule(1, 10).n_steps == 0
+
+    def test_theta_always_matches_plan(self):
+        for n in (2, 9, 15, 64, 200, 1024):
+            for w in (1, 2, 8, 64):
+                sched = build_wrht_schedule(n, 8, n_wavelengths=w)
+                assert sched.n_steps == sched.meta["plan"].theta, (n, w)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 80), st.integers(1, 32), st.integers(1, 100))
+    def test_allreduce_property(self, n, w, elems):
+        verify_allreduce(build_wrht_schedule(n, elems, n_wavelengths=w))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 60), st.integers(2, 20))
+    def test_allreduce_property_forced_m(self, n, m):
+        m = min(m, n)
+        w = max(1, m // 2)
+        verify_allreduce(build_wrht_schedule(n, 16, n_wavelengths=w, m=m))

@@ -1,0 +1,124 @@
+"""Communicator facade tests."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Communicator
+from repro.electrical import ElectricalNetwork, ElectricalSystemConfig
+from repro.optical import OpticalRingNetwork, OpticalSystemConfig
+
+
+def _comm(n=8, **kwargs):
+    kwargs.setdefault("algorithm", "wrht")
+    if kwargs["algorithm"] == "wrht":
+        kwargs.setdefault("n_wavelengths", 4)
+    return Communicator(n, **kwargs)
+
+
+def _data(n=8, d=10):
+    return (np.arange(n * d, dtype=float) + 1).reshape(n, d)
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("algo", ["ring", "bt", "rd", "hring", "wrht"])
+    def test_sum(self, algo):
+        kwargs = {"n_wavelengths": 4} if algo == "wrht" else {}
+        comm = Communicator(8, algorithm=algo, **kwargs)
+        data = _data()
+        result, stats = comm.allreduce(data)
+        assert np.allclose(result, np.tile(data.sum(0), (8, 1)))
+        assert stats.operation == "allreduce"
+        assert stats.n_steps > 0
+
+    def test_mean(self):
+        data = _data()
+        result, _ = _comm().allreduce(data, op="mean")
+        assert np.allclose(result[0], data.mean(0))
+
+    def test_input_not_mutated(self):
+        data = _data()
+        snapshot = data.copy()
+        _comm().allreduce(data)
+        assert np.array_equal(data, snapshot)
+
+    def test_bad_op(self):
+        with pytest.raises(ValueError, match="op"):
+            _comm().allreduce(_data(), op="max")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            _comm().allreduce(np.arange(8.0))
+        with pytest.raises(ValueError, match="rows"):
+            _comm().allreduce(np.zeros((4, 10)))
+
+
+class TestOtherCollectives:
+    def test_reduce(self):
+        data = _data()
+        total, stats = _comm().reduce(data, root=2)
+        assert np.array_equal(total, data.sum(0))
+        assert stats.operation == "reduce"
+
+    def test_broadcast(self):
+        rows, stats = _comm().broadcast(np.arange(7.0), root=6)
+        assert np.allclose(rows, np.tile(np.arange(7.0), (8, 1)))
+        assert stats.operation == "broadcast"
+
+    def test_broadcast_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            _comm().broadcast(np.zeros((2, 3)))
+
+    def test_reduce_scatter_then_allgather_is_allreduce(self):
+        comm = _comm()
+        data = _data()
+        chunks, _ = comm.reduce_scatter(data)
+        full, _ = comm.allgather(chunks)
+        assert np.allclose(full, np.tile(data.sum(0), (8, 1)))
+
+    def test_allgather_chunk_validation(self):
+        comm = _comm()
+        with pytest.raises(ValueError, match="chunks"):
+            comm.allgather([np.zeros(2)] * 3)
+        with pytest.raises(ValueError, match="balanced"):
+            comm.allgather([np.zeros(2)] * 7 + [np.zeros(5)])
+
+
+class TestCostAccounting:
+    def test_detached_has_no_estimate(self):
+        _, stats = _comm().allreduce(_data())
+        assert stats.est_time is None
+        assert stats.payload_bytes > 0
+
+    def test_optical_pricing(self):
+        net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=8, n_wavelengths=4))
+        comm = _comm(network=net)
+        _, stats = comm.allreduce(_data())
+        assert stats.est_time > 0
+
+    def test_electrical_pricing(self):
+        net = ElectricalNetwork(ElectricalSystemConfig(n_nodes=8))
+        comm = _comm(network=net, algorithm="ring")
+        _, stats = comm.allreduce(_data())
+        assert stats.est_time > 0
+
+    def test_wrht_cheaper_than_ring_on_same_network(self):
+        net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=16, n_wavelengths=8))
+        data = _data(16, 64)
+        _, ring_stats = Communicator(16, algorithm="ring", network=net).allreduce(data)
+        _, wrht_stats = Communicator(
+            16, algorithm="wrht", n_wavelengths=8, network=net
+        ).allreduce(data)
+        assert wrht_stats.est_time < ring_stats.est_time
+
+    def test_schedule_cache_reused(self):
+        comm = _comm()
+        comm.allreduce(_data())
+        cached = dict(comm._cache)
+        comm.allreduce(_data())
+        assert comm._cache == cached  # same schedules, no rebuild
+
+    def test_single_rank(self):
+        comm = Communicator(1, algorithm="ring")
+        result, stats = comm.allreduce(np.ones((1, 5)))
+        assert np.array_equal(result, np.ones((1, 5)))
+        assert stats.n_steps == 0

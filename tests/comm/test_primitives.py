@@ -1,0 +1,141 @@
+"""Collective primitive schedule tests with per-primitive postconditions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.ring import chunk_bounds
+from repro.collectives.verify import initial_buffers, run_schedule
+from repro.comm.primitives import (
+    build_allgather_schedule,
+    build_broadcast_schedule,
+    build_reduce_schedule,
+    build_reduce_scatter_schedule,
+)
+from repro.core.steps import bt_steps, ring_steps
+
+
+class TestReduce:
+    def test_root_zero(self):
+        sched = build_reduce_schedule(8, 10)
+        buffers = initial_buffers(8, 10)
+        expected = buffers.sum(axis=0)
+        run_schedule(sched, buffers)
+        assert np.array_equal(buffers[0], expected)
+
+    @pytest.mark.parametrize("root", [0, 1, 5, 7])
+    def test_arbitrary_root(self, root):
+        sched = build_reduce_schedule(8, 10, root=root)
+        buffers = initial_buffers(8, 10)
+        expected = buffers.sum(axis=0)
+        run_schedule(sched, buffers)
+        assert np.array_equal(buffers[root], expected)
+
+    def test_step_count_is_half_bt(self):
+        assert build_reduce_schedule(100, 4).n_steps == bt_steps(100) // 2
+
+    def test_bad_root(self):
+        with pytest.raises(ValueError, match="root"):
+            build_reduce_schedule(8, 10, root=8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 64), st.integers(0, 63), st.integers(1, 40))
+    def test_reduce_property(self, n, root, elems):
+        root %= n
+        sched = build_reduce_schedule(n, elems, root=root)
+        buffers = initial_buffers(n, elems)
+        expected = buffers.sum(axis=0)
+        run_schedule(sched, buffers)
+        assert np.array_equal(buffers[root], expected)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("root", [0, 3, 7])
+    def test_everyone_gets_roots_data(self, root):
+        sched = build_broadcast_schedule(8, 6, root=root)
+        buffers = np.zeros((8, 6))
+        buffers[root] = np.arange(6.0) + 1
+        run_schedule(sched, buffers)
+        for node in range(8):
+            assert np.array_equal(buffers[node], buffers[root])
+
+    def test_mirrors_reduce(self):
+        reduce = build_reduce_schedule(16, 4, root=5)
+        bcast = build_broadcast_schedule(16, 4, root=5)
+        r_pairs = sorted(
+            (t.src, t.dst) for s in reduce.iter_steps() for t in s.transfers
+        )
+        b_pairs = sorted(
+            (t.dst, t.src) for s in bcast.iter_steps() for t in s.transfers
+        )
+        assert r_pairs == b_pairs
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 64), st.integers(0, 63), st.integers(1, 40))
+    def test_broadcast_property(self, n, root, elems):
+        root %= n
+        sched = build_broadcast_schedule(n, elems, root=root)
+        buffers = np.zeros((n, elems))
+        buffers[root] = np.arange(elems) + 7.0
+        run_schedule(sched, buffers)
+        assert np.array_equal(buffers, np.tile(buffers[root], (n, 1)))
+
+
+class TestReduceScatter:
+    def test_ownership_contract(self):
+        n, elems = 8, 24
+        sched = build_reduce_scatter_schedule(n, elems)
+        buffers = initial_buffers(n, elems)
+        expected = buffers.sum(axis=0)
+        run_schedule(sched, buffers)
+        for i, (lo, hi) in enumerate(chunk_bounds(elems, n)):
+            assert np.array_equal(buffers[i, lo:hi], expected[lo:hi]), i
+
+    def test_step_count_half_ring(self):
+        assert build_reduce_scatter_schedule(32, 32).n_steps == ring_steps(32) // 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 48), st.integers(1, 150))
+    def test_property(self, n, elems):
+        sched = build_reduce_scatter_schedule(n, elems)
+        buffers = initial_buffers(n, elems)
+        expected = buffers.sum(axis=0)
+        run_schedule(sched, buffers)
+        for i, (lo, hi) in enumerate(chunk_bounds(elems, n)):
+            assert np.array_equal(buffers[i, lo:hi], expected[lo:hi])
+
+
+class TestAllgather:
+    def test_from_owned_chunks(self):
+        n, elems = 8, 24
+        sched = build_allgather_schedule(n, elems)
+        reference = np.arange(elems, dtype=float) * 3 + 1
+        buffers = np.zeros((n, elems))
+        for i, (lo, hi) in enumerate(chunk_bounds(elems, n)):
+            buffers[i, lo:hi] = reference[lo:hi]
+        run_schedule(sched, buffers)
+        assert np.allclose(buffers, np.tile(reference, (n, 1)))
+
+    def test_composes_with_reduce_scatter_into_allreduce(self):
+        n, elems = 12, 36
+        buffers = initial_buffers(n, elems)
+        expected = buffers.sum(axis=0)
+        run_schedule(build_reduce_scatter_schedule(n, elems), buffers)
+        # Zero everything a rank does not own, then all-gather.
+        owned = np.zeros_like(buffers)
+        for i, (lo, hi) in enumerate(chunk_bounds(elems, n)):
+            owned[i, lo:hi] = buffers[i, lo:hi]
+        run_schedule(build_allgather_schedule(n, elems), owned)
+        assert np.array_equal(owned, np.tile(expected, (n, 1)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 48), st.integers(1, 150))
+    def test_property(self, n, elems):
+        sched = build_allgather_schedule(n, elems)
+        reference = np.arange(elems, dtype=float) + 11
+        buffers = np.zeros((n, elems))
+        for i, (lo, hi) in enumerate(chunk_bounds(elems, n)):
+            buffers[i, lo:hi] = reference[lo:hi]
+        run_schedule(sched, buffers)
+        assert np.allclose(buffers, np.tile(reference, (n, 1)))

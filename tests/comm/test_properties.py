@@ -1,0 +1,60 @@
+"""Property-based tests for the communicator facade."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import Communicator
+
+
+def _random_data(n, d, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(-50, 50, size=(n, d)).astype(np.float64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sampled_from(["ring", "bt", "dbtree", "rd", "hring", "wrht"]),
+    st.integers(2, 20),
+    st.integers(1, 60),
+    st.integers(0, 1000),
+)
+def test_allreduce_equals_numpy_sum(algo, n, d, seed):
+    kwargs = {"n_wavelengths": 4} if algo == "wrht" else {}
+    comm = Communicator(n, algorithm=algo, **kwargs)
+    data = _random_data(n, d, seed)
+    result, stats = comm.allreduce(data)
+    assert np.array_equal(result, np.tile(data.sum(0), (n, 1)))
+    assert stats.n_steps == comm._get_schedule("allreduce", d).n_steps
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 20), st.integers(1, 60), st.integers(0, 31), st.integers(0, 500))
+def test_reduce_broadcast_compose_to_allreduce(n, d, root, seed):
+    root %= n
+    comm = Communicator(n, algorithm="ring")
+    data = _random_data(n, d, seed)
+    total, _ = comm.reduce(data, root=root)
+    rows, _ = comm.broadcast(total, root=root)
+    expected, _ = comm.allreduce(data)
+    assert np.array_equal(rows, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 16), st.integers(1, 80), st.integers(0, 500))
+def test_reduce_scatter_allgather_identity(n, d, seed):
+    comm = Communicator(n, algorithm="ring")
+    data = _random_data(n, d, seed)
+    chunks, _ = comm.reduce_scatter(data)
+    full, _ = comm.allgather(chunks)
+    assert np.array_equal(full, np.tile(data.sum(0), (n, 1)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 12), st.integers(1, 40), st.integers(0, 200))
+def test_mean_is_sum_over_n(n, d, seed):
+    comm = Communicator(n, algorithm="bt")
+    data = _random_data(n, d, seed)
+    total, _ = comm.allreduce(data, op="sum")
+    mean, _ = comm.allreduce(data, op="mean")
+    assert np.allclose(mean * n, total)

@@ -1,0 +1,115 @@
+"""Optical constraint tests (Sec 4.4, Eqs 7–13)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.constraints import (
+    OpticalPhyParams,
+    ber_from_snr,
+    crosstalk_feasible,
+    group_size_feasible,
+    insertion_loss_db,
+    loss_feasible,
+    max_communication_length,
+    max_group_size,
+    required_snr_for_ber,
+    snr_db,
+    worst_case_crosstalk_power,
+)
+
+PARAMS = OpticalPhyParams()
+
+
+class TestMaxCommunicationLength:
+    def test_single_level_is_half_group(self):
+        # Eq 7 first branch: log_m' N == 1.
+        assert max_communication_length(129, 100) == 64
+
+    def test_two_levels_is_m_power(self):
+        # Eq 7 second branch: m'^(levels-1).
+        assert max_communication_length(129, 1024) == 129
+
+    def test_three_levels(self):
+        assert max_communication_length(5, 100) == 25  # levels=3 -> 5^2
+
+    def test_monotone_in_n_for_fixed_m(self):
+        assert max_communication_length(5, 4) <= max_communication_length(5, 1000)
+
+
+class TestInsertionLoss:
+    def test_eq8_linear_in_hops(self):
+        assert insertion_loss_db(100, PARAMS) == pytest.approx(
+            PARAMS.modulator_loss_db + 100 * PARAMS.per_interface_loss_db
+        )
+
+    def test_eq9_budget(self):
+        # Default budget: (13 - 4.5 - 1.5) / 0.05 = 140 hops max.
+        assert loss_feasible(129, 1024, PARAMS)  # L_max = 129 <= 140
+        assert not loss_feasible(257, 1024, PARAMS)  # L_max = 257 > 140
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            insertion_loss_db(-1, PARAMS)
+
+
+class TestCrosstalk:
+    def test_eq12_noise_accumulates_with_hops(self):
+        assert worst_case_crosstalk_power(10, PARAMS) < worst_case_crosstalk_power(100, PARAMS)
+
+    def test_eq11_snr(self):
+        assert snr_db(1.0, 1e-8, 0.0) == pytest.approx(80.0)
+
+    def test_eq13_ber_roundtrip(self):
+        for ber in (1e-9, 1e-12, 1e-6):
+            assert ber_from_snr(required_snr_for_ber(ber)) == pytest.approx(ber)
+
+    def test_ber_target_snr_value(self):
+        # BER <= 1e-9 needs SNR >= -4 ln(2e-9) ~ 80.1.
+        assert required_snr_for_ber(1e-9) == pytest.approx(-4 * math.log(2e-9))
+
+    def test_trivial_ber(self):
+        assert required_snr_for_ber(0.5) == 0.0
+
+    def test_crosstalk_binds_near_paper_scale(self):
+        assert crosstalk_feasible(129, 1024, PARAMS)
+        assert not crosstalk_feasible(301, 1024, PARAMS)
+
+
+class TestMaxGroupSize:
+    def test_paper_configuration_is_feasible(self):
+        # Defaults are tuned so the paper's largest evaluated group size
+        # (m=129 on 1024 nodes) passes both constraints.
+        assert group_size_feasible(129, 1024, PARAMS)
+
+    def test_returns_odd(self):
+        assert max_group_size(1024, PARAMS) % 2 == 1
+
+    def test_wavelength_cap(self):
+        assert max_group_size(1024, PARAMS, w=8) <= 17
+
+    def test_default_params(self):
+        assert max_group_size(1024) >= 129
+
+    def test_infeasible_budget_raises(self):
+        tight = OpticalPhyParams(laser_power_dbm=1.0)
+        with pytest.raises(ValueError, match="no feasible group size"):
+            max_group_size(1024, tight)
+
+    @given(st.integers(4, 4096))
+    def test_result_always_feasible(self, n):
+        m = max_group_size(n, PARAMS, w=64)
+        assert group_size_feasible(m, n, PARAMS)
+        assert 3 <= m <= min(n, 129)
+
+
+class TestParamValidation:
+    def test_rejects_nonpositive_loss(self):
+        with pytest.raises(ValueError):
+            OpticalPhyParams(per_interface_loss_db=0.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            OpticalPhyParams(other_noise_mw=-1.0)

@@ -1,0 +1,125 @@
+"""Hierarchical grouping tests (Sec 4.1.1 structure)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.grouping import (
+    Group,
+    hierarchical_grouping,
+    middle_index,
+    partition_ring,
+)
+
+
+class TestMiddleIndex:
+    @pytest.mark.parametrize("size,expected", [(1, 0), (2, 1), (3, 1), (5, 2), (129, 64)])
+    def test_values(self, size, expected):
+        assert middle_index(size) == expected
+
+    def test_odd_sides_balanced(self):
+        # Odd groups: exactly ⌊m/2⌋ members on each side of the middle.
+        for m in (3, 5, 129):
+            g = Group(tuple(range(m)), middle_index(m))
+            before, after = g.sides()
+            assert len(before) == len(after) == m // 2
+
+
+class TestGroup:
+    def test_rep_must_be_member(self):
+        with pytest.raises(ValueError):
+            Group((0, 1, 2), representative=9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Group((), representative=0)
+
+    def test_sides_order_nearest_first(self):
+        g = Group((10, 11, 12, 13, 14), representative=12)
+        before, after = g.sides()
+        assert before == (11, 10)  # nearest to rep first
+        assert after == (13, 14)
+
+    def test_non_representatives(self):
+        g = Group((0, 1, 2), representative=1)
+        assert g.non_representatives == (0, 2)
+
+
+class TestPartitionRing:
+    def test_paper_example_15_nodes_m5(self):
+        # The motivating example: 15 nodes, three groups of 5, middle reps.
+        groups = partition_ring(list(range(15)), 5)
+        assert len(groups) == 3
+        assert [g.representative for g in groups] == [2, 7, 12]
+
+    def test_partial_last_group(self):
+        groups = partition_ring(list(range(7)), 3)
+        assert [g.size for g in groups] == [3, 3, 1]
+
+    def test_covers_population_exactly(self):
+        pop = list(range(100))
+        groups = partition_ring(pop, 7)
+        flat = [n for g in groups for n in g.members]
+        assert flat == pop
+
+    def test_duplicate_population_rejected(self):
+        with pytest.raises(ValueError):
+            partition_ring([1, 1, 2], 2)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            partition_ring([], 3)
+
+    @given(st.integers(1, 300), st.integers(1, 50))
+    def test_partition_property(self, n, m):
+        groups = partition_ring(list(range(n)), m)
+        assert sum(g.size for g in groups) == n
+        assert len(groups) == math.ceil(n / m)
+        for g in groups:
+            assert g.size <= m
+            assert g.representative == g.members[len(g.members) // 2]
+
+
+class TestHierarchicalGrouping:
+    def test_paper_config_1024_m129(self):
+        levels = hierarchical_grouping(1024, 129)
+        assert len(levels) == 2
+        assert len(levels[0].groups) == 8
+        assert len(levels[1].groups) == 1
+        assert levels[1].groups[0].size == 8
+
+    def test_level_count_matches_log(self):
+        for n in (2, 10, 100, 1000, 4096):
+            for m in (2, 3, 5, 17, 129):
+                levels = hierarchical_grouping(n, m)
+                expected = 0
+                remaining = n
+                while remaining > 1:
+                    remaining = math.ceil(remaining / m)
+                    expected += 1
+                assert len(levels) == expected, (n, m)
+
+    def test_single_node_no_levels(self):
+        assert hierarchical_grouping(1, 5) == ()
+
+    def test_m1_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchical_grouping(10, 1)
+
+    def test_level1_population_is_all_nodes(self):
+        levels = hierarchical_grouping(50, 7)
+        assert levels[0].population == tuple(range(50))
+
+    def test_next_level_population_is_prev_reps(self):
+        levels = hierarchical_grouping(200, 6)
+        for prev, cur in zip(levels, levels[1:]):
+            assert cur.population == prev.representatives
+
+    @given(st.integers(2, 500), st.integers(2, 40))
+    def test_hierarchy_terminates_with_single_group(self, n, m):
+        levels = hierarchical_grouping(n, m)
+        assert len(levels[-1].groups) == 1
+        # Every original node appears exactly once at level 1.
+        assert sorted(levels[0].population) == list(range(n))

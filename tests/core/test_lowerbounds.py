@@ -1,0 +1,92 @@
+"""Lower-bound tests: every algorithm must respect them, WRHT must meet
+the step bound (the strong form of Lemma 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lowerbounds import (
+    min_allreduce_steps,
+    min_allreduce_time,
+    min_bandwidth_time,
+    optimality_report,
+)
+from repro.core.steps import bt_steps, rd_steps, ring_steps, wrht_steps
+from repro.core.timing import CostModel
+from repro.core.wavelengths import optimal_group_size
+
+MODEL = CostModel(line_rate=40e9, step_overhead=25e-6)
+
+
+class TestStepBound:
+    def test_paper_configuration(self):
+        # N=1024, w=64: any All-reduce needs >= 2 steps; WRHT takes 3 —
+        # within 2x of the universal bound, optimal within tree algorithms.
+        assert min_allreduce_steps(1024, 64) == 2
+        assert wrht_steps(1024, 129, 64) == 3
+
+    def test_single_node(self):
+        assert min_allreduce_steps(1, 64) == 0
+
+    def test_two_nodes_one_step(self):
+        # Pairwise exchange finishes All-reduce in one step.
+        assert min_allreduce_steps(2, 1) == 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(2, 8192), st.integers(1, 256))
+    def test_every_algorithm_respects_it(self, n, w):
+        floor = min_allreduce_steps(n, w)
+        assert ring_steps(n) >= floor
+        assert bt_steps(n) >= floor
+        assert rd_steps(n) >= floor
+        assert wrht_steps(n, min(optimal_group_size(w), n), w) >= floor
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 4096), st.integers(1, 128))
+    def test_wrht_within_twice_the_universal_bound(self, n, w):
+        # The hierarchical structure costs at most a 2x factor over the
+        # gossip-style information bound (Lemma 1's family optimum).
+        floor = min_allreduce_steps(n, w)
+        theta = wrht_steps(n, min(optimal_group_size(w), n), w)
+        assert floor <= theta <= 2 * floor
+
+
+class TestTimeBounds:
+    def test_bandwidth_floor_scales_with_payload(self):
+        assert min_bandwidth_time(64, 2e9, 64, MODEL) == pytest.approx(
+            2 * min_bandwidth_time(64, 1e9, 64, MODEL)
+        )
+
+    def test_combined_floor_latency_regime(self):
+        # Tiny payload: the step term dominates.
+        floor = min_allreduce_time(1024, 1.0, 64, MODEL)
+        assert floor == pytest.approx(2 * 25e-6)
+
+    def test_combined_floor_bandwidth_regime(self):
+        # Huge payload at one wavelength: ingress dominates.
+        floor = min_allreduce_time(1024, 1e12, 1, MODEL)
+        assert floor == pytest.approx(
+            min_bandwidth_time(1024, 1e12, 1, MODEL)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 2048), st.floats(1e3, 1e12), st.integers(1, 128))
+    def test_no_algorithm_beats_the_floor(self, n, d, w):
+        report = optimality_report(n, d, w, MODEL)
+        for entry in report:
+            assert entry.time_ratio >= 1.0 - 1e-9, entry
+
+
+class TestOptimalityReport:
+    def test_wrht_closest_to_bounds_at_paper_scale(self):
+        report = {
+            e.algorithm: e
+            for e in optimality_report(1024, 100e6, 64, MODEL)
+        }
+        assert report["WRHT"].step_ratio == pytest.approx(3 / 2)
+        assert report["Ring"].step_ratio == pytest.approx(2046 / 2)
+        # WRHT is the closest to both floors among the paper's algorithms.
+        best = min(report.values(), key=lambda e: e.time_ratio)
+        assert best.algorithm == "WRHT"
+        best_steps = min(report.values(), key=lambda e: e.step_ratio)
+        assert best_steps.algorithm == "WRHT"

@@ -1,0 +1,135 @@
+"""Pipelined (bucketed) WRHT extension tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.verify import verify_allreduce
+from repro.core.pipeline import (
+    PipelinedPlan,
+    build_pipelined_wrht_schedule,
+    optimal_bucket_count,
+    pipelined_wrht_time,
+)
+from repro.core.planner import plan_wrht
+from repro.core.timing import CostModel, wrht_time
+
+MODEL = CostModel(line_rate=40e9, step_overhead=25e-6)
+
+
+class TestPipelinedPlan:
+    def test_b1_degenerates_to_plain_wrht(self):
+        plan = plan_wrht(1024, 64)
+        pipe = PipelinedPlan(plan, 1)
+        assert pipe.theta == plan.theta
+        d = 1e8
+        assert pipelined_wrht_time(pipe, d, MODEL) == pytest.approx(
+            wrht_time(1024, d, MODEL, m=plan.m, w=64)
+        )
+
+    def test_theta_formula(self):
+        plan = plan_wrht(1024, 64)  # L=2, all-to-all on
+        # reduce: L+B-1; broadcast: (L-1)+B-1.
+        assert PipelinedPlan(plan, 4).theta == (2 + 3) + (1 + 3)
+
+    def test_theta_without_shortcut(self):
+        plan = plan_wrht(1024, 16, m=33)  # m*=32 needs 128 > 16: no shortcut
+        assert not plan.alltoall
+        assert PipelinedPlan(plan, 3).theta == (2 + 2) + (2 + 2)
+
+    def test_peak_demand_sums_levels(self):
+        plan = plan_wrht(1024, 64, m=33)  # L=2, m*=32, no shortcut at...
+        pipe = PipelinedPlan(plan, 4)
+        # level demands: 16 (collect m=33) + final level need.
+        assert pipe.peak_wavelengths >= 16
+
+    def test_alltoall_demand_counted(self):
+        plan = plan_wrht(1024, 64, m=65)  # m*=16, a2a needs 32
+        pipe = PipelinedPlan(plan, 2)
+        assert pipe.peak_wavelengths == 32 + 32
+
+
+class TestOptimalBuckets:
+    def test_zero_overhead_wants_max(self):
+        free = CostModel(line_rate=1e9, step_overhead=0.0)
+        plan = plan_wrht(1024, 16, m=33)  # no shortcut: c = 2L-2 > 0
+        assert optimal_bucket_count(plan, 1e9, free, max_buckets=64) == 64
+
+    def test_tiny_payload_wants_one(self):
+        plan = plan_wrht(1024, 64)
+        assert optimal_bucket_count(plan, 1.0, MODEL) == 1
+
+    def test_single_level_never_pipelines(self):
+        # θ(B) grows one-for-one with B when only one level exists.
+        plan = plan_wrht(16, 64)
+        assert plan.n_levels == 1
+        assert optimal_bucket_count(plan, 1e9, MODEL) == 1
+
+    def test_optimum_beats_neighbours(self):
+        d = 552e6
+        plan = plan_wrht(1024, 64)
+        best = optimal_bucket_count(plan, d, MODEL)
+
+        def time_at(b):
+            return pipelined_wrht_time(PipelinedPlan(plan, b), d, MODEL)
+
+        assert time_at(best) <= time_at(max(1, best - 1))
+        assert time_at(best) <= time_at(best + 1)
+
+    def test_pipelining_beats_plain_for_large_gradients(self):
+        plan = plan_wrht(1024, 64)
+        d = 552e6  # VGG16
+        best = optimal_bucket_count(plan, d, MODEL)
+        assert pipelined_wrht_time(PipelinedPlan(plan, best), d, MODEL) < (
+            0.8 * wrht_time(1024, d, MODEL, m=plan.m, w=64)
+        )
+
+
+class TestPipelinedSchedule:
+    def test_step_count_matches_plan(self):
+        sched = build_pipelined_wrht_schedule(64, 60, n_wavelengths=8, n_buckets=3)
+        assert sched.n_steps == sched.meta["pipelined_plan"].theta
+
+    def test_correctness_paper_scale_structure(self):
+        sched = build_pipelined_wrht_schedule(1024, 40, n_wavelengths=64, n_buckets=2)
+        verify_allreduce(sched)
+
+    def test_bucket_ranges_partition_vector(self):
+        sched = build_pipelined_wrht_schedule(15, 10, n_wavelengths=2, n_buckets=3)
+        reduce_ranges = set()
+        for step in sched.iter_steps():
+            for t in step.transfers:
+                reduce_ranges.add((t.lo, t.hi))
+        assert (0, 4) in reduce_ranges and (4, 7) in reduce_ranges and (7, 10) in reduce_ranges
+
+    def test_des_agreement_when_demand_fits(self):
+        # m=33, B=8 on w=64: steady-state demand 32 <= 64, so the optical
+        # executor reproduces the pipelined closed form exactly and the
+        # pipeline genuinely beats plain WRHT end to end.
+        from repro.optical import OpticalRingNetwork, OpticalSystemConfig
+
+        cfg = OpticalSystemConfig(n_nodes=1024, n_wavelengths=64)
+        net = OpticalRingNetwork(cfg)
+        d_elems = 138_000_000
+        plan = plan_wrht(1024, 64, m=33)
+        sched = build_pipelined_wrht_schedule(1024, d_elems, n_buckets=8, plan=plan)
+        result = net.execute(sched)
+        assert result.total_rounds == result.n_steps
+        analytic = pipelined_wrht_time(
+            sched.meta["pipelined_plan"], d_elems * 4.0, cfg.cost_model()
+        )
+        assert result.total_time == pytest.approx(analytic, rel=1e-9)
+        plain = wrht_time(1024, d_elems * 4.0, cfg.cost_model(), m=129, w=64)
+        assert result.total_time < 0.8 * plain
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_pipelined_wrht_schedule(8, 10, n_buckets=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 64), st.integers(1, 16), st.integers(1, 6), st.integers(1, 60))
+    def test_allreduce_property(self, n, w, buckets, elems):
+        sched = build_pipelined_wrht_schedule(
+            n, elems, n_wavelengths=w, n_buckets=buckets
+        )
+        verify_allreduce(sched)

@@ -1,0 +1,90 @@
+"""WRHT planner tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import OpticalPhyParams
+from repro.core.planner import plan_wrht
+from repro.core.steps import wrht_steps
+from repro.core.wavelengths import group_wavelengths
+
+
+class TestPaperPlan:
+    def test_1024_nodes_64_wavelengths(self):
+        plan = plan_wrht(1024, 64)
+        assert plan.m == 129
+        assert plan.n_levels == 2
+        assert plan.m_star == 8
+        assert plan.alltoall
+        assert plan.theta == 3
+        assert plan.reduce_steps == 2
+        assert plan.broadcast_steps == 1
+        assert plan.peak_wavelengths == 64
+        assert plan.limited_by == "wavelengths"
+
+    def test_describe_mentions_key_facts(self):
+        text = plan_wrht(1024, 64).describe()
+        assert "m=129" in text and "θ=3" in text and "all-to-all=yes" in text
+
+
+class TestGroupSizeSelection:
+    def test_small_ring_limited_by_n(self):
+        plan = plan_wrht(16, 64)
+        assert plan.m == 16
+        assert plan.limited_by == "n_nodes"
+        assert plan.theta in (1, 2)
+
+    def test_phy_cap_applies(self):
+        # A 100-hop budget: two-level plans need L_max = m <= 100, so the
+        # largest feasible odd group is 99 < Lemma 1's 129.
+        tight = OpticalPhyParams(laser_power_dbm=11.0)
+        plan = plan_wrht(1024, 64, phy=tight)
+        assert plan.limited_by == "phy"
+        assert plan.m == 99
+
+    def test_eq7_penalizes_small_groups(self):
+        # Counter-intuitive consequence of Eq 7: on 1024 nodes, m=3 needs 7
+        # levels and a 729-hop top-level span — infeasible while m=129 (one
+        # 129-hop span) is fine.
+        from repro.core.constraints import group_size_feasible
+
+        params = OpticalPhyParams()
+        assert group_size_feasible(129, 1024, params)
+        assert not group_size_feasible(3, 1024, params)
+
+    def test_forced_m_respected(self):
+        plan = plan_wrht(1024, 64, m=17)
+        assert plan.m == 17
+        assert plan.limited_by == "user"
+        assert plan.theta == wrht_steps(1024, 17, 64)
+
+    def test_forced_m_over_wavelength_budget_rejected(self):
+        with pytest.raises(ValueError, match="wavelengths"):
+            plan_wrht(1024, 4, m=129)
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ValueError):
+            plan_wrht(1, 64)
+
+
+class TestPlanConsistency:
+    @settings(max_examples=60)
+    @given(st.integers(2, 2048), st.integers(1, 128))
+    def test_theta_matches_formula(self, n, w):
+        plan = plan_wrht(n, w)
+        assert plan.theta == wrht_steps(n, plan.m, w)
+        assert plan.theta == plan.reduce_steps + plan.broadcast_steps
+
+    @settings(max_examples=60)
+    @given(st.integers(2, 2048), st.integers(1, 128))
+    def test_peak_demand_within_budget(self, n, w):
+        plan = plan_wrht(n, w)
+        assert plan.peak_wavelengths <= w
+        assert group_wavelengths(plan.m) <= w
+
+    @settings(max_examples=40)
+    @given(st.integers(2, 1024), st.integers(1, 64))
+    def test_last_level_population_is_m_star(self, n, w):
+        plan = plan_wrht(n, w)
+        assert len(plan.levels[-1].population) == plan.m_star

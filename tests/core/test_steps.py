@@ -1,0 +1,107 @@
+"""Step-count formula tests (Table 1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.steps import bt_steps, hring_steps, rd_steps, ring_steps, steps_table, wrht_steps
+
+
+class TestTable1Anchors:
+    """The exact rightmost column of Table 1 (N=1024, w=64)."""
+
+    def test_ring(self):
+        assert ring_steps(1024) == 2046
+
+    def test_hring_m5(self):
+        assert hring_steps(1024, 5, 64) == 417
+
+    def test_bt(self):
+        assert bt_steps(1024) == 20
+
+    def test_wrht_m129(self):
+        assert wrht_steps(1024, 129, 64) == 3
+
+    def test_full_table(self):
+        table = steps_table(1024, 64)
+        assert table == {"Ring": 2046, "H-Ring": 417, "BT": 20, "RD": 10, "WRHT": 3}
+
+
+class TestRing:
+    @given(st.integers(1, 100_000))
+    def test_formula(self, n):
+        assert ring_steps(n) == 2 * (n - 1)
+
+
+class TestBT:
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 2), (3, 4), (4, 4), (1024, 20), (1025, 22)])
+    def test_values(self, n, expected):
+        assert bt_steps(n) == expected
+
+
+class TestRD:
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 1), (4, 2), (1024, 10)])
+    def test_powers_of_two(self, n, expected):
+        assert rd_steps(n) == expected
+
+    @pytest.mark.parametrize("n,expected", [(3, 3), (5, 4), (1000, 11)])
+    def test_non_powers_add_fixups(self, n, expected):
+        assert rd_steps(n) == expected
+
+
+class TestHRing:
+    def test_wavelength_regimes(self):
+        # w >= m: first closed form; w < m: serialized form with more steps.
+        assert hring_steps(1024, 5, 64) == 417
+        assert hring_steps(1024, 5, 4) == math.ceil(2 * (2 * 25 + 1024) / 5) - 6
+
+    def test_serialized_form_has_more_steps(self):
+        assert hring_steps(1024, 5, 4) > hring_steps(1024, 5, 5)
+
+    def test_group_larger_than_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            hring_steps(4, 5, 64)
+
+
+class TestWrht:
+    def test_alltoall_shortcut_saves_one_step(self):
+        # w=64 allows the 8-rep all-to-all; w=7 does not.
+        assert wrht_steps(1024, 129, 64) == 3
+        assert wrht_steps(1024, 129, 7) == 4
+
+    def test_unconstrained_wavelengths(self):
+        assert wrht_steps(1024, 129, None) == 3
+
+    def test_single_node(self):
+        assert wrht_steps(1, 5, 64) == 0
+
+    def test_m_below_2_rejected(self):
+        with pytest.raises(ValueError):
+            wrht_steps(10, 1, 64)
+
+    @given(st.integers(2, 5000), st.integers(2, 300), st.integers(1, 256))
+    def test_bounds(self, n, m, w):
+        theta = wrht_steps(n, m, w)
+        levels = 0
+        remaining = n
+        while remaining > 1:
+            remaining = math.ceil(remaining / m)
+            levels += 1
+        assert theta in (2 * levels, 2 * levels - 1)
+
+    def test_lemma1_lower_bound(self):
+        # At m = 2w+1, no larger group size can reduce steps further for
+        # the same wavelength budget (Lemma 1).
+        n, w = 1024, 64
+        best = wrht_steps(n, 2 * w + 1, w)
+        for m in (3, 5, 17, 33, 65, 101, 129):
+            assert wrht_steps(n, m, w) >= best
+
+    @given(st.integers(2, 4096), st.integers(1, 128))
+    def test_monotone_nonincreasing_in_m_at_lemma_optimum(self, n, w):
+        m_opt = 2 * w + 1
+        theta_opt = wrht_steps(n, min(m_opt, max(n, 2)), w)
+        for m in (2, 3, max(2, m_opt // 2)):
+            assert wrht_steps(n, m, w) >= theta_opt

@@ -1,0 +1,97 @@
+"""Wavelength arithmetic tests (Sec 4.1.2, Lemma 1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.grouping import hierarchical_grouping
+from repro.core.wavelengths import (
+    alltoall_feasible,
+    alltoall_wavelengths,
+    group_wavelengths,
+    optimal_group_size,
+    reduce_levels,
+    representatives_at_last_level,
+    wrht_wavelength_requirement,
+)
+
+
+class TestGroupWavelengths:
+    @pytest.mark.parametrize("m,expected", [(1, 0), (2, 1), (3, 1), (5, 2), (129, 64)])
+    def test_floor_half(self, m, expected):
+        assert group_wavelengths(m) == expected
+
+
+class TestAlltoallWavelengths:
+    @pytest.mark.parametrize("k,expected", [(1, 0), (2, 1), (3, 2), (8, 8), (32, 128)])
+    def test_ceil_k2_over_8(self, k, expected):
+        assert alltoall_wavelengths(k) == expected
+
+
+class TestOptimalGroupSize:
+    def test_lemma1(self):
+        assert optimal_group_size(64) == 129
+        assert optimal_group_size(1) == 3
+
+    def test_consistency_with_group_requirement(self):
+        # The optimum is the largest m whose collect fits in w wavelengths.
+        for w in (1, 4, 16, 64):
+            m = optimal_group_size(w)
+            assert group_wavelengths(m) == w
+            assert group_wavelengths(m + 1) > w
+
+
+class TestReduceLevels:
+    @pytest.mark.parametrize(
+        "n,m,expected",
+        [(1, 5, 0), (5, 5, 1), (6, 5, 2), (1024, 129, 2), (1024, 2, 10), (4096, 129, 2)],
+    )
+    def test_values(self, n, m, expected):
+        assert reduce_levels(n, m) == expected
+
+    @given(st.integers(2, 100_000), st.integers(2, 200))
+    def test_matches_ceil_log(self, n, m):
+        levels = reduce_levels(n, m)
+        # levels is the minimal L with m^L >= N... for the iterated-ceil
+        # recurrence; it is always within the ceil-log bound.
+        assert m ** levels >= n
+        if levels > 0:
+            assert math.ceil(n / m ** (levels - 1)) > 1
+
+
+class TestLastLevelReps:
+    def test_paper_config(self):
+        assert representatives_at_last_level(1024, 129) == 8
+
+    def test_matches_grouping(self):
+        for n in (7, 64, 300, 1024):
+            for m in (3, 5, 17, 129):
+                levels = hierarchical_grouping(n, m)
+                if not levels:
+                    continue
+                assert representatives_at_last_level(n, m) == len(
+                    levels[-1].population
+                ), (n, m)
+
+
+class TestFeasibility:
+    def test_paper_config_alltoall_fits(self):
+        # N=1024, m=129: m*=8 reps need ceil(64/8)=8 <= 64 wavelengths.
+        assert alltoall_feasible(1024, 129, 64)
+
+    def test_infeasible_with_too_few_wavelengths(self):
+        assert not alltoall_feasible(1024, 129, 7)
+
+    def test_whole_group_alltoall_when_n_equals_m(self):
+        # N=m: the single step can be an all-to-all among all N nodes.
+        assert alltoall_feasible(5, 5, 1000)
+
+    def test_single_node_never_alltoall(self):
+        assert not alltoall_feasible(1, 5, 1000)
+
+    def test_requirement_is_peak_demand(self):
+        for n, m in [(1024, 129), (100, 5), (64, 3)]:
+            req = wrht_wavelength_requirement(n, m)
+            assert req == group_wavelengths(min(m, n))

@@ -1,0 +1,205 @@
+"""Forward/backward propagation tests, including numerical gradient checks
+of Eqs 2–3."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.autograd import (
+    MLP,
+    Conv2D,
+    Dense,
+    relu,
+    softmax,
+    softmax_cross_entropy,
+)
+
+
+def _numeric_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestActivations:
+    def test_relu(self):
+        assert relu(np.array([-1.0, 0.0, 2.0])).tolist() == [0.0, 0.0, 2.0]
+
+    def test_softmax_rows_sum_to_one(self):
+        p = softmax(np.random.default_rng(0).normal(size=(5, 7)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_softmax_stability(self):
+        p = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(p, 0.5)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(4, 5))
+        labels = np.array([0, 2, 4, 1])
+        _, grad = softmax_cross_entropy(logits.copy(), labels)
+        num = _numeric_grad(
+            lambda: softmax_cross_entropy(logits, labels)[0], logits
+        )
+        assert np.allclose(grad, num, atol=1e-6)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.zeros(5, dtype=int))
+
+
+class TestDense:
+    def test_forward_eq1(self):
+        layer = Dense(3, 2, activation="identity")
+        layer.weight[...] = np.arange(6).reshape(3, 2)
+        layer.bias[...] = [1.0, -1.0]
+        out = layer.forward(np.array([[1.0, 1.0, 1.0]]))
+        assert out.tolist() == [[0 + 2 + 4 + 1, 1 + 3 + 5 - 1]]
+
+    def test_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(4, 3, activation="relu", rng=rng)
+        x = rng.normal(size=(5, 4))
+        labels = np.array([0, 1, 2, 0, 1])
+
+        def loss():
+            return softmax_cross_entropy(layer.forward(x), labels)[0]
+
+        loss()  # populate caches
+        _, grad_out = softmax_cross_entropy(layer.forward(x), labels)
+        layer.backward(grad_out)
+        num = _numeric_grad(loss, layer.weight)
+        assert np.allclose(layer.grad_weight, num, atol=1e-5)
+        num_b = _numeric_grad(loss, layer.bias)
+        assert np.allclose(layer.grad_bias, num_b, atol=1e-5)
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(4, 3, activation="relu", rng=rng)
+        x = rng.normal(size=(2, 4))
+        labels = np.array([1, 2])
+
+        def loss():
+            return softmax_cross_entropy(layer.forward(x), labels)[0]
+
+        _, grad_out = softmax_cross_entropy(layer.forward(x), labels)
+        dx = layer.backward(grad_out)
+        num = _numeric_grad(loss, x)
+        assert np.allclose(dx, num, atol=1e-5)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            Dense(2, 2, activation="swishish")
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2).backward(np.zeros((1, 2)))
+
+
+class TestConv2D:
+    def test_forward_matches_direct_convolution(self):
+        rng = np.random.default_rng(4)
+        conv = Conv2D(2, 3, kernel=3, activation="identity", rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+        out = conv.forward(x)
+        assert out.shape == (1, 3, 3, 3)
+        # Check one output element against the definition.
+        w = conv.weight.reshape(2, 3, 3, 3)  # (C, kh, kw, F)
+        manual = sum(
+            x[0, c, 1 + di, 2 + dj] * w[c, di, dj, 1]
+            for c in range(2)
+            for di in range(3)
+            for dj in range(3)
+        ) + conv.bias[1]
+        assert out[0, 1, 1, 2] == pytest.approx(manual)
+
+    def test_gradients_match_numeric(self):
+        rng = np.random.default_rng(5)
+        conv = Conv2D(2, 2, kernel=2, activation="relu", rng=rng)
+        x = rng.normal(size=(2, 2, 4, 4))
+        labels = np.array([0, 1])
+
+        def loss():
+            out = conv.forward(x)
+            flat = out.reshape(2, -1)[:, :2]
+            return softmax_cross_entropy(flat, labels)[0]
+
+        out = conv.forward(x)
+        flat = out.reshape(2, -1)
+        _, g = softmax_cross_entropy(flat[:, :2], labels)
+        gfull = np.zeros_like(flat)
+        gfull[:, :2] = g
+        dx = conv.backward(gfull.reshape(out.shape))
+        assert np.allclose(conv.grad_weight, _numeric_grad(loss, conv.weight), atol=1e-5)
+        assert np.allclose(conv.grad_bias, _numeric_grad(loss, conv.bias), atol=1e-5)
+        assert np.allclose(dx, _numeric_grad(loss, x), atol=1e-5)
+
+    def test_kernel_too_large(self):
+        conv = Conv2D(1, 1, kernel=5)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 1, 3, 3)))
+
+    def test_channel_mismatch(self):
+        conv = Conv2D(3, 1, kernel=2)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 2, 4, 4)))
+
+
+class TestMLP:
+    def test_of_widths_structure(self):
+        mlp = MLP.of_widths([10, 8, 4])
+        assert len(mlp.layers) == 2
+        assert mlp.layers[-1].activation == "identity"
+        assert mlp.n_params == (10 * 8 + 8) + (8 * 4 + 4)
+
+    def test_gradient_vector_roundtrip(self):
+        mlp = MLP.of_widths([6, 5, 3], seed=1)
+        x = np.random.default_rng(0).normal(size=(4, 6))
+        mlp.loss_and_gradients(x, np.array([0, 1, 2, 0]))
+        vec = mlp.gradient_vector()
+        assert vec.shape == (mlp.n_params,)
+        mlp.set_gradient_vector(vec * 2)
+        assert np.allclose(mlp.gradient_vector(), vec * 2)
+
+    def test_state_vector_roundtrip(self):
+        a = MLP.of_widths([4, 3], seed=1)
+        b = MLP.of_widths([4, 3], seed=2)
+        b.load_state_vector(a.state_vector())
+        assert np.array_equal(a.state_vector(), b.state_vector())
+
+    def test_sgd_descends_on_separable_data(self):
+        rng = np.random.default_rng(7)
+        x = np.vstack([rng.normal(-2, 0.3, (30, 2)), rng.normal(2, 0.3, (30, 2))])
+        y = np.array([0] * 30 + [1] * 30)
+        mlp = MLP.of_widths([2, 8, 2], seed=0)
+        first = mlp.loss_and_gradients(x, y)
+        for _ in range(50):
+            mlp.loss_and_gradients(x, y)
+            mlp.sgd_step(0.1)
+        last = mlp.loss_and_gradients(x, y)
+        assert last < first / 5
+
+    def test_lr_validation(self):
+        mlp = MLP.of_widths([2, 2])
+        with pytest.raises(ValueError):
+            mlp.sgd_step(0.0)
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([])

@@ -1,0 +1,107 @@
+"""Sparse (top-k) gradient synchronization tests."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.autograd import MLP
+from repro.dnn.compression import CompressedDataParallelTrainer, TopKCompressor
+from repro.dnn.datasets import SyntheticClassification
+from repro.dnn.training import DataParallelTrainer
+
+
+def _factory():
+    return MLP.of_widths([16, 12, 4], seed=9)
+
+
+def _batches(n=20, batch=32):
+    ds = SyntheticClassification(n_features=16, n_classes=4, noise_scale=0.4, seed=6)
+    return [ds.batch(batch) for _ in range(n)]
+
+
+class TestTopKCompressor:
+    def test_selects_largest_magnitudes(self):
+        comp = TopKCompressor(ratio=0.25, error_feedback=False)
+        grad = np.array([0.1, -5.0, 0.2, 3.0, -0.1, 0.0, 1.0, -0.3])
+        indices, values = comp.compress(grad)
+        assert set(indices.astype(int)) == {1, 3}
+        assert set(values) == {-5.0, 3.0}
+
+    def test_k_at_least_one(self):
+        assert TopKCompressor(ratio=1e-9).k_for(100) == 1
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            TopKCompressor(ratio=0.0)
+        with pytest.raises(ValueError):
+            TopKCompressor(ratio=1.5)
+
+    def test_error_feedback_retransmits_dropped_mass(self):
+        comp = TopKCompressor(ratio=0.5, error_feedback=True)
+        grad = np.array([4.0, 1.0])
+        idx1, val1 = comp.compress(grad)
+        assert idx1.astype(int).tolist() == [0]
+        # Next round with zero new gradient: the dropped entry resurfaces.
+        idx2, val2 = comp.compress(np.zeros(2))
+        assert idx2.astype(int).tolist() == [1]
+        assert val2.tolist() == [1.0]
+
+    def test_no_feedback_drops_mass(self):
+        comp = TopKCompressor(ratio=0.5, error_feedback=False)
+        comp.compress(np.array([4.0, 1.0]))
+        idx2, val2 = comp.compress(np.zeros(2))
+        assert val2.tolist() == [0.0]
+
+    def test_reset(self):
+        comp = TopKCompressor(ratio=0.5)
+        comp.compress(np.array([4.0, 1.0]))
+        comp.reset()
+        _, val = comp.compress(np.zeros(2))
+        assert val.tolist() == [0.0]
+
+
+class TestCompressedTrainer:
+    def test_full_ratio_matches_dense_training(self):
+        batches = _batches(n=4)
+        dense = DataParallelTrainer(_factory, 4, algorithm="ring", lr=0.05)
+        sparse = CompressedDataParallelTrainer(
+            _factory, 4, compression_ratio=1.0, lr=0.05
+        )
+        for x, y in batches:
+            dense.train_step(x, y)
+            sparse.train_step(x, y)
+        assert np.allclose(
+            sparse.consensus_state(), dense.consensus_state(),
+            rtol=1e-9, atol=1e-12,
+        )
+
+    def test_sparse_training_converges(self):
+        trainer = CompressedDataParallelTrainer(
+            _factory, 4, compression_ratio=0.1, lr=0.1
+        )
+        report = trainer.train(_batches(n=40, batch=48))
+        assert np.mean(report.losses[-5:]) < np.mean(report.losses[:5]) / 2
+
+    def test_error_feedback_helps(self):
+        batches = _batches(n=40, batch=48)
+        with_ef = CompressedDataParallelTrainer(
+            _factory, 4, compression_ratio=0.05, error_feedback=True, lr=0.1
+        ).train(batches)
+        without = CompressedDataParallelTrainer(
+            _factory, 4, compression_ratio=0.05, error_feedback=False, lr=0.1
+        ).train(batches)
+        assert np.mean(with_ef.losses[-5:]) < np.mean(without.losses[-5:])
+
+    def test_replicas_stay_consistent(self):
+        trainer = CompressedDataParallelTrainer(_factory, 6, compression_ratio=0.2)
+        trainer.train(_batches(n=3))
+        trainer.consensus_state()  # raises on divergence
+
+    def test_traffic_reduction_accounting(self):
+        trainer = CompressedDataParallelTrainer(_factory, 4, compression_ratio=0.01)
+        assert trainer.bytes_per_sync < trainer.dense_bytes_per_sync / 10
+        assert trainer.k == max(1, int(np.ceil(0.01 * trainer.n_params)))
+
+    def test_single_worker_degenerates(self):
+        trainer = CompressedDataParallelTrainer(_factory, 1, compression_ratio=0.5)
+        report = trainer.train(_batches(n=2))
+        assert len(report.losses) == 2

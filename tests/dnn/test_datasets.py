@@ -1,0 +1,56 @@
+"""Synthetic dataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.datasets import SyntheticClassification
+
+
+class TestSyntheticClassification:
+    def test_shapes(self):
+        ds = SyntheticClassification(n_features=20, n_classes=4)
+        x, y = ds.batch(16)
+        assert x.shape == (16, 20)
+        assert y.shape == (16,)
+        assert set(np.unique(y)) <= set(range(4))
+
+    def test_deterministic_across_instances(self):
+        a = SyntheticClassification(seed=5).batch(8)
+        b = SyntheticClassification(seed=5).batch(8)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_stream_advances(self):
+        ds = SyntheticClassification(seed=5)
+        x1, _ = ds.batch(8)
+        x2, _ = ds.batch(8)
+        assert not np.array_equal(x1, x2)
+
+    def test_classes_are_separable(self):
+        # With small noise, nearest-centroid classification must be easy —
+        # that's what makes the training examples meaningful.
+        ds = SyntheticClassification(
+            n_features=10, n_classes=3, noise_scale=0.1, seed=1
+        )
+        x, y = ds.batch(300)
+        centroids = ds._centroids
+        pred = np.argmin(
+            ((x[:, None, :] - centroids[None]) ** 2).sum(-1), axis=1
+        )
+        assert (pred == y).mean() > 0.99
+
+    def test_image_batch_shape(self):
+        ds = SyntheticClassification(n_features=784)
+        x, _ = ds.image_batch(4)
+        assert x.shape == (4, 1, 28, 28)
+
+    def test_image_batch_shape_mismatch(self):
+        ds = SyntheticClassification(n_features=100)
+        with pytest.raises(ValueError):
+            ds.image_batch(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticClassification(noise_scale=-1.0)
+        with pytest.raises(ValueError):
+            SyntheticClassification().batch(0)

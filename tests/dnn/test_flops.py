@@ -1,0 +1,85 @@
+"""FLOP counting tests, anchored to literature MAC counts."""
+
+import pytest
+
+from repro.dnn.flops import (
+    attention_flops,
+    conv2d_flops,
+    dense_flops,
+    layer_backward_flops,
+    layer_forward_flops,
+    norm_flops,
+)
+from repro.dnn.layers import AttentionSpec, Conv2DSpec, DenseSpec, LayerNormSpec
+from repro.dnn.profile import profile_model
+
+# Published per-sample forward MAC counts (1 MAC = 2 FLOPs in our
+# convention): AlexNet ~0.72 GMAC, VGG16 ~15.5, ResNet50 ~4.1, ViT-L ~61.6.
+LITERATURE_GMACS = {
+    "AlexNet": 0.72,
+    "VGG16": 15.5,
+    "ResNet50": 4.1,
+    "BEiT-L": 61.6,
+}
+
+
+class TestPrimitives:
+    def test_dense(self):
+        assert dense_flops(DenseSpec(4096, 1000)) == 2 * 4096 * 1000
+
+    def test_conv(self):
+        spec = Conv2DSpec(3, 96, 11, 11)
+        assert conv2d_flops(spec, (55, 55)) == 2 * 3 * 11 * 11 * 96 * 55 * 55
+
+    def test_grouped_conv_divides_fan_in(self):
+        plain = conv2d_flops(Conv2DSpec(96, 256, 5, 5), (27, 27))
+        grouped = conv2d_flops(Conv2DSpec(96, 256, 5, 5, groups=2), (27, 27))
+        assert grouped == plain / 2
+
+    def test_conv_requires_spatial(self):
+        with pytest.raises(ValueError, match="output_spatial"):
+            layer_forward_flops(Conv2DSpec(3, 8, 3, 3))
+        with pytest.raises(ValueError):
+            conv2d_flops(Conv2DSpec(3, 8, 3, 3), (0, 5))
+
+    def test_attention_scales_quadratically_in_seq(self):
+        spec = AttentionSpec(256, 8)
+        f1 = attention_flops(spec, 100)
+        f2 = attention_flops(spec, 200)
+        assert f2 > 2 * f1  # projections double, attention quadruples
+
+    def test_norm_cheap(self):
+        assert norm_flops(1024) == 10240
+
+    def test_backward_is_twice_forward(self):
+        spec = DenseSpec(100, 50)
+        assert layer_backward_flops(spec) == 2 * layer_forward_flops(spec)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(TypeError):
+            layer_forward_flops(object())
+
+
+class TestModelTotals:
+    @pytest.mark.parametrize("name,gmacs", LITERATURE_GMACS.items())
+    def test_within_literature_band(self, name, gmacs):
+        profile = profile_model(name)
+        fwd_gmacs = sum(l.forward_flops for l in profile.layers) / 2 / 1e9
+        # Accept the usual counting-convention spread (pooling/activation
+        # layers, grouped-variant differences): within 2x either way is the
+        # order-of-magnitude fidelity the iteration model needs.
+        assert gmacs / 2 < fwd_gmacs < gmacs * 2.1, (name, fwd_gmacs)
+
+    def test_vgg_and_resnet_tight(self):
+        # These two have unambiguous catalogs; expect within 5%.
+        for name, gmacs in (("VGG16", 15.47), ("ResNet50", 3.87)):
+            profile = profile_model(name)
+            fwd = sum(l.forward_flops for l in profile.layers) / 2 / 1e9
+            assert fwd == pytest.approx(gmacs, rel=0.06), name
+
+    def test_norms_are_negligible(self):
+        profile = profile_model("ResNet50")
+        norm_share = sum(
+            l.forward_flops for l in profile.layers if "Norm" in l.label
+        ) / sum(l.forward_flops for l in profile.layers)
+        assert norm_share < 0.02

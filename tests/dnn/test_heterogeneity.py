@@ -1,0 +1,122 @@
+"""Heterogeneous-fleet tests (future-work extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnn.autograd import MLP
+from repro.dnn.datasets import SyntheticClassification
+from repro.dnn.heterogeneity import (
+    HeterogeneousIteration,
+    proportional_shards,
+)
+from repro.dnn.profile import DeviceModel, profile_model
+from repro.dnn.training import DataParallelTrainer
+
+PROFILE = profile_model("ResNet50")
+
+
+class TestProportionalShards:
+    def test_homogeneous_is_equal(self):
+        assert proportional_shards(32, [1.0] * 4) == [8, 8, 8, 8]
+
+    def test_proportionality(self):
+        shards = proportional_shards(30, [1.0, 2.0])
+        assert shards == [10, 20]
+
+    def test_exact_total_property(self):
+        shards = proportional_shards(17, [1.0, 3.0, 2.2])
+        assert sum(shards) == 17
+        assert all(s >= 1 for s in shards)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            proportional_shards(4, [])
+        with pytest.raises(ValueError):
+            proportional_shards(4, [1.0, -1.0])
+        with pytest.raises(ValueError):
+            proportional_shards(2, [1.0, 1.0, 1.0])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(1, 12),
+        st.integers(12, 500),
+        st.lists(st.floats(0.1, 10.0), min_size=1, max_size=12),
+    )
+    def test_total_and_minimum_property(self, _, batch, speeds):
+        shards = proportional_shards(batch, speeds)
+        assert sum(shards) == batch
+        assert all(s >= 1 for s in shards)
+        assert len(shards) == len(speeds)
+
+
+class TestHeterogeneousIteration:
+    def test_straggler_governs_naive_policy(self):
+        fast = HeterogeneousIteration(PROFILE, [1.0] * 4, lambda b: 0.0)
+        mixed = HeterogeneousIteration(PROFILE, [1.0, 1.0, 1.0, 0.5], lambda b: 0.0)
+        batch = 64
+        assert mixed.equal_shards(batch).compute == pytest.approx(
+            2 * fast.equal_shards(batch).compute
+        )
+
+    def test_balancing_recovers_most_of_the_loss(self):
+        mixed = HeterogeneousIteration(
+            PROFILE, [1.0, 1.0, 1.0, 0.5], lambda b: 0.0
+        )
+        assert mixed.balancing_speedup(70) > 1.3
+
+    def test_homogeneous_fleet_gains_nothing(self):
+        fleet = HeterogeneousIteration(PROFILE, [1.0] * 8, lambda b: 1e-3)
+        assert fleet.balancing_speedup(64) == pytest.approx(1.0)
+
+    def test_comm_fraction_rises_with_stragglers_removed(self):
+        # Balancing shrinks compute, so the (fixed) comm share grows.
+        mixed = HeterogeneousIteration(
+            PROFILE, [1.0, 0.25], lambda b: 5e-3
+        )
+        naive = mixed.equal_shards(32)
+        balanced = mixed.balanced_shards(32)
+        assert balanced.comm_fraction > naive.comm_fraction
+        assert balanced.total < naive.total
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousIteration(PROFILE, [], lambda b: 0.0)
+        with pytest.raises(ValueError):
+            HeterogeneousIteration(PROFILE, [1.0, 0.0], lambda b: 0.0)
+
+
+class TestTrainerIntegration:
+    def test_uneven_shards_stay_exact(self):
+        """Speed-proportional sharding must not change the training
+        trajectory at all — the Eq 5 exactness extends to uneven splits."""
+        ds = SyntheticClassification(n_features=10, n_classes=3, seed=1)
+        batches = [ds.batch(24) for _ in range(3)]
+        factory = lambda: MLP.of_widths([10, 8, 3], seed=5)  # noqa: E731
+
+        reference = factory()
+        for x, y in batches:
+            reference.loss_and_gradients(x, y)
+            reference.sgd_step(0.05)
+
+        trainer = DataParallelTrainer(factory, 4, algorithm="wrht",
+                                      n_wavelengths=2, lr=0.05)
+        shards = proportional_shards(24, [2.0, 1.0, 1.0, 0.5])
+        for x, y in batches:
+            trainer.train_step(x, y, shard_sizes=shards)
+        assert np.allclose(
+            trainer.consensus_state(), reference.state_vector(),
+            rtol=1e-9, atol=1e-12,
+        )
+
+    def test_shard_size_validation(self):
+        ds = SyntheticClassification(n_features=10, n_classes=3)
+        trainer = DataParallelTrainer(
+            lambda: MLP.of_widths([10, 3]), 4, algorithm="ring"
+        )
+        x, y = ds.batch(20)
+        with pytest.raises(ValueError, match="shard sizes"):
+            trainer.train_step(x, y, shard_sizes=[5, 5, 5])
+        with pytest.raises(ValueError, match="sum"):
+            trainer.train_step(x, y, shard_sizes=[5, 5, 5, 6])

@@ -1,0 +1,127 @@
+"""Iteration (compute/communication overlap) model tests."""
+
+import pytest
+
+from repro.core.timing import CostModel
+from repro.dnn.iteration import (
+    IterationModel,
+    comm_backend_from_analytical,
+    make_buckets,
+)
+from repro.dnn.profile import DeviceModel, profile_model
+
+DEVICE = DeviceModel()
+PROFILE = profile_model("ResNet50")
+
+
+def flat_comm(seconds: float):
+    """A pricing function charging a constant per call (latency-only)."""
+    return lambda grad_bytes: seconds
+
+
+def linear_comm(rate: float):
+    """Pure-bandwidth pricing."""
+    return lambda grad_bytes: grad_bytes / rate
+
+
+class TestBuckets:
+    def test_zero_threshold_one_bucket_per_layer(self):
+        buckets = make_buckets(PROFILE, 32, DEVICE, bucket_bytes=0)
+        schedule = PROFILE.gradient_release_schedule(32, DEVICE)
+        assert len(buckets) == len(schedule)
+
+    def test_infinite_threshold_single_bucket(self):
+        buckets = make_buckets(PROFILE, 32, DEVICE, bucket_bytes=float("inf"))
+        assert len(buckets) == 1
+        assert buckets[0].grad_bytes == PROFILE.total_params * 4
+
+    def test_bytes_conserved(self):
+        buckets = make_buckets(PROFILE, 32, DEVICE, bucket_bytes=5e6)
+        assert sum(b.grad_bytes for b in buckets) == PROFILE.total_params * 4
+
+    def test_release_times_monotone(self):
+        buckets = make_buckets(PROFILE, 32, DEVICE, bucket_bytes=5e6)
+        times = [b.release_time for b in buckets]
+        assert times == sorted(times)
+
+    def test_threshold_respected(self):
+        buckets = make_buckets(PROFILE, 32, DEVICE, bucket_bytes=5e6)
+        for bucket in buckets[:-1]:
+            assert bucket.grad_bytes >= 5e6
+
+    def test_extras_ride_last_bucket(self):
+        beit = profile_model("BEiT-L")
+        buckets = make_buckets(beit, 8, DEVICE, bucket_bytes=float("inf"))
+        assert buckets[0].grad_bytes == beit.total_params * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_buckets(PROFILE, 32, DEVICE, bucket_bytes=-1)
+
+
+class TestIterationModel:
+    def test_no_overlap_decomposition(self):
+        model = IterationModel(PROFILE, flat_comm(0.5), DEVICE)
+        breakdown = model.no_overlap(32)
+        assert breakdown.comm_exposed == 0.5
+        assert breakdown.total == pytest.approx(
+            breakdown.forward + breakdown.backward + 0.5
+        )
+
+    def test_full_overlap_hides_cheap_comm(self):
+        # Communication far cheaper than backward: fully hidden except the
+        # last bucket's tail.
+        model = IterationModel(PROFILE, linear_comm(1e12), DEVICE)
+        breakdown = model.overlapped(128, bucket_bytes=1e6)
+        assert breakdown.comm_exposed < 0.05 * breakdown.comm_total + 1e-3
+        assert breakdown.total < model.no_overlap(128).total
+
+    def test_expensive_comm_dominates_regardless(self):
+        model = IterationModel(PROFILE, linear_comm(1e6), DEVICE)  # 1 MB/s
+        serial = model.no_overlap(32)
+        overlapped = model.overlapped(32)
+        assert serial.comm_fraction > 0.9
+        assert overlapped.comm_fraction > 0.9
+
+    def test_overlap_never_slower_with_single_bucket(self):
+        model = IterationModel(PROFILE, linear_comm(40e9), DEVICE)
+        serial = model.no_overlap(32)
+        one_bucket = model.overlapped(32, bucket_bytes=float("inf"))
+        # A single bucket releasing at backward end reproduces the serial
+        # schedule exactly.
+        assert one_bucket.total == pytest.approx(serial.total)
+
+    def test_latency_bound_comm_punishes_small_buckets(self):
+        # Constant per-call cost: more buckets = more exposed time.
+        model = IterationModel(PROFILE, flat_comm(0.01), DEVICE)
+        few = model.overlapped(32, bucket_bytes=float("inf"))
+        many = model.overlapped(32, bucket_bytes=0)
+        assert many.comm_total > few.comm_total
+
+    def test_comm_fraction_bounds(self):
+        model = IterationModel(PROFILE, flat_comm(1.0), DEVICE)
+        breakdown = model.no_overlap(32)
+        assert 0 <= breakdown.comm_fraction < 1
+
+    def test_analytical_backend_adapter(self):
+        cost = CostModel(line_rate=40e9, step_overhead=25e-6)
+        price = comm_backend_from_analytical("WRHT", 1024, cost, w=64)
+        assert price(100e6) == pytest.approx(3 * (100e6 / 40e9 + 25e-6))
+
+
+class TestMotivationClaim:
+    def test_comm_fraction_grows_with_cluster_size(self):
+        """Sec 1 [35]: at fixed global batch, scaling out shrinks per-worker
+        compute while E-Ring communication grows — the fraction must rise
+        monotonically and reach the 50%+ regime at scale (strict units)."""
+        cost = CostModel(line_rate=5e9, step_overhead=75e-6)  # E-Ring-like
+        global_batch = 1024
+        fractions = []
+        for n in (16, 64, 256, 1024):
+            price = comm_backend_from_analytical("Ring", n, cost)
+            model = IterationModel(PROFILE, price, DEVICE)
+            breakdown = model.no_overlap(max(1, global_batch // n))
+            fractions.append(breakdown.comm_fraction)
+        assert fractions == sorted(fractions)
+        assert fractions[0] < 0.5
+        assert fractions[-1] > 0.5

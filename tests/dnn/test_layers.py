@@ -1,0 +1,83 @@
+"""Layer-spec parameter counting tests."""
+
+import pytest
+
+from repro.dnn.layers import (
+    AttentionSpec,
+    BatchNormSpec,
+    Conv2DSpec,
+    DenseSpec,
+    EmbeddingSpec,
+    LayerNormSpec,
+    TransformerBlockSpec,
+)
+
+
+class TestDense:
+    def test_with_bias(self):
+        assert DenseSpec(4096, 1000).param_count == 4096 * 1000 + 1000
+
+    def test_without_bias(self):
+        assert DenseSpec(4096, 1000, bias=False).param_count == 4096 * 1000
+
+    def test_vgg_fc6(self):
+        assert DenseSpec(7 * 7 * 512, 4096).param_count == 102_764_544
+
+
+class TestConv2D:
+    def test_plain(self):
+        assert Conv2DSpec(3, 96, 11, 11).param_count == 3 * 96 * 121 + 96
+
+    def test_grouped_halves_fan_in(self):
+        plain = Conv2DSpec(96, 256, 5, 5).param_count
+        grouped = Conv2DSpec(96, 256, 5, 5, groups=2).param_count
+        assert grouped == (plain - 256) // 2 + 256
+
+    def test_no_bias(self):
+        assert Conv2DSpec(64, 64, 3, 3, bias=False).param_count == 64 * 64 * 9
+
+    def test_groups_must_divide(self):
+        with pytest.raises(ValueError):
+            Conv2DSpec(3, 64, 3, 3, groups=2)
+
+
+class TestNorms:
+    def test_batchnorm_two_per_feature(self):
+        assert BatchNormSpec(256).param_count == 512
+
+    def test_layernorm_two_per_feature(self):
+        assert LayerNormSpec(1024).param_count == 2048
+
+
+class TestEmbedding:
+    def test_table_size(self):
+        assert EmbeddingSpec(1000, 64).param_count == 64_000
+
+
+class TestAttention:
+    def test_vit_large_attention(self):
+        # dim=1024: qkv (1024*3072 + 3072) + proj (1024*1024 + 1024).
+        spec = AttentionSpec(1024, 16)
+        assert spec.param_count == 1024 * 3072 + 3072 + 1024 * 1024 + 1024
+
+    def test_relative_position_bias_counts_per_head(self):
+        base = AttentionSpec(64, 8).param_count
+        with_rel = AttentionSpec(64, 8, relative_position_entries=10).param_count
+        assert with_rel == base + 80
+
+    def test_heads_must_divide_dim(self):
+        with pytest.raises(ValueError):
+            AttentionSpec(100, 16)
+
+
+class TestTransformerBlock:
+    def test_vit_large_block(self):
+        block = TransformerBlockSpec(1024, 16, mlp_ratio=4)
+        attn = AttentionSpec(1024, 16).param_count
+        mlp = DenseSpec(1024, 4096).param_count + DenseSpec(4096, 1024).param_count
+        assert block.param_count == attn + mlp + 2 * 2048
+
+    def test_layer_scale_adds_two_gammas(self):
+        plain = TransformerBlockSpec(64, 8).param_count
+        scaled = TransformerBlockSpec(64, 8, layer_scale=True).param_count
+        assert scaled == plain + 128

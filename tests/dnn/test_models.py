@@ -1,0 +1,55 @@
+"""Model catalog tests: derived counts against the paper's Sec 5.1 sizes."""
+
+import pytest
+
+from repro.dnn.models import MODEL_BUILDERS, alexnet, beit_large, resnet50, vgg16
+
+# Paper headline sizes and the tolerance we accept for variant ambiguity.
+PAPER = {"BEiT-L": 307e6, "VGG16": 138e6, "AlexNet": 62.3e6, "ResNet50": 25e6}
+
+
+class TestExactCounts:
+    def test_vgg16_exact(self):
+        # The canonical torchvision number.
+        assert vgg16().param_count == 138_357_544
+
+    def test_resnet50_exact(self):
+        assert resnet50().param_count == 25_557_032
+
+    def test_alexnet_original(self):
+        # Krizhevsky's grouped two-tower network.
+        assert alexnet().param_count == 60_965_224
+
+    def test_beit_large_scale(self):
+        assert 300e6 < beit_large().param_count < 310e6
+
+
+class TestPaperAgreement:
+    @pytest.mark.parametrize("name", list(PAPER))
+    def test_within_tolerance(self, name):
+        derived = MODEL_BUILDERS[name]().param_count
+        assert abs(derived - PAPER[name]) / PAPER[name] < 0.03, (
+            f"{name}: {derived:,} vs paper {PAPER[name]:.3g}"
+        )
+
+    def test_size_ordering_matches_paper(self):
+        sizes = {n: MODEL_BUILDERS[n]().param_count for n in PAPER}
+        assert sizes["BEiT-L"] > sizes["VGG16"] > sizes["AlexNet"] > sizes["ResNet50"]
+
+
+class TestModelSpec:
+    def test_gradient_bytes_float32(self):
+        m = resnet50()
+        assert m.gradient_bytes() == m.param_count * 4
+
+    def test_gradient_bytes_validation(self):
+        with pytest.raises(ValueError):
+            resnet50().gradient_bytes(0)
+
+    def test_class_count_configurable(self):
+        assert vgg16(10).param_count < vgg16(1000).param_count
+
+    def test_layer_counts(self):
+        assert vgg16().n_layers == 16  # 13 convs + 3 fcs
+        assert alexnet().n_layers == 8
+        assert beit_large().n_layers == 24 + 3  # blocks + embed + norm + head

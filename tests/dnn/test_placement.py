@@ -1,0 +1,56 @@
+"""Ring placement (layout) tests for hybrid parallelism."""
+
+import pytest
+
+from repro.collectives.grouped import build_grouped_allreduce, verify_grouped_allreduce
+from repro.dnn.parallelism import ParallelismPlan
+from repro.optical import OpticalRingNetwork, OpticalSystemConfig
+
+
+class TestLayouts:
+    def test_tp_inner_contiguous_tp(self):
+        plan = ParallelismPlan(32, tp=4, pp=4, dp=2, layout="tp_inner")
+        for group in plan.tp_groups():
+            assert group == list(range(group[0], group[0] + 4))
+
+    def test_dp_inner_contiguous_dp(self):
+        plan = ParallelismPlan(32, tp=4, pp=4, dp=2, layout="dp_inner")
+        for group in plan.dp_groups():
+            assert group == list(range(group[0], group[0] + 2))
+
+    def test_layout_is_a_bijection(self):
+        for layout in ("tp_inner", "dp_inner"):
+            plan = ParallelismPlan(24, tp=2, pp=3, dp=4, layout=layout)
+            nodes = {
+                plan.node(d, p, t)
+                for d in range(4) for p in range(3) for t in range(2)
+            }
+            assert nodes == set(range(24))
+
+    def test_unknown_layout(self):
+        with pytest.raises(ValueError, match="layout"):
+            ParallelismPlan(8, tp=2, pp=2, dp=2, layout="ring_major")
+
+    def test_grouped_allreduce_correct_under_both_layouts(self):
+        for layout in ("tp_inner", "dp_inner"):
+            plan = ParallelismPlan(24, tp=2, pp=3, dp=4, layout=layout)
+            for groups in (plan.tp_groups(), plan.dp_groups()):
+                sched = build_grouped_allreduce(groups, 12, 24, algorithm="ring")
+                verify_grouped_allreduce(sched)
+
+
+class TestPlacementCostTradeoff:
+    def test_contiguity_cheapens_the_contiguous_collective(self):
+        """The placement trade-off, measured: making a dimension contiguous
+        makes *that* dimension's grouped All-reduce cheaper (shorter routes,
+        fewer wavelength conflicts across groups)."""
+        net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=64, n_wavelengths=16))
+        elems = 64_000
+        costs = {}
+        for layout in ("tp_inner", "dp_inner"):
+            plan = ParallelismPlan(64, tp=8, pp=1, dp=8, layout=layout)
+            dp_sched = build_grouped_allreduce(
+                plan.dp_groups(), elems, 64, algorithm="ring"
+            )
+            costs[layout] = net.execute(dp_sched).total_time
+        assert costs["dp_inner"] <= costs["tp_inner"]

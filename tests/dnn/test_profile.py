@@ -1,0 +1,71 @@
+"""Workload profiling tests."""
+
+import pytest
+
+from repro.dnn.models import MODEL_BUILDERS
+from repro.dnn.profile import DeviceModel, profile_model
+
+DEVICE = DeviceModel()
+
+
+class TestDeviceModel:
+    def test_time(self):
+        dev = DeviceModel(peak_flops=1e12, efficiency=0.5)
+        assert dev.time(1e12) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceModel(peak_flops=0)
+        with pytest.raises(ValueError):
+            DeviceModel(efficiency=0)
+        with pytest.raises(ValueError):
+            DEVICE.time(-1.0)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", list(MODEL_BUILDERS))
+    def test_param_totals_match_catalog(self, name):
+        profile = profile_model(name)
+        assert profile.total_params == MODEL_BUILDERS[name]().param_count
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            profile_model("LeNet")
+
+    def test_compute_scales_with_batch(self):
+        profile = profile_model("ResNet50")
+        assert profile.forward_time(256, DEVICE) == pytest.approx(
+            2 * profile.forward_time(128, DEVICE)
+        )
+
+    def test_backward_twice_forward(self):
+        profile = profile_model("VGG16")
+        assert profile.backward_time(32, DEVICE) == pytest.approx(
+            2 * profile.forward_time(32, DEVICE)
+        )
+
+
+class TestReleaseSchedule:
+    def test_release_order_is_output_to_input(self):
+        profile = profile_model("AlexNet")
+        schedule = profile.gradient_release_schedule(32, DEVICE)
+        indices = [layer.index for layer, _ in schedule]
+        assert indices == sorted(indices, reverse=True)
+
+    def test_release_times_monotone(self):
+        profile = profile_model("ResNet50")
+        times = [t for _, t in profile.gradient_release_schedule(32, DEVICE)]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_last_release_is_backward_total(self):
+        profile = profile_model("VGG16")
+        schedule = profile.gradient_release_schedule(32, DEVICE)
+        # Every VGG16 layer has parameters, and the input conv is the last
+        # to release — at exactly the full backward time.
+        assert schedule[-1][1] == pytest.approx(profile.backward_time(32, DEVICE))
+
+    def test_only_parameterized_layers_release(self):
+        profile = profile_model("ResNet50")
+        schedule = profile.gradient_release_schedule(32, DEVICE)
+        assert all(layer.params > 0 for layer, _ in schedule)

@@ -1,0 +1,55 @@
+"""Workload catalog tests."""
+
+import pytest
+
+from repro.dnn.workload import PAPER_WORKLOADS, DnnWorkload, workload_by_name
+
+
+class TestPaperWorkloads:
+    def test_four_models(self):
+        assert [w.name for w in PAPER_WORKLOADS] == [
+            "BEiT-L", "VGG16", "AlexNet", "ResNet50",
+        ]
+
+    def test_headline_sizes(self):
+        sizes = {w.name: w.n_params for w in PAPER_WORKLOADS}
+        assert sizes == {
+            "BEiT-L": 307_000_000,
+            "VGG16": 138_000_000,
+            "AlexNet": 62_300_000,
+            "ResNet50": 25_000_000,
+        }
+
+    def test_gradient_bytes_float32(self):
+        w = workload_by_name("ResNet50")
+        assert w.gradient_bytes == 100_000_000
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert workload_by_name("VGG16").n_params == 138_000_000
+
+    def test_derived_differs_slightly(self):
+        paper = workload_by_name("VGG16")
+        derived = workload_by_name("VGG16", derived=True)
+        assert derived.n_params == 138_357_544
+        assert derived.n_params != paper.n_params
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            workload_by_name("GPT-3")
+        with pytest.raises(KeyError):
+            workload_by_name("GPT-3", derived=True)
+
+
+class TestValidation:
+    def test_positive_params(self):
+        with pytest.raises(ValueError):
+            DnnWorkload("x", 0)
+
+    def test_from_model(self):
+        from repro.dnn.models import resnet50
+
+        w = DnnWorkload.from_model(resnet50())
+        assert w.name == "ResNet50"
+        assert w.gradient_bytes == 25_557_032 * 4

@@ -1,0 +1,31 @@
+"""Electrical configuration tests."""
+
+import pytest
+
+from repro.electrical.config import ElectricalSystemConfig
+
+
+class TestConfig:
+    def test_table2_defaults(self):
+        cfg = ElectricalSystemConfig(n_nodes=128)
+        assert cfg.router_radix == 32
+        assert cfg.hosts_per_edge == 16
+        assert cfg.n_core == 16
+        assert cfg.router_delay == pytest.approx(25e-6)
+        assert cfg.packet_bytes == 72
+
+    def test_interpretations(self):
+        assert ElectricalSystemConfig(n_nodes=4, interpretation="strict").line_rate == 5e9
+        assert ElectricalSystemConfig(n_nodes=4, interpretation="calibrated").line_rate == 40e9
+
+    def test_odd_radix_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            ElectricalSystemConfig(n_nodes=4, router_radix=31)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ElectricalSystemConfig(n_nodes=4, router_delay=-1.0)
+
+    def test_bad_interpretation(self):
+        with pytest.raises(ValueError):
+            ElectricalSystemConfig(n_nodes=4, interpretation="light-speed")

@@ -1,0 +1,58 @@
+"""Hash vs ideal ECMP mode tests."""
+
+import pytest
+
+from repro.collectives.registry import build_schedule
+from repro.electrical.config import ElectricalSystemConfig
+from repro.electrical.fattree import FatTree
+from repro.electrical.network import ElectricalNetwork
+from repro.electrical.routing import ideal_core, route
+
+
+class TestIdealCore:
+    def test_each_host_owns_an_uplink(self):
+        cores = {ideal_core(h, 16, 16) for h in range(16)}
+        assert cores == set(range(16))
+
+    def test_same_pattern_every_edge(self):
+        assert ideal_core(5, 16, 16) == ideal_core(21, 16, 16)
+
+
+class TestRoutingModes:
+    def test_ideal_route_uses_owned_uplink(self):
+        tree = FatTree(ElectricalSystemConfig(n_nodes=64))
+        path = route(tree, 3, 40, ecmp="ideal")
+        assert path.links[1] == tree.up[0][3]
+
+    def test_unknown_mode_rejected(self):
+        tree = FatTree(ElectricalSystemConfig(n_nodes=64))
+        with pytest.raises(ValueError, match="ecmp"):
+            route(tree, 0, 40, ecmp="quantum")
+        with pytest.raises(ValueError, match="ecmp"):
+            ElectricalSystemConfig(n_nodes=4, ecmp="quantum")
+
+
+class TestCongestionAblation:
+    def test_ideal_ecmp_removes_rd_collisions(self):
+        n = 128
+        sched = build_schedule("rd", n, n * 100, materialize=False)
+        hash_net = ElectricalNetwork(ElectricalSystemConfig(n_nodes=n, ecmp="hash"))
+        ideal_net = ElectricalNetwork(ElectricalSystemConfig(n_nodes=n, ecmp="ideal"))
+        hash_result = hash_net.execute(sched)
+        ideal_result = ideal_net.execute(sched)
+        assert hash_result.max_link_share > 1
+        assert ideal_result.max_link_share == 1
+        assert ideal_result.total_time < hash_result.total_time
+
+    def test_ring_unaffected_by_mode(self):
+        # E-Ring is collision-free under both modes (one cross-edge flow
+        # per edge boundary).
+        n = 64
+        sched = build_schedule("ring", n, n * 100, materialize=False)
+        times = []
+        for mode in ("hash", "ideal"):
+            net = ElectricalNetwork(ElectricalSystemConfig(n_nodes=n, ecmp=mode))
+            result = net.execute(sched)
+            assert result.max_link_share == 1
+            times.append(result.total_time)
+        assert times[0] == pytest.approx(times[1], rel=1e-12)

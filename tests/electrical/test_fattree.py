@@ -1,0 +1,71 @@
+"""Fat-tree topology builder tests."""
+
+import pytest
+
+from repro.electrical.config import ElectricalSystemConfig
+from repro.electrical.fattree import FatTree
+
+
+def _tree(n, **kwargs):
+    return FatTree(ElectricalSystemConfig(n_nodes=n), **kwargs)
+
+
+class TestStructure:
+    def test_edge_count(self):
+        assert _tree(128).n_edges == 8
+        assert _tree(129).n_edges == 9  # partial edge
+
+    def test_host_placement(self):
+        tree = _tree(64)
+        assert tree.edge_of(0) == 0
+        assert tree.edge_of(15) == 0
+        assert tree.edge_of(16) == 1
+
+    def test_host_out_of_range(self):
+        with pytest.raises(ValueError):
+            _tree(64).edge_of(64)
+
+    def test_link_count(self):
+        # 64 hosts: 128 host links + 4 edges x 16 cores x 2 = 256.
+        tree = _tree(64)
+        assert tree.n_links == 2 * 64 + 2 * 4 * 16
+
+    def test_all_links_at_line_rate(self):
+        tree = _tree(32)
+        rate = tree.config.line_rate
+        assert all(link.capacity == rate for link in tree.links)
+
+    def test_full_bisection_uplinks(self):
+        # Every edge has one uplink to every core.
+        tree = _tree(64)
+        for e in range(tree.n_edges):
+            assert len(tree.up[e]) == tree.n_core
+            assert len({tree.up[e][c] for c in range(tree.n_core)}) == tree.n_core
+
+
+class TestRadixAccounting:
+    def test_edge_ports_exactly_radix(self):
+        tree = _tree(128)
+        for edge in tree.edges:
+            assert edge.ports_used == 32  # 16 hosts + 16 uplinks
+
+    def test_512_hosts_fit_natively(self):
+        assert not _tree(512).radix_exceeded
+
+    def test_1024_hosts_oversubscribe_core_radix(self):
+        # Table 2's two-level 32-port tree caps at 512 hosts; the paper's
+        # 1024-node point needs the documented radix relaxation.
+        tree = _tree(1024)
+        assert tree.radix_exceeded
+        assert tree.n_edges == 64
+
+    def test_strict_radix_mode_rejects(self):
+        with pytest.raises(ValueError, match="radix"):
+            _tree(1024, allow_oversubscribed_radix=False)
+
+    def test_capacities_indexable_by_link_id(self):
+        tree = _tree(48)
+        caps = tree.capacities()
+        assert len(caps) == tree.n_links
+        for link in tree.links:
+            assert caps[link.link_id] == link.capacity

@@ -1,0 +1,108 @@
+"""Packet-level simulation tests: the fluid model's ground truth check."""
+
+import pytest
+
+from repro.collectives.base import CommStep, Schedule, Transfer
+from repro.collectives.registry import build_schedule
+from repro.electrical.config import ElectricalSystemConfig
+from repro.electrical.network import ElectricalNetwork
+from repro.electrical.packets import PacketLevelNetwork
+
+
+def _schedule(transfers, n, elems):
+    step = CommStep(tuple(transfers))
+    return Schedule("test", n, elems, steps=[step], timing_profile=[(step, 1)])
+
+
+def _config(n=32):
+    return ElectricalSystemConfig(n_nodes=n)
+
+
+class TestSingleFlow:
+    def test_intra_edge_flow_matches_closed_form(self):
+        # One flow, 1 router: serialization + one 25 µs pipeline latency.
+        cfg = _config()
+        elems = 1800  # 7200 B = 100 packets
+        sched = _schedule([Transfer(0, 1, 0, elems)], 32, elems)
+        result = PacketLevelNetwork(cfg).execute(sched)
+        expected = elems * 4 / cfg.line_rate + cfg.router_delay
+        # Store-and-forward adds one packet serialization per extra hop.
+        assert result.total_time == pytest.approx(expected, rel=0.02)
+        assert result.n_packets == 100
+
+    def test_cross_edge_flow_three_router_delays(self):
+        cfg = _config()
+        elems = 1800
+        sched = _schedule([Transfer(0, 20, 0, elems)], 32, elems)
+        result = PacketLevelNetwork(cfg).execute(sched)
+        expected = elems * 4 / cfg.line_rate + 3 * cfg.router_delay
+        assert result.total_time == pytest.approx(expected, rel=0.02)
+
+    def test_agrees_with_fluid_model(self):
+        cfg = _config()
+        elems = 3600
+        sched = _schedule([Transfer(0, 20, 0, elems)], 32, elems)
+        packet = PacketLevelNetwork(cfg).execute(sched).total_time
+        fluid = ElectricalNetwork(cfg).execute(sched).total_time
+        assert packet == pytest.approx(fluid, rel=0.02)
+
+
+class TestContention:
+    def test_two_flows_sharing_host_link(self):
+        # Two flows out of host 0 share its NIC: step takes ~2x one flow.
+        cfg = _config()
+        elems = 1800
+        one = _schedule([Transfer(0, 1, 0, elems)], 32, elems)
+        two = _schedule(
+            [Transfer(0, 1, 0, elems), Transfer(0, 2, 0, elems)], 32, elems
+        )
+        t1 = PacketLevelNetwork(cfg).execute(one).total_time
+        t2 = PacketLevelNetwork(cfg).execute(two).total_time
+        assert t2 == pytest.approx(2 * t1 - cfg.router_delay, rel=0.05)
+
+    def test_disjoint_flows_run_concurrently(self):
+        cfg = _config()
+        elems = 1800
+        one = _schedule([Transfer(0, 1, 0, elems)], 32, elems)
+        many = _schedule(
+            [Transfer(2 * i, 2 * i + 1, 0, elems) for i in range(8)], 32, elems
+        )
+        t1 = PacketLevelNetwork(cfg).execute(one).total_time
+        t8 = PacketLevelNetwork(cfg).execute(many).total_time
+        assert t8 == pytest.approx(t1, rel=0.02)
+
+    def test_contended_step_close_to_fluid(self):
+        # A BT reduce step (several concurrent flows, some cross-edge) —
+        # packet-level and fluid agree within store-and-forward effects.
+        cfg = _config()
+        sched = build_schedule("bt", 32, 1440)
+        packet = PacketLevelNetwork(cfg).execute(sched).total_time
+        fluid = ElectricalNetwork(cfg).execute(sched).total_time
+        assert packet == pytest.approx(fluid, rel=0.1)
+
+
+class TestMechanics:
+    def test_ring_allreduce_runs(self):
+        cfg = _config(16)
+        sched = build_schedule("ring", 8, 160)
+        result = PacketLevelNetwork(cfg).execute(sched)
+        assert len(result.per_step) == 14
+        assert result.total_time == pytest.approx(sum(result.per_step))
+
+    def test_empty_transfers_cost_nothing(self):
+        sched = _schedule([Transfer(0, 1, 3, 3), Transfer(1, 2, 0, 9)], 32, 9)
+        result = PacketLevelNetwork(_config()).execute(sched)
+        assert result.n_packets == 1  # 36 B -> 1 packet; empty one skipped
+
+    def test_size_guard(self):
+        sched = build_schedule("ring", 64, 64)
+        with pytest.raises(ValueError, match="hosts"):
+            PacketLevelNetwork(_config(32)).execute(sched)
+
+    def test_deterministic(self):
+        cfg = _config()
+        sched = build_schedule("bt", 16, 720)
+        a = PacketLevelNetwork(cfg).execute(sched)
+        b = PacketLevelNetwork(cfg).execute(sched)
+        assert a.total_time == b.total_time
+        assert a.n_events == b.n_events

@@ -1,0 +1,80 @@
+"""Fat-tree routing and ECMP tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.electrical.config import ElectricalSystemConfig
+from repro.electrical.fattree import FatTree
+from repro.electrical.routing import ecmp_core, route
+
+
+def _tree(n=64):
+    return FatTree(ElectricalSystemConfig(n_nodes=n))
+
+
+class TestRoutes:
+    def test_intra_edge_one_router(self):
+        tree = _tree()
+        path = route(tree, 0, 15)  # both on edge 0
+        assert path.n_routers == 1
+        assert len(path.links) == 2
+        assert path.links == (tree.host_up[0], tree.host_down[15])
+
+    def test_cross_edge_three_routers(self):
+        tree = _tree()
+        path = route(tree, 0, 20)
+        assert path.n_routers == 3
+        assert len(path.links) == 4
+
+    def test_cross_edge_uses_consistent_core(self):
+        tree = _tree()
+        path = route(tree, 0, 20)
+        core = ecmp_core(0, 20, tree.n_core)
+        assert path.links[1] == tree.up[0][core]
+        assert path.links[2] == tree.down[core][1]
+
+    def test_self_route_rejected(self):
+        with pytest.raises(ValueError):
+            route(_tree(), 3, 3)
+
+
+class TestEcmp:
+    def test_deterministic(self):
+        assert ecmp_core(7, 23, 16) == ecmp_core(7, 23, 16)
+
+    def test_in_range(self):
+        for s in range(50):
+            for d in range(50):
+                assert 0 <= ecmp_core(s, d, 16) < 16
+
+    def test_no_power_of_two_degeneracy(self):
+        # Recursive doubling's peers at distance 2^k must not all hash to
+        # one core (the failure mode of linear hashes).
+        for dist in (16, 32, 64, 128, 256, 512):
+            cores = {ecmp_core(s, s ^ dist, 16) for s in range(0, 1024)}
+            assert len(cores) >= 8, f"distance {dist} collapsed to {cores}"
+
+    def test_reasonable_spread(self):
+        from collections import Counter
+
+        counts = Counter(ecmp_core(s, d, 16) for s in range(64) for d in range(64))
+        assert min(counts.values()) > 0.5 * (64 * 64 / 16)
+        assert max(counts.values()) < 2.0 * (64 * 64 / 16)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 127), st.integers(0, 127))
+def test_route_endpoints_property(src, dst):
+    tree = _tree(128)
+    if src == dst:
+        return
+    path = route(tree, src, dst)
+    links = [tree.links[lid] for lid in path.links]
+    assert links[0].kind == "host_up" and links[0].a == src
+    assert links[-1].kind == "host_down" and links[-1].b == dst
+    # Consecutive links connect.
+    if len(links) == 4:
+        assert links[0].b == links[1].a  # edge switch
+        assert links[1].b == links[2].a  # core switch
+        assert links[2].b == links[3].a  # edge switch

@@ -1,0 +1,61 @@
+"""Circuit record and conflict-audit tests."""
+
+import pytest
+
+from repro.collectives.base import Transfer
+from repro.optical.circuit import Circuit, CircuitConflictError, validate_no_conflicts
+from repro.optical.topology import Direction, Route
+
+
+def _circuit(src, dst, segments, direction=Direction.CW, fiber=0, lam=0):
+    return Circuit(
+        transfer=Transfer(src, dst, 0, 10),
+        route=Route(direction, tuple(segments)),
+        fiber=fiber,
+        wavelength=lam,
+        payload_bytes=40.0,
+        duration=1e-6,
+    )
+
+
+class TestCircuit:
+    def test_channel_key(self):
+        c = _circuit(0, 2, [0, 1], fiber=1, lam=7)
+        assert c.channel == ("cw", 1, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _circuit(0, 2, [0], fiber=-1)
+        with pytest.raises(ValueError):
+            Circuit(
+                transfer=Transfer(0, 1, 0, 10),
+                route=Route(Direction.CW, (0,)),
+                fiber=0, wavelength=0, payload_bytes=-1.0, duration=0.0,
+            )
+
+
+class TestValidateNoConflicts:
+    def test_disjoint_segments_pass(self):
+        validate_no_conflicts([_circuit(0, 2, [0, 1]), _circuit(2, 4, [2, 3])])
+
+    def test_shared_segment_same_channel_fails(self):
+        with pytest.raises(CircuitConflictError, match="share"):
+            validate_no_conflicts([_circuit(0, 3, [0, 1, 2]), _circuit(1, 3, [1, 2])])
+
+    def test_shared_segment_different_wavelength_passes(self):
+        validate_no_conflicts(
+            [_circuit(0, 3, [0, 1, 2], lam=0), _circuit(1, 3, [1, 2], lam=1)]
+        )
+
+    def test_shared_segment_different_direction_passes(self):
+        validate_no_conflicts(
+            [
+                _circuit(0, 3, [0, 1, 2], direction=Direction.CW),
+                _circuit(3, 1, [2, 1], direction=Direction.CCW),
+            ]
+        )
+
+    def test_shared_segment_different_fiber_passes(self):
+        validate_no_conflicts(
+            [_circuit(0, 3, [0, 1, 2], fiber=0), _circuit(1, 3, [1, 2], fiber=1)]
+        )

@@ -1,0 +1,99 @@
+"""Pattern-compression equivalence: compressed vs uncompressed pricing.
+
+The executors price each distinct step pattern once and multiply by the
+run length (that is what makes paper-scale sweeps fast). These tests prove
+the shortcut is exact: executing a schedule through its compressed timing
+profile must give the same total time as executing every materialized step
+individually — on both substrates.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.base import Schedule
+from repro.collectives.registry import build_schedule
+from repro.electrical.config import ElectricalSystemConfig
+from repro.electrical.network import ElectricalNetwork
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.network import OpticalRingNetwork
+
+
+def _uncompressed(schedule: Schedule) -> Schedule:
+    """The same schedule with a one-entry-per-step timing profile."""
+    steps = list(schedule.iter_steps())
+    return Schedule(
+        algorithm=schedule.algorithm,
+        n_nodes=schedule.n_nodes,
+        total_elems=schedule.total_elems,
+        steps=steps,
+        timing_profile=[(s, 1) for s in steps],
+        meta=dict(schedule.meta),
+    )
+
+
+def _build(algo, n, elems):
+    kwargs = {"materialize": True}
+    if algo == "wrht":
+        kwargs["n_wavelengths"] = 8
+    if algo == "hring":
+        kwargs["m"] = min(5, n)
+    return build_schedule(algo, n, elems, **kwargs)
+
+
+class TestOpticalCompression:
+    @pytest.mark.parametrize("algo", ["ring", "bt", "rd", "hring", "wrht"])
+    def test_exact_equality(self, algo):
+        net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=32, n_wavelengths=8))
+        sched = _build(algo, 32, 320)
+        compressed = net.execute(sched)
+        uncompressed = net.execute(_uncompressed(sched))
+        # H-Ring's profile uses the documented uniform-chunk approximation
+        # (meta["profile_exact"] is False); everything else is bit-exact.
+        tolerance = 1e-15 if sched.meta.get("profile_exact", True) else 2e-3
+        assert compressed.total_time == pytest.approx(
+            uncompressed.total_time, rel=tolerance
+        )
+        assert compressed.total_rounds == uncompressed.total_rounds
+
+    def test_under_wavelength_scarcity(self):
+        # Multi-round steps must compress identically too.
+        net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=64, n_wavelengths=2))
+        sched = build_schedule("wrht", 64, 128, n_wavelengths=8)
+        assert net.execute(sched).total_time == pytest.approx(
+            net.execute(_uncompressed(sched)).total_time, rel=1e-15
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.sampled_from(["ring", "bt", "rd", "hring", "wrht"]),
+        st.integers(2, 40),
+        st.integers(1, 400),
+    )
+    def test_equivalence_property(self, algo, n, elems):
+        net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=n, n_wavelengths=4))
+        sched = _build(algo, n, elems)
+        tolerance = 1e-15 if sched.meta.get("profile_exact", True) else 0.15
+        assert net.execute(sched).total_time == pytest.approx(
+            net.execute(_uncompressed(sched)).total_time, rel=tolerance
+        )
+
+
+class TestElectricalCompression:
+    @pytest.mark.parametrize("algo", ["ring", "bt", "rd"])
+    def test_exact_equality(self, algo):
+        net = ElectricalNetwork(ElectricalSystemConfig(n_nodes=32))
+        sched = _build(algo, 32, 320)
+        assert net.execute(sched).total_time == pytest.approx(
+            net.execute(_uncompressed(sched)).total_time, rel=1e-15
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.sampled_from(["ring", "bt", "rd"]), st.integers(2, 32), st.integers(1, 200))
+    def test_equivalence_property(self, algo, n, elems):
+        net = ElectricalNetwork(ElectricalSystemConfig(n_nodes=n))
+        sched = _build(algo, n, elems)
+        tolerance = 1e-15 if sched.meta.get("profile_exact", True) else 0.15
+        assert net.execute(sched).total_time == pytest.approx(
+            net.execute(_uncompressed(sched)).total_time, rel=tolerance
+        )

@@ -1,0 +1,43 @@
+"""Optical configuration tests (Table 2 parameters)."""
+
+import pytest
+
+from repro.optical.config import OpticalSystemConfig
+
+
+class TestInterpretations:
+    def test_calibrated_is_gbytes(self):
+        cfg = OpticalSystemConfig(n_nodes=8, interpretation="calibrated")
+        assert cfg.line_rate == 40e9
+
+    def test_strict_is_gbits(self):
+        cfg = OpticalSystemConfig(n_nodes=8, interpretation="strict")
+        assert cfg.line_rate == 5e9
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="interpretation"):
+            OpticalSystemConfig(n_nodes=8, interpretation="folklore")
+
+
+class TestDefaults:
+    def test_table2_values(self):
+        cfg = OpticalSystemConfig(n_nodes=1024)
+        assert cfg.n_wavelengths == 64
+        assert cfg.mrr_reconfig_delay == pytest.approx(25e-6)
+        assert cfg.oeo_delay_per_packet == 497e-15
+        assert cfg.packet_bytes == 72
+
+    def test_cost_model_consistency(self):
+        cfg = OpticalSystemConfig(n_nodes=8)
+        cost = cfg.cost_model()
+        assert cost.line_rate == cfg.line_rate
+        assert cost.step_overhead == cfg.mrr_reconfig_delay
+        assert cost.packet_bytes == cfg.packet_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpticalSystemConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            OpticalSystemConfig(n_nodes=8, n_wavelengths=0)
+        with pytest.raises(ValueError):
+            OpticalSystemConfig(n_nodes=8, mrr_reconfig_delay=-1.0)

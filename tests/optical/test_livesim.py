@@ -1,0 +1,86 @@
+"""Live event-driven optical simulation tests."""
+
+import pytest
+
+from repro.collectives.registry import build_schedule
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.livesim import LiveOpticalSimulation
+from repro.optical.network import OpticalRingNetwork
+from repro.sim.trace import Tracer
+
+
+def _pair(n, w):
+    cfg = OpticalSystemConfig(n_nodes=n, n_wavelengths=w)
+    return LiveOpticalSimulation(cfg), OpticalRingNetwork(cfg)
+
+
+class TestLiveMatchesStepTiming:
+    @pytest.mark.parametrize(
+        "algo,n,w,kwargs",
+        [
+            ("ring", 16, 4, {}),
+            ("bt", 32, 8, {}),
+            ("rd", 16, 8, {}),
+            ("hring", 25, 8, {"m": 5}),
+            ("wrht", 64, 8, {"n_wavelengths": 8}),
+        ],
+    )
+    def test_total_time_agrees(self, algo, n, w, kwargs):
+        live, fast = _pair(n, w)
+        sched = build_schedule(algo, n, n * 40, **kwargs)
+        live_result = live.run(sched)
+        fast_result = fast.execute(sched)
+        assert live_result.total_time == pytest.approx(
+            fast_result.total_time, rel=1e-12
+        )
+        assert live_result.n_rounds == fast_result.total_rounds
+        assert live_result.n_steps == fast_result.n_steps
+
+    def test_spilled_step_agrees_too(self):
+        # A schedule planned for more wavelengths than the system has:
+        # multi-round steps must match between live and step-timing paths.
+        cfg = OpticalSystemConfig(n_nodes=64, n_wavelengths=2)
+        sched = build_schedule("wrht", 64, 640, n_wavelengths=8)
+        live = LiveOpticalSimulation(cfg).run(sched)
+        fast = OpticalRingNetwork(cfg).execute(sched)
+        assert live.n_rounds == fast.total_rounds > fast.n_steps
+        assert live.total_time == pytest.approx(fast.total_time, rel=1e-12)
+
+
+class TestLiveMechanics:
+    def test_no_circuit_ever_blocks(self):
+        # Would raise ChannelBlockedError inside the run if the RWA handed
+        # out a conflicting channel.
+        live, _ = _pair(32, 4)
+        live.run(build_schedule("wrht", 32, 64, n_wavelengths=4))
+
+    def test_event_counts_deterministic(self):
+        live1, _ = _pair(16, 4)
+        live2, _ = _pair(16, 4)
+        sched = build_schedule("ring", 16, 32)
+        assert live1.run(sched).n_events == live2.run(sched).n_events
+
+    def test_circuit_accounting(self):
+        live, _ = _pair(8, 4)
+        sched = build_schedule("bt", 8, 16)
+        result = live.run(sched)
+        expected = sum(s.n_transfers for s in sched.iter_steps())
+        assert result.n_circuits == expected
+
+    def test_requires_materialized_steps(self):
+        live, _ = _pair(256, 8)
+        sched = build_schedule("ring", 256, 256, materialize=False)
+        with pytest.raises(RuntimeError, match="materialize"):
+            live.run(sched)
+
+    def test_size_guard(self):
+        live, _ = _pair(8, 4)
+        with pytest.raises(ValueError, match="spans"):
+            live.run(build_schedule("ring", 16, 16))
+
+    def test_tracing(self):
+        tracer = Tracer()
+        cfg = OpticalSystemConfig(n_nodes=8, n_wavelengths=4)
+        live = LiveOpticalSimulation(cfg, tracer=tracer)
+        live.run(build_schedule("bt", 8, 16))
+        assert len(tracer.records("optical.live.round")) == 6

@@ -1,0 +1,131 @@
+"""Optical executor tests: rounds, spilling, tracing, constraints."""
+
+import pytest
+
+from repro.collectives.registry import build_schedule
+from repro.core.constraints import OpticalPhyParams
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.network import OpticalRingNetwork
+from repro.optical.phy import PhyViolationError
+from repro.sim.rng import SeededRng
+from repro.sim.trace import Tracer
+
+
+def _net(n=16, w=8, **kwargs):
+    return OpticalRingNetwork(OpticalSystemConfig(n_nodes=n, n_wavelengths=w), **kwargs)
+
+
+class TestExecution:
+    def test_ring_single_round_per_step(self):
+        net = _net(16, 1)
+        sched = build_schedule("ring", 16, 160)
+        result = net.execute(sched)
+        assert result.total_rounds == result.n_steps  # neighbor hops fit λ0
+        assert result.peak_wavelength == 1
+
+    def test_wrht_peak_wavelengths_match_plan(self):
+        net = _net(64, 8)
+        sched = build_schedule("wrht", 64, 640, n_wavelengths=8)
+        result = net.execute(sched)
+        plan = sched.meta["plan"]
+        assert result.peak_wavelength <= plan.peak_wavelengths
+        assert result.total_rounds == result.n_steps  # plan fits the budget
+
+    def test_wavelength_scarcity_creates_rounds(self):
+        # WRHT planned for w=8 executed on a w=2 system must serialize.
+        roomy = build_schedule("wrht", 64, 640, n_wavelengths=8)
+        scarce_net = _net(64, 2)
+        roomy_net = _net(64, 8)
+        scarce = scarce_net.execute(roomy)
+        fits = roomy_net.execute(roomy)
+        assert scarce.total_rounds > fits.total_rounds
+        assert scarce.total_time > fits.total_time
+
+    def test_total_bytes_accounting(self):
+        net = _net(8, 4)
+        sched = build_schedule("bt", 8, 100)
+        result = net.execute(sched, bytes_per_elem=4.0)
+        # BT: 2*log2(8)=6 steps; reduce steps move 4+2+1 vectors, broadcast
+        # mirrors: 14 full vectors of 400 bytes.
+        assert result.total_bytes == 14 * 400.0
+
+    def test_schedule_too_large_rejected(self):
+        net = _net(8, 4)
+        sched = build_schedule("ring", 16, 32)
+        with pytest.raises(ValueError, match="spans"):
+            net.execute(sched)
+
+    def test_bad_bytes_per_elem(self):
+        net = _net(8, 4)
+        with pytest.raises(ValueError):
+            net.execute(build_schedule("ring", 8, 8), bytes_per_elem=0)
+
+    def test_deterministic_first_fit(self):
+        sched = build_schedule("wrht", 64, 320, n_wavelengths=8)
+        t1 = _net(64, 8).execute(sched).total_time
+        t2 = _net(64, 8).execute(sched).total_time
+        assert t1 == t2
+
+    def test_random_fit_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            _net(8, 4, strategy="random_fit")
+
+    def test_random_fit_runs_conflict_free(self):
+        net = _net(64, 8, strategy="random_fit", rng=SeededRng(3))
+        sched = build_schedule("wrht", 64, 320, n_wavelengths=8)
+        result = net.execute(sched)  # validate=True would raise on conflicts
+        assert result.total_time > 0
+
+
+class TestStepTimings:
+    def test_step_timing_structure(self):
+        net = _net(16, 8)
+        sched = build_schedule("wrht", 16, 64, n_wavelengths=8)
+        result = net.execute(sched)
+        assert sum(t.count for t in result.step_timings) == len(result.step_timings) and (
+            result.n_steps == sum(t.count for t in result.step_timings)
+        )
+        for t in result.step_timings:
+            assert t.duration > 0
+            assert t.rounds >= 1
+
+    def test_time_is_sum_of_step_durations(self):
+        net = _net(32, 4)
+        sched = build_schedule("ring", 32, 64)
+        result = net.execute(sched)
+        assert result.total_time == pytest.approx(
+            sum(t.duration * t.count for t in result.step_timings)
+        )
+
+
+class TestPhyIntegration:
+    def test_route_validation_blocks_long_paths(self):
+        cfg = OpticalSystemConfig(
+            n_nodes=1024, n_wavelengths=64,
+            phy=OpticalPhyParams(laser_power_dbm=7.0),  # 20-hop budget
+        )
+        net = OpticalRingNetwork(cfg)
+        sched = build_schedule("wrht", 1024, 64, n_wavelengths=64)  # 64-hop paths
+        with pytest.raises(PhyViolationError):
+            net.execute(sched)
+
+    def test_short_paths_pass_validation(self):
+        cfg = OpticalSystemConfig(
+            n_nodes=64, n_wavelengths=8, phy=OpticalPhyParams(),
+        )
+        sched = build_schedule("ring", 64, 64)
+        OpticalRingNetwork(cfg).execute(sched)
+
+
+class TestTracing:
+    def test_rounds_traced(self):
+        tracer = Tracer()
+        net = _net(16, 8, tracer=tracer)
+        sched = build_schedule("wrht", 16, 32, n_wavelengths=8)
+        net.execute(sched)
+        rounds = tracer.records("optical.round")
+        # One trace per distinct pattern's rounds (pattern cache prices each
+        # pattern once).
+        assert len(rounds) >= 1
+        for r in rounds:
+            assert r.payload["n_circuits"] >= 1

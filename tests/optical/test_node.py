@@ -1,0 +1,68 @@
+"""TeraRack node constraint tests."""
+
+import pytest
+
+from repro.collectives.base import Transfer
+from repro.optical.node import (
+    NodeConstraintError,
+    TeraRackNode,
+    validate_node_constraints,
+)
+from repro.optical.topology import Direction, Route
+
+
+def _assignment(src, dst, direction, fiber, lam, segments=(0,)):
+    return (Transfer(src, dst, 0, 10), Route(direction, tuple(segments)), fiber, lam)
+
+
+class TestTeraRackNode:
+    def test_defaults_match_terarack(self):
+        node = TeraRackNode(0)
+        assert node.n_interfaces == 4
+        assert node.mrrs_per_interface == 64
+        assert node.tx_sets == node.rx_sets == 2
+        assert node.max_concurrent_wavelengths == 64
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            TeraRackNode(-1)
+
+
+class TestNodeConstraints:
+    def test_duplicate_tx_wavelength_same_direction_fails(self):
+        rows = [
+            _assignment(0, 1, Direction.CW, 0, 5, (0,)),
+            _assignment(0, 2, Direction.CW, 0, 5, (0, 1)),
+        ]
+        with pytest.raises(NodeConstraintError, match="transmits twice"):
+            validate_node_constraints(rows)
+
+    def test_same_wavelength_opposite_directions_ok(self):
+        # The paper's key hardware fact: two Tx sets, one per direction.
+        rows = [
+            _assignment(5, 6, Direction.CW, 0, 3, (5,)),
+            _assignment(5, 4, Direction.CCW, 0, 3, (4,)),
+        ]
+        validate_node_constraints(rows)
+
+    def test_duplicate_rx_wavelength_fails(self):
+        rows = [
+            _assignment(1, 0, Direction.CCW, 0, 2, (0,)),
+            _assignment(2, 0, Direction.CCW, 0, 2, (1, 0)),
+        ]
+        with pytest.raises(NodeConstraintError, match="receives twice"):
+            validate_node_constraints(rows)
+
+    def test_mrr_budget_exceeded(self):
+        rows = [
+            _assignment(0, 1, Direction.CW, 0, lam, (0,))
+            for lam in range(3)
+        ]
+        with pytest.raises(NodeConstraintError, match="MRRs"):
+            validate_node_constraints(rows, mrrs_per_interface=2)
+
+    def test_distinct_wavelengths_pass(self):
+        rows = [
+            _assignment(0, 1, Direction.CW, 0, lam, (0,)) for lam in range(8)
+        ]
+        validate_node_constraints(rows)

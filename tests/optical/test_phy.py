@@ -1,0 +1,49 @@
+"""Per-route physical-layer validation tests."""
+
+import pytest
+
+from repro.core.constraints import OpticalPhyParams
+from repro.optical.phy import (
+    PhyViolationError,
+    max_feasible_hops,
+    path_feasible,
+    validate_route_phy,
+)
+from repro.optical.topology import Direction, Route
+
+PARAMS = OpticalPhyParams()
+
+
+class TestPathFeasible:
+    def test_short_paths_pass(self):
+        assert path_feasible(1, PARAMS)
+        assert path_feasible(129, PARAMS)
+
+    def test_long_paths_fail(self):
+        assert not path_feasible(10_000, PARAMS)
+
+    def test_monotone(self):
+        limit = max_feasible_hops(PARAMS)
+        assert path_feasible(limit, PARAMS)
+        assert not path_feasible(limit + 1, PARAMS)
+
+    def test_default_budget_is_140_hops(self):
+        # (13 - 4.5 - 1.5) dB / 0.05 dB per interface = 140.
+        assert max_feasible_hops(PARAMS) == 140
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            path_feasible(-1, PARAMS)
+
+    def test_hopeless_budget(self):
+        bad = OpticalPhyParams(laser_power_dbm=5.0, modulator_loss_db=5.0)
+        assert max_feasible_hops(bad) == 0
+
+
+class TestValidateRoute:
+    def test_ok_route(self):
+        validate_route_phy(Route(Direction.CW, tuple(range(100))), PARAMS)
+
+    def test_violating_route(self):
+        with pytest.raises(PhyViolationError, match="hops"):
+            validate_route_phy(Route(Direction.CW, tuple(range(200))), PARAMS)

@@ -1,0 +1,125 @@
+"""Routing-and-wavelength-assignment tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optical.rwa import assign_wavelengths
+from repro.optical.topology import RingTopology
+from repro.sim.rng import SeededRng
+
+
+def _routes(ring, pairs, direction=None):
+    return [ring.route(a, b, direction) for a, b in pairs]
+
+
+class TestFirstFit:
+    def test_neighbor_ring_fits_one_wavelength(self):
+        # All N neighbor hops are segment-disjoint: a single wavelength
+        # suffices (what Ring All-reduce relies on).
+        n = 16
+        ring = RingTopology(n)
+        routes = _routes(ring, [(i, (i + 1) % n) for i in range(n)])
+        result = assign_wavelengths(routes, n, n_wavelengths=1)
+        assert not result.unassigned
+        assert result.peak_wavelength == 1
+
+    def test_group_collect_needs_floor_m_half(self):
+        # One WRHT group of m=9 around rep 4: each side's nested routes need
+        # 4 distinct wavelengths; the two sides reuse them (two directions).
+        ring = RingTopology(32)
+        pairs = [(i, 4) for i in range(9) if i != 4]
+        routes = [ring.shortest_route(a, b) for a, b in pairs]
+        result = assign_wavelengths(routes, 32, n_wavelengths=4)
+        assert not result.unassigned
+        assert result.peak_wavelength == 4
+
+    def test_insufficient_wavelengths_spills(self):
+        ring = RingTopology(32)
+        pairs = [(i, 4) for i in range(9) if i != 4]
+        routes = [ring.shortest_route(a, b) for a, b in pairs]
+        result = assign_wavelengths(routes, 32, n_wavelengths=2)
+        assert len(result.unassigned) == 4  # 2 per side spill
+        assert len(result.assigned) == 4
+
+    def test_assignment_partition(self):
+        ring = RingTopology(16)
+        routes = _routes(ring, [(0, 5), (2, 7), (4, 9)])
+        result = assign_wavelengths(routes, 16, 2)
+        covered = set(result.assigned) | set(result.unassigned)
+        assert covered == {0, 1, 2}
+
+    def test_second_fiber_doubles_capacity(self):
+        ring = RingTopology(16)
+        # Three CW routes over the same segment need 3 channels.
+        routes = _routes(ring, [(0, 8), (1, 8), (2, 8)], None)
+        only_one = assign_wavelengths(routes, 16, 1, fibers_per_direction=1)
+        assert len(only_one.unassigned) == 2
+        two_fibers = assign_wavelengths(routes, 16, 1, fibers_per_direction=2)
+        assert len(two_fibers.unassigned) == 1
+
+    def test_determinism(self):
+        ring = RingTopology(64)
+        routes = [ring.shortest_route(i, (i * 7 + 3) % 64) for i in range(30)]
+        a = assign_wavelengths(routes, 64, 8)
+        b = assign_wavelengths(routes, 64, 8)
+        assert a.assigned == b.assigned and a.unassigned == b.unassigned
+
+
+class TestRandomFit:
+    def test_requires_rng(self):
+        ring = RingTopology(8)
+        with pytest.raises(ValueError, match="rng"):
+            assign_wavelengths(_routes(ring, [(0, 2)]), 8, 4, strategy="random_fit")
+
+    def test_no_conflicts(self):
+        ring = RingTopology(32)
+        routes = [ring.shortest_route(i, 4) for i in range(9) if i != 4]
+        result = assign_wavelengths(
+            routes, 32, 8, strategy="random_fit", rng=SeededRng(5)
+        )
+        assert not result.unassigned
+        _assert_conflict_free(routes, result)
+
+    def test_seeded_reproducibility(self):
+        ring = RingTopology(32)
+        routes = [ring.shortest_route(i, (i + 9) % 32) for i in range(10)]
+        a = assign_wavelengths(routes, 32, 8, strategy="random_fit", rng=SeededRng(1))
+        b = assign_wavelengths(routes, 32, 8, strategy="random_fit", rng=SeededRng(1))
+        assert a.assigned == b.assigned
+
+
+class TestValidation:
+    def test_unknown_strategy(self):
+        ring = RingTopology(8)
+        with pytest.raises(ValueError, match="strategy"):
+            assign_wavelengths(_routes(ring, [(0, 1)]), 8, 4, strategy="best_fit")
+
+
+def _assert_conflict_free(routes, result):
+    used: dict[tuple, set] = {}
+    for idx, (fiber, lam) in result.assigned.items():
+        route = routes[idx]
+        key = (route.direction, fiber, lam)
+        segments = used.setdefault(key, set())
+        overlap = segments & set(route.segments)
+        assert not overlap, f"conflict on {key} segments {overlap}"
+        segments.update(route.segments)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(4, 64),
+    st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63)), min_size=1, max_size=40),
+    st.integers(1, 16),
+)
+def test_firstfit_never_conflicts_property(n, raw_pairs, w):
+    ring = RingTopology(n)
+    pairs = [(a % n, b % n) for a, b in raw_pairs if a % n != b % n]
+    if not pairs:
+        return
+    routes = [ring.shortest_route(a, b) for a, b in pairs]
+    result = assign_wavelengths(routes, n, w)
+    assert len(result.assigned) + len(result.unassigned) == len(routes)
+    _assert_conflict_free(routes, result)
+    assert result.peak_wavelength <= w

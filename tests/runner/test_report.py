@@ -1,0 +1,66 @@
+"""Report container tests."""
+
+import pytest
+
+from repro.runner.report import ExperimentResult, percent_reduction
+
+
+def _result():
+    r = ExperimentResult(
+        name="demo", mode="analytical", interpretation="calibrated",
+        x_label="nodes", x_values=[2, 4],
+        workloads=["A", "B"],
+    )
+    r.series[("A", "Ring")] = [10.0, 20.0]
+    r.series[("A", "WRHT")] = [5.0, 5.0]
+    r.series[("B", "Ring")] = [100.0, 200.0]
+    r.series[("B", "WRHT")] = [50.0, 50.0]
+    return r
+
+
+class TestPercentReduction:
+    def test_basic(self):
+        assert percent_reduction([10.0], [5.0]) == 50.0
+
+    def test_mean_over_cells(self):
+        assert percent_reduction([10.0, 100.0], [5.0, 25.0]) == pytest.approx(62.5)
+
+    def test_negative_when_slower(self):
+        assert percent_reduction([10.0], [20.0]) == -100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percent_reduction([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            percent_reduction([], [])
+        with pytest.raises(ValueError):
+            percent_reduction([0.0], [1.0])
+
+
+class TestExperimentResult:
+    def test_cell_lookup(self):
+        assert _result().cell("A", "Ring", 4) == 20.0
+
+    def test_cells_row_major(self):
+        assert _result().cells("Ring") == [10.0, 20.0, 100.0, 200.0]
+
+    def test_reduction_vs(self):
+        # (0.5 + 0.75 + 0.5 + 0.75) / 4 = 62.5%.
+        assert _result().reduction_vs("Ring") == pytest.approx(62.5)
+
+    def test_algorithms_order(self):
+        assert _result().algorithms() == ["Ring", "WRHT"]
+
+    def test_normalized(self):
+        norm = _result().normalized("A", "WRHT", 2)
+        assert norm[("A", "Ring")] == [2.0, 4.0]
+
+    def test_normalized_bad_reference(self):
+        r = _result()
+        r.series[("A", "WRHT")] = [0.0, 1.0]
+        with pytest.raises(ValueError):
+            r.normalized("A", "WRHT", 2)
+
+    def test_table_and_render(self):
+        out = _result().render()
+        assert "demo" in out and "-- A --" in out and "Ring" in out

@@ -1,0 +1,50 @@
+"""Results-document generator tests."""
+
+import pytest
+
+from repro.runner.results import (
+    PAPER_REDUCTIONS,
+    PAPER_TABLE1,
+    _markdown_table,
+    generate_report,
+    write_report,
+)
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = _markdown_table(["a", "b"], [[1, 2.5], ["x", 3]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 1 | 2.5 |" in lines
+        assert "| x | 3 |" in lines
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report()
+
+    def test_contains_every_experiment(self, report):
+        for section in ("Table 1", "fig4", "fig5", "fig6", "fig7"):
+            assert section in report
+
+    def test_contains_paper_anchors(self, report):
+        for name, steps in PAPER_TABLE1.items():
+            assert f"| {name} | {steps} | {steps} |" in report
+
+    def test_contains_reduction_comparisons(self, report):
+        for reductions in PAPER_REDUCTIONS.values():
+            for baseline, target, _ in reductions:
+                assert f"{target} vs {baseline}" in report
+
+    def test_contains_all_workloads(self, report):
+        for workload in ("BEiT-L", "VGG16", "AlexNet", "ResNet50"):
+            assert workload in report
+
+    def test_write_report_round_trips(self, tmp_path, report):
+        path = tmp_path / "RESULTS.md"
+        text = write_report(str(path))
+        assert path.read_text() == text
+        assert "Table 1" in text

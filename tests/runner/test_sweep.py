@@ -1,0 +1,22 @@
+"""Sweep helper tests."""
+
+import pytest
+
+from repro.runner.sweep import sweep
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        results = sweep(lambda a, b: a * b, {"a": [1, 2], "b": [10, 20]})
+        assert results == {(1, 10): 10, (1, 20): 20, (2, 10): 20, (2, 20): 40}
+
+    def test_key_order_follows_mapping(self):
+        results = sweep(lambda x, y: (x, y), {"x": [1], "y": [2]})
+        assert list(results) == [(1, 2)]
+
+    def test_single_parameter(self):
+        assert sweep(lambda n: n + 1, {"n": [0, 1]}) == {(0,): 1, (1,): 2}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(lambda: None, {})

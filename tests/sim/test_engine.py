@@ -1,0 +1,95 @@
+"""Simulator engine tests: ordering, determinism, causality."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import EmptyCalendar
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_timeout_fires_at_delay(self):
+        sim = Simulator()
+        sim.timeout(2.5)
+        assert sim.run() == 2.5
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_callback(1.0, lambda: fired.append(1))
+        sim.schedule_callback(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_run_until_past_rejected(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=0.5)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_step_on_empty_calendar(self):
+        with pytest.raises(EmptyCalendar):
+            Simulator().step()
+
+
+class TestOrdering:
+    def test_fifo_within_same_time(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule_callback(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_time_ordering(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_callback(3.0, lambda: order.append("c"))
+        sim.schedule_callback(1.0, lambda: order.append("a"))
+        sim.schedule_callback(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_causality_monotone_clock(self):
+        sim = Simulator()
+        stamps = []
+
+        def chain(depth):
+            stamps.append(sim.now)
+            if depth:
+                sim.schedule_callback(0.5, lambda: chain(depth - 1))
+
+        chain(5)
+        sim.run()
+        assert stamps == sorted(stamps)
+
+
+class TestCounters:
+    def test_n_processed_and_pending(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        assert sim.n_pending == 2
+        sim.step()
+        assert sim.n_processed == 1
+        assert sim.n_pending == 1
+
+    def test_determinism_two_identical_runs(self):
+        def build():
+            sim = Simulator()
+            log = []
+            for i in range(50):
+                sim.schedule_callback((i * 7919) % 13 * 0.1, lambda i=i: log.append(i))
+            sim.run()
+            return log
+
+        assert build() == build()

@@ -1,0 +1,140 @@
+"""Event primitive tests."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Simulator
+
+
+class TestEventLifecycle:
+    def test_pending_then_processed(self):
+        sim = Simulator()
+        e = sim.event()
+        assert not e.triggered
+        e.succeed("v")
+        assert e.triggered and not e.processed
+        sim.run()
+        assert e.processed
+        assert e.ok
+        assert e.value == "v"
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        e = sim.event()
+        e.succeed()
+        with pytest.raises(RuntimeError):
+            e.succeed()
+
+    def test_value_before_trigger_rejected(self):
+        sim = Simulator()
+        with pytest.raises(RuntimeError):
+            _ = sim.event().value
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_fail_carries_exception(self):
+        sim = Simulator()
+        e = sim.event()
+        boom = RuntimeError("boom")
+        e.fail(boom)
+        sim.run()
+        assert not e.ok
+        assert e.value is boom
+
+    def test_callbacks_run_once(self):
+        sim = Simulator()
+        e = sim.event()
+        hits = []
+        e.callbacks.append(lambda ev: hits.append(ev.value))
+        e.succeed(7)
+        sim.run()
+        assert hits == [7]
+
+
+class TestTimeout:
+    def test_carries_value(self):
+        sim = Simulator()
+        t = sim.timeout(1.0, value="payload")
+        sim.run()
+        assert t.value == "payload"
+
+    def test_zero_delay_ok(self):
+        sim = Simulator()
+        t = sim.timeout(0.0)
+        sim.run()
+        assert t.processed and sim.now == 0.0
+
+
+class TestConditions:
+    def test_all_of_waits_for_slowest(self):
+        sim = Simulator()
+        a = sim.timeout(1.0, "a")
+        b = sim.timeout(3.0, "b")
+        combined = AllOf(sim, [a, b])
+        sim.run()
+        assert combined.processed
+        assert combined.value == ("a", "b")
+        assert sim.now == 3.0
+
+    def test_any_of_fires_on_first(self):
+        sim = Simulator()
+        winner = {}
+        a = sim.timeout(1.0, "fast")
+        b = sim.timeout(3.0, "slow")
+        combined = AnyOf(sim, [a, b])
+        combined.callbacks.append(lambda e: winner.setdefault("t", sim.now))
+        sim.run()
+        assert combined.ok
+        assert winner["t"] == 1.0
+
+    def test_all_of_empty_is_immediate(self):
+        sim = Simulator()
+        combined = AllOf(sim, [])
+        sim.run()
+        assert combined.processed
+
+    def test_all_of_propagates_failure(self):
+        sim = Simulator()
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        bad.fail(ValueError("broken"), delay=0.5)
+        combined = AllOf(sim, [good, bad])
+        sim.run()
+        assert combined.triggered and not combined.ok
+        assert isinstance(combined.value, ValueError)
+
+    def test_cross_simulator_rejected(self):
+        sim1, sim2 = Simulator(), Simulator()
+        e = sim2.timeout(1.0)
+        with pytest.raises(ValueError):
+            AllOf(sim1, [e])
+
+    def test_all_of_over_already_processed_events(self):
+        sim = Simulator()
+        a = sim.timeout(1.0, "a")
+        b = sim.timeout(2.0, "b")
+        sim.run()  # both processed before the condition exists
+        combined = AllOf(sim, [a, b])
+        sim.run()
+        assert combined.processed and combined.ok
+
+    def test_all_of_mixed_processed_and_pending(self):
+        sim = Simulator()
+        done = sim.timeout(1.0, "early")
+        sim.run()
+        pending = sim.timeout(3.0, "late")
+        combined = AllOf(sim, [done, pending])
+        sim.run()
+        assert combined.ok
+        assert sim.now == 4.0
+
+    def test_any_of_with_already_processed_winner(self):
+        sim = Simulator()
+        done = sim.timeout(0.5)
+        sim.run()
+        never = sim.event()  # would block forever
+        combined = AnyOf(sim, [done, never])
+        sim.run()
+        assert combined.ok

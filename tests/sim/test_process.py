@@ -1,0 +1,139 @@
+"""Generator-process tests."""
+
+import pytest
+
+from repro.sim import Interrupted, Simulator
+
+
+class TestBasicProcesses:
+    def test_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            return 42
+
+        assert sim.run_process(proc()) == 42
+
+    def test_yield_receives_event_value(self):
+        sim = Simulator()
+
+        def proc():
+            got = yield sim.timeout(1.0, value="payload")
+            return got
+
+        assert sim.run_process(proc()) == "payload"
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(2.0)
+            return "child-done"
+
+        def parent():
+            v = yield sim.process(child())
+            return (v, sim.now)
+
+        assert sim.run_process(parent()) == ("child-done", 2.0)
+
+    def test_waiting_on_already_finished_process(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(1.0)
+            return 5
+
+        def parent(c):
+            yield sim.timeout(3.0)
+            v = yield c  # already processed
+            return v
+
+        c = sim.process(child())
+        assert sim.run_process(parent(c)) == 5
+
+    def test_exception_propagates_to_caller(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            raise ValueError("inside process")
+
+        with pytest.raises(ValueError, match="inside process"):
+            sim.run_process(proc())
+
+    def test_exception_propagates_to_waiter(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(1.0)
+            raise KeyError("child failed")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except KeyError:
+                return "handled"
+            return "not handled"
+
+        assert sim.run_process(parent()) == "handled"
+
+    def test_yielding_non_event_fails(self):
+        sim = Simulator()
+
+        def proc():
+            yield 42
+
+        with pytest.raises(TypeError, match="must yield Event"):
+            sim.run_process(proc())
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(TypeError, match="generator"):
+            sim.process(lambda: None)
+
+
+class TestInterrupt:
+    def test_interrupt_raises_inside(self):
+        sim = Simulator()
+        log = []
+
+        def victim():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupted as exc:
+                log.append(exc.cause)
+                return "interrupted"
+            return "finished"
+
+        def attacker(v):
+            yield sim.timeout(1.0)
+            v.interrupt(cause="preempted")
+
+        v = sim.process(victim())
+        sim.process(attacker(v))
+        sim.run()
+        assert v.value == "interrupted"
+        assert log == ["preempted"]
+
+    def test_interrupt_finished_process_rejected(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(0.1)
+
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+
+class TestDeadlockDetection:
+    def test_run_process_reports_deadlock(self):
+        sim = Simulator()
+
+        def stuck():
+            yield sim.event()  # nobody ever succeeds this
+
+        with pytest.raises(RuntimeError, match="did not finish"):
+            sim.run_process(stuck())

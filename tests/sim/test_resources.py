@@ -1,0 +1,158 @@
+"""Resource/Store/Pipe tests."""
+
+import pytest
+
+from repro.sim import Pipe, Resource, Simulator, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), 0)
+
+    def test_grant_when_free(self):
+        sim = Simulator()
+        r = Resource(sim, 2)
+        e = r.acquire()
+        sim.run()
+        assert e.processed
+        assert r.in_use == 1
+        assert r.available == 1
+
+    def test_fifo_waiting(self):
+        sim = Simulator()
+        r = Resource(sim, 1)
+        order = []
+
+        def user(name, hold):
+            yield r.acquire()
+            order.append((name, sim.now))
+            yield sim.timeout(hold)
+            r.release()
+
+        sim.process(user("a", 1.0))
+        sim.process(user("b", 1.0))
+        sim.process(user("c", 1.0))
+        sim.run()
+        assert [n for n, _ in order] == ["a", "b", "c"]
+        assert [t for _, t in order] == [0.0, 1.0, 2.0]
+
+    def test_release_without_acquire(self):
+        r = Resource(Simulator(), 1)
+        with pytest.raises(RuntimeError):
+            r.release()
+
+    def test_capacity_two_parallelism(self):
+        sim = Simulator()
+        r = Resource(sim, 2)
+        done = []
+
+        def user(name):
+            yield r.acquire()
+            yield sim.timeout(1.0)
+            r.release()
+            done.append((name, sim.now))
+
+        for n in "abcd":
+            sim.process(user(n))
+        sim.run()
+        # Two at a time: a,b at t=1; c,d at t=2.
+        assert [t for _, t in done] == [1.0, 1.0, 2.0, 2.0]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        s = Store(sim)
+        s.put("x")
+        e = s.get()
+        sim.run()
+        assert e.value == "x"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        s = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield s.get()
+            got.append((item, sim.now))
+
+        def producer():
+            yield sim.timeout(2.0)
+            s.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [("late", 2.0)]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        s = Store(sim)
+        for i in range(5):
+            s.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(5):
+                got.append((yield s.get()))
+
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_len(self):
+        sim = Simulator()
+        s = Store(sim)
+        s.put(1)
+        s.put(2)
+        assert len(s) == 2
+
+
+class TestPipe:
+    def test_serialization_plus_latency(self):
+        sim = Simulator()
+        p = Pipe(sim, rate=100.0, latency=0.5)
+        arrivals = []
+
+        def consumer():
+            yield p.get()
+            arrivals.append(sim.now)
+
+        p.put("m", size=200.0)  # 2s serialization
+        sim.process(consumer())
+        sim.run()
+        assert arrivals == [2.5]
+
+    def test_back_to_back_serialization(self):
+        sim = Simulator()
+        p = Pipe(sim, rate=100.0, latency=0.0)
+        arrivals = []
+
+        def consumer():
+            for _ in range(2):
+                yield p.get()
+                arrivals.append(sim.now)
+
+        p.put("a", size=100.0)
+        p.put("b", size=100.0)  # queued behind a
+        sim.process(consumer())
+        sim.run()
+        assert arrivals == [1.0, 2.0]
+
+    def test_bytes_carried_accounting(self):
+        sim = Simulator()
+        p = Pipe(sim, rate=10.0)
+        p.put("a", 30.0)
+        p.put("b", 20.0)
+        assert p.bytes_carried == 50.0
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Pipe(sim, rate=0.0)
+        with pytest.raises(ValueError):
+            Pipe(sim, rate=1.0, latency=-1.0)
+        with pytest.raises(ValueError):
+            Pipe(sim, rate=1.0).put("x", size=-1.0)

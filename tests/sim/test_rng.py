@@ -1,0 +1,62 @@
+"""Seeded RNG tests: reproducibility and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.sim import SeededRng
+
+
+class TestReproducibility:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(42).normal(size=10)
+        b = SeededRng(42).normal(size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = SeededRng(1).normal(size=10)
+        b = SeededRng(2).normal(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_fork_independent_of_consumption(self):
+        # Forked stream output must not depend on how much the parent drew.
+        r1 = SeededRng(7)
+        r1.normal(size=100)
+        child1 = r1.fork("worker")
+        child2 = SeededRng(7).fork("worker")
+        assert np.array_equal(child1.normal(size=5), child2.normal(size=5))
+
+    def test_fork_names_distinct(self):
+        root = SeededRng(7)
+        a = root.fork("a").normal(size=5)
+        b = root.fork("b").normal(size=5)
+        assert not np.array_equal(a, b)
+
+
+class TestHelpers:
+    def test_integers_range(self):
+        r = SeededRng(0)
+        draws = {r.integers(0, 4) for _ in range(200)}
+        assert draws == {0, 1, 2, 3}
+
+    def test_choice(self):
+        r = SeededRng(0)
+        assert r.choice(["only"]) == "only"
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SeededRng(0).choice([])
+
+    def test_shuffle_is_permutation(self):
+        r = SeededRng(3)
+        xs = list(range(20))
+        shuffled = r.shuffle(list(xs))
+        assert sorted(shuffled) == xs
+
+    def test_uniform_bounds(self):
+        r = SeededRng(0)
+        for _ in range(100):
+            assert 2.0 <= r.uniform(2.0, 3.0) < 3.0
+
+    def test_seed_type_checked(self):
+        with pytest.raises(TypeError):
+            SeededRng("42")

@@ -1,0 +1,50 @@
+"""Tracer tests."""
+
+from repro.sim import Tracer
+from repro.sim.trace import NULL_TRACER, TraceRecord
+
+
+class TestTracer:
+    def test_emit_and_read(self):
+        t = Tracer()
+        t.emit(1.0, "optical.round", n_circuits=3)
+        records = t.records()
+        assert len(records) == 1
+        assert records[0].time == 1.0
+        assert records[0].payload["n_circuits"] == 3
+
+    def test_category_filter_at_emit(self):
+        t = Tracer(categories={"keep"})
+        t.emit(0.0, "keep", a=1)
+        t.emit(0.0, "drop", a=2)
+        assert len(t) == 1
+
+    def test_category_filter_at_read(self):
+        t = Tracer()
+        t.emit(0.0, "a")
+        t.emit(0.0, "b")
+        assert len(t.records("a")) == 1
+
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.emit(0.0, "x")
+        assert len(t) == 0
+
+    def test_null_tracer_is_disabled(self):
+        assert not NULL_TRACER.enabled
+
+    def test_clear(self):
+        t = Tracer()
+        t.emit(0.0, "x")
+        t.clear()
+        assert len(t) == 0
+
+    def test_record_str_format(self):
+        r = TraceRecord(0.5, "cat", {"k": 1})
+        assert "cat" in str(r) and "k=1" in str(r)
+
+    def test_iteration(self):
+        t = Tracer()
+        t.emit(0.0, "a")
+        t.emit(1.0, "b")
+        assert [r.category for r in t] == ["a", "b"]

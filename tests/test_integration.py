@@ -1,0 +1,114 @@
+"""Cross-module integration tests: the full pipeline, end to end.
+
+Each test exercises a complete user story: plan → schedule → verify →
+price on a substrate → compare, or train → sync → converge.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    DataParallelTrainer,
+    ElectricalNetwork,
+    ElectricalSystemConfig,
+    OpticalRingNetwork,
+    OpticalSystemConfig,
+    build_schedule,
+    plan_wrht,
+    verify_allreduce,
+)
+from repro.dnn.autograd import MLP
+from repro.dnn.datasets import SyntheticClassification
+from repro.dnn.workload import workload_by_name
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestPlanScheduleExecute:
+    def test_full_wrht_pipeline(self):
+        plan = plan_wrht(256, 16)
+        sched = build_schedule("wrht", 256, 2560, plan=plan)
+        verify_allreduce(sched)
+        net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=256, n_wavelengths=16))
+        result = net.execute(sched)
+        assert result.n_steps == plan.theta
+        assert result.peak_wavelength <= 16
+        assert result.total_rounds == result.n_steps  # plan fit its budget
+
+    def test_all_algorithms_on_both_substrates(self):
+        n, elems = 32, 320
+        optical = OpticalRingNetwork(OpticalSystemConfig(n_nodes=n, n_wavelengths=8))
+        electrical = ElectricalNetwork(ElectricalSystemConfig(n_nodes=n))
+        for algo in ("ring", "bt", "rd", "hring", "wrht"):
+            kwargs = {"n_wavelengths": 8} if algo == "wrht" else {}
+            sched = build_schedule(algo, n, elems, **kwargs)
+            verify_allreduce(sched)
+            t_opt = optical.execute(sched).total_time
+            t_ele = electrical.execute(sched).total_time
+            assert t_opt > 0 and t_ele > 0
+
+    def test_wrht_beats_baselines_on_paper_workload(self):
+        # ResNet50 gradient on a 1024-node, 64-wavelength ring.
+        wl = workload_by_name("ResNet50")
+        net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=1024, n_wavelengths=64))
+        times = {}
+        for algo in ("ring", "bt", "hring", "wrht"):
+            kwargs = {"materialize": False}
+            if algo == "wrht":
+                kwargs["n_wavelengths"] = 64
+            sched = build_schedule(algo, 1024, wl.n_params, **kwargs)
+            times[algo] = net.execute(sched).total_time
+        assert times["wrht"] == min(times.values())
+
+
+class TestTrainingWithCommCost:
+    def test_train_and_price_iteration(self):
+        # Train a small model data-parallel over 8 workers with WRHT and
+        # price each iteration's gradient sync on an 8-node optical ring.
+        ds = SyntheticClassification(n_features=16, n_classes=3, seed=4)
+        trainer = DataParallelTrainer(
+            lambda: MLP.of_widths([16, 12, 3], seed=2),
+            n_workers=8, algorithm="wrht", lr=0.05, n_wavelengths=4,
+        )
+        net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=8, n_wavelengths=4))
+        report = trainer.train(
+            [ds.batch(32) for _ in range(3)],
+            comm_pricer=lambda t: net.execute(t.schedule).total_time,
+        )
+        assert len(report.losses) == 3
+        assert report.comm_time_per_iter > 0
+        trainer.consensus_state()  # replicas must agree exactly
+
+    def test_wrht_sync_cheaper_than_ring_sync(self):
+        factory = lambda: MLP.of_widths([64, 64, 64, 10], seed=1)  # noqa: E731
+        net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=16, n_wavelengths=8))
+        costs = {}
+        for algo in ("ring", "wrht"):
+            kwargs = {"n_wavelengths": 8} if algo == "wrht" else {}
+            trainer = DataParallelTrainer(factory, 16, algorithm=algo, **kwargs)
+            costs[algo] = net.execute(trainer.schedule).total_time
+        # 16 nodes: Ring pays 30 steps of latency, WRHT at most 4.
+        assert costs["wrht"] < costs["ring"]
+
+
+class TestFigurePipelines:
+    def test_fig6_simulated_small_scale_matches_analytical(self):
+        from repro.dnn.workload import DnnWorkload
+        from repro.runner.experiments import run_fig6
+
+        workloads = (DnnWorkload("t", 128_000),)
+        a = run_fig6(mode="analytical", nodes=(64, 128), n_wavelengths=16,
+                     workloads=workloads)
+        s = run_fig6(mode="simulated", nodes=(64, 128), n_wavelengths=16,
+                     workloads=workloads)
+        for key in a.series:
+            for va, vs in zip(a.series[key], s.series[key]):
+                assert vs == pytest.approx(va, rel=2e-3), key

@@ -1,0 +1,46 @@
+"""ASCII table renderer tests."""
+
+import pytest
+
+from repro.util.tables import AsciiTable
+
+
+class TestAsciiTable:
+    def test_render_alignment(self):
+        t = AsciiTable(["algo", "steps"])
+        t.add_row(["Ring", 2046])
+        t.add_row(["WRHT", 3])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("algo")
+        assert "-+-" in lines[1]
+        # Numeric cells right-aligned, text left-aligned.
+        assert lines[2].startswith("Ring")
+        assert lines[2].rstrip().endswith("2046")
+        assert lines[3].rstrip().endswith("3")
+
+    def test_float_formatting(self):
+        t = AsciiTable(["v"])
+        t.add_row([0.123456789])
+        assert "0.1235" in t.render()
+
+    def test_row_width_mismatch(self):
+        t = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiTable([])
+
+    def test_n_rows(self):
+        t = AsciiTable(["a"])
+        assert t.n_rows == 0
+        t.add_row([1])
+        assert t.n_rows == 1
+
+    def test_no_trailing_whitespace(self):
+        t = AsciiTable(["name", "x"])
+        t.add_row(["ab", 1])
+        for line in t.render().splitlines():
+            assert line == line.rstrip()

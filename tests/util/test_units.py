@@ -1,0 +1,75 @@
+"""Unit conversion tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    GBPS,
+    bits_to_bytes,
+    bytes_per_second,
+    bytes_to_bits,
+    format_bytes,
+    format_seconds,
+    gbit_per_s,
+    gbyte_per_s,
+    mbyte,
+    usec,
+)
+
+
+class TestRates:
+    def test_gbps_constant(self):
+        assert GBPS == 1e9 / 8
+
+    def test_gbit_per_s(self):
+        assert gbit_per_s(40) == 40e9 / 8  # 5 GB/s
+
+    def test_gbyte_per_s(self):
+        assert gbyte_per_s(40) == 40e9
+
+    def test_calibrated_is_8x_strict(self):
+        assert gbyte_per_s(40) == 8 * gbit_per_s(40)
+
+
+class TestConversions:
+    def test_bits_bytes_roundtrip_exact(self):
+        assert bits_to_bytes(bytes_to_bits(123.0)) == 123.0
+
+    @given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_bits_bytes_roundtrip_property(self, n):
+        assert math.isclose(bits_to_bytes(bytes_to_bits(n)), n, rel_tol=1e-12, abs_tol=0)
+
+    def test_mbyte(self):
+        assert mbyte(552) == 552e6
+
+    def test_usec(self):
+        assert usec(25) == pytest.approx(25e-6, rel=1e-12)
+
+    def test_bytes_per_second(self):
+        assert bytes_per_second(100.0, 4.0) == 25.0
+
+    def test_bytes_per_second_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            bytes_per_second(1.0, 0.0)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, "0 B"), (999, "999 B"), (1000, "1 KB"), (552e6, "552 MB"), (1.5e9, "1.5 GB")],
+    )
+    def test_format_bytes(self, value, expected):
+        assert format_bytes(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,contains",
+        [(0, "0 s"), (1.5, "1.5 s"), (0.025, "25 ms"), (25e-6, "25 us"), (497e-9, "497 ns")],
+    )
+    def test_format_seconds(self, value, contains):
+        assert format_seconds(value) == contains
+
+    def test_format_seconds_negative(self):
+        assert "-25" in format_seconds(-25e-6)

@@ -1,0 +1,79 @@
+"""Validation helper tests."""
+
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_odd,
+    check_positive,
+    check_positive_int,
+    check_power_of_two,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_and_returns(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", bad)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1e-9)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int("n", 7) == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int("n", 0)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", 3.0)
+
+    def test_rejects_bool(self):
+        # bool is an int subclass; a config with n_nodes=True is a bug.
+        with pytest.raises(TypeError):
+            check_positive_int("n", True)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.1, 0.0, 1.0)
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("ok", [1, 2, 4, 1024])
+    def test_accepts(self, ok):
+        assert check_power_of_two("n", ok) == ok
+
+    @pytest.mark.parametrize("bad", [3, 6, 1023])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_power_of_two("n", bad)
+
+
+class TestCheckOdd:
+    def test_accepts(self):
+        assert check_odd("m", 129) == 129
+
+    def test_rejects_even(self):
+        with pytest.raises(ValueError):
+            check_odd("m", 64)
