@@ -13,27 +13,31 @@ from repro.core.timing import wrht_time
 from repro.core.planner import plan_wrht
 from repro.dnn.workload import workload_by_name
 from repro.optical.config import OpticalSystemConfig
+from repro.runner.sweep import sweep
 from repro.util.tables import AsciiTable
 
 N, W = 1024, 64
+GROUP_SIZES = (3, 5, 9, 17, 33, 65, 99, 129)
 
 
-def _sweep():
+def _grouping_cell(m):
+    """One design-space row for group size ``m`` (module-level so the sweep
+    can dispatch it to worker processes)."""
     phy = OpticalPhyParams()
     cost = OpticalSystemConfig(n_nodes=N, n_wavelengths=W).cost_model()
     d = float(workload_by_name("VGG16").gradient_bytes)
-    rows = []
-    for m in (3, 5, 9, 17, 33, 65, 99, 129):
-        rows.append(
-            (
-                m,
-                wrht_steps(N, m, W),
-                wrht_time(N, d, cost, m=m, w=W) * 1e3,
-                max_communication_length(m, N),
-                group_size_feasible(m, N, phy),
-            )
-        )
-    return rows
+    return (
+        m,
+        wrht_steps(N, m, W),
+        wrht_time(N, d, cost, m=m, w=W) * 1e3,
+        max_communication_length(m, N),
+        group_size_feasible(m, N, phy),
+    )
+
+
+def _sweep():
+    grid = sweep(_grouping_cell, {"m": GROUP_SIZES})
+    return [grid[(m,)] for m in GROUP_SIZES]
 
 
 def test_group_size_sweep(once):

@@ -11,6 +11,7 @@ from repro.optical.network import OpticalRingNetwork
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.rwa import dsatur_assign, plan_rounds
 from repro.collectives.registry import build_schedule
+from repro.runner.sweep import sweep
 from repro.sim.rng import SeededRng
 from repro.util.tables import AsciiTable
 
@@ -20,22 +21,15 @@ CASES = [
     ("all-to-all at 2x slack", 128, 16, 16),
     ("all-to-all at exact bound", 16, 32, 32),
 ]
+STRATEGIES = ("first_fit", "random_fit", "dsatur")
 
 
-def _measure():
-    rows = []
-    for label, n, w_sys, w_plan in CASES:
-        sched = build_schedule("wrht", n, 1000, n_wavelengths=w_plan,
-                               materialize=False)
-        for strategy in ("first_fit", "random_fit"):
-            net = OpticalRingNetwork(
-                OpticalSystemConfig(n_nodes=n, n_wavelengths=w_sys),
-                strategy=strategy,
-                rng=SeededRng(7) if strategy == "random_fit" else None,
-            )
-            result = net.execute(sched)
-            rows.append((label, strategy, result.total_rounds, result.n_steps,
-                         result.peak_wavelength))
+def _strategy_cell(case, strategy):
+    """One (case, strategy) ablation row; module-level for sweep dispatch."""
+    label, n, w_sys, w_plan = case
+    sched = build_schedule("wrht", n, 1000, n_wavelengths=w_plan,
+                           materialize=False)
+    if strategy == "dsatur":
         # DSATUR alone on the heaviest step.
         net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=n, n_wavelengths=w_sys))
         heaviest = max(
@@ -43,11 +37,21 @@ def _measure():
         )
         routes = net._route_step(heaviest)
         structured = dsatur_assign(routes, n, w_sys)
-        rows.append(
-            (label, "dsatur", 1 if structured else "-", 1,
-             structured.peak_wavelength if structured else "-")
-        )
-    return rows
+        return (label, "dsatur", 1 if structured else "-", 1,
+                structured.peak_wavelength if structured else "-")
+    net = OpticalRingNetwork(
+        OpticalSystemConfig(n_nodes=n, n_wavelengths=w_sys),
+        strategy=strategy,
+        rng=SeededRng(7) if strategy == "random_fit" else None,
+    )
+    result = net.execute(sched)
+    return (label, strategy, result.total_rounds, result.n_steps,
+            result.peak_wavelength)
+
+
+def _measure():
+    grid = sweep(_strategy_cell, {"case": CASES, "strategy": STRATEGIES})
+    return [grid[(case, strategy)] for case in CASES for strategy in STRATEGIES]
 
 
 def test_rwa_strategy_ablation(once):

@@ -14,7 +14,11 @@ Modules:
 - :mod:`~repro.optical.node` — TeraRack node structure and per-round
   transceiver constraints.
 - :mod:`~repro.optical.rwa` — routing and wavelength assignment
-  (First-Fit / Random-Fit) with exact segment-conflict checking.
+  (First-Fit / Random-Fit) over integer segment bitmasks, with exact
+  segment-conflict checking.
+- :mod:`~repro.optical.plancache` — bounded LRU of priced step plans shared
+  across executors and ``execute()`` calls (cross-run sweeps reuse RWA
+  results bit-exactly).
 - :mod:`~repro.optical.circuit` — established circuits and conflict
   validation helpers used by the tests.
 - :mod:`~repro.optical.phy` — per-path insertion-loss/crosstalk checks.
@@ -24,7 +28,18 @@ Modules:
 
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.topology import Direction, RingTopology, Route
-from repro.optical.rwa import AssignmentResult, assign_wavelengths
+from repro.optical.rwa import (
+    AssignmentResult,
+    RwaInfeasibleError,
+    assign_wavelengths,
+    plan_rounds,
+)
+from repro.optical.plancache import (
+    CachedRound,
+    PlanCache,
+    PlanCacheCounters,
+    default_plan_cache,
+)
 from repro.optical.circuit import Circuit, validate_no_conflicts
 from repro.optical.livesim import LiveOpticalSimulation, LiveRunResult
 from repro.optical.network import OpticalRingNetwork, OpticalRunResult, StepTiming
@@ -34,6 +49,7 @@ from repro.optical.torus import TorusOpticalNetwork, TorusRunResult, TorusTopolo
 
 __all__ = [
     "AssignmentResult",
+    "CachedRound",
     "Circuit",
     "Direction",
     "LiveOpticalSimulation",
@@ -41,15 +57,20 @@ __all__ = [
     "OpticalRingNetwork",
     "OpticalRunResult",
     "OpticalSystemConfig",
+    "PlanCache",
+    "PlanCacheCounters",
     "RingTopology",
     "Route",
+    "RwaInfeasibleError",
     "StepTiming",
     "TeraRackNode",
     "TorusOpticalNetwork",
     "TorusRunResult",
     "TorusTopology",
     "assign_wavelengths",
+    "default_plan_cache",
     "path_feasible",
+    "plan_rounds",
     "validate_no_conflicts",
     "validate_node_constraints",
     "validate_route_phy",

@@ -26,6 +26,12 @@ from repro.optical.circuit import Circuit, validate_no_conflicts
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.node import validate_node_constraints
 from repro.optical.phy import validate_route_phy
+from repro.optical.plancache import (
+    CachedRound,
+    PlanCache,
+    PlanCacheCounters,
+    default_plan_cache,
+)
 from repro.optical.rwa import plan_rounds
 from repro.optical.topology import RingTopology
 from repro.sim.rng import SeededRng
@@ -66,6 +72,9 @@ class OpticalRunResult:
         total_bytes: Payload bytes moved across all steps.
         step_timings: One entry per profile run.
         peak_wavelength: Max wavelengths any round used.
+        cache: Plan-cache hit/miss/eviction tallies for *this* run (zeros
+            for ``random_fit``, which bypasses the cross-run cache, and
+            when the cache is disabled).
     """
 
     algorithm: str
@@ -74,6 +83,7 @@ class OpticalRunResult:
     total_bytes: float
     step_timings: list[StepTiming] = field(default_factory=list)
     peak_wavelength: int = 0
+    cache: PlanCacheCounters = field(default_factory=PlanCacheCounters)
 
     @property
     def total_rounds(self) -> int:
@@ -91,6 +101,7 @@ class OpticalRingNetwork:
         rng: SeededRng | None = None,
         tracer: Tracer | None = None,
         validate: bool = True,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.config = config
         self.topology = RingTopology(config.n_nodes)
@@ -100,6 +111,13 @@ class OpticalRingNetwork:
             raise ValueError("random_fit requires an rng")
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.validate = validate
+        # Cross-run plan cache (default: the process-wide shared one). The
+        # key salts every pricing-relevant knob: the frozen config (which
+        # covers failed_wavelengths and the PHY parameters), the strategy
+        # and the validate flag — changing any of them is a new key, so no
+        # explicit invalidation is ever needed.
+        self.plan_cache = default_plan_cache() if plan_cache is None else plan_cache
+        self._plan_key_base = (config, strategy, validate)
         self._cost = config.cost_model()
 
     @property
@@ -134,17 +152,27 @@ class OpticalRingNetwork:
             key = step.pattern_key()
             timing = cache.get(key)
             if timing is None:
-                timing = self._time_step(step, count, bytes_per_elem, clock)
+                timing = self._time_step(
+                    step, count, bytes_per_elem, clock, key, result.cache
+                )
                 cache[key] = timing
             else:
                 # Same pattern appearing again (e.g. non-adjacent runs): keep
-                # the measured timing, adjust the run length.
+                # the measured timing, adjust the run length. The rounds were
+                # traced when the pattern was first priced; emit a summary
+                # event so traces still cover every profile entry.
                 timing = StepTiming(
                     stage=step.stage, count=count,
                     n_transfers=timing.n_transfers, rounds=timing.rounds,
                     duration=timing.duration,
                     peak_wavelength=timing.peak_wavelength,
                     bytes_per_step=timing.bytes_per_step,
+                )
+                self.tracer.emit(
+                    clock, "optical.step_cached",
+                    stage=step.stage, count=count, rounds=timing.rounds,
+                    duration=timing.duration,
+                    peak_wavelength=timing.peak_wavelength,
                 )
             result.step_timings.append(timing)
             result.total_time += timing.duration * count
@@ -227,25 +255,65 @@ class OpticalRingNetwork:
         return circuit_rounds
 
     def _time_step(
-        self, step: CommStep, count: int, bytes_per_elem: float, clock: float
+        self,
+        step: CommStep,
+        count: int,
+        bytes_per_elem: float,
+        clock: float,
+        pattern_key: tuple,
+        counters: PlanCacheCounters,
     ) -> StepTiming:
+        # Cross-run plan cache: deterministic strategies only (a random_fit
+        # hit would skip the RNG draws an uncached run performs, changing
+        # every later assignment in the stream).
+        use_cache = self.plan_cache.enabled and self.strategy != "random_fit"
+        if use_cache:
+            key = (pattern_key, self._plan_key_base, bytes_per_elem)
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                counters.hits += 1
+                return self._timing_from_rounds(step, count, cached, clock)
+            counters.misses += 1
         circuit_rounds = self.plan_step_rounds(step, bytes_per_elem)
+        summary = tuple(
+            CachedRound(
+                n_circuits=len(circuits),
+                max_payload_s=max(c.duration for c in circuits),
+                peak_wavelength=max(c.wavelength for c in circuits) + 1,
+                payload_bytes=sum(c.payload_bytes for c in circuits),
+            )
+            for circuits in circuit_rounds
+        )
+        if use_cache:
+            counters.evictions += self.plan_cache.put(key, summary)
+        return self._timing_from_rounds(step, count, summary, clock)
+
+    def _timing_from_rounds(
+        self,
+        step: CommStep,
+        count: int,
+        rounds: tuple[CachedRound, ...],
+        clock: float,
+    ) -> StepTiming:
+        """Fold per-round summaries into a StepTiming, emitting the round
+        trace events. Shared by fresh pricing and cache replay so both
+        accumulate the identical floats in the identical order — cache hits
+        are bit-exact."""
         duration = 0.0
         peak = 0
         step_bytes = 0.0
-        for round_no, circuits in enumerate(circuit_rounds, start=1):
-            round_max = max(c.duration for c in circuits)
-            peak = max(peak, max(c.wavelength for c in circuits) + 1)
-            step_bytes += sum(c.payload_bytes for c in circuits)
-            duration += self.config.mrr_reconfig_delay + round_max
+        for round_no, rnd in enumerate(rounds, start=1):
+            peak = max(peak, rnd.peak_wavelength)
+            step_bytes += rnd.payload_bytes
+            duration += self.config.mrr_reconfig_delay + rnd.max_payload_s
             self.tracer.emit(
                 clock + duration, "optical.round",
                 stage=step.stage, round=round_no,
-                n_circuits=len(circuits), max_payload_s=round_max,
-                peak_wavelength=max(c.wavelength for c in circuits) + 1,
+                n_circuits=rnd.n_circuits, max_payload_s=rnd.max_payload_s,
+                peak_wavelength=rnd.peak_wavelength,
             )
         return StepTiming(
             stage=step.stage, count=count, n_transfers=step.n_transfers,
-            rounds=len(circuit_rounds), duration=duration,
+            rounds=len(rounds), duration=duration,
             peak_wavelength=peak, bytes_per_step=step_bytes,
         )

@@ -13,10 +13,23 @@ paper's citations are provided:
 Transfers that cannot be assigned in this round are reported back; the
 executor schedules them into follow-up rounds (each paying another MRR
 reconfiguration), which is how wavelength scarcity turns into time.
+
+Representation
+--------------
+
+A route's segment set is encoded as an arbitrary-precision integer bitmask
+(bit ``s`` set iff segment ``s`` is crossed), so a channel-occupancy probe
+is a single ``busy & mask == 0`` and taking a channel is ``busy |= mask``.
+This replaces the seed implementation's per-probe numpy fancy indexing and
+is what makes paper-scale sweeps interactive; the seed implementation is
+preserved in :mod:`repro.optical._rwa_reference` and the parity property
+tests assert both produce identical assignments, round structure and
+Random-Fit RNG consumption.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,12 +41,76 @@ from repro.util.validation import check_positive_int
 STRATEGIES = ("first_fit", "random_fit")
 
 
+class RwaInfeasibleError(RuntimeError):
+    """No transfer of a round could be placed on an *empty* channel space.
+
+    Raised by :func:`plan_rounds` when even a fresh round places nothing —
+    which can only happen when the channel capacity is zero for some
+    direction in use (e.g. every wavelength blocked). Carries the offending
+    context so sweeps can report the combination instead of crashing.
+
+    Attributes:
+        routes: The routes that could not be placed.
+        n_wavelengths: Wavelengths per fiber of the failing budget.
+        fibers_per_direction: Fibers per direction of the failing budget.
+        blocked: Blocked wavelength indices.
+    """
+
+    def __init__(
+        self,
+        routes: list[Route],
+        n_wavelengths: int,
+        fibers_per_direction: int,
+        blocked: frozenset[int],
+    ) -> None:
+        self.routes = list(routes)
+        self.n_wavelengths = n_wavelengths
+        self.fibers_per_direction = fibers_per_direction
+        self.blocked = frozenset(blocked)
+        usable = n_wavelengths - len(self.blocked & set(range(n_wavelengths)))
+        super().__init__(
+            f"RWA cannot place any of {len(self.routes)} transfer(s) on an "
+            f"empty round: budget is {fibers_per_direction} fiber(s) x "
+            f"{n_wavelengths} wavelength(s) with {len(self.blocked)} blocked "
+            f"({usable} usable per fiber)"
+        )
+
+
+def _route_masks(routes: list[Route]) -> list[int]:
+    """Segment-set bitmask per route (bit ``s`` set iff segment crossed)."""
+    masks = []
+    for route in routes:
+        mask = 0
+        for seg in route.segments:
+            mask |= 1 << seg
+        masks.append(mask)
+    return masks
+
+
+def _allowed_channels(
+    n_wavelengths: int, fibers_per_direction: int, blocked: frozenset[int]
+) -> list[tuple[int, int, int]]:
+    """The probe order shared by every transfer: (slot, fiber, wavelength).
+
+    ``slot`` is the flat occupancy index ``fiber * n_wavelengths + lam``.
+    Hoisted out of the per-transfer loop — the seed rebuilt this list for
+    every transfer.
+    """
+    return [
+        (f * n_wavelengths + lam, f, lam)
+        for f in range(fibers_per_direction)
+        for lam in range(n_wavelengths)
+        if lam not in blocked
+    ]
+
+
 def dsatur_assign(
     routes: list[Route],
     n_segments: int,
     n_wavelengths: int,
     fibers_per_direction: int = 1,
     blocked: frozenset[int] = frozenset(),
+    masks: list[int] | None = None,
 ) -> AssignmentResult | None:
     """Optimal-leaning assignment via DSATUR graph coloring.
 
@@ -44,6 +121,16 @@ def dsatur_assign(
     empirically achieves the max-load optimum on these structured
     instances. Used by the executor as a fallback when First-Fit spills.
 
+    The conflict graph is built from the routes' segment bitmasks (packed
+    into a byte matrix and AND-ed row-wise in numpy) and the
+    highest-saturation vertex is tracked with a lazy max-heap; both steps
+    reproduce the seed implementation's choices exactly (the tie order
+    ``(saturation, degree, -index)`` is a total order).
+
+    Args:
+        masks: Precomputed :func:`_route_masks` output, to avoid recomputing
+            when the caller (``plan_rounds``) already has them.
+
     Returns:
         A complete assignment, or ``None`` if even DSATUR needs more than
         ``fibers × wavelengths`` channels (the caller then falls back to
@@ -52,13 +139,9 @@ def dsatur_assign(
     n = len(routes)
     if n == 0:
         return AssignmentResult()
-    seg_sets = [frozenset(r.segments) for r in routes]
-    adjacency: list[set[int]] = [set() for _ in range(n)]
-    for i in range(n):
-        for j in range(i + 1, n):
-            if routes[i].direction is routes[j].direction and seg_sets[i] & seg_sets[j]:
-                adjacency[i].add(j)
-                adjacency[j].add(i)
+    if masks is None:
+        masks = _route_masks(routes)
+
     allowed = [
         (f, lam)
         for f in range(fibers_per_direction)
@@ -66,25 +149,67 @@ def dsatur_assign(
         if lam not in blocked
     ]
     capacity = len(allowed)
-    colors: dict[int, int] = {}
-    neighbour_colors: list[set[int]] = [set() for _ in range(n)]
-    uncolored = set(range(n))
-    while uncolored:
-        # Highest saturation, ties by degree then index (deterministic).
-        pick = max(
-            uncolored,
-            key=lambda v: (len(neighbour_colors[v]), len(adjacency[v]), -v),
+    if capacity == 0:
+        return None
+
+    # Conflict graph: same direction and overlapping segment masks. Each
+    # direction group gets a boolean conflict matrix computed in one
+    # float32 matmul over the unpacked mask bits (exact: dot products count
+    # shared segments, ≤ the segment count, far below float32 precision).
+    nbytes = max(1, (max(m.bit_length() for m in masks) + 7) // 8)
+    groups: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    local_of = np.zeros(n, dtype=np.intp)
+    group_of = np.zeros(n, dtype=np.intp)
+    deg = np.zeros(n, dtype=np.int64)
+    for direction in Direction:
+        members = np.array(
+            [i for i in range(n) if routes[i].direction is direction],
+            dtype=np.intp,
         )
-        color = 0
-        taken = neighbour_colors[pick]
-        while color in taken:
-            color += 1
-        if color >= capacity:
+        if members.size == 0:
+            continue
+        packed = np.frombuffer(
+            b"".join(masks[i].to_bytes(nbytes, "little") for i in members),
+            dtype=np.uint8,
+        ).reshape(members.size, nbytes)
+        bits = np.unpackbits(packed, axis=1, bitorder="little").astype(np.float32)
+        conflict = (bits @ bits.T) > 0
+        np.fill_diagonal(conflict, False)
+        group_of[members] = len(groups)
+        local_of[members] = np.arange(members.size)
+        deg[members] = conflict.sum(axis=1)
+        groups.append((members, conflict, np.zeros(members.size, dtype=bool)))
+
+    colors: dict[int, int] = {}
+    # neighbour-color sets as one bool row per vertex; saturation is the
+    # row's True count, tracked incrementally for the heap keys.
+    seen = np.zeros((n, capacity), dtype=bool)
+    sat = [0] * n
+    # Lazy max-heap over (saturation, degree, -index) — the seed's exact
+    # selection order (the key is a total order, so ties cannot differ).
+    # Entries are pushed whenever a vertex's saturation grows and skipped
+    # on pop when stale.
+    heap = [(0, -int(deg[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    while len(colors) < n:
+        while True:
+            neg_sat, _neg_deg, pick = heapq.heappop(heap)
+            if pick not in colors and -neg_sat == sat[pick]:
+                break
+        free = np.flatnonzero(~seen[pick])
+        if free.size == 0:
             return None
+        color = int(free[0])
         colors[pick] = color
-        uncolored.discard(pick)
-        for peer in adjacency[pick]:
-            neighbour_colors[peer].add(color)
+        members, conflict, done = groups[group_of[pick]]
+        done[local_of[pick]] = True
+        peers = members[conflict[local_of[pick]] & ~done]
+        fresh = peers[~seen[peers, color]]
+        seen[fresh, color] = True
+        for peer in fresh:
+            peer = int(peer)
+            sat[peer] += 1
+            heapq.heappush(heap, (-sat[peer], -int(deg[peer]), peer))
     result = AssignmentResult()
     for idx, color in colors.items():
         fiber, lam = allowed[color]
@@ -128,28 +253,38 @@ def plan_rounds(
     :func:`dsatur_assign` before paying an extra reconfiguration round.
     Used by both the step-timing executor and the live event-driven
     simulation so their round structure is identical by construction.
+
+    Route masks are computed once here and reused across spill rounds and
+    the DSATUR fallback.
+
+    Raises:
+        RwaInfeasibleError: If a fresh round places nothing (zero channel
+            capacity for a direction in use) — sweeps catch this and report
+            the combination instead of aborting.
     """
+    _validate_rwa_args(n_segments, n_wavelengths, fibers_per_direction, strategy, rng)
+    masks = _route_masks(routes)
+    channels = _allowed_channels(n_wavelengths, fibers_per_direction, blocked)
     remaining = list(range(len(routes)))
     rounds: list[dict[int, tuple[int, int]]] = []
     first = True
     while remaining:
         subset = [routes[i] for i in remaining]
-        assignment = assign_wavelengths(
-            subset, n_segments, n_wavelengths, fibers_per_direction,
-            strategy=strategy, rng=rng, blocked=blocked,
+        subset_masks = [masks[i] for i in remaining]
+        assignment = _assign_with_masks(
+            subset, subset_masks, n_wavelengths, channels, strategy, rng
         )
         if first and assignment.unassigned and dsatur_fallback:
             structured = dsatur_assign(
                 subset, n_segments, n_wavelengths, fibers_per_direction,
-                blocked=blocked,
+                blocked=blocked, masks=subset_masks,
             )
             if structured is not None:
                 assignment = structured
         first = False
         if not assignment.assigned:
-            raise RuntimeError(
-                "RWA failed to place any transfer on an empty round; "
-                "file a bug"
+            raise RwaInfeasibleError(
+                subset, n_wavelengths, fibers_per_direction, blocked
             )
         rounds.append(
             {remaining[local]: chan for local, chan in assignment.assigned.items()}
@@ -158,20 +293,66 @@ def plan_rounds(
     return rounds
 
 
-class _ChannelOccupancy:
-    """Per-direction segment occupancy of every (fiber, wavelength)."""
+def _validate_rwa_args(
+    n_segments: int,
+    n_wavelengths: int,
+    fibers_per_direction: int,
+    strategy: str,
+    rng: SeededRng | None,
+) -> None:
+    """Shared argument validation for the assignment entry points."""
+    check_positive_int("n_segments", n_segments)
+    check_positive_int("n_wavelengths", n_wavelengths)
+    check_positive_int("fibers_per_direction", fibers_per_direction)
+    if strategy not in STRATEGIES:
+        raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+    if strategy == "random_fit" and rng is None:
+        raise ValueError("random_fit requires an rng")
 
-    def __init__(self, n_segments: int, n_fibers: int, n_wavelengths: int) -> None:
-        self.n_segments = n_segments
-        self.n_fibers = n_fibers
-        self.n_wavelengths = n_wavelengths
-        self._busy = np.zeros((n_fibers, n_wavelengths, n_segments), dtype=bool)
 
-    def fits(self, fiber: int, wavelength: int, segments: np.ndarray) -> bool:
-        return not self._busy[fiber, wavelength, segments].any()
+def _assign_with_masks(
+    routes: list[Route],
+    masks: list[int],
+    n_wavelengths: int,
+    channels: list[tuple[int, int, int]],
+    strategy: str,
+    rng: SeededRng | None,
+) -> AssignmentResult:
+    """Bitmask assignment core shared by both public entry points.
 
-    def take(self, fiber: int, wavelength: int, segments: np.ndarray) -> None:
-        self._busy[fiber, wavelength, segments] = True
+    ``channels`` is the hoisted :func:`_allowed_channels` probe order;
+    occupancy is one integer per (direction, slot) where ``slot`` flattens
+    (fiber, wavelength). Random-Fit shuffles a fresh copy of the channel
+    list per transfer, consuming the RNG exactly as the seed implementation
+    did (one same-length shuffle per transfer, placed or not).
+    """
+    n_slots = channels[-1][0] + 1 if channels else 0
+    busy = {direction: [0] * n_slots for direction in Direction}
+    result = AssignmentResult()
+    # Longest routes are hardest to place; assign them first. Ties keep the
+    # original order so the outcome is deterministic.
+    order = sorted(range(len(routes)), key=lambda i: (-routes[i].hops, i))
+    random_fit = strategy == "random_fit"
+    peak = 0
+    for idx in order:
+        mask = masks[idx]
+        occ = busy[routes[idx].direction]
+        if random_fit:
+            probe = channels.copy()
+            rng.shuffle(probe)
+        else:
+            probe = channels
+        for slot, fiber, lam in probe:
+            if occ[slot] & mask == 0:
+                occ[slot] = occ[slot] | mask
+                result.assigned[idx] = (fiber, lam)
+                if lam >= peak:
+                    peak = lam + 1
+                break
+        else:
+            result.unassigned.append(idx)
+    result.peak_wavelength = peak
+    return result
 
 
 def assign_wavelengths(
@@ -197,42 +378,12 @@ def assign_wavelengths(
         An :class:`AssignmentResult`; ``assigned ∪ unassigned`` covers all
         inputs exactly once.
     """
-    check_positive_int("n_segments", n_segments)
-    check_positive_int("n_wavelengths", n_wavelengths)
-    check_positive_int("fibers_per_direction", fibers_per_direction)
-    if strategy not in STRATEGIES:
-        raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
-    if strategy == "random_fit" and rng is None:
-        raise ValueError("random_fit requires an rng")
-
-    occupancy = {
-        direction: _ChannelOccupancy(n_segments, fibers_per_direction, n_wavelengths)
-        for direction in Direction
-    }
-    result = AssignmentResult()
-    # Longest routes are hardest to place; assign them first. Ties keep the
-    # original order so the outcome is deterministic.
-    order = sorted(range(len(routes)), key=lambda i: (-routes[i].hops, i))
-    for idx in order:
-        route = routes[idx]
-        segments = np.asarray(route.segments, dtype=np.intp)
-        occ = occupancy[route.direction]
-        channels = [
-            (f, lam)
-            for f in range(fibers_per_direction)
-            for lam in range(n_wavelengths)
-            if lam not in blocked
-        ]
-        if strategy == "random_fit":
-            rng.shuffle(channels)
-        placed = False
-        for fiber, lam in channels:
-            if occ.fits(fiber, lam, segments):
-                occ.take(fiber, lam, segments)
-                result.assigned[idx] = (fiber, lam)
-                result.peak_wavelength = max(result.peak_wavelength, lam + 1)
-                placed = True
-                break
-        if not placed:
-            result.unassigned.append(idx)
-    return result
+    _validate_rwa_args(n_segments, n_wavelengths, fibers_per_direction, strategy, rng)
+    return _assign_with_masks(
+        routes,
+        _route_masks(routes),
+        n_wavelengths,
+        _allowed_channels(n_wavelengths, fibers_per_direction, blocked),
+        strategy,
+        rng,
+    )

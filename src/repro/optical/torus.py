@@ -24,6 +24,12 @@ from dataclasses import dataclass, field
 from repro.collectives.base import CommStep, Schedule
 from repro.core.timing import CostModel
 from repro.optical.config import OpticalSystemConfig
+from repro.optical.plancache import (
+    CachedRound,
+    PlanCache,
+    PlanCacheCounters,
+    default_plan_cache,
+)
 from repro.optical.rwa import plan_rounds
 from repro.optical.topology import Direction, Route
 from repro.util.validation import check_positive_int
@@ -120,12 +126,17 @@ class TorusStepTiming:
 
 @dataclass
 class TorusRunResult:
-    """Result of pricing a schedule on the torus substrate."""
+    """Result of pricing a schedule on the torus substrate.
+
+    ``cache`` carries the cross-run plan-cache hit/miss/eviction tallies
+    for this run (see :mod:`repro.optical.plancache`).
+    """
 
     algorithm: str
     n_steps: int
     total_time: float
     step_timings: list[TorusStepTiming] = field(default_factory=list)
+    cache: PlanCacheCounters = field(default_factory=PlanCacheCounters)
 
     @property
     def total_rounds(self) -> int:
@@ -146,6 +157,7 @@ class TorusOpticalNetwork:
         rows: int,
         cols: int,
         wraparound: bool = True,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         if rows * cols != config.n_nodes:
             raise ValueError(
@@ -154,6 +166,9 @@ class TorusOpticalNetwork:
             )
         self.config = config
         self.topology = TorusTopology(rows, cols, wraparound=wraparound)
+        self.plan_cache = default_plan_cache() if plan_cache is None else plan_cache
+        # "torus" disambiguates from ring entries sharing the same config.
+        self._plan_key_base = (config, rows, cols, wraparound, "torus")
         self._cost = config.cost_model()
 
     @property
@@ -178,15 +193,30 @@ class TorusOpticalNetwork:
             key = step.pattern_key()
             timing = cache.get(key)
             if timing is None:
-                timing = self._time_step(step, count, bytes_per_elem)
+                timing = self._time_step(
+                    step, count, bytes_per_elem, key, result.cache
+                )
                 cache[key] = timing
             result.step_timings.append(timing)
             result.total_time += timing.duration * count
         return result
 
     def _time_step(
-        self, step: CommStep, count: int, bytes_per_elem: float
+        self,
+        step: CommStep,
+        count: int,
+        bytes_per_elem: float,
+        pattern_key: tuple,
+        counters: PlanCacheCounters,
     ) -> TorusStepTiming:
+        use_cache = self.plan_cache.enabled
+        if use_cache:
+            key = (pattern_key, self._plan_key_base, bytes_per_elem)
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                counters.hits += 1
+                return self._timing_from_rounds(step, count, cached)
+            counters.misses += 1
         routes = [self.topology.route(t.src, t.dst) for t in step.transfers]
         rounds = plan_rounds(
             routes,
@@ -195,13 +225,32 @@ class TorusOpticalNetwork:
             fibers_per_direction=self.config.fibers_per_direction,
             blocked=self.config.failed_wavelengths,
         )
-        duration = 0.0
-        for assignment in rounds:
-            round_max = max(
-                self._cost.payload_time(step.transfers[i].n_elems * bytes_per_elem)
-                for i in assignment
+        summary = tuple(
+            CachedRound(
+                n_circuits=len(assignment),
+                max_payload_s=max(
+                    self._cost.payload_time(step.transfers[i].n_elems * bytes_per_elem)
+                    for i in assignment
+                ),
+                peak_wavelength=max(lam for _, lam in assignment.values()) + 1,
+                payload_bytes=sum(
+                    step.transfers[i].n_elems * bytes_per_elem for i in assignment
+                ),
             )
-            duration += self.config.mrr_reconfig_delay + round_max
+            for assignment in rounds
+        )
+        if use_cache:
+            counters.evictions += self.plan_cache.put(key, summary)
+        return self._timing_from_rounds(step, count, summary)
+
+    def _timing_from_rounds(
+        self, step: CommStep, count: int, rounds: tuple[CachedRound, ...]
+    ) -> TorusStepTiming:
+        """Fold per-round summaries into a TorusStepTiming (same float
+        accumulation order as fresh pricing, so cache hits are bit-exact)."""
+        duration = 0.0
+        for rnd in rounds:
+            duration += self.config.mrr_reconfig_delay + rnd.max_payload_s
         return TorusStepTiming(
             stage=step.stage, count=count, n_transfers=step.n_transfers,
             rounds=len(rounds), duration=duration,

@@ -9,6 +9,7 @@ against the paper's numbers.
 """
 
 from repro.runner.experiments import (
+    clear_network_caches,
     run_fig4,
     run_fig5,
     run_fig6,
@@ -16,10 +17,13 @@ from repro.runner.experiments import (
     run_table1,
 )
 from repro.runner.report import ExperimentResult, percent_reduction
-from repro.runner.sweep import sweep
+from repro.runner.sweep import SweepCombinationError, SweepFailure, sweep
 
 __all__ = [
     "ExperimentResult",
+    "SweepCombinationError",
+    "SweepFailure",
+    "clear_network_caches",
     "percent_reduction",
     "run_fig4",
     "run_fig5",

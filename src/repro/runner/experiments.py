@@ -17,6 +17,8 @@ paper-scale sweeps.
 
 from __future__ import annotations
 
+import functools
+
 from repro.collectives.registry import build_schedule
 from repro.core.timing import algorithm_time
 from repro.core.wavelengths import optimal_group_size
@@ -26,6 +28,7 @@ from repro.electrical.network import ElectricalNetwork
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.network import OpticalRingNetwork
 from repro.runner.report import ExperimentResult
+from repro.runner.sweep import sweep
 
 MODES = ("analytical", "simulated")
 
@@ -102,6 +105,63 @@ def _electrical_time(
     return net.execute(schedule, bytes_per_elem=workload.bytes_per_param).total_time
 
 
+def clear_network_caches() -> None:
+    """Drop the per-process substrate executors (benchmark hygiene).
+
+    The next experiment call rebuilds its networks from scratch; the
+    cross-run plan cache (:mod:`repro.optical.plancache`) is separate and
+    unaffected.
+    """
+    _OPTICAL_NETS.clear()
+    _ELECTRICAL_NETS.clear()
+
+
+# -- sweep cell functions ---------------------------------------------------
+# Module-level so they pickle into ProcessPoolExecutor workers; the run_figN
+# entry points bind the figure-constant knobs with functools.partial.
+
+
+def _fig4_cell(
+    workload: DnnWorkload, m: int, mode: str, interpretation: str,
+    n_nodes: int, n_wavelengths: int,
+) -> float:
+    """One Fig 4 grid cell: WRHT at group size ``m`` on one workload."""
+    return _optical_time(
+        "WRHT", n_nodes, n_wavelengths, workload, mode, interpretation, wrht_m=m
+    )
+
+
+def _fig5_cell(
+    workload: DnnWorkload, algo: str, w: int, mode: str, interpretation: str,
+    n_nodes: int,
+) -> float:
+    """One Fig 5 grid cell: ``algo`` under wavelength count ``w``."""
+    return _optical_time(
+        algo, n_nodes, w, workload, mode, interpretation,
+        wrht_m=min(optimal_group_size(w), n_nodes),
+    )
+
+
+def _fig6_cell(
+    workload: DnnWorkload, algo: str, n: int, mode: str, interpretation: str,
+    n_wavelengths: int,
+) -> float:
+    """One Fig 6 grid cell: ``algo`` at cluster size ``n``."""
+    return _optical_time(algo, n, n_wavelengths, workload, mode, interpretation)
+
+
+def _fig7_cell(
+    workload: DnnWorkload, algo: str, n: int, mode: str, interpretation: str,
+    n_wavelengths: int,
+) -> float:
+    """One Fig 7 grid cell: electrical or optical flavor by algorithm."""
+    if algo in ("E-Ring", "RD"):
+        base = "Ring" if algo == "E-Ring" else "RD"
+        return _electrical_time(base, n, workload, interpretation)
+    base = "Ring" if algo == "O-Ring" else "WRHT"
+    return _optical_time(base, n, n_wavelengths, workload, mode, interpretation)
+
+
 def run_table1(
     n_nodes: int = 1024, n_wavelengths: int = DEFAULT_WAVELENGTHS, hring_m: int = HRING_M
 ) -> dict[str, int]:
@@ -143,12 +203,15 @@ def run_fig4(
     n_wavelengths: int = DEFAULT_WAVELENGTHS,
     group_sizes: tuple[int, ...] = FIG4_GROUP_SIZES,
     workloads: tuple[DnnWorkload, ...] = PAPER_WORKLOADS,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Fig 4: WRHT with different numbers of grouped nodes.
 
     One WRHT variant per group size (the paper's WRHT_0 … WRHT_3 at
     m = 17/33/65/129), all four workloads, fixed N and w. Normalization
     reference: WRHT at the largest group size, per workload.
+    ``workers`` parallelizes the grid over a process pool (see
+    :func:`repro.runner.sweep.sweep`); results are identical either way.
     """
     _check_mode(mode)
     result = ExperimentResult(
@@ -156,12 +219,13 @@ def run_fig4(
         x_label="grouped nodes (m)", x_values=list(group_sizes),
         workloads=[wl.name for wl in workloads],
     )
+    cell = functools.partial(
+        _fig4_cell, mode=mode, interpretation=interpretation,
+        n_nodes=n_nodes, n_wavelengths=n_wavelengths,
+    )
+    grid = sweep(cell, {"workload": workloads, "m": group_sizes}, workers=workers)
     for wl in workloads:
-        times = [
-            _optical_time("WRHT", n_nodes, n_wavelengths, wl, mode, interpretation, wrht_m=m)
-            for m in group_sizes
-        ]
-        result.series[(wl.name, "WRHT")] = times
+        result.series[(wl.name, "WRHT")] = [grid[(wl, m)] for m in group_sizes]
     result.meta["reference"] = ("WRHT", group_sizes[-1])
     return result
 
@@ -172,12 +236,14 @@ def run_fig5(
     n_nodes: int = 1024,
     wavelengths: tuple[int, ...] = FIG5_WAVELENGTHS,
     workloads: tuple[DnnWorkload, ...] = PAPER_WORKLOADS,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Fig 5: four algorithms under different wavelength counts.
 
     WRHT's group size follows Lemma 1 (``min(2w+1, N)``); Ring and BT use a
     single wavelength regardless of w (their defining limitation); H-Ring's
     analytical step count reacts to w via the ``⌈m/w⌉`` term.
+    ``workers`` parallelizes the grid over a process pool.
     """
     _check_mode(mode)
     result = ExperimentResult(
@@ -185,14 +251,18 @@ def run_fig5(
         x_label="wavelengths", x_values=list(wavelengths),
         workloads=[wl.name for wl in workloads],
     )
+    algos = ("Ring", "H-Ring", "BT", "WRHT")
+    cell = functools.partial(
+        _fig5_cell, mode=mode, interpretation=interpretation, n_nodes=n_nodes
+    )
+    grid = sweep(
+        cell, {"workload": workloads, "algo": algos, "w": wavelengths},
+        workers=workers,
+    )
     for wl in workloads:
-        for algo in ("Ring", "H-Ring", "BT", "WRHT"):
+        for algo in algos:
             result.series[(wl.name, algo)] = [
-                _optical_time(
-                    algo, n_nodes, w, wl, mode, interpretation,
-                    wrht_m=min(optimal_group_size(w), n_nodes),
-                )
-                for w in wavelengths
+                grid[(wl, algo, w)] for w in wavelengths
             ]
     result.meta["reference"] = ("ResNet50", "WRHT", wavelengths[-1])
     return result
@@ -204,20 +274,29 @@ def run_fig6(
     nodes: tuple[int, ...] = FIG6_NODES,
     n_wavelengths: int = DEFAULT_WAVELENGTHS,
     workloads: tuple[DnnWorkload, ...] = PAPER_WORKLOADS,
+    workers: int | None = None,
 ) -> ExperimentResult:
-    """Fig 6: four algorithms on the optical system across cluster sizes."""
+    """Fig 6: four algorithms on the optical system across cluster sizes.
+
+    ``workers`` parallelizes the grid over a process pool.
+    """
     _check_mode(mode)
     result = ExperimentResult(
         name="fig6", mode=mode, interpretation=interpretation,
         x_label="nodes", x_values=list(nodes),
         workloads=[wl.name for wl in workloads],
     )
+    algos = ("Ring", "H-Ring", "BT", "WRHT")
+    cell = functools.partial(
+        _fig6_cell, mode=mode, interpretation=interpretation,
+        n_wavelengths=n_wavelengths,
+    )
+    grid = sweep(
+        cell, {"workload": workloads, "algo": algos, "n": nodes}, workers=workers
+    )
     for wl in workloads:
-        for algo in ("Ring", "H-Ring", "BT", "WRHT"):
-            result.series[(wl.name, algo)] = [
-                _optical_time(algo, n, n_wavelengths, wl, mode, interpretation)
-                for n in nodes
-            ]
+        for algo in algos:
+            result.series[(wl.name, algo)] = [grid[(wl, algo, n)] for n in nodes]
     result.meta["reference"] = ("ResNet50", "WRHT", nodes[0])
     return result
 
@@ -228,11 +307,13 @@ def run_fig7(
     nodes: tuple[int, ...] = FIG7_NODES,
     n_wavelengths: int = DEFAULT_WAVELENGTHS,
     workloads: tuple[DnnWorkload, ...] = PAPER_WORKLOADS,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Fig 7: electrical fat-tree (E-Ring, RD) vs optical ring (O-Ring, WRHT).
 
     The electrical side is always the fluid simulation; ``mode`` selects how
-    the optical side is priced.
+    the optical side is priced. ``workers`` parallelizes the grid over a
+    process pool.
     """
     _check_mode(mode)
     result = ExperimentResult(
@@ -240,23 +321,16 @@ def run_fig7(
         x_label="nodes", x_values=list(nodes),
         workloads=[wl.name for wl in workloads],
     )
+    algos = ("E-Ring", "RD", "O-Ring", "WRHT")
+    cell = functools.partial(
+        _fig7_cell, mode=mode, interpretation=interpretation,
+        n_wavelengths=n_wavelengths,
+    )
+    grid = sweep(
+        cell, {"workload": workloads, "algo": algos, "n": nodes}, workers=workers
+    )
     for wl in workloads:
-        for algo, flavor in (
-            ("E-Ring", "electrical"),
-            ("RD", "electrical"),
-            ("O-Ring", "optical"),
-            ("WRHT", "optical"),
-        ):
-            times = []
-            for n in nodes:
-                if flavor == "electrical":
-                    base = "Ring" if algo == "E-Ring" else "RD"
-                    times.append(_electrical_time(base, n, wl, interpretation))
-                else:
-                    base = "Ring" if algo == "O-Ring" else "WRHT"
-                    times.append(
-                        _optical_time(base, n, n_wavelengths, wl, mode, interpretation)
-                    )
-            result.series[(wl.name, algo)] = times
+        for algo in algos:
+            result.series[(wl.name, algo)] = [grid[(wl, algo, n)] for n in nodes]
     result.meta["reference"] = ("ResNet50", "WRHT", nodes[0])
     return result

@@ -129,3 +129,28 @@ class TestTracing:
         assert len(rounds) >= 1
         for r in rounds:
             assert r.payload["n_circuits"] >= 1
+
+    def test_recurring_pattern_emits_step_cached_event(self):
+        # A profile of A, B, A: the second A is served from the per-run
+        # pattern cache, and must still leave a trace footprint.
+        from repro.collectives.base import CommStep, Schedule, Transfer
+
+        step_a = CommStep(transfers=(Transfer(0, 1, 0, 10),), stage="reduce")
+        step_b = CommStep(transfers=(Transfer(2, 3, 0, 20),), stage="reduce")
+        sched = Schedule(
+            "synthetic", 4, 20, steps=[step_a, step_b, step_a],
+            timing_profile=[(step_a, 1), (step_b, 1), (step_a, 1)],
+        )
+        tracer = Tracer()
+        net = _net(16, 8, tracer=tracer)
+        result = net.execute(sched)
+        cached = tracer.records("optical.step_cached")
+        assert len(cached) == 1
+        payload = cached[0].payload
+        assert payload["stage"] == "reduce"
+        assert payload["rounds"] == result.step_timings[0].rounds
+        assert payload["duration"] == result.step_timings[0].duration
+        # Priced once, replayed once: three profile entries, two traced
+        # pricing passes.
+        assert len(result.step_timings) == 3
+        assert result.step_timings[2].duration == result.step_timings[0].duration

@@ -1,0 +1,167 @@
+"""Cross-run plan cache: counters, sharing, bypasses, bit-exact replay."""
+
+import pytest
+
+from repro.collectives.registry import build_schedule
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.network import OpticalRingNetwork
+from repro.optical.plancache import PlanCache, default_plan_cache
+from repro.optical.torus import TorusOpticalNetwork
+from repro.sim.rng import SeededRng
+from repro.sim.trace import Tracer
+
+
+def _net(n=16, w=8, cache=None, **kwargs):
+    return OpticalRingNetwork(
+        OpticalSystemConfig(n_nodes=n, n_wavelengths=w),
+        plan_cache=cache if cache is not None else PlanCache(),
+        **kwargs,
+    )
+
+
+class TestCounters:
+    def test_cold_run_misses_warm_run_hits(self):
+        cache = PlanCache()
+        net = _net(cache=cache)
+        sched = build_schedule("wrht", 16, 160, n_wavelengths=8)
+        cold = net.execute(sched)
+        assert cold.cache.misses > 0 and cold.cache.hits == 0
+        warm = net.execute(sched)
+        assert warm.cache.hits == cold.cache.misses
+        assert warm.cache.misses == 0
+
+    def test_lifetime_stats_accumulate_on_cache(self):
+        cache = PlanCache()
+        net = _net(cache=cache)
+        sched = build_schedule("ring", 16, 160)
+        net.execute(sched)
+        net.execute(sched)
+        assert cache.stats.hits > 0 and cache.stats.misses > 0
+
+    def test_random_fit_bypasses_cache(self):
+        cache = PlanCache()
+        net = _net(cache=cache, strategy="random_fit", rng=SeededRng(3))
+        sched = build_schedule("wrht", 16, 160, n_wavelengths=8)
+        r1 = net.execute(sched)
+        r2 = net.execute(sched)
+        for result in (r1, r2):
+            assert (result.cache.hits, result.cache.misses) == (0, 0)
+        assert len(cache) == 0
+
+    def test_disabled_cache_never_hits(self):
+        cache = PlanCache(maxsize=0)
+        net = _net(cache=cache)
+        sched = build_schedule("ring", 16, 160)
+        net.execute(sched)
+        result = net.execute(sched)
+        assert (result.cache.hits, result.cache.misses) == (0, 0)
+        assert len(cache) == 0
+
+
+class TestSharingAndEviction:
+    def test_two_networks_share_one_cache(self):
+        cache = PlanCache()
+        sched = build_schedule("wrht", 16, 160, n_wavelengths=8)
+        first = _net(cache=cache).execute(sched)
+        second = _net(cache=cache).execute(sched)  # fresh executor instance
+        assert first.cache.misses > 0
+        assert second.cache.hits == first.cache.misses
+        assert second.cache.misses == 0
+
+    def test_different_config_is_a_different_key(self):
+        cache = PlanCache()
+        sched = build_schedule("ring", 16, 160)
+        _net(16, 8, cache=cache).execute(sched)
+        result = _net(16, 4, cache=cache).execute(sched)
+        assert result.cache.hits == 0  # w=4 must not reuse w=8 plans
+
+    def test_failed_wavelengths_invalidate_via_key(self):
+        cache = PlanCache()
+        sched = build_schedule("ring", 16, 160)
+        base = OpticalSystemConfig(n_nodes=16, n_wavelengths=8)
+        degraded = OpticalSystemConfig(
+            n_nodes=16, n_wavelengths=8, failed_wavelengths=frozenset({0})
+        )
+        OpticalRingNetwork(base, plan_cache=cache).execute(sched)
+        result = OpticalRingNetwork(degraded, plan_cache=cache).execute(sched)
+        assert result.cache.hits == 0
+
+    def test_maxsize_one_evicts_and_counts(self):
+        cache = PlanCache(maxsize=1)
+        net = _net(cache=cache)
+        # WRHT has >1 distinct step pattern, so a 1-entry cache must evict.
+        sched = build_schedule("wrht", 16, 160, n_wavelengths=8)
+        result = net.execute(sched)
+        assert result.cache.evictions > 0
+        assert len(cache) == 1
+
+    def test_resize_zero_disables_and_empties(self):
+        cache = PlanCache()
+        net = _net(cache=cache)
+        sched = build_schedule("ring", 16, 160)
+        net.execute(sched)
+        assert len(cache) > 0
+        cache.resize(0)
+        assert len(cache) == 0 and not cache.enabled
+
+    def test_default_cache_is_process_wide(self):
+        assert default_plan_cache() is default_plan_cache()
+
+
+class TestBitExactReplay:
+    @pytest.mark.parametrize(
+        "algo,kwargs",
+        [("ring", {}), ("wrht", {"n_wavelengths": 8}), ("hring", {"m": 5})],
+    )
+    def test_warm_timings_bit_identical(self, algo, kwargs):
+        cache = PlanCache()
+        net = _net(25 if algo == "hring" else 16, 8, cache=cache)
+        n = net.config.n_nodes
+        sched = build_schedule(algo, n, n * 40, **kwargs)
+        cold = net.execute(sched)
+        warm = net.execute(sched)
+        assert warm.total_time == cold.total_time  # == , not approx
+        assert warm.total_bytes == cold.total_bytes
+        assert warm.peak_wavelength == cold.peak_wavelength
+        assert [
+            (t.stage, t.count, t.rounds, t.duration, t.peak_wavelength)
+            for t in warm.step_timings
+        ] == [
+            (t.stage, t.count, t.rounds, t.duration, t.peak_wavelength)
+            for t in cold.step_timings
+        ]
+
+    def test_warm_run_replays_round_trace_events(self):
+        sched = build_schedule("wrht", 16, 160, n_wavelengths=8)
+        cache = PlanCache()
+        cold_tracer, warm_tracer = Tracer(), Tracer()
+        _net(cache=cache, tracer=cold_tracer).execute(sched)
+        warm = _net(cache=cache, tracer=warm_tracer).execute(sched)
+        assert warm.cache.hits > 0
+        cold_rounds = cold_tracer.records("optical.round")
+        warm_rounds = warm_tracer.records("optical.round")
+        assert [(r.time, r.payload) for r in warm_rounds] == [
+            (r.time, r.payload) for r in cold_rounds
+        ]
+
+
+class TestTorusCache:
+    def test_torus_hits_and_bit_exact(self):
+        cache = PlanCache()
+        cfg = OpticalSystemConfig(n_nodes=16, n_wavelengths=8)
+        sched = build_schedule("ring", 16, 160)
+        net = TorusOpticalNetwork(cfg, rows=4, cols=4, plan_cache=cache)
+        cold = net.execute(sched)
+        warm = net.execute(sched)
+        assert cold.cache.misses > 0
+        assert warm.cache.hits == cold.cache.misses
+        assert warm.total_time == cold.total_time
+
+    def test_torus_and_ring_do_not_collide(self):
+        cache = PlanCache()
+        cfg = OpticalSystemConfig(n_nodes=16, n_wavelengths=8)
+        sched = build_schedule("ring", 16, 160)
+        OpticalRingNetwork(cfg, plan_cache=cache).execute(sched)
+        torus = TorusOpticalNetwork(cfg, rows=4, cols=4, plan_cache=cache)
+        result = torus.execute(sched)
+        assert result.cache.hits == 0  # virtual-segment plans are distinct

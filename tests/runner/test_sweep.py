@@ -1,8 +1,20 @@
-"""Sweep helper tests."""
+"""Sweep helper tests: serial semantics, process-pool parity, error capture."""
 
 import pytest
 
-from repro.runner.sweep import sweep
+from repro.runner.sweep import SweepCombinationError, SweepFailure, sweep
+
+
+def _product(a, b):
+    """Module-level so the process-pool tests can pickle it."""
+    return a * b
+
+
+def _fragile(a, b):
+    """Fails on one specific combination; the rest succeed."""
+    if a == 2 and b == 10:
+        raise ValueError("bad cell")
+    return a * b
 
 
 class TestSweep:
@@ -20,3 +32,55 @@ class TestSweep:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             sweep(lambda: None, {})
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(lambda n: n, {"n": [1]}, on_error="ignore")
+
+
+class TestParallelSweep:
+    PARAMS = {"a": [1, 2, 3], "b": [10, 20]}
+
+    def test_workers_match_serial_results_and_order(self):
+        serial = sweep(_product, self.PARAMS)
+        parallel = sweep(_product, self.PARAMS, workers=2)
+        assert parallel == serial
+        assert list(parallel) == list(serial)  # product order preserved
+
+    def test_chunk_size_one_still_deterministic(self):
+        parallel = sweep(_product, self.PARAMS, workers=2, chunk_size=1)
+        assert parallel == sweep(_product, self.PARAMS)
+
+    def test_workers_one_runs_serially(self):
+        # Lambdas don't pickle; workers<=1 must stay in-process.
+        assert sweep(lambda n: n, {"n": [5]}, workers=1) == {(5,): 5}
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(_product, self.PARAMS, workers=2, chunk_size=0)
+
+
+class TestErrorHandling:
+    PARAMS = {"a": [1, 2, 3], "b": [10, 20]}
+
+    def test_serial_raise_propagates(self):
+        with pytest.raises(ValueError):
+            sweep(_fragile, self.PARAMS)
+
+    def test_parallel_raise_names_the_combination(self):
+        with pytest.raises(SweepCombinationError) as exc_info:
+            sweep(_fragile, self.PARAMS, workers=2)
+        assert exc_info.value.params == {"a": 2, "b": 10}
+        assert "ValueError" in exc_info.value.error
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_capture_isolates_the_failing_combo(self, workers):
+        results = sweep(_fragile, self.PARAMS, workers=workers, on_error="capture")
+        failure = results[(2, 10)]
+        assert isinstance(failure, SweepFailure)
+        assert failure.params == {"a": 2, "b": 10}
+        assert "bad cell" in failure.traceback
+        assert not failure  # falsy, so `if result:` filters failures
+        good = {k: v for k, v in results.items() if k != (2, 10)}
+        assert good == {k: v for k, v in sweep(_product, self.PARAMS).items()
+                        if k != (2, 10)}
