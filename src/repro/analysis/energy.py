@@ -14,9 +14,10 @@ reconfiguration round costs a control-plane transient.
 accounting — every router traversal costs switching energy (≈12 pJ/bit),
 and each end host NIC costs serdes energy (≈5 pJ/bit per side).
 
-Both models price a *schedule*, reusing the substrates' own executors and
-routing, so the energy numbers are consistent with the timing numbers by
-construction.
+Both models price a *schedule* through the substrates' own backend
+``lower()`` stage (:mod:`repro.backend`), so the energy numbers come from
+the very same lowered plans — routes, RWA rounds, fluid flows — that the
+timing numbers do, and the two can never disagree.
 """
 
 from __future__ import annotations
@@ -25,8 +26,7 @@ from dataclasses import dataclass
 
 from repro.collectives.base import Schedule
 from repro.electrical.config import ElectricalSystemConfig
-from repro.electrical.fattree import FatTree
-from repro.electrical.routing import route
+from repro.electrical.network import ElectricalNetwork
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.network import OpticalRingNetwork
 from repro.util.validation import check_positive
@@ -112,17 +112,16 @@ def optical_allreduce_energy(
     """
     model = model or OpticalEnergyModel()
     net = OpticalRingNetwork(config, validate=False)
+    plan = net.lower(schedule, bytes_per_elem)
     active_seconds = 0.0  # Σ over circuits of their duration
     rounds = 0
     payload_bytes = 0.0
-    for step, count in schedule.timing_profile:
-        circuit_rounds = net.plan_step_rounds(step, bytes_per_elem)
-        rounds += len(circuit_rounds) * count
-        for circuits in circuit_rounds:
-            round_max = max(c.duration for c in circuits)
+    for entry in plan.entries:
+        rounds += len(entry.payload) * entry.count
+        for rnd in entry.payload:
             # Circuits stay configured for the whole round.
-            active_seconds += round_max * len(circuits) * count
-            payload_bytes += sum(c.payload_bytes for c in circuits) * count
+            active_seconds += rnd.max_payload_s * rnd.n_circuits * entry.count
+            payload_bytes += rnd.payload_bytes * entry.count
     bits = payload_bytes * 8
     components = {
         "laser": active_seconds * model.laser_wall_power_w,
@@ -141,18 +140,18 @@ def electrical_allreduce_energy(
 ) -> EnergyBreakdown:
     """Energy to run ``schedule`` on the electrical fat-tree."""
     model = model or ElectricalEnergyModel()
-    tree = FatTree(config)
+    net = ElectricalNetwork(config)
+    plan = net.lower(schedule, bytes_per_elem)
     switch_bits = 0.0
     nic_bits = 0.0
     payload_bits = 0.0
-    for step, count in schedule.timing_profile:
-        for t in step.transfers:
-            bits = t.n_elems * bytes_per_elem * 8 * count
+    for entry in plan.entries:
+        for n_routers, size in entry.payload.flows:
+            bits = size * 8 * entry.count
             if bits == 0:
                 continue
             payload_bits += bits
-            path = route(tree, t.src, t.dst, ecmp=config.ecmp)
-            switch_bits += bits * path.n_routers
+            switch_bits += bits * n_routers
             nic_bits += bits * 2  # sending and receiving host
     components = {
         "switching": switch_bits * model.switch_energy_per_bit,

@@ -1,0 +1,72 @@
+"""Unified backend layer: one schedule-lowering pipeline for every executor.
+
+``repro.backend`` defines the two-stage contract every schedule-pricing
+path implements — ``lower(schedule) -> LoweredPlan`` then
+``execute(plan) -> ExecutionResult`` (see :mod:`repro.backend.base`) — the
+shared cross-run :mod:`~repro.backend.plancache`, and the typed
+:mod:`~repro.backend.errors`. The three built-in backends (optical ring,
+electrical fat-tree, analytic closed forms) live in sibling modules and
+register themselves in :mod:`repro.backend.registry`.
+
+The concrete backend classes and the registry are imported lazily (PEP 562)
+so that the substrate packages, which import this package's leaf modules,
+never form a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import (
+    Backend,
+    ExecutionResult,
+    LoweredPlan,
+    LoweredStep,
+    StepRecord,
+    StepTimeline,
+)
+from repro.backend.errors import BackendConfigError, BackendError, BackendExecutionError
+from repro.backend.plancache import (
+    CachedRound,
+    PlanCache,
+    PlanCacheCounters,
+    default_plan_cache,
+)
+
+__all__ = [
+    "AnalyticBackend",
+    "Backend",
+    "BackendConfigError",
+    "BackendError",
+    "BackendExecutionError",
+    "CachedRound",
+    "ElectricalBackend",
+    "ExecutionResult",
+    "LoweredPlan",
+    "LoweredStep",
+    "OpticalBackend",
+    "PlanCache",
+    "PlanCacheCounters",
+    "StepRecord",
+    "StepTimeline",
+    "default_plan_cache",
+    "registry",
+]
+
+_LAZY = {
+    "AnalyticBackend": ("repro.backend.analytic", "AnalyticBackend"),
+    "ElectricalBackend": ("repro.backend.electrical", "ElectricalBackend"),
+    "OpticalBackend": ("repro.backend.optical", "OpticalBackend"),
+    "registry": ("repro.backend.registry", None),
+}
+
+
+def __getattr__(name: str):
+    """Resolve the lazily-imported backend classes and the registry."""
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    value = module if target[1] is None else getattr(module, target[1])
+    globals()[name] = value
+    return value

@@ -1,0 +1,161 @@
+"""The analytic backend: closed-form cost models behind ``Backend``.
+
+Prices a schedule with the paper's closed forms
+(:func:`repro.core.timing.algorithm_time`, Eq 6 and per-baseline
+equivalents) instead of simulating it. The closed form stays authoritative
+for ``total_time`` — the reported numbers are bit-identical to calling
+``algorithm_time`` directly — while the per-step timeline comes from the
+matching :func:`repro.core.timing.analytic_profile` decomposition (the
+timeline's own sum agrees with the total to float precision, not bit
+exactly, because the closed forms factor the overhead term differently).
+
+Algorithm knobs are recovered from the schedule itself: WRHT's group size
+from ``meta["plan"].m``, H-Ring's from ``meta["m"]``; the wavelength budget
+``w`` is backend configuration. Lowered summaries go through the shared
+cross-run :mod:`~repro.backend.plancache`, keyed by the cost model and
+every knob, so the hit/miss/eviction counters and the no-stale-reuse
+guarantee behave exactly as on the simulating backends.
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import Backend, ExecutionResult, LoweredPlan, LoweredStep, StepRecord
+from repro.backend.errors import BackendConfigError
+from repro.backend.plancache import PlanCache, PlanCacheCounters, default_plan_cache
+from repro.collectives.base import Schedule
+from repro.collectives.registry import DISPLAY_NAMES
+from repro.core.timing import CostModel, algorithm_time, analytic_profile
+
+_DEFAULT_HRING_M = 5
+
+
+class AnalyticBackend(Backend):
+    """Prices schedules with the closed-form models of ``repro.core.timing``."""
+
+    name = "analytic"
+
+    def __init__(
+        self,
+        model: CostModel,
+        *,
+        w: int = 64,
+        plan_cache: PlanCache | None = None,
+    ) -> None:
+        """Args:
+        model: Cost parameters (line rate, step overhead, O/E/O).
+        w: Wavelengths available to wavelength-aware closed forms.
+        plan_cache: Cross-run cache (default: the process-wide one).
+        """
+        self.model = model
+        self.w = w
+        self.plan_cache = default_plan_cache() if plan_cache is None else plan_cache
+        self._plan_key_base = (model, w, "analytic")
+
+    def lower(self, schedule: Schedule, *, bytes_per_elem: float = 4.0) -> LoweredPlan:
+        """Evaluate the schedule's closed form (cross-run cached).
+
+        Raises:
+            BackendConfigError: For a non-positive element width or an
+                algorithm without a registered closed form (e.g. DBTree).
+        """
+        if bytes_per_elem <= 0:
+            raise BackendConfigError(
+                f"bytes_per_elem must be positive, got {bytes_per_elem!r}",
+                backend=self.name,
+            )
+        counters = PlanCacheCounters()
+        if schedule.n_nodes == 1:
+            return LoweredPlan(
+                backend=self.name,
+                algorithm=schedule.algorithm,
+                n_nodes=1,
+                n_steps=0,
+                bytes_per_elem=bytes_per_elem,
+                entries=(),
+                cache=counters,
+                meta={"total_time": 0.0},
+            )
+        display = DISPLAY_NAMES.get(schedule.algorithm)
+        wrht_m = None
+        hring_m = _DEFAULT_HRING_M
+        if schedule.algorithm == "wrht":
+            plan = schedule.meta.get("plan")
+            wrht_m = plan.m if plan is not None else None
+        elif schedule.algorithm == "hring":
+            hring_m = schedule.meta.get("m", _DEFAULT_HRING_M)
+        if display is None or display not in ("Ring", "H-Ring", "BT", "RD", "WRHT"):
+            raise BackendConfigError(
+                f"no closed-form model for algorithm {schedule.algorithm!r}",
+                backend=self.name,
+            )
+        d_bytes = schedule.total_elems * bytes_per_elem
+        use_cache = self.plan_cache.enabled
+        priced = None
+        if use_cache:
+            key = (
+                (display, schedule.n_nodes, schedule.total_elems, wrht_m, hring_m),
+                self._plan_key_base,
+                bytes_per_elem,
+            )
+            priced = self.plan_cache.get(key)
+            if priced is not None:
+                counters.hits += 1
+            else:
+                counters.misses += 1
+        if priced is None:
+            total = algorithm_time(
+                display, schedule.n_nodes, d_bytes, self.model,
+                wrht_m=wrht_m, hring_m=hring_m, w=self.w,
+            )
+            classes = analytic_profile(
+                display, schedule.n_nodes, d_bytes,
+                wrht_m=wrht_m, hring_m=hring_m, w=self.w,
+            )
+            priced = (
+                total,
+                tuple((c, self.model.step_time(c.payload_bytes)) for c in classes),
+            )
+            if use_cache:
+                counters.evictions += self.plan_cache.put(key, priced)
+        total, priced_classes = priced
+        entries = tuple(
+            LoweredStep(
+                stage=cls.stage,
+                count=cls.count,
+                n_transfers=0,
+                payload=(cls.payload_bytes, duration),
+            )
+            for cls, duration in priced_classes
+        )
+        return LoweredPlan(
+            backend=self.name,
+            algorithm=schedule.algorithm,
+            n_nodes=schedule.n_nodes,
+            n_steps=sum(e.count for e in entries),
+            bytes_per_elem=bytes_per_elem,
+            entries=entries,
+            cache=counters,
+            meta={"total_time": total, "wrht_m": wrht_m, "hring_m": hring_m, "w": self.w},
+        )
+
+    def execute(self, plan: LoweredPlan) -> ExecutionResult:
+        """Report the closed-form total with its per-class timeline."""
+        timeline = tuple(
+            StepRecord(
+                stage=e.stage,
+                count=e.count,
+                duration=e.payload[1],
+                bytes_per_step=e.payload[0],
+            )
+            for e in plan.entries
+        )
+        return ExecutionResult(
+            backend=self.name,
+            algorithm=plan.algorithm,
+            n_steps=plan.n_steps,
+            total_time=plan.meta["total_time"],
+            total_bytes=sum(r.bytes_per_step * r.count for r in timeline),
+            timeline=timeline,
+            cache=PlanCacheCounters(**plan.cache.as_dict()),
+            meta=dict(plan.meta),
+        )

@@ -1,0 +1,78 @@
+"""The electrical fat-tree backend behind the ``Backend`` contract.
+
+Wraps :class:`~repro.electrical.network.ElectricalNetwork` (ECMP routing
+and max-min fluid flow timing) and adapts its run result to the uniform
+:class:`~repro.backend.base.ExecutionResult`.
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import Backend, ExecutionResult, LoweredPlan, StepRecord
+from repro.backend.plancache import PlanCache
+from repro.electrical.config import ElectricalSystemConfig
+from repro.electrical.network import ElectricalNetwork
+from repro.sim.trace import Tracer
+
+
+class ElectricalBackend(Backend):
+    """Prices schedules on the packet-switched electrical fat-tree."""
+
+    name = "electrical"
+
+    def __init__(
+        self,
+        config: ElectricalSystemConfig,
+        *,
+        plan_cache: PlanCache | None = None,
+        collect_events: bool = False,
+    ) -> None:
+        """Args mirror :class:`~repro.electrical.network.ElectricalNetwork`;
+        ``collect_events`` harvests the executor's trace into
+        ``ExecutionResult.events``."""
+        self.config = config
+        self.collect_events = collect_events
+        self._tracer = Tracer(enabled=True) if collect_events else None
+        self._net = ElectricalNetwork(
+            config, tracer=self._tracer, plan_cache=plan_cache
+        )
+
+    @property
+    def network(self) -> ElectricalNetwork:
+        """The underlying substrate executor (for advanced use)."""
+        return self._net
+
+    def lower(self, schedule, *, bytes_per_elem: float = 4.0) -> LoweredPlan:
+        """Route and fluid-price each distinct pattern (cross-run cached)."""
+        return self._net.lower(schedule, bytes_per_elem)
+
+    def execute(self, plan: LoweredPlan) -> ExecutionResult:
+        """Fold the lowered plan into the uniform execution result."""
+        if self._tracer is not None:
+            self._tracer.clear()
+        run = self._net.execute_plan(plan)
+        events: tuple = ()
+        if self._tracer is not None:
+            events = tuple(
+                (r.time, r.category, dict(r.payload)) for r in self._tracer
+            )
+        return ExecutionResult(
+            backend=self.name,
+            algorithm=run.algorithm,
+            n_steps=run.n_steps,
+            total_time=run.total_time,
+            total_bytes=run.total_bytes,
+            timeline=tuple(
+                StepRecord(
+                    stage=t.stage,
+                    count=t.count,
+                    duration=t.duration,
+                    bytes_per_step=t.bytes_per_step,
+                    n_transfers=t.n_flows,
+                    max_link_share=t.max_link_share,
+                )
+                for t in run.step_timings
+            ),
+            events=events,
+            cache=run.cache,
+            meta={"interpretation": self.config.interpretation},
+        )

@@ -1,0 +1,73 @@
+"""Typed errors raised by schedule-lowering backends.
+
+Executor entry points used to raise bare ``ValueError``/``RuntimeError``;
+callers (the sweep engine, the CLI, notebook users) could not tell a bad
+argument from a mid-execution failure, nor which backend or step produced
+it. Every backend now raises :class:`BackendError` subclasses that carry
+the backend name and, where meaningful, the failing step index.
+
+:class:`BackendConfigError` additionally subclasses ``ValueError`` so that
+pre-existing ``except ValueError`` call sites (and tests) keep working.
+All error types round-trip through ``pickle`` with their attributes intact
+— they may cross process boundaries inside sweep workers.
+"""
+
+from __future__ import annotations
+
+
+class BackendError(RuntimeError):
+    """Base error for schedule lowering/execution failures.
+
+    Attributes:
+        backend: Name of the backend that raised (``"optical"``, ...), or
+            ``None`` when raised outside any backend context.
+        step_index: Index of the failing profile entry within the schedule
+            being lowered/executed, or ``None`` when not step-specific.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        backend: str | None = None,
+        step_index: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.step_index = step_index
+
+    def __str__(self) -> str:
+        parts = []
+        if self.backend is not None:
+            parts.append(f"backend={self.backend}")
+        if self.step_index is not None:
+            parts.append(f"step={self.step_index}")
+        prefix = f"[{', '.join(parts)}] " if parts else ""
+        return prefix + super().__str__()
+
+    def __reduce__(self):
+        """Pickle with keyword attributes preserved (sweep workers)."""
+        return (
+            self.__class__,
+            tuple(self.args),
+            {"backend": self.backend, "step_index": self.step_index},
+        )
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+class BackendConfigError(BackendError, ValueError):
+    """Invalid input at a backend/executor entry point.
+
+    Subclasses ``ValueError`` so callers that guarded entry points with
+    ``except ValueError`` (the pre-backend convention) continue to work.
+    """
+
+
+class BackendExecutionError(BackendError):
+    """A step failed while being lowered or executed.
+
+    Wraps the underlying cause (kept as ``__cause__`` via ``raise ... from``)
+    with the backend name and the index of the offending profile entry.
+    """

@@ -142,6 +142,16 @@ class Schedule:
         """Total communication steps."""
         return sum(count for _, count in self.timing_profile)
 
+    def lowering_profile(self) -> Iterator[tuple[CommStep, int, tuple]]:
+        """The stable lowering entry point backends consume.
+
+        Yields ``(representative_step, count, pattern_key)`` triples in
+        schedule order — the timing profile with each entry's pattern key
+        precomputed, so every backend deduplicates identically.
+        """
+        for step, count in self.timing_profile:
+            yield step, count, step.pattern_key()
+
     def iter_steps(self) -> Iterator[CommStep]:
         """Iterate materialized steps (requires ``steps`` to be present)."""
         if self.steps is None:

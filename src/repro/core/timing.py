@@ -134,6 +134,86 @@ def hring_time(n_nodes: int, d_bytes: float, model: CostModel, m: int, w: int) -
     return payload_time + total_steps * model.step_overhead
 
 
+@dataclass(frozen=True)
+class AnalyticStepClass:
+    """One homogeneous class of steps in an algorithm's closed form.
+
+    The analytic decomposition of ``algorithm_time``: each class is
+    ``count`` steps each moving ``payload_bytes`` per wavelength, so the
+    algorithm's total is ``Σ count · step_time(payload_bytes)``. Used by
+    the analytic backend to report a per-step timeline while the closed
+    form stays authoritative for the total.
+
+    Attributes:
+        stage: Human-readable stage label (``"reduce"``, ``"exchange"``,
+            ``"intra"``, ``"inter"``, ``"broadcast"``).
+        count: Steps in the class.
+        payload_bytes: Per-step payload on the critical path (bytes).
+    """
+
+    stage: str
+    count: int
+    payload_bytes: float
+
+
+def analytic_profile(
+    name: str,
+    n_nodes: int,
+    d_bytes: float,
+    *,
+    wrht_m: int | None = None,
+    hring_m: int = 5,
+    w: int = 64,
+) -> tuple[AnalyticStepClass, ...]:
+    """Step-class decomposition matching :func:`algorithm_time`.
+
+    Returns the homogeneous step classes whose
+    ``Σ count · step_time(payload)`` equals the corresponding closed form
+    (same defaulting rules for ``wrht_m``). Empty for ``n_nodes == 1``.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    if n_nodes == 1:
+        return ()
+    if name == "Ring":
+        return (
+            AnalyticStepClass("reduce", ring_steps(n_nodes), d_bytes / n_nodes),
+        )
+    if name == "BT":
+        return (AnalyticStepClass("reduce", bt_steps(n_nodes), d_bytes),)
+    if name == "RD":
+        return (AnalyticStepClass("exchange", rd_steps(n_nodes), d_bytes),)
+    if name == "WRHT":
+        from repro.core.wavelengths import optimal_group_size
+
+        m = wrht_m if wrht_m is not None else min(optimal_group_size(w), n_nodes)
+        return (AnalyticStepClass("reduce", wrht_steps(n_nodes, m, w), d_bytes),)
+    if name == "H-Ring":
+        m = hring_m
+        check_positive_int("m", m)
+        check_positive_int("w", w)
+        if m > n_nodes:
+            raise ValueError(f"group size m={m} exceeds n_nodes={n_nodes}")
+        total_steps = hring_steps(n_nodes, m, w)
+        n_groups = math.ceil(n_nodes / m)
+        serialization = math.ceil(m / w)
+        intra_steps_per_phase = (m - 1) * (1 if serialization == 1 else 2)
+        inter_steps = max(0, 2 * (n_groups - 1))
+        bcast_steps = max(0, total_steps - 2 * intra_steps_per_phase - inter_steps)
+        classes = []
+        if intra_steps_per_phase:
+            classes.append(
+                AnalyticStepClass("intra", 2 * intra_steps_per_phase, d_bytes / m)
+            )
+        if inter_steps:
+            classes.append(
+                AnalyticStepClass("inter", inter_steps, d_bytes * m / n_nodes)
+            )
+        if bcast_steps:
+            classes.append(AnalyticStepClass("broadcast", bcast_steps, d_bytes))
+        return tuple(classes)
+    raise ValueError(f"unknown algorithm {name!r}")
+
+
 def algorithm_time(
     name: str,
     n_nodes: int,

@@ -5,18 +5,31 @@ substrates are compared like-for-like in Fig 7: a step's transfers become
 concurrent fluid flows; the step lasts until the slowest flow finishes
 (fluid time under max-min sharing, plus 25 µs per traversed router). Step
 patterns are priced once and multiplied, exactly as on the optical side.
+
+The executor follows the backend lowering contract
+(:mod:`repro.backend.base`): :meth:`ElectricalNetwork.lower` routes each
+distinct step pattern and prices its fluid timing (through the shared
+cross-run :mod:`repro.backend.plancache`, keyed by the frozen config so a
+changed radix/rate/ECMP mode can never reuse a stale plan);
+:meth:`ElectricalNetwork.execute_plan` folds the priced entries into the
+run timeline. ``execute()`` composes the two.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backend.base import LoweredPlan, LoweredStep
+from repro.backend.errors import BackendConfigError
+from repro.backend.plancache import PlanCache, PlanCacheCounters, default_plan_cache
 from repro.collectives.base import CommStep, Schedule
 from repro.electrical.config import ElectricalSystemConfig
 from repro.electrical.fattree import FatTree
 from repro.electrical.flows import Flow, FluidSimulation
 from repro.electrical.routing import route
 from repro.sim.trace import NULL_TRACER, Tracer
+
+BACKEND_NAME = "electrical"
 
 
 @dataclass(frozen=True)
@@ -41,15 +54,46 @@ class ElectricalStepTiming:
     bytes_per_step: float
 
 
+@dataclass(frozen=True)
+class ElectricalStepPlan:
+    """Priced summary of one step pattern (the lowered payload).
+
+    Attributes:
+        duration: Seconds per step (fluid time + router latency).
+        n_flows: Concurrent flows per step.
+        max_link_share: Largest number of flows sharing one link.
+        bytes_per_step: Payload bytes one step moves.
+        flows: Per-flow ``(n_routers, payload_bytes)`` in transfer order —
+            enough for :mod:`repro.analysis.energy` to price switching
+            energy off the same lowering the timing used.
+    """
+
+    duration: float
+    n_flows: int
+    max_link_share: int
+    bytes_per_step: float
+    flows: tuple[tuple[int, float], ...]
+
+
 @dataclass
 class ElectricalRunResult:
-    """Result of pricing a schedule on the electrical substrate."""
+    """Result of pricing a schedule on the electrical substrate.
+
+    Attributes:
+        algorithm: Schedule name.
+        n_steps: Total communication steps.
+        total_time: End-to-end communication seconds.
+        total_bytes: Payload bytes moved across all steps.
+        step_timings: One entry per profile run.
+        cache: Plan-cache hit/miss/eviction tallies for this run.
+    """
 
     algorithm: str
     n_steps: int
     total_time: float
     total_bytes: float
     step_timings: list[ElectricalStepTiming] = field(default_factory=list)
+    cache: PlanCacheCounters = field(default_factory=PlanCacheCounters)
 
     @property
     def max_link_share(self) -> int:
@@ -64,56 +108,121 @@ class ElectricalNetwork:
         self,
         config: ElectricalSystemConfig,
         tracer: Tracer | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.config = config
         self.tree = FatTree(config)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.plan_cache = default_plan_cache() if plan_cache is None else plan_cache
+        # "electrical" disambiguates from optical entries in the shared cache.
+        self._plan_key_base = (config, "electrical")
         self._fluid = FluidSimulation(self.tree.capacities())
 
+    def lower(self, schedule: Schedule, bytes_per_elem: float = 4.0) -> LoweredPlan:
+        """Route and fluid-price every distinct step pattern.
+
+        Raises:
+            BackendConfigError: On a schedule/host-count mismatch or
+                non-positive element width.
+        """
+        if schedule.n_nodes > self.config.n_nodes:
+            raise BackendConfigError(
+                f"schedule spans {schedule.n_nodes} nodes but the fat-tree "
+                f"has {self.config.n_nodes} hosts",
+                backend=BACKEND_NAME,
+            )
+        if bytes_per_elem <= 0:
+            raise BackendConfigError(
+                f"bytes_per_elem must be positive, got {bytes_per_elem!r}",
+                backend=BACKEND_NAME,
+            )
+        counters = PlanCacheCounters()
+        use_cache = self.plan_cache.enabled
+        priced: dict[tuple, ElectricalStepPlan] = {}
+        entries: list[LoweredStep] = []
+        for step, count, key in schedule.lowering_profile():
+            plan = priced.get(key)
+            replay = plan is not None
+            if plan is None:
+                plan = self._price_pattern(step, key, bytes_per_elem, use_cache, counters)
+                priced[key] = plan
+            entries.append(
+                LoweredStep(
+                    stage=step.stage,
+                    count=count,
+                    n_transfers=step.n_transfers,
+                    payload=plan,
+                    replay=replay,
+                )
+            )
+        return LoweredPlan(
+            backend=BACKEND_NAME,
+            algorithm=schedule.algorithm,
+            n_nodes=schedule.n_nodes,
+            n_steps=schedule.n_steps,
+            bytes_per_elem=bytes_per_elem,
+            entries=tuple(entries),
+            cache=counters,
+        )
+
+    def execute_plan(self, plan: LoweredPlan) -> ElectricalRunResult:
+        """Fold a lowered plan into the run timeline (no routing)."""
+        result = ElectricalRunResult(
+            algorithm=plan.algorithm,
+            n_steps=plan.n_steps,
+            total_time=0.0,
+            total_bytes=0.0,
+            cache=PlanCacheCounters(**plan.cache.as_dict()),
+        )
+        for entry in plan.entries:
+            priced: ElectricalStepPlan = entry.payload
+            if not entry.replay:
+                self.tracer.emit(
+                    priced.duration, "electrical.step",
+                    stage=entry.stage, n_flows=priced.n_flows,
+                    max_link_share=priced.max_link_share,
+                    duration=priced.duration,
+                )
+            result.step_timings.append(
+                ElectricalStepTiming(
+                    stage=entry.stage, count=entry.count,
+                    n_flows=priced.n_flows, duration=priced.duration,
+                    max_link_share=priced.max_link_share,
+                    bytes_per_step=priced.bytes_per_step,
+                )
+            )
+            result.total_time += priced.duration * entry.count
+            result.total_bytes += priced.bytes_per_step * entry.count
+        return result
+
     def execute(self, schedule: Schedule, bytes_per_elem: float = 4.0) -> ElectricalRunResult:
-        """Price ``schedule`` end to end on the fat-tree.
+        """Price ``schedule`` end to end (``lower`` + ``execute_plan``).
 
         Args:
             schedule: Any schedule whose node ids fit the host count.
             bytes_per_elem: Gradient element width (float32 → 4).
         """
-        if schedule.n_nodes > self.config.n_nodes:
-            raise ValueError(
-                f"schedule spans {schedule.n_nodes} nodes but the fat-tree "
-                f"has {self.config.n_nodes} hosts"
-            )
-        if bytes_per_elem <= 0:
-            raise ValueError(f"bytes_per_elem must be positive, got {bytes_per_elem!r}")
-        result = ElectricalRunResult(
-            algorithm=schedule.algorithm,
-            n_steps=schedule.n_steps,
-            total_time=0.0,
-            total_bytes=0.0,
-        )
-        cache: dict[tuple, ElectricalStepTiming] = {}
-        for step, count in schedule.timing_profile:
-            key = step.pattern_key()
-            timing = cache.get(key)
-            if timing is None:
-                timing = self._time_step(step, count, bytes_per_elem)
-                cache[key] = timing
-            elif timing.count != count:
-                timing = ElectricalStepTiming(
-                    stage=step.stage, count=count, n_flows=timing.n_flows,
-                    duration=timing.duration,
-                    max_link_share=timing.max_link_share,
-                    bytes_per_step=timing.bytes_per_step,
-                )
-            result.step_timings.append(timing)
-            result.total_time += timing.duration * count
-            result.total_bytes += timing.bytes_per_step * count
-        return result
+        return self.execute_plan(self.lower(schedule, bytes_per_elem))
 
     # -- internals ------------------------------------------------------
-    def _time_step(
-        self, step: CommStep, count: int, bytes_per_elem: float
-    ) -> ElectricalStepTiming:
+    def _price_pattern(
+        self,
+        step: CommStep,
+        pattern_key: tuple,
+        bytes_per_elem: float,
+        use_cache: bool,
+        counters: PlanCacheCounters,
+    ) -> ElectricalStepPlan:
+        """Fluid-priced summary for one pattern, via the cross-run cache."""
+        if use_cache:
+            key = (pattern_key, self._plan_key_base, bytes_per_elem)
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                counters.hits += 1
+                return cached
+            counters.misses += 1
         flows: list[Flow] = []
+        flow_meta: list[tuple[int, float]] = []
         link_load: dict[int, int] = {}
         step_bytes = 0.0
         for i, t in enumerate(step.transfers):
@@ -128,17 +237,17 @@ class ElectricalNetwork:
                     latency=path.n_routers * self.config.router_delay,
                 )
             )
+            flow_meta.append((path.n_routers, size))
             for link in path.links:
                 link_load[link] = link_load.get(link, 0) + 1
         duration = self._fluid.run(flows)
-        max_share = max(link_load.values(), default=0)
-        self.tracer.emit(
-            duration, "electrical.step",
-            stage=step.stage, n_flows=len(flows),
-            max_link_share=max_share, duration=duration,
-        )
-        return ElectricalStepTiming(
-            stage=step.stage, count=count, n_flows=len(flows),
-            duration=duration, max_link_share=max_share,
+        summary = ElectricalStepPlan(
+            duration=duration,
+            n_flows=len(flows),
+            max_link_share=max(link_load.values(), default=0),
             bytes_per_step=step_bytes,
+            flows=tuple(flow_meta),
         )
+        if use_cache:
+            counters.evictions += self.plan_cache.put(key, summary)
+        return summary

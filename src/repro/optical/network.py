@@ -9,33 +9,45 @@ scarcity spills the unplaced transfers into follow-up rounds — this is how
 e.g. H-Ring's ``⌈m/w⌉ > 1`` regime or WRHT under tiny ``w`` cost extra time
 without any special-casing.
 
+Since the unified backend refactor the executor follows the two-stage
+lowering contract (:mod:`repro.backend.base`): :meth:`OpticalRingNetwork.lower`
+routes, wavelength-assigns and prices each distinct step pattern (through
+the cross-run :mod:`repro.backend.plancache`), and
+:meth:`OpticalRingNetwork.execute_plan` folds the lowered plan into a
+timeline. ``execute()`` composes the two and is bit-identical to the
+pre-refactor single-pass executor (asserted by regression tests).
+
 Steps with identical communication patterns take identical time, so the
-executor prices each distinct pattern once and multiplies — Ring All-reduce
-at N=4096 (8190 steps) costs two RWA computations, not 33 million transfer
-events. The correctness of that compression is property-tested against
-uncompressed execution.
+lowering prices each distinct pattern once and the fold multiplies — Ring
+All-reduce at N=4096 (8190 steps) costs two RWA computations, not 33 million
+transfer events. The correctness of that compression is property-tested
+against uncompressed execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backend.base import LoweredPlan, LoweredStep
+from repro.backend.errors import BackendConfigError, BackendError
+from repro.backend.plancache import (
+    CachedRound,
+    PlanCache,
+    PlanCacheCounters,
+    default_plan_cache,
+)
 from repro.collectives.base import CommStep, Schedule
 from repro.core.timing import CostModel
 from repro.optical.circuit import Circuit, validate_no_conflicts
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.node import validate_node_constraints
 from repro.optical.phy import validate_route_phy
-from repro.optical.plancache import (
-    CachedRound,
-    PlanCache,
-    PlanCacheCounters,
-    default_plan_cache,
-)
 from repro.optical.rwa import plan_rounds
 from repro.optical.topology import RingTopology
 from repro.sim.rng import SeededRng
 from repro.sim.trace import NULL_TRACER, Tracer
+
+BACKEND_NAME = "optical"
 
 
 @dataclass(frozen=True)
@@ -125,8 +137,104 @@ class OpticalRingNetwork:
         """The analytical cost model this substrate is consistent with."""
         return self._cost
 
+    def lower(self, schedule: Schedule, bytes_per_elem: float = 4.0) -> LoweredPlan:
+        """Route, wavelength-assign and price every distinct step pattern.
+
+        Patterns are priced once per call (per-plan dedup) and memoized in
+        the cross-run plan cache for deterministic strategies; repeats are
+        marked ``replay`` so execution can trace them compactly.
+
+        Raises:
+            BackendConfigError: On a schedule/width mismatch at entry.
+            BackendError: From RWA infeasibility, annotated with the
+                backend name and failing profile-entry index.
+        """
+        if schedule.n_nodes > self.config.n_nodes:
+            raise BackendConfigError(
+                f"schedule spans {schedule.n_nodes} nodes but the ring has "
+                f"{self.config.n_nodes}",
+                backend=BACKEND_NAME,
+            )
+        if bytes_per_elem <= 0:
+            raise BackendConfigError(
+                f"bytes_per_elem must be positive, got {bytes_per_elem!r}",
+                backend=BACKEND_NAME,
+            )
+        counters = PlanCacheCounters()
+        # Deterministic strategies only (a random_fit hit would skip the
+        # RNG draws an uncached run performs, changing every later
+        # assignment in the stream).
+        use_cache = self.plan_cache.enabled and self.strategy != "random_fit"
+        priced: dict[tuple, tuple[CachedRound, ...]] = {}
+        entries: list[LoweredStep] = []
+        for index, (step, count, key) in enumerate(schedule.lowering_profile()):
+            rounds = priced.get(key)
+            replay = rounds is not None
+            if rounds is None:
+                try:
+                    rounds = self._price_pattern(
+                        step, key, bytes_per_elem, use_cache, counters
+                    )
+                except BackendError as exc:
+                    if exc.backend is None:
+                        exc.backend = BACKEND_NAME
+                    if exc.step_index is None:
+                        exc.step_index = index
+                    raise
+                priced[key] = rounds
+            entries.append(
+                LoweredStep(
+                    stage=step.stage,
+                    count=count,
+                    n_transfers=step.n_transfers,
+                    payload=rounds,
+                    replay=replay,
+                )
+            )
+        return LoweredPlan(
+            backend=BACKEND_NAME,
+            algorithm=schedule.algorithm,
+            n_nodes=schedule.n_nodes,
+            n_steps=schedule.n_steps,
+            bytes_per_elem=bytes_per_elem,
+            entries=tuple(entries),
+            cache=counters,
+        )
+
+    def execute_plan(self, plan: LoweredPlan) -> OpticalRunResult:
+        """Fold a lowered plan into the run timeline (no RWA, no cache).
+
+        Fresh entries replay their ``optical.round`` trace events; replay
+        entries emit one ``optical.step_cached`` summary event. The floats
+        and their accumulation order are identical to fresh pricing, so
+        executing the same plan twice is bit-exact.
+        """
+        result = OpticalRunResult(
+            algorithm=plan.algorithm, n_steps=plan.n_steps,
+            total_time=0.0, total_bytes=0.0,
+            cache=PlanCacheCounters(**plan.cache.as_dict()),
+        )
+        clock = 0.0
+        for entry in plan.entries:
+            timing = self._timing_from_rounds(
+                entry, entry.payload, clock, emit_rounds=not entry.replay
+            )
+            if entry.replay:
+                self.tracer.emit(
+                    clock, "optical.step_cached",
+                    stage=entry.stage, count=entry.count, rounds=timing.rounds,
+                    duration=timing.duration,
+                    peak_wavelength=timing.peak_wavelength,
+                )
+            result.step_timings.append(timing)
+            result.total_time += timing.duration * entry.count
+            result.total_bytes += timing.bytes_per_step * entry.count
+            result.peak_wavelength = max(result.peak_wavelength, timing.peak_wavelength)
+            clock = result.total_time
+        return result
+
     def execute(self, schedule: Schedule, bytes_per_elem: float = 4.0) -> OpticalRunResult:
-        """Price ``schedule`` end to end.
+        """Price ``schedule`` end to end (``lower`` + ``execute_plan``).
 
         Args:
             schedule: Any schedule whose node ids fit this ring.
@@ -135,51 +243,7 @@ class OpticalRingNetwork:
         Returns:
             An :class:`OpticalRunResult`; deterministic for ``first_fit``.
         """
-        if schedule.n_nodes > self.config.n_nodes:
-            raise ValueError(
-                f"schedule spans {schedule.n_nodes} nodes but the ring has "
-                f"{self.config.n_nodes}"
-            )
-        if bytes_per_elem <= 0:
-            raise ValueError(f"bytes_per_elem must be positive, got {bytes_per_elem!r}")
-        result = OpticalRunResult(
-            algorithm=schedule.algorithm, n_steps=schedule.n_steps,
-            total_time=0.0, total_bytes=0.0,
-        )
-        cache: dict[tuple, StepTiming] = {}
-        clock = 0.0
-        for step, count in schedule.timing_profile:
-            key = step.pattern_key()
-            timing = cache.get(key)
-            if timing is None:
-                timing = self._time_step(
-                    step, count, bytes_per_elem, clock, key, result.cache
-                )
-                cache[key] = timing
-            else:
-                # Same pattern appearing again (e.g. non-adjacent runs): keep
-                # the measured timing, adjust the run length. The rounds were
-                # traced when the pattern was first priced; emit a summary
-                # event so traces still cover every profile entry.
-                timing = StepTiming(
-                    stage=step.stage, count=count,
-                    n_transfers=timing.n_transfers, rounds=timing.rounds,
-                    duration=timing.duration,
-                    peak_wavelength=timing.peak_wavelength,
-                    bytes_per_step=timing.bytes_per_step,
-                )
-                self.tracer.emit(
-                    clock, "optical.step_cached",
-                    stage=step.stage, count=count, rounds=timing.rounds,
-                    duration=timing.duration,
-                    peak_wavelength=timing.peak_wavelength,
-                )
-            result.step_timings.append(timing)
-            result.total_time += timing.duration * count
-            result.total_bytes += timing.bytes_per_step * count
-            result.peak_wavelength = max(result.peak_wavelength, timing.peak_wavelength)
-            clock = result.total_time
-        return result
+        return self.execute_plan(self.lower(schedule, bytes_per_elem))
 
     # -- internals ------------------------------------------------------
     def _route_step(self, step: CommStep) -> list:
@@ -214,7 +278,7 @@ class OpticalRingNetwork:
     ) -> list[list[Circuit]]:
         """Route, wavelength-assign and circuit-ify one step's rounds.
 
-        Shared by the step-timing path below and the live event-driven
+        Shared by the lowering path below and the live event-driven
         simulation (:mod:`repro.optical.livesim`), so both views of a step
         have the identical round structure.
         """
@@ -254,25 +318,21 @@ class OpticalRingNetwork:
             circuit_rounds.append(circuits)
         return circuit_rounds
 
-    def _time_step(
+    def _price_pattern(
         self,
         step: CommStep,
-        count: int,
-        bytes_per_elem: float,
-        clock: float,
         pattern_key: tuple,
+        bytes_per_elem: float,
+        use_cache: bool,
         counters: PlanCacheCounters,
-    ) -> StepTiming:
-        # Cross-run plan cache: deterministic strategies only (a random_fit
-        # hit would skip the RNG draws an uncached run performs, changing
-        # every later assignment in the stream).
-        use_cache = self.plan_cache.enabled and self.strategy != "random_fit"
+    ) -> tuple[CachedRound, ...]:
+        """Priced round summary for one pattern, via the cross-run cache."""
         if use_cache:
             key = (pattern_key, self._plan_key_base, bytes_per_elem)
             cached = self.plan_cache.get(key)
             if cached is not None:
                 counters.hits += 1
-                return self._timing_from_rounds(step, count, cached, clock)
+                return cached
             counters.misses += 1
         circuit_rounds = self.plan_step_rounds(step, bytes_per_elem)
         summary = tuple(
@@ -286,19 +346,19 @@ class OpticalRingNetwork:
         )
         if use_cache:
             counters.evictions += self.plan_cache.put(key, summary)
-        return self._timing_from_rounds(step, count, summary, clock)
+        return summary
 
     def _timing_from_rounds(
         self,
-        step: CommStep,
-        count: int,
+        entry: LoweredStep,
         rounds: tuple[CachedRound, ...],
         clock: float,
+        emit_rounds: bool,
     ) -> StepTiming:
-        """Fold per-round summaries into a StepTiming, emitting the round
-        trace events. Shared by fresh pricing and cache replay so both
-        accumulate the identical floats in the identical order — cache hits
-        are bit-exact."""
+        """Fold per-round summaries into a StepTiming, optionally emitting
+        the round trace events. Shared by fresh pricing and cache replay so
+        both accumulate the identical floats in the identical order — cache
+        hits are bit-exact."""
         duration = 0.0
         peak = 0
         step_bytes = 0.0
@@ -306,14 +366,15 @@ class OpticalRingNetwork:
             peak = max(peak, rnd.peak_wavelength)
             step_bytes += rnd.payload_bytes
             duration += self.config.mrr_reconfig_delay + rnd.max_payload_s
-            self.tracer.emit(
-                clock + duration, "optical.round",
-                stage=step.stage, round=round_no,
-                n_circuits=rnd.n_circuits, max_payload_s=rnd.max_payload_s,
-                peak_wavelength=rnd.peak_wavelength,
-            )
+            if emit_rounds:
+                self.tracer.emit(
+                    clock + duration, "optical.round",
+                    stage=entry.stage, round=round_no,
+                    n_circuits=rnd.n_circuits, max_payload_s=rnd.max_payload_s,
+                    peak_wavelength=rnd.peak_wavelength,
+                )
         return StepTiming(
-            stage=step.stage, count=count, n_transfers=step.n_transfers,
+            stage=entry.stage, count=entry.count, n_transfers=entry.n_transfers,
             rounds=len(rounds), duration=duration,
             peak_wavelength=peak, bytes_per_step=step_bytes,
         )

@@ -1,143 +1,23 @@
-"""Cross-run step-plan cache for the optical executors.
+"""Compatibility alias for :mod:`repro.backend.plancache`.
 
-The step-timing executors already price each distinct step *pattern* once
-per ``execute()`` call. A paper-figure sweep, however, calls ``execute()``
-thousands of times across (N, w, d) combinations, and identical patterns
-under identical configurations re-price from scratch on every call. This
-module provides a bounded LRU cache shared across executor instances and
-``execute()`` calls: the key is
-
-``(pattern_key, config, strategy, validate, bytes_per_elem)``
-
-— the full set of inputs that determine a step's round structure — and the
-value is the priced round summary (:class:`CachedRound` per round), from
-which a :class:`~repro.optical.network.StepTiming` and its trace events are
-rebuilt bit-identically (same floats, same accumulation order).
-
-Correctness guards:
-
-- ``random_fit`` executors bypass the cache entirely (their RNG stream must
-  advance exactly as an uncached run would);
-- the frozen :class:`~repro.optical.config.OpticalSystemConfig` is part of
-  the key, so any change to ``failed_wavelengths``, the PHY parameters or
-  the rates is automatically a different entry — no manual invalidation
-  needed (an explicit :meth:`PlanCache.clear` exists for benchmarks);
-- per-``execute()`` hit/miss/eviction tallies are exposed on the run result
-  (``OpticalRunResult.cache``), lifetime tallies on :attr:`PlanCache.stats`.
-
-The cache is per-process state. Parallel sweep workers each warm their own
-copy (fork inherits the parent's warmed cache for free on Linux).
+The cross-run plan cache debuted here (PR 1) scoped to the optical
+executors; the unified backend layer moved it behind the shared ``lower()``
+seam so the electrical and analytic backends reuse it. This module
+re-exports the public names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Hashable
+from repro.backend.plancache import (
+    CachedRound,
+    PlanCache,
+    PlanCacheCounters,
+    default_plan_cache,
+)
 
-
-@dataclass
-class PlanCacheCounters:
-    """Hit/miss/eviction tallies (lifetime on a cache, per-run on results).
-
-    Attributes:
-        hits: Lookups served from the cache.
-        misses: Lookups that had to price the step from scratch.
-        evictions: Entries dropped to respect ``maxsize``.
-    """
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-
-@dataclass(frozen=True)
-class CachedRound:
-    """Priced summary of one RWA round of a step pattern.
-
-    Enough to rebuild the step's :class:`~repro.optical.network.StepTiming`
-    and replay its ``optical.round`` trace events without re-running RWA.
-
-    Attributes:
-        n_circuits: Circuits established in the round.
-        max_payload_s: The round's slowest payload serialization (seconds).
-        peak_wavelength: Highest wavelength index used in the round, plus 1.
-        payload_bytes: Total payload bytes the round moves.
-    """
-
-    n_circuits: int
-    max_payload_s: float
-    peak_wavelength: int
-    payload_bytes: float
-
-
-class PlanCache:
-    """A bounded LRU mapping plan keys to round summaries.
-
-    ``maxsize=0`` disables the cache (every lookup misses, nothing is
-    stored) — used by benchmarks to measure cold-path performance.
-    """
-
-    def __init__(self, maxsize: int = 4096) -> None:
-        if maxsize < 0:
-            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
-        self.maxsize = maxsize
-        self.stats = PlanCacheCounters()
-        self._entries: OrderedDict[Hashable, tuple[CachedRound, ...]] = OrderedDict()
-
-    @property
-    def enabled(self) -> bool:
-        """Whether lookups can ever hit (``maxsize > 0``)."""
-        return self.maxsize > 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def get(self, key: Hashable) -> tuple[CachedRound, ...] | None:
-        """The cached rounds for ``key`` (refreshing its LRU position)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
-
-    def put(self, key: Hashable, rounds: tuple[CachedRound, ...]) -> int:
-        """Store ``rounds`` under ``key``; returns how many entries were
-        evicted to make room (0 or 1, or nothing stored when disabled)."""
-        if not self.enabled:
-            return 0
-        self._entries[key] = rounds
-        self._entries.move_to_end(key)
-        evicted = 0
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            evicted += 1
-        self.stats.evictions += evicted
-        return evicted
-
-    def resize(self, maxsize: int) -> None:
-        """Change capacity; shrinking evicts oldest entries immediately.
-
-        ``resize(0)`` disables and empties the cache (benchmarks use this
-        to measure the cold path through unmodified executor code).
-        """
-        if maxsize < 0:
-            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
-        self.maxsize = maxsize
-        while len(self._entries) > maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-
-    def clear(self) -> None:
-        """Drop every entry (counters keep their lifetime values)."""
-        self._entries.clear()
-
-
-_DEFAULT_CACHE = PlanCache()
-
-
-def default_plan_cache() -> PlanCache:
-    """The process-wide cache executors share unless given their own."""
-    return _DEFAULT_CACHE
+__all__ = [
+    "CachedRound",
+    "PlanCache",
+    "PlanCacheCounters",
+    "default_plan_cache",
+]

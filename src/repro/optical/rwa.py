@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend.errors import BackendError
 from repro.optical.topology import Direction, Route
 from repro.sim.rng import SeededRng
 from repro.util.validation import check_positive_int
@@ -41,13 +42,15 @@ from repro.util.validation import check_positive_int
 STRATEGIES = ("first_fit", "random_fit")
 
 
-class RwaInfeasibleError(RuntimeError):
+class RwaInfeasibleError(BackendError):
     """No transfer of a round could be placed on an *empty* channel space.
 
     Raised by :func:`plan_rounds` when even a fresh round places nothing —
     which can only happen when the channel capacity is zero for some
     direction in use (e.g. every wavelength blocked). Carries the offending
-    context so sweeps can report the combination instead of crashing.
+    context so sweeps can report the combination instead of crashing. As a
+    :class:`~repro.backend.errors.BackendError` it also carries the backend
+    name and failing step index (filled in by the lowering loop).
 
     Attributes:
         routes: The routes that could not be placed.
@@ -73,6 +76,19 @@ class RwaInfeasibleError(RuntimeError):
             f"empty round: budget is {fibers_per_direction} fiber(s) x "
             f"{n_wavelengths} wavelength(s) with {len(self.blocked)} blocked "
             f"({usable} usable per fiber)"
+        )
+
+    def __reduce__(self):
+        """Pickle via the 4-argument constructor (sweep workers)."""
+        return (
+            self.__class__,
+            (
+                self.routes,
+                self.n_wavelengths,
+                self.fibers_per_direction,
+                self.blocked,
+            ),
+            {"backend": self.backend, "step_index": self.step_index},
         )
 
 

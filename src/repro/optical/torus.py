@@ -21,15 +21,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.collectives.base import CommStep, Schedule
-from repro.core.timing import CostModel
-from repro.optical.config import OpticalSystemConfig
-from repro.optical.plancache import (
+from repro.backend.errors import BackendConfigError
+from repro.backend.plancache import (
     CachedRound,
     PlanCache,
     PlanCacheCounters,
     default_plan_cache,
 )
+from repro.collectives.base import CommStep, Schedule
+from repro.core.timing import CostModel
+from repro.optical.config import OpticalSystemConfig
 from repro.optical.rwa import plan_rounds
 from repro.optical.topology import Direction, Route
 from repro.util.validation import check_positive_int
@@ -179,12 +180,16 @@ class TorusOpticalNetwork:
     def execute(self, schedule: Schedule, bytes_per_elem: float = 4.0) -> TorusRunResult:
         """Price ``schedule`` on the torus (bulk-synchronous steps)."""
         if schedule.n_nodes > self.config.n_nodes:
-            raise ValueError(
+            raise BackendConfigError(
                 f"schedule spans {schedule.n_nodes} nodes but the torus has "
-                f"{self.config.n_nodes}"
+                f"{self.config.n_nodes}",
+                backend="optical-torus",
             )
         if bytes_per_elem <= 0:
-            raise ValueError(f"bytes_per_elem must be positive, got {bytes_per_elem!r}")
+            raise BackendConfigError(
+                f"bytes_per_elem must be positive, got {bytes_per_elem!r}",
+                backend="optical-torus",
+            )
         result = TorusRunResult(
             algorithm=schedule.algorithm, n_steps=schedule.n_steps, total_time=0.0
         )

@@ -18,6 +18,8 @@ from repro.util.tables import AsciiTable
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
+    from repro.backend import registry
+
     p.add_argument(
         "--mode", choices=("analytical", "simulated"), default="analytical",
         help="closed-form models or full substrate simulation",
@@ -25,6 +27,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--interpretation", choices=("calibrated", "strict"), default="calibrated",
         help="line-rate units (see DESIGN.md §6)",
+    )
+    p.add_argument(
+        "--backend", choices=registry.available(), default=None,
+        help="force one pricing backend for every cell "
+        "(default: the mode's historical mapping)",
     )
 
 
@@ -40,7 +47,10 @@ def _cmd_table1(args) -> int:
 
 
 def _figure(runner, args, reductions: list[tuple[str, str]]) -> int:
-    result = runner(mode=args.mode, interpretation=args.interpretation)
+    result = runner(
+        mode=args.mode, interpretation=args.interpretation,
+        backend=getattr(args, "backend", None),
+    )
     print(result.render())
     summary = AsciiTable(["comparison", "avg reduction (%)"])
     for baseline, target in reductions:
@@ -53,7 +63,10 @@ def _figure(runner, args, reductions: list[tuple[str, str]]) -> int:
 def _cmd_fig4(args) -> int:
     from repro.runner.experiments import run_fig4
 
-    result = run_fig4(mode=args.mode, interpretation=args.interpretation)
+    result = run_fig4(
+        mode=args.mode, interpretation=args.interpretation,
+        backend=getattr(args, "backend", None),
+    )
     print(result.render())
     ref_algo, ref_m = result.meta["reference"]
     print(f"\nnormalized to {ref_algo}@m={ref_m} per workload:")
@@ -140,7 +153,8 @@ def _cmd_report(args) -> int:
     from repro.runner.results import write_report
 
     text = write_report(
-        args.output, mode=args.mode, interpretation=args.interpretation
+        args.output, mode=args.mode, interpretation=args.interpretation,
+        backend=getattr(args, "backend", None),
     )
     print(f"wrote {len(text.splitlines())} lines to {args.output}")
     return 0

@@ -19,14 +19,13 @@ from __future__ import annotations
 
 import functools
 
+from repro.backend import registry
+from repro.backend.base import Backend
 from repro.collectives.registry import build_schedule
-from repro.core.timing import algorithm_time
 from repro.core.wavelengths import optimal_group_size
 from repro.dnn.workload import PAPER_WORKLOADS, DnnWorkload
 from repro.electrical.config import ElectricalSystemConfig
-from repro.electrical.network import ElectricalNetwork
 from repro.optical.config import OpticalSystemConfig
-from repro.optical.network import OpticalRingNetwork
 from repro.runner.report import ExperimentResult
 from repro.runner.sweep import sweep
 
@@ -46,10 +45,73 @@ def _check_mode(mode: str) -> None:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
 
 
-# Substrate executors are cached per configuration so repeated experiment
+# Backend instances are cached per configuration so repeated experiment
 # calls (and their internal step-pattern caches) are reused across sweeps.
-_OPTICAL_NETS: dict[tuple, OpticalRingNetwork] = {}
-_ELECTRICAL_NETS: dict[tuple, ElectricalNetwork] = {}
+_BACKENDS: dict[tuple, Backend] = {}
+
+
+def _resolve_backend(mode: str, backend: str | None, simulated: str = "optical") -> str:
+    """The effective backend name for one experiment cell.
+
+    An explicit ``backend`` wins; otherwise ``mode`` keeps its historical
+    meaning — ``"analytical"`` prices with the closed forms, ``"simulated"``
+    with the substrate executor named by ``simulated``.
+    """
+    if backend is not None:
+        if backend not in registry.available():
+            raise ValueError(
+                f"unknown backend {backend!r}; available: {registry.available()}"
+            )
+        return backend
+    return "analytic" if mode == "analytical" else simulated
+
+
+def get_backend(name: str, n: int, w: int, interpretation: str) -> Backend:
+    """A cached backend instance for one ``(backend, N, w, interpretation)``.
+
+    Instances (and the process-wide plan cache behind their ``lower()``)
+    are reused across experiment calls; :func:`clear_network_caches` drops
+    them.
+    """
+    key = (name, n, w, interpretation)
+    be = _BACKENDS.get(key)
+    if be is not None:
+        return be
+    if name == "optical":
+        be = registry.create(
+            "optical",
+            config=OpticalSystemConfig(
+                n_nodes=n, n_wavelengths=w, interpretation=interpretation
+            ),
+        )
+    elif name == "electrical":
+        be = registry.create(
+            "electrical",
+            config=ElectricalSystemConfig(n_nodes=n, interpretation=interpretation),
+        )
+    elif name == "analytic":
+        cfg = OpticalSystemConfig(
+            n_nodes=n, n_wavelengths=w, interpretation=interpretation
+        )
+        be = registry.create("analytic", model=cfg.cost_model(), w=w)
+    else:
+        raise ValueError(
+            f"the experiment runner cannot construct backend {name!r}; "
+            "supported: optical, electrical, analytic"
+        )
+    _BACKENDS[key] = be
+    return be
+
+
+def _build_cell_schedule(algo: str, n: int, w: int, workload: DnnWorkload, *,
+                         wrht_m: int | None, hring_m: int):
+    """The schedule for one experiment cell (never materialized)."""
+    kwargs: dict = {"materialize": False}
+    if algo == "WRHT":
+        kwargs.update(n_wavelengths=w, m=wrht_m)
+    elif algo == "H-Ring":
+        kwargs.update(m=hring_m)
+    return build_schedule(algo, n, workload.n_params, **kwargs)
 
 
 def _optical_time(
@@ -61,30 +123,15 @@ def _optical_time(
     interpretation: str,
     wrht_m: int | None = None,
     hring_m: int = HRING_M,
+    backend: str | None = None,
 ) -> float:
-    """Seconds for one algorithm on the optical ring, either mode."""
-    if mode == "analytical":
-        cfg = OpticalSystemConfig(
-            n_nodes=n, n_wavelengths=w, interpretation=interpretation
-        )
-        return algorithm_time(
-            algo, n, float(workload.gradient_bytes), cfg.cost_model(),
-            wrht_m=wrht_m, hring_m=hring_m, w=w,
-        )
-    cfg_key = (n, w, interpretation)
-    net = _OPTICAL_NETS.get(cfg_key)
-    if net is None:
-        net = OpticalRingNetwork(
-            OpticalSystemConfig(n_nodes=n, n_wavelengths=w, interpretation=interpretation)
-        )
-        _OPTICAL_NETS[cfg_key] = net
-    kwargs: dict = {"materialize": False}
-    if algo == "WRHT":
-        kwargs.update(n_wavelengths=w, m=wrht_m)
-    elif algo == "H-Ring":
-        kwargs.update(m=hring_m)
-    schedule = build_schedule(algo, n, workload.n_params, **kwargs)
-    return net.execute(schedule, bytes_per_elem=workload.bytes_per_param).total_time
+    """Seconds for one algorithm on the mode- or flag-selected backend."""
+    name = _resolve_backend(mode, backend)
+    be = get_backend(name, n, w, interpretation)
+    schedule = _build_cell_schedule(
+        algo, n, w, workload, wrht_m=wrht_m, hring_m=hring_m
+    )
+    return be.run(schedule, bytes_per_elem=workload.bytes_per_param).total_time
 
 
 def _electrical_time(
@@ -94,26 +141,19 @@ def _electrical_time(
     interpretation: str,
 ) -> float:
     """Seconds for one algorithm on the electrical fat-tree (simulated)."""
-    key = (n, interpretation)
-    net = _ELECTRICAL_NETS.get(key)
-    if net is None:
-        net = ElectricalNetwork(
-            ElectricalSystemConfig(n_nodes=n, interpretation=interpretation)
-        )
-        _ELECTRICAL_NETS[key] = net
+    be = get_backend("electrical", n, DEFAULT_WAVELENGTHS, interpretation)
     schedule = build_schedule(algo, n, workload.n_params, materialize=False)
-    return net.execute(schedule, bytes_per_elem=workload.bytes_per_param).total_time
+    return be.run(schedule, bytes_per_elem=workload.bytes_per_param).total_time
 
 
 def clear_network_caches() -> None:
-    """Drop the per-process substrate executors (benchmark hygiene).
+    """Drop the per-process backend instances (benchmark hygiene).
 
-    The next experiment call rebuilds its networks from scratch; the
-    cross-run plan cache (:mod:`repro.optical.plancache`) is separate and
+    The next experiment call rebuilds its backends from scratch; the
+    cross-run plan cache (:mod:`repro.backend.plancache`) is separate and
     unaffected.
     """
-    _OPTICAL_NETS.clear()
-    _ELECTRICAL_NETS.clear()
+    _BACKENDS.clear()
 
 
 # -- sweep cell functions ---------------------------------------------------
@@ -123,42 +163,57 @@ def clear_network_caches() -> None:
 
 def _fig4_cell(
     workload: DnnWorkload, m: int, mode: str, interpretation: str,
-    n_nodes: int, n_wavelengths: int,
+    n_nodes: int, n_wavelengths: int, backend: str | None = None,
 ) -> float:
     """One Fig 4 grid cell: WRHT at group size ``m`` on one workload."""
     return _optical_time(
-        "WRHT", n_nodes, n_wavelengths, workload, mode, interpretation, wrht_m=m
+        "WRHT", n_nodes, n_wavelengths, workload, mode, interpretation,
+        wrht_m=m, backend=backend,
     )
 
 
 def _fig5_cell(
     workload: DnnWorkload, algo: str, w: int, mode: str, interpretation: str,
-    n_nodes: int,
+    n_nodes: int, backend: str | None = None,
 ) -> float:
     """One Fig 5 grid cell: ``algo`` under wavelength count ``w``."""
     return _optical_time(
         algo, n_nodes, w, workload, mode, interpretation,
-        wrht_m=min(optimal_group_size(w), n_nodes),
+        wrht_m=min(optimal_group_size(w), n_nodes), backend=backend,
     )
 
 
 def _fig6_cell(
     workload: DnnWorkload, algo: str, n: int, mode: str, interpretation: str,
-    n_wavelengths: int,
+    n_wavelengths: int, backend: str | None = None,
 ) -> float:
     """One Fig 6 grid cell: ``algo`` at cluster size ``n``."""
-    return _optical_time(algo, n, n_wavelengths, workload, mode, interpretation)
+    return _optical_time(
+        algo, n, n_wavelengths, workload, mode, interpretation, backend=backend
+    )
+
+
+# Fig 7's display names map to base algorithms per substrate.
+_FIG7_BASE = {"E-Ring": "Ring", "O-Ring": "Ring", "RD": "RD", "WRHT": "WRHT"}
 
 
 def _fig7_cell(
     workload: DnnWorkload, algo: str, n: int, mode: str, interpretation: str,
-    n_wavelengths: int,
+    n_wavelengths: int, backend: str | None = None,
 ) -> float:
-    """One Fig 7 grid cell: electrical or optical flavor by algorithm."""
+    """One Fig 7 grid cell: electrical or optical flavor by algorithm.
+
+    An explicit ``backend`` forces every flavor through that backend
+    (useful for like-for-like ablations); the default keeps the paper's
+    split — E-Ring/RD on the fat-tree, O-Ring/WRHT on the optical ring.
+    """
+    base = _FIG7_BASE[algo]
+    if backend is not None:
+        return _optical_time(
+            base, n, n_wavelengths, workload, mode, interpretation, backend=backend
+        )
     if algo in ("E-Ring", "RD"):
-        base = "Ring" if algo == "E-Ring" else "RD"
         return _electrical_time(base, n, workload, interpretation)
-    base = "Ring" if algo == "O-Ring" else "WRHT"
     return _optical_time(base, n, n_wavelengths, workload, mode, interpretation)
 
 
@@ -204,6 +259,7 @@ def run_fig4(
     group_sizes: tuple[int, ...] = FIG4_GROUP_SIZES,
     workloads: tuple[DnnWorkload, ...] = PAPER_WORKLOADS,
     workers: int | None = None,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Fig 4: WRHT with different numbers of grouped nodes.
 
@@ -221,7 +277,7 @@ def run_fig4(
     )
     cell = functools.partial(
         _fig4_cell, mode=mode, interpretation=interpretation,
-        n_nodes=n_nodes, n_wavelengths=n_wavelengths,
+        n_nodes=n_nodes, n_wavelengths=n_wavelengths, backend=backend,
     )
     grid = sweep(cell, {"workload": workloads, "m": group_sizes}, workers=workers)
     for wl in workloads:
@@ -237,6 +293,7 @@ def run_fig5(
     wavelengths: tuple[int, ...] = FIG5_WAVELENGTHS,
     workloads: tuple[DnnWorkload, ...] = PAPER_WORKLOADS,
     workers: int | None = None,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Fig 5: four algorithms under different wavelength counts.
 
@@ -253,7 +310,8 @@ def run_fig5(
     )
     algos = ("Ring", "H-Ring", "BT", "WRHT")
     cell = functools.partial(
-        _fig5_cell, mode=mode, interpretation=interpretation, n_nodes=n_nodes
+        _fig5_cell, mode=mode, interpretation=interpretation, n_nodes=n_nodes,
+        backend=backend,
     )
     grid = sweep(
         cell, {"workload": workloads, "algo": algos, "w": wavelengths},
@@ -275,6 +333,7 @@ def run_fig6(
     n_wavelengths: int = DEFAULT_WAVELENGTHS,
     workloads: tuple[DnnWorkload, ...] = PAPER_WORKLOADS,
     workers: int | None = None,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Fig 6: four algorithms on the optical system across cluster sizes.
 
@@ -289,7 +348,7 @@ def run_fig6(
     algos = ("Ring", "H-Ring", "BT", "WRHT")
     cell = functools.partial(
         _fig6_cell, mode=mode, interpretation=interpretation,
-        n_wavelengths=n_wavelengths,
+        n_wavelengths=n_wavelengths, backend=backend,
     )
     grid = sweep(
         cell, {"workload": workloads, "algo": algos, "n": nodes}, workers=workers
@@ -308,6 +367,7 @@ def run_fig7(
     n_wavelengths: int = DEFAULT_WAVELENGTHS,
     workloads: tuple[DnnWorkload, ...] = PAPER_WORKLOADS,
     workers: int | None = None,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Fig 7: electrical fat-tree (E-Ring, RD) vs optical ring (O-Ring, WRHT).
 
@@ -324,7 +384,7 @@ def run_fig7(
     algos = ("E-Ring", "RD", "O-Ring", "WRHT")
     cell = functools.partial(
         _fig7_cell, mode=mode, interpretation=interpretation,
-        n_wavelengths=n_wavelengths,
+        n_wavelengths=n_wavelengths, backend=backend,
     )
     grid = sweep(
         cell, {"workload": workloads, "algo": algos, "n": nodes}, workers=workers

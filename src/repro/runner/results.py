@@ -59,11 +59,21 @@ def _experiment_section(result: ExperimentResult, buf: io.StringIO) -> None:
         buf.write("\n")
 
 
-def generate_report(mode: str = "analytical", interpretation: str = "calibrated") -> str:
-    """Regenerate every experiment and render the markdown report."""
+def generate_report(
+    mode: str = "analytical",
+    interpretation: str = "calibrated",
+    backend: str | None = None,
+) -> str:
+    """Regenerate every experiment and render the markdown report.
+
+    ``backend`` (a :mod:`repro.backend.registry` name) forces every figure
+    through one pricing backend; ``None`` keeps the mode's mapping.
+    """
     buf = io.StringIO()
     buf.write("# Generated results (wrht-repro report)\n")
     buf.write(f"\nMode: {mode}; line-rate interpretation: {interpretation}.\n")
+    if backend is not None:
+        buf.write(f"\nBackend override: {backend}.\n")
 
     counts = run_table1()
     buf.write("\n## Table 1 — steps (N=1024, w=64)\n\n")
@@ -76,16 +86,19 @@ def generate_report(mode: str = "analytical", interpretation: str = "calibrated"
 
     for runner in (run_fig4, run_fig5, run_fig6, run_fig7):
         _experiment_section(
-            runner(mode=mode, interpretation=interpretation), buf
+            runner(mode=mode, interpretation=interpretation, backend=backend), buf
         )
     return buf.getvalue()
 
 
 def write_report(
-    path: str, mode: str = "analytical", interpretation: str = "calibrated"
+    path: str,
+    mode: str = "analytical",
+    interpretation: str = "calibrated",
+    backend: str | None = None,
 ) -> str:
     """Write the report to ``path``; returns the rendered text."""
-    text = generate_report(mode=mode, interpretation=interpretation)
+    text = generate_report(mode=mode, interpretation=interpretation, backend=backend)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return text

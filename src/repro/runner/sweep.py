@@ -8,7 +8,7 @@ With ``workers=N`` the combinations are dispatched in chunks to a
 ``ProcessPoolExecutor``. Results come back in *product order* regardless of
 worker completion order, so a parallel sweep is a drop-in replacement for a
 serial one. Each worker process carries its own
-:mod:`repro.optical.plancache` — on Linux (fork start method) workers
+:mod:`repro.backend.plancache` — on Linux (fork start method) workers
 inherit whatever the parent already warmed.
 
 Failures can be captured per combination (``on_error="capture"``): a
@@ -52,15 +52,24 @@ class SweepCombinationError(RuntimeError):
 
     Wraps the worker-side traceback text (the original exception object may
     not survive pickling back to the parent). ``params`` names the failing
-    combination.
+    combination, ``error`` is the ``repr`` of the original exception and
+    ``traceback`` the formatted worker-side traceback. The error itself
+    pickles with all three intact (it may cross process boundaries again,
+    e.g. in nested sweeps).
     """
 
     def __init__(self, params: dict[str, Any], error: str, tb: str) -> None:
         self.params = dict(params)
         self.error = error
+        self.traceback = tb
         super().__init__(
             f"sweep combination {params!r} failed: {error}\n{tb}"
         )
+
+    def __reduce__(self):
+        """Pickle via the 3-argument constructor (the default exception
+        reduction would replay only the formatted message)."""
+        return (self.__class__, (self.params, self.error, self.traceback))
 
 
 def _run_combo(

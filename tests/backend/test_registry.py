@@ -1,0 +1,52 @@
+"""Registry tests: the three built-ins plus custom registration."""
+
+import pytest
+
+from repro.backend import Backend, registry
+from repro.collectives.registry import build_schedule
+from repro.optical.config import OpticalSystemConfig
+
+
+class TestBuiltins:
+    def test_lists_at_least_three_backends(self):
+        names = registry.available()
+        assert {"analytic", "electrical", "optical"} <= set(names)
+        assert names == sorted(names)
+
+    def test_create_optical(self):
+        be = registry.create(
+            "optical", config=OpticalSystemConfig(n_nodes=16, n_wavelengths=4)
+        )
+        assert be.name == "optical"
+        sched = build_schedule("ring", 16, 1600, materialize=False)
+        result = be.run(sched)
+        assert result.backend == "optical"
+        assert result.total_time > 0
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            registry.create("quantum")
+
+
+class TestCustomRegistration:
+    def test_register_and_unregister(self):
+        class NullBackend(Backend):
+            name = "null"
+
+            def lower(self, schedule, *, bytes_per_elem=4.0):
+                raise NotImplementedError
+
+            def execute(self, plan):
+                raise NotImplementedError
+
+        registry.register("null", NullBackend)
+        try:
+            assert "null" in registry.available()
+            assert isinstance(registry.create("null"), NullBackend)
+        finally:
+            registry.unregister("null")
+        assert "null" not in registry.available()
+
+    def test_register_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            registry.register("", lambda: None)

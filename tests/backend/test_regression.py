@@ -1,0 +1,134 @@
+"""Bit-identity regression: the backend refactor must not move a float.
+
+Golden values below were captured by running the pre-refactor executors
+(the PR-1 tree) on the same inputs. Every assertion is exact ``==`` — the
+lowering split reorders no accumulation and caches exact floats, so any
+drift here is a real behavior change, not tolerance noise.
+"""
+
+import pytest
+
+from repro.backend import OpticalBackend
+from repro.collectives.registry import build_schedule
+from repro.dnn.workload import DnnWorkload
+from repro.optical.config import OpticalSystemConfig
+from repro.runner.experiments import run_fig5, run_fig6, run_fig7
+
+TINY = DnnWorkload("tiny", 200_000)
+SMALL = DnnWorkload("small", 1_000_000)
+
+# (n_nodes, n_wavelengths, algo, builder kwargs) -> (total_time, total_bytes,
+# peak_wavelength) on the optical executor, 1M elems at 4 B each.
+NETWORK_GOLDEN = {
+    (128, 16, "ring"): ({}, (0.00654850511353, 1016065024.0, 1)),
+    (128, 16, "wrht"): (
+        {"n_wavelengths": 16},
+        (0.00037508283399599997, 1040000000.0, 16),
+    ),
+    (128, 16, "hring"): ({"m": 5}, (0.0019274348970939998, 1427202400.0, 4)),
+    (128, 16, "bt"): ({}, (0.0017503865586479999, 1016000000.0, 1)),
+    (64, 8, "wrht"): (
+        {"n_wavelengths": 8, "m": 9},
+        (0.000500110445328, 672000000.0, 8),
+    ),
+    (64, 8, "rd"): ({}, (0.001000220890656, 1536000000.0, 8)),
+}
+
+FIG6_GOLDEN = {
+    ("small", "BT"): [0.00125027611332, 0.0015003313359839999],
+    ("small", "H-Ring"): [0.000956548728912, 0.0012697403729159998],
+    ("small", "Ring"): [0.0017438035239179998, 0.0033469294185179996],
+    ("small", "WRHT"): [0.00037508283399599997, 0.00037508283399599997],
+    ("tiny", "BT"): [0.00045005522664, 0.000540066271968],
+    ("tiny", "H-Ring"): [0.0006113102321439999, 0.0009139485597519999],
+    ("tiny", "Ring"): [0.0015887607232719998, 0.0031893858962279997],
+    ("tiny", "WRHT"): [0.000135016567992, 0.000135016567992],
+}
+
+FIG7_GOLDEN = {
+    "E-Ring": 0.004688749999999999,
+    "O-Ring": 0.0015887607232719998,
+    "RD": 0.00031499999999999996,
+    "WRHT": 0.000135016567992,
+}
+
+FIG5_GOLDEN = {
+    "WRHT": [
+        0.017679831944830998, 0.010102761111332,
+        0.007577070833498999, 0.007577070833498999,
+    ],
+    "Ring": [0.056146497069234] * 4,
+    "H-Ring": [
+        0.023584052867488, 0.021908638699993,
+        0.021908638699993, 0.021908638699993,
+    ],
+    "BT": [0.05051380555666] * 4,
+}
+
+
+class TestOpticalBackendGolden:
+    @pytest.mark.parametrize("case", sorted(NETWORK_GOLDEN, key=str))
+    def test_network_level(self, case):
+        n, w, algo = case
+        kwargs, (t, b, peak) = NETWORK_GOLDEN[case]
+        be = OpticalBackend(OpticalSystemConfig(n_nodes=n, n_wavelengths=w))
+        sched = build_schedule(algo, n, 1_000_000, materialize=False, **kwargs)
+        result = be.run(sched, bytes_per_elem=4)
+        assert result.total_time == t
+        assert result.total_bytes == b
+        assert result.peak_wavelength == peak
+
+
+class TestFigureGolden:
+    def test_fig6_simulated(self):
+        result = run_fig6(
+            mode="simulated", nodes=(32, 64), n_wavelengths=8,
+            workloads=(TINY, SMALL),
+        )
+        for key, values in FIG6_GOLDEN.items():
+            assert result.series[key] == values, key
+
+    def test_fig6_explicit_optical_backend_identical(self):
+        default = run_fig6(
+            mode="simulated", nodes=(32, 64), n_wavelengths=8,
+            workloads=(TINY, SMALL),
+        )
+        explicit = run_fig6(
+            mode="simulated", nodes=(32, 64), n_wavelengths=8,
+            workloads=(TINY, SMALL), backend="optical",
+        )
+        assert explicit.series == default.series
+
+    def test_fig7_simulated(self):
+        result = run_fig7(
+            mode="simulated", nodes=(32,), n_wavelengths=8, workloads=(TINY,)
+        )
+        for algo, value in FIG7_GOLDEN.items():
+            assert result.series[("tiny", algo)][0] == value, algo
+
+    def test_fig7_backend_flag_optical_side_identical(self):
+        # Forcing --backend optical routes E-Ring/RD through the optical
+        # ring too; the optical flavors must not move.
+        default = run_fig7(
+            mode="simulated", nodes=(32,), n_wavelengths=8, workloads=(TINY,)
+        )
+        forced = run_fig7(
+            mode="simulated", nodes=(32,), n_wavelengths=8, workloads=(TINY,),
+            backend="optical",
+        )
+        for algo in ("O-Ring", "WRHT"):
+            assert (
+                forced.series[("tiny", algo)] == default.series[("tiny", algo)]
+            )
+
+    def test_fig5_analytical_paper_scale(self):
+        result = run_fig5()
+        for algo, values in FIG5_GOLDEN.items():
+            assert result.series[("ResNet50", algo)] == values, algo
+
+    def test_fig5_explicit_analytic_backend_identical(self):
+        assert run_fig5(backend="analytic").series == run_fig5().series
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_fig5(backend="quantum", workloads=(TINY,))

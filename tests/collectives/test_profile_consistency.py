@@ -1,0 +1,102 @@
+"""Property test: the lowering profile faithfully compresses the schedule.
+
+Backends price the compressed ``timing_profile`` (via
+``Schedule.lowering_profile``), while the numerical verifier consumes the
+materialized steps. This file pins the bridge between the two for every
+builder:
+
+- ``profile_exact`` builders (BT, DBTree, RD, WRHT, and Ring at divisible
+  sizes): expanding the profile reproduces each materialized step's
+  pattern key — identical (src, dst, size, op) multiset, hence identical
+  per-step byte totals.
+- Ring at non-divisible sizes: the uniform ``⌈d/N⌉`` representative keeps
+  the exact (src, dst, op) pattern and is within one element per transfer.
+- H-Ring: with uniform groups (``m | N``) the same one-element bound
+  holds; with ragged groups the representative is a per-phase envelope —
+  every materialized transfer edge appears in it.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.registry import build_schedule
+
+ALGORITHMS = ["ring", "bt", "rd", "hring", "wrht", "dbtree"]
+
+
+def _build(algo, n, elems):
+    if algo == "hring":
+        return build_schedule(algo, n, elems, m=min(5, n), materialize=True)
+    if algo == "wrht":
+        return build_schedule(algo, n, elems, n_wavelengths=8, materialize=True)
+    return build_schedule(algo, n, elems, materialize=True)
+
+
+def _expand(sched):
+    """Materialize the profile: one representative per actual step."""
+    out = []
+    for step, count, key in sched.lowering_profile():
+        assert key == step.pattern_key()
+        out.extend([step] * count)
+    return out
+
+
+def _edges(step):
+    return Counter((t.src, t.dst, t.op) for t in step.transfers)
+
+
+def _assert_within_one_elem(rep, step):
+    """Same (src, dst, op) pattern; per-transfer sizes off by ≤ 1 element."""
+    assert _edges(rep) == _edges(step)
+    by_edge_rep = sorted((t.src, t.dst, t.op, t.n_elems) for t in rep.transfers)
+    by_edge_step = sorted((t.src, t.dst, t.op, t.n_elems) for t in step.transfers)
+    for (*re_, rn), (*se, sn) in zip(by_edge_rep, by_edge_step):
+        assert re_ == se
+        assert abs(rn - sn) <= 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.sampled_from(ALGORITHMS), st.integers(2, 40), st.integers(1, 120))
+def test_profile_expands_to_materialized_steps(algo, n, elems):
+    sched = _build(algo, n, elems)
+    reps = _expand(sched)
+    steps = list(sched.iter_steps())
+    assert len(reps) == len(steps)
+    for rep, step in zip(reps, steps):
+        if sched.meta.get("profile_exact"):
+            assert rep.pattern_key() == step.pattern_key()
+        else:
+            # Envelope guarantee: every transfer edge the step performs is
+            # present in (and charged by) its representative.
+            step_edges, rep_edges = _edges(step), _edges(rep)
+            assert all(rep_edges[e] >= c for e, c in step_edges.items())
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(2, 40), st.integers(1, 120))
+def test_ring_profile_within_one_element(n, elems):
+    sched = build_schedule("ring", n, elems, materialize=True)
+    for rep, step in zip(_expand(sched), sched.iter_steps()):
+        _assert_within_one_elem(rep, step)
+        assert abs(rep.total_elems() - step.total_elems()) <= rep.n_transfers
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(2, 6), st.integers(2, 6), st.integers(1, 120))
+def test_hring_uniform_groups_within_one_element(n_groups, m, elems):
+    sched = build_schedule("hring", n_groups * m, elems, m=m, materialize=True)
+    for rep, step in zip(_expand(sched), sched.iter_steps()):
+        _assert_within_one_elem(rep, step)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(ALGORITHMS), st.integers(2, 40), st.integers(1, 120))
+def test_exact_profiles_have_exact_byte_totals(algo, n, elems):
+    sched = _build(algo, n, elems)
+    if not sched.meta.get("profile_exact"):
+        return
+    sched.validate_against_profile()
+    for rep, step in zip(_expand(sched), sched.iter_steps()):
+        assert rep.total_elems() == step.total_elems()

@@ -1,5 +1,7 @@
 """Sweep helper tests: serial semantics, process-pool parity, error capture."""
 
+import pickle
+
 import pytest
 
 from repro.runner.sweep import SweepCombinationError, SweepFailure, sweep
@@ -84,3 +86,47 @@ class TestErrorHandling:
         good = {k: v for k, v in results.items() if k != (2, 10)}
         assert good == {k: v for k, v in sweep(_product, self.PARAMS).items()
                         if k != (2, 10)}
+
+
+class TestFailurePickling:
+    """Failure payloads cross process boundaries; they must round-trip."""
+
+    PARAMS = {"a": [1, 2, 3], "b": [10, 20]}
+
+    def test_sweep_failure_round_trips(self):
+        failure = SweepFailure(
+            params={"a": 2, "b": 10},
+            error="ValueError('bad cell')",
+            traceback="Traceback (most recent call last): ...",
+        )
+        back = pickle.loads(pickle.dumps(failure))
+        assert back == failure
+        assert not back  # falsiness survives too
+
+    def test_combination_error_round_trips(self):
+        err = SweepCombinationError(
+            {"a": 2, "b": 10}, "ValueError('bad cell')", "worker traceback"
+        )
+        back = pickle.loads(pickle.dumps(err))
+        assert type(back) is SweepCombinationError
+        assert back.params == {"a": 2, "b": 10}
+        assert back.error == "ValueError('bad cell')"
+        assert back.traceback == "worker traceback"
+        assert str(back) == str(err)
+
+    def test_captured_worker_failure_round_trips(self):
+        # End to end: the worker built this SweepFailure in another process
+        # already; it must survive a further pickle hop intact.
+        results = sweep(_fragile, self.PARAMS, workers=2, on_error="capture")
+        failure = results[(2, 10)]
+        back = pickle.loads(pickle.dumps(failure))
+        assert back == failure
+        assert back.params == {"a": 2, "b": 10}
+        assert "bad cell" in back.traceback
+
+    def test_raised_worker_error_round_trips(self):
+        with pytest.raises(SweepCombinationError) as exc_info:
+            sweep(_fragile, self.PARAMS, workers=2)
+        back = pickle.loads(pickle.dumps(exc_info.value))
+        assert back.params == exc_info.value.params
+        assert back.traceback == exc_info.value.traceback
