@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Repo check gate: lint (when ruff is available) + the tier-1 test suite.
+# Repo check gate: lint + static plan verification + the tier-1 test suite.
 #
 # Usage: scripts/check.sh [extra pytest args...]
 #
-# ruff is optional tooling — CI images that lack it skip the lint stage
-# with a notice instead of failing, so the test gate always runs.
+# Stages:
+#   1. ruff (when available — CI images that lack it skip with a notice)
+#   2. repro.check lint  (REP001-REP005 AST pass over src)
+#   3. repro.check plan verifier over the figure golden plans
+#   4. tier-1 tests (which also auto-verify every lowered plan via the
+#      repro.check pytest plugin)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check =="
@@ -18,5 +24,11 @@ else
     echo "== ruff not installed; skipping lint stage =="
 fi
 
+echo "== repro.check lint =="
+python -m repro.check.lint src
+
+echo "== repro.check golden plans (optical) =="
+python -m repro.check check --backend optical
+
 echo "== tier-1 tests =="
-PYTHONPATH=src python -m pytest -x -q "$@"
+python -m pytest -x -q "$@"

@@ -240,9 +240,41 @@ class Backend(abc.ABC):
     def execute(self, plan: LoweredPlan) -> ExecutionResult:
         """Fold a lowered plan into its execution timeline."""
 
-    def run(self, schedule: Schedule, *, bytes_per_elem: float = 4.0) -> ExecutionResult:
-        """Lower then execute ``schedule`` (the common one-shot path)."""
-        return self.execute(self.lower(schedule, bytes_per_elem=bytes_per_elem))
+    def verify(self, plan: LoweredPlan, schedule: Schedule | None = None) -> list:
+        """Statically verify a lowered plan (see :mod:`repro.check`).
+
+        Runs every applicable plan rule against the plan (and the source
+        schedule when given) and raises
+        :class:`~repro.check.engine.PlanVerificationError` on any ERROR
+        finding. Backends with richer evidence override this to provide a
+        fuller context (the optical backend re-derives circuit rounds).
+
+        Returns:
+            All findings, including INFO/WARNING, when verification passes.
+        """
+        from repro.check.engine import verify_plan
+
+        return verify_plan(plan, schedule, raise_on_error=True)
+
+    def run(
+        self,
+        schedule: Schedule,
+        *,
+        bytes_per_elem: float = 4.0,
+        check: bool = False,
+    ) -> ExecutionResult:
+        """Lower then execute ``schedule`` (the common one-shot path).
+
+        Args:
+            schedule: The schedule to price.
+            bytes_per_elem: Element width used by the pricing.
+            check: Statically verify the lowered plan (:meth:`verify`)
+                before executing it.
+        """
+        plan = self.lower(schedule, bytes_per_elem=bytes_per_elem)
+        if check:
+            self.verify(plan, schedule)
+        return self.execute(plan)
 
     # -- shared entry-point validation ----------------------------------
     def _check_schedule(

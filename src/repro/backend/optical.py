@@ -56,6 +56,23 @@ class OpticalBackend(Backend):
         """Route/RWA/price each distinct pattern (cross-run cached)."""
         return self._net.lower(schedule, bytes_per_elem)
 
+    def verify(self, plan: LoweredPlan, schedule=None) -> list:
+        """Verify with full optical evidence (circuits re-derived).
+
+        When the source schedule is available the context also carries the
+        statically re-derived circuit rounds, enabling the wavelength-
+        conflict and port-budget rules on top of the structural ones.
+        """
+        from repro.check.context import optical_context
+        from repro.check.engine import verify_plan
+
+        if schedule is None:
+            return super().verify(plan)
+        context = optical_context(
+            self._net, schedule, plan, bytes_per_elem=plan.bytes_per_elem
+        )
+        return verify_plan(context=context, raise_on_error=True)
+
     def execute(self, plan: LoweredPlan) -> ExecutionResult:
         """Fold the lowered plan into the uniform execution result."""
         if self._tracer is not None:

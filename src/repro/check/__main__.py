@@ -1,0 +1,8 @@
+"""``python -m repro.check`` — dispatch to the static-verification CLI."""
+
+import sys
+
+from repro.check.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

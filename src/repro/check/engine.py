@@ -1,0 +1,171 @@
+"""Rule registry and the ``verify_plan`` entry point.
+
+A plan rule is a pure function ``CheckContext -> Iterable[Finding]``
+registered under a stable id (``PLAN000``–``PLAN006``) together with the
+context requirements it needs (``"plan"``, ``"schedule"``, ``"steps"``,
+``"config"``, ``"circuits"``). :func:`run_rules` runs every applicable rule
+and collects findings; rules whose requirements the context cannot satisfy
+are skipped silently (the caller chose what evidence to provide), while
+rules that *run* but cannot reach a verdict emit ``INFO`` findings so a
+"clean" report is distinguishable from "didn't look".
+
+Adding a rule is one decorated function::
+
+    @register_rule("PLAN007", "my invariant", needs=("plan",))
+    def _rule_my_invariant(ctx: CheckContext) -> Iterable[Finding]:
+        ...
+
+The registry is import-populated by :mod:`repro.check.plan_rules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.check.context import CheckContext
+from repro.check.findings import Finding, errors, render_findings
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule.
+
+    Attributes:
+        rule_id: Stable identifier (also the findings' ``rule_id``).
+        title: Short human-readable description.
+        needs: Context requirement tags that must be satisfiable for the
+            rule to run (see :meth:`CheckContext.has`).
+        fn: The rule body.
+    """
+
+    rule_id: str
+    title: str
+    needs: tuple[str, ...]
+    fn: Callable[[CheckContext], Iterable[Finding]]
+
+    def applies(self, ctx: CheckContext) -> bool:
+        """Whether ``ctx`` satisfies every requirement tag."""
+        return all(ctx.has(need) for need in self.needs)
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(
+    rule_id: str, title: str, needs: tuple[str, ...] = ()
+) -> Callable[[Callable[[CheckContext], Iterable[Finding]]], Callable]:
+    """Decorator registering a rule body under ``rule_id``.
+
+    Re-registering an id replaces the previous rule (tests use this to
+    inject probes).
+    """
+
+    def decorate(fn: Callable[[CheckContext], Iterable[Finding]]) -> Callable:
+        _RULES[rule_id] = Rule(rule_id=rule_id, title=title, needs=tuple(needs), fn=fn)
+        return fn
+
+    return decorate
+
+
+def _ensure_catalog() -> None:
+    """Import the rule catalog so the registry is populated."""
+    import repro.check.plan_rules  # noqa: F401  (registration side effect)
+
+
+def all_rules() -> list[Rule]:
+    """Every registered plan rule, sorted by id."""
+    _ensure_catalog()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """The rule registered under ``rule_id``.
+
+    Raises:
+        KeyError: Naming the unknown id and listing the known ones.
+    """
+    _ensure_catalog()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; registered: {sorted(_RULES)}"
+        ) from None
+
+
+class PlanVerificationError(AssertionError):
+    """A lowered plan failed static verification.
+
+    Subclasses ``AssertionError`` so pytest renders it as a test failure.
+    Carries the full finding list on :attr:`findings`.
+    """
+
+    def __init__(self, findings: list[Finding]) -> None:
+        self.findings = list(findings)
+        bad = errors(self.findings)
+        super().__init__(
+            f"plan verification failed with {len(bad)} error finding(s):\n"
+            + render_findings(bad)
+        )
+
+    def __reduce__(self):
+        """Pickle support: rebuild from the finding list (sweep workers)."""
+        return (type(self), (self.findings,))
+
+
+def run_rules(
+    ctx: CheckContext, rule_ids: Iterable[str] | None = None
+) -> list[Finding]:
+    """Run every applicable rule against ``ctx`` and collect findings.
+
+    Args:
+        ctx: The evidence to audit.
+        rule_ids: Restrict to these ids (default: all registered rules).
+            Named rules that the context cannot satisfy are still skipped.
+
+    Returns:
+        Findings in (rule id, emission) order.
+    """
+    rules = all_rules() if rule_ids is None else [get_rule(r) for r in rule_ids]
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.applies(ctx):
+            findings.extend(rule.fn(ctx))
+    return findings
+
+
+def verify_plan(
+    plan=None,
+    schedule=None,
+    *,
+    config=None,
+    context: CheckContext | None = None,
+    rule_ids: Iterable[str] | None = None,
+    raise_on_error: bool = False,
+) -> list[Finding]:
+    """Statically verify a lowered plan (and/or its source schedule).
+
+    The one-stop entry point: builds a :class:`CheckContext` from whatever
+    evidence is given (or takes a pre-built one — e.g. from
+    :func:`~repro.check.context.optical_context`, which also derives the
+    circuit rounds) and runs the applicable rules.
+
+    Args:
+        plan: The :class:`~repro.backend.base.LoweredPlan` under audit.
+        schedule: The source schedule (enables dataflow/step-count rules).
+        config: Optical system config (enables budget/feasibility rules).
+        context: Pre-built context; overrides the three args above.
+        rule_ids: Restrict verification to these rule ids.
+        raise_on_error: Raise :class:`PlanVerificationError` when any
+            ``ERROR`` finding is produced.
+
+    Returns:
+        All findings (including ``INFO``/``WARNING``), in rule order.
+    """
+    if context is None:
+        context = CheckContext(plan=plan, schedule=schedule, config=config)
+    findings = run_rules(context, rule_ids=rule_ids)
+    if raise_on_error and errors(findings):
+        raise PlanVerificationError(findings)
+    return findings

@@ -1,0 +1,89 @@
+"""Structured findings: what every static check emits.
+
+A :class:`Finding` is one diagnostic produced by a rule — plan verifier or
+AST lint — identified by a stable ``rule_id`` (``PLAN***`` for schedule/plan
+rules, ``REP***`` for lint rules), carrying a :class:`Severity`, a free-form
+message, and enough location data to act on it (profile-entry index for plan
+rules, ``path:line:col`` for lint rules). Findings are plain serializable
+data so CLI output, pytest assertions and CI logs all render the same
+records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail verification (CI gates on them); ``WARNING``
+    findings are reported but do not fail; ``INFO`` findings record that a
+    rule was skipped or observed something noteworthy.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a static-analysis rule.
+
+    Attributes:
+        rule_id: Stable identifier (``"PLAN001"``, ``"REP004"``, ...).
+        severity: :class:`Severity` of the finding.
+        message: Human-readable description of the defect.
+        step_index: Index of the offending timing-profile entry (plan
+            rules), or ``None`` when not step-specific.
+        location: ``path:line:col`` source location (lint rules), or
+            ``None``.
+        details: Rule-specific structured extras (JSON-safe values only).
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    step_index: int | None = None
+    location: str | None = None
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-dict view (JSON-ready)."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "step_index": self.step_index,
+            "location": self.location,
+            "details": dict(self.details),
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form (CLI / assertion messages)."""
+        where = ""
+        if self.location is not None:
+            where = f"{self.location}: "
+        elif self.step_index is not None:
+            where = f"step {self.step_index}: "
+        return f"[{self.rule_id}:{self.severity}] {where}{self.message}"
+
+
+def errors(findings: list[Finding]) -> list[Finding]:
+    """The ``ERROR``-severity subset of ``findings``."""
+    return [f for f in findings if f.severity is Severity.ERROR]
+
+
+def has_errors(findings: list[Finding]) -> bool:
+    """Whether any finding is an ``ERROR``."""
+    return any(f.severity is Severity.ERROR for f in findings)
+
+
+def render_findings(findings: list[Finding]) -> str:
+    """Multi-line rendering of a finding list (empty string when clean)."""
+    return "\n".join(f.render() for f in findings)

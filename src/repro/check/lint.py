@@ -1,0 +1,332 @@
+"""Reproduction-specific AST lint (REP001–REP005). Stdlib ``ast`` only.
+
+General-purpose linters cannot know that this repo's determinism contract
+forbids unseeded RNGs, that timing quantities are floats that must never be
+compared with ``==``, or that sweep workers pickle exceptions across process
+boundaries. This pass encodes exactly those house rules:
+
+=======  ==============================================================
+REP001   Unseeded RNG construction (``default_rng()`` / ``Random()``
+         with no seed, or the ``random`` module's global functions).
+         Sweeps replay cached plans; hidden RNG state breaks replay.
+REP002   ``==`` / ``!=`` where an operand is named like a timing
+         quantity (``duration``, ``*_s``, ``clock`` ...). Float timing
+         must be compared with tolerances or avoided.
+REP003   Exception class with a custom ``__init__`` but no
+         ``__reduce__``/``__getstate__``/``__setstate__``. Such
+         exceptions may not survive the pickling round-trip through
+         sweep workers (multi-arg ``__init__`` breaks the default
+         reduce protocol).
+REP004   Import of the deprecated ``repro.optical.plancache`` alias
+         (moved to ``repro.backend.plancache``).
+REP005   ``tracer.emit(time, "name", ...)`` with a literal category
+         absent from :data:`repro.sim.trace.TRACE_EVENTS`. Tests filter
+         traces by these names; a typo silently records nothing.
+=======  ==============================================================
+
+Run as a module over one or more files/directories::
+
+    $ python -m repro.check.lint src
+
+Exit status is 1 when any finding is produced, 0 when clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.check.findings import Finding, Severity
+
+#: Functions on the ``random`` module that mutate hidden global state.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Identifier shapes that denote timing quantities (REP002).
+_TIMING_NAME = re.compile(
+    r"(^|_)(time|duration|clock|latency|elapsed|deadline|now)($|_)|_s$"
+)
+
+#: Method names whose presence makes a custom-``__init__`` exception safe
+#: to pickle (REP003).
+_PICKLE_HOOKS = frozenset({"__reduce__", "__getstate__", "__setstate__"})
+
+_DEPRECATED_MODULE = "repro.optical.plancache"
+
+LINT_RULES: dict[str, str] = {
+    "REP001": "unseeded RNG construction",
+    "REP002": "float equality on a timing quantity",
+    "REP003": "exception with custom __init__ but no pickle hook",
+    "REP004": "import of the deprecated repro.optical.plancache alias",
+    "REP005": "trace category not registered in TRACE_EVENTS",
+}
+"""Rule id -> short title, for ``--list-rules`` and the docs."""
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The rightmost identifier of a name/attribute/call/subscript chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    if isinstance(node, ast.Subscript):
+        return _terminal_name(node.value)
+    return None
+
+
+def _finding(
+    rule_id: str, message: str, path: str, node: ast.AST
+) -> Finding:
+    lineno = getattr(node, "lineno", 0)
+    return Finding(
+        rule_id=rule_id,
+        severity=Severity.ERROR,
+        message=message,
+        location=f"{path}:{lineno}",
+        details={"line": lineno},
+    )
+
+
+def _check_rep001(tree: ast.AST, path: str) -> Iterator[Finding]:
+    """REP001 — unseeded RNG construction."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _terminal_name(node.func)
+        if name in ("default_rng", "Random") and not node.args and not node.keywords:
+            yield _finding(
+                "REP001",
+                f"{name}() constructed without a seed; sweeps replay cached "
+                "plans and hidden RNG state breaks replay",
+                path, node,
+            )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "random"
+            and node.func.attr in _GLOBAL_RANDOM_FNS
+        ):
+            yield _finding(
+                "REP001",
+                f"random.{node.func.attr}() uses the interpreter-global RNG; "
+                "construct a seeded Random/Generator instead",
+                path, node,
+            )
+
+
+def _check_rep002(tree: ast.AST, path: str) -> Iterator[Finding]:
+    """REP002 — ``==``/``!=`` on timing-named operands."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        ops = node.ops
+        for op, left, right in zip(ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            # Comparisons against 0/None are identity-style guards, not
+            # float-equality hazards.
+            if any(
+                isinstance(side, ast.Constant) and side.value in (None, 0)
+                for side in (left, right)
+            ):
+                continue
+            for side in (left, right):
+                name = _terminal_name(side)
+                if name is not None and _TIMING_NAME.search(name):
+                    yield _finding(
+                        "REP002",
+                        f"float equality on timing quantity {name!r}; compare "
+                        "with a tolerance (math.isclose) or restructure",
+                        path, node,
+                    )
+                    break
+
+
+def _looks_like_exception(class_def: ast.ClassDef) -> bool:
+    for base in class_def.bases:
+        name = _terminal_name(base)
+        if name and (
+            name.endswith("Error") or name.endswith("Exception")
+            or name in ("BaseException", "Warning")
+        ):
+            return True
+    return False
+
+
+def _check_rep003(tree: ast.AST, path: str) -> Iterator[Finding]:
+    """REP003 — custom-``__init__`` exceptions without a pickle hook."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or not _looks_like_exception(node):
+            continue
+        methods = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "__init__" in methods and not (methods & _PICKLE_HOOKS):
+            yield _finding(
+                "REP003",
+                f"exception {node.name} defines __init__ but no "
+                "__reduce__/__getstate__/__setstate__; it may not survive "
+                "pickling through sweep workers",
+                path, node,
+            )
+
+
+def _check_rep004(tree: ast.AST, path: str) -> Iterator[Finding]:
+    """REP004 — imports of the deprecated plan-cache alias."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == _DEPRECATED_MODULE or alias.name.startswith(
+                    _DEPRECATED_MODULE + "."
+                ):
+                    yield _finding(
+                        "REP004",
+                        f"import of deprecated {_DEPRECATED_MODULE}; use "
+                        "repro.backend.plancache",
+                        path, node,
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            names = {alias.name for alias in node.names}
+            if module == _DEPRECATED_MODULE or module.startswith(
+                _DEPRECATED_MODULE + "."
+            ):
+                yield _finding(
+                    "REP004",
+                    f"import of deprecated {_DEPRECATED_MODULE}; use "
+                    "repro.backend.plancache",
+                    path, node,
+                )
+            elif module == "repro.optical" and "plancache" in names:
+                yield _finding(
+                    "REP004",
+                    "import of deprecated repro.optical plancache alias; "
+                    "use repro.backend.plancache",
+                    path, node,
+                )
+
+
+def _check_rep005(tree: ast.AST, path: str) -> Iterator[Finding]:
+    """REP005 — unregistered literal trace categories."""
+    from repro.sim.trace import TRACE_EVENTS
+
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            and len(node.args) >= 2
+        ):
+            continue
+        category = node.args[1]
+        if (
+            isinstance(category, ast.Constant)
+            and isinstance(category.value, str)
+            and category.value not in TRACE_EVENTS
+        ):
+            yield _finding(
+                "REP005",
+                f"trace category {category.value!r} is not registered in "
+                "repro.sim.trace.TRACE_EVENTS",
+                path, node,
+            )
+
+
+_CHECKERS: dict[str, Callable[[ast.AST, str], Iterator[Finding]]] = {
+    "REP001": _check_rep001,
+    "REP002": _check_rep002,
+    "REP003": _check_rep003,
+    "REP004": _check_rep004,
+    "REP005": _check_rep005,
+}
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: set[str] | None = None
+) -> list[Finding]:
+    """Lint one source string; returns findings sorted by line.
+
+    Args:
+        source: Python source text.
+        path: Display path used in finding locations.
+        select: Restrict to these rule ids (default: all).
+    """
+    tree = ast.parse(source, filename=path)
+    findings: list[Finding] = []
+    for rule_id, checker in _CHECKERS.items():
+        if select is not None and rule_id not in select:
+            continue
+        findings.extend(checker(tree, path))
+    findings.sort(key=lambda f: (f.details.get("line", 0), f.rule_id))
+    return findings
+
+
+def lint_paths(
+    paths: list[Path], select: set[str] | None = None
+) -> list[Finding]:
+    """Lint files and directories (``.py`` files, recursively)."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    findings: list[Finding] = []
+    for file in files:
+        findings.extend(
+            lint_source(file.read_text(), path=str(file), select=select)
+        )
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: lint the given paths, print findings, exit 1 on any."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check.lint",
+        description="Reproduction-specific AST lint (REP001-REP005).",
+    )
+    parser.add_argument("paths", nargs="*", type=Path, help="files or directories")
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule_id, title in sorted(LINT_RULES.items()):
+            print(f"{rule_id}  {title}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given")
+    select = set(args.select.split(",")) if args.select else None
+    if select is not None:
+        unknown = select - set(LINT_RULES)
+        if unknown:
+            parser.error(f"unknown rule ids: {sorted(unknown)}")
+    findings = lint_paths(args.paths, select=select)
+    for finding in findings:
+        print(finding.render())
+    print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,422 @@
+"""The plan-verifier rule catalog (PLAN000–PLAN006).
+
+Every rule here audits a lowered plan *statically* — no simulated clock
+ever advances. The catalog:
+
+=========  ==============================================================
+PLAN000    Plan structure: entry counts sum to ``n_steps``, counts are
+           positive, replay entries reference an earlier identical
+           pattern, plan and schedule agree.
+PLAN001    Wavelength conflicts: segment×direction×wavelength interval
+           analysis over each round's circuits (the defining WDM
+           exclusivity property, Fig 1 / Sec 3).
+PLAN002    Node port budget: per-(node, direction, fiber) Tx/Rx
+           wavelength counts within the MRR capacity (two Tx and two Rx
+           sets per node).
+PLAN003    Dataflow conservation: symbolic interval analysis proving
+           every rank ends holding exactly one contribution from every
+           rank (the All-reduce postcondition), flagging both missing
+           and double-counted contributions.
+PLAN004    Step-count conformance: the schedule/plan step total matches
+           the paper's closed forms (Table 1, Eqs 5/6).
+PLAN005    Feasibility: wavelength demand within the budget, WRHT group
+           size within Lemma 1's ``2w+1`` and the physical-layer maximum
+           ``m'`` (Eqs 7–13), routes within the loss/BER budget.
+PLAN006    Write conflicts: no order-dependent writes within any step
+           (shared interval engine with the numerical executor).
+=========  ==============================================================
+
+The rules reuse the substrate models as their backends — circuit conflict
+analysis from :mod:`repro.optical.circuit`, node limits from
+:mod:`repro.optical.node`, phy budgets from :mod:`repro.core.constraints` —
+so the static verdicts can never drift from what the executors enforce at
+runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.check.context import CheckContext
+from repro.check.engine import register_rule
+from repro.check.findings import Finding, Severity
+from repro.check.intervals import IntervalSetMap
+from repro.core.constraints import OpticalPhyParams, max_group_size
+from repro.core.steps import bt_steps, rd_steps, ring_steps, wrht_steps
+from repro.core.wavelengths import optimal_group_size
+from repro.optical.circuit import circuit_conflicts, describe_conflict
+from repro.optical.node import node_violations
+from repro.optical.phy import path_feasible
+from repro.optical.topology import Route
+
+
+def route_phy_findings(
+    route: Route, params: OpticalPhyParams, step_index: int | None = None
+) -> list[Finding]:
+    """Loss/BER budget findings for one concrete route (Eqs 9 and 13).
+
+    The shared implementation behind the executor's
+    :func:`~repro.optical.phy.validate_route_phy` (which raises on the
+    first finding) and the PLAN005 circuit sweep.
+    """
+    if path_feasible(route.hops, params):
+        return []
+    return [
+        Finding(
+            rule_id="PLAN005",
+            severity=Severity.ERROR,
+            message=(
+                f"route of {route.hops} hops ({route.direction.value}) "
+                "violates the optical loss/BER budget"
+            ),
+            step_index=step_index,
+            details={"hops": route.hops, "direction": route.direction.value},
+        )
+    ]
+
+
+@register_rule("PLAN000", "plan structure is internally consistent", needs=("plan",))
+def rule_plan_structure(ctx: CheckContext) -> Iterator[Finding]:
+    """Structural invariants of the lowered plan itself."""
+    plan = ctx.plan
+    if plan.bytes_per_elem <= 0:
+        yield Finding(
+            "PLAN000", Severity.ERROR,
+            f"bytes_per_elem must be positive, got {plan.bytes_per_elem!r}",
+        )
+    total = 0
+    seen_payloads: list = []
+    for index, entry in enumerate(plan.entries):
+        total += entry.count
+        if entry.count < 1:
+            yield Finding(
+                "PLAN000", Severity.ERROR,
+                f"entry repeats {entry.count} times (must be >= 1)",
+                step_index=index,
+            )
+        if entry.n_transfers < 0:
+            yield Finding(
+                "PLAN000", Severity.ERROR,
+                f"entry has negative transfer count {entry.n_transfers}",
+                step_index=index,
+            )
+        if entry.replay and not any(p == entry.payload for p in seen_payloads):
+            yield Finding(
+                "PLAN000", Severity.ERROR,
+                "entry is marked replay but no earlier entry priced its pattern",
+                step_index=index,
+            )
+        seen_payloads.append(entry.payload)
+    if total != plan.n_steps:
+        yield Finding(
+            "PLAN000", Severity.ERROR,
+            f"entry counts sum to {total} but the plan declares "
+            f"{plan.n_steps} steps",
+        )
+    schedule = ctx.schedule
+    if schedule is not None:
+        if schedule.n_steps != plan.n_steps:
+            # Builders that declare their profile approximate (H-Ring's
+            # wavelength-serialized closed form) get a warning, not an
+            # error — the discrepancy is documented model behavior.
+            exact = schedule.meta.get("profile_exact", True)
+            yield Finding(
+                "PLAN000",
+                Severity.ERROR if exact else Severity.WARNING,
+                f"plan covers {plan.n_steps} steps but the schedule has "
+                f"{schedule.n_steps}"
+                + ("" if exact else " (profile declared approximate)"),
+            )
+        if schedule.algorithm != plan.algorithm:
+            yield Finding(
+                "PLAN000", Severity.ERROR,
+                f"plan algorithm {plan.algorithm!r} != schedule algorithm "
+                f"{schedule.algorithm!r}",
+            )
+        # Per-entry profile correspondence holds for the pattern-lowering
+        # backends; the analytic backend legitimately re-compresses the
+        # profile into closed-form step classes.
+        if plan.backend != "analytic" and len(schedule.timing_profile) != len(
+            plan.entries
+        ):
+            yield Finding(
+                "PLAN000", Severity.ERROR,
+                f"plan has {len(plan.entries)} entries but the schedule "
+                f"profile has {len(schedule.timing_profile)}",
+            )
+
+
+@register_rule(
+    "PLAN001", "no two circuits share a channel segment", needs=("circuits",)
+)
+def rule_wavelength_conflicts(ctx: CheckContext) -> Iterator[Finding]:
+    """WDM exclusivity: interval analysis per (direction, fiber, λ)."""
+    for index, rounds in sorted(ctx.circuit_rounds.items()):
+        for round_no, circuits in enumerate(rounds):
+            for conflict in circuit_conflicts(circuits):
+                yield Finding(
+                    "PLAN001", Severity.ERROR,
+                    f"round {round_no}: {describe_conflict(conflict)}",
+                    step_index=index,
+                    details={"round": round_no},
+                )
+
+
+@register_rule(
+    "PLAN002", "node Tx/Rx usage fits the MRR port budget", needs=("circuits",)
+)
+def rule_port_budget(ctx: CheckContext) -> Iterator[Finding]:
+    """Per-node transceiver limits (two Tx/Rx sets, one MRR per λ)."""
+    mrrs = ctx.mrrs_per_interface
+    if mrrs is None:
+        yield Finding(
+            "PLAN002", Severity.INFO,
+            "skipped: no MRR capacity known (provide config or "
+            "mrrs_per_interface)",
+        )
+        return
+    for index, rounds in sorted(ctx.circuit_rounds.items()):
+        for round_no, circuits in enumerate(rounds):
+            assignments = [
+                (c.transfer, c.route, c.fiber, c.wavelength) for c in circuits
+            ]
+            for message in node_violations(assignments, mrrs_per_interface=mrrs):
+                yield Finding(
+                    "PLAN002", Severity.ERROR,
+                    f"round {round_no}: {message}",
+                    step_index=index,
+                    details={"round": round_no},
+                )
+
+
+@register_rule(
+    "PLAN003", "every rank ends holding the full reduced gradient", needs=("steps",)
+)
+def rule_dataflow_conservation(ctx: CheckContext) -> Iterator[Finding]:
+    """Symbolic chunk-dataflow conservation over the materialized steps.
+
+    Tracks, per node and element interval, the *set of ranks* whose
+    contribution that interval currently holds. ``copy`` overwrites,
+    ``sum`` unions — and a union that brings in a rank the destination
+    already holds is a double count (set algebra plus the no-duplicate
+    check makes the sets a faithful multiset abstraction). The All-reduce
+    postcondition is then: every node uniformly holds the full rank set.
+    """
+    schedule = ctx.schedule
+    work = sum(len(step.transfers) for step in schedule.steps)
+    if work > ctx.dataflow_size_limit:
+        yield Finding(
+            "PLAN003", Severity.INFO,
+            f"skipped: schedule has {work} transfers "
+            f"(> limit {ctx.dataflow_size_limit})",
+        )
+        return
+    n, total = schedule.n_nodes, schedule.total_elems
+    held = [IntervalSetMap(total=total, initial=frozenset({i})) for i in range(n)]
+    emitted = 0
+    for step_no, step in enumerate(schedule.steps):
+        # Bulk-synchronous: snapshot all reads before any write lands.
+        reads = [
+            (t, held[t.src].slice(t.lo, t.hi))
+            for t in step.transfers
+            if t.n_elems > 0
+        ]
+        for t, pieces in reads:
+            if t.op == "copy":
+                held[t.dst].overwrite(t.lo, t.hi, pieces)
+        for t, pieces in reads:
+            if t.op != "sum":
+                continue
+            for lo, hi, dup in held[t.dst].union(t.lo, t.hi, pieces):
+                if emitted < 16:
+                    yield Finding(
+                        "PLAN003", Severity.ERROR,
+                        f"node {t.dst} double-counts contribution(s) "
+                        f"{sorted(dup)} over [{lo}, {hi}) "
+                        f"(sum from node {t.src})",
+                        step_index=step_no,
+                    )
+                emitted += 1
+    expected = frozenset(range(n))
+    for node in range(n):
+        value = held[node].uniform_value()
+        if value == expected:
+            continue
+        sample = held[node].slice(0, total)
+        lo, hi, got = next(
+            ((lo, hi, v) for lo, hi, v in sample if v != expected),
+            (0, total, value or frozenset()),
+        )
+        missing = sorted(expected - got)[:8]
+        extra = sorted(got - expected)[:8]
+        parts = []
+        if missing:
+            parts.append(f"missing contributions from ranks {missing}")
+        if extra:
+            parts.append(f"unexpected ranks {extra}")
+        yield Finding(
+            "PLAN003", Severity.ERROR,
+            f"node {node} ends with incomplete reduction over [{lo}, {hi}): "
+            + "; ".join(parts),
+            details={"node": node},
+        )
+
+
+@register_rule("PLAN004", "step total matches the closed forms (Eqs 5/6)")
+def rule_step_count(ctx: CheckContext) -> Iterator[Finding]:
+    """Conformance against Table 1 / Eq 5–6 closed-form step counts."""
+    algo, n = ctx.algorithm, ctx.n_nodes
+    if algo is None or n is None:
+        return
+    actual = ctx.plan.n_steps if ctx.plan is not None else ctx.schedule.n_steps
+    if n == 1:
+        if actual != 0:
+            yield Finding(
+                "PLAN004", Severity.ERROR,
+                f"single-node schedule must have 0 steps, has {actual}",
+            )
+        return
+    expected: int | None = None
+    source = ""
+    if algo == "ring":
+        expected, source = ring_steps(n), "2(N-1)"
+    elif algo == "bt":
+        expected, source = bt_steps(n), "2⌈log2 N⌉"
+    elif algo == "rd":
+        if ctx.schedule is None:
+            yield Finding(
+                "PLAN004", Severity.INFO,
+                "skipped: RD variant unknown without the schedule",
+            )
+            return
+        variant = ctx.schedule.meta.get("variant", "doubling")
+        expected, source = rd_steps(n, variant=variant), f"RD[{variant}]"
+    elif algo == "wrht":
+        plan = ctx.wrht_plan
+        if plan is None:
+            yield Finding(
+                "PLAN004", Severity.INFO,
+                "skipped: WRHT plan metadata unavailable",
+            )
+            return
+        closed = wrht_steps(n, plan.m, plan.n_wavelengths)
+        if plan.theta != closed:
+            yield Finding(
+                "PLAN004", Severity.ERROR,
+                f"WRHT plan declares θ={plan.theta} but the Eq 5/6 closed "
+                f"form gives {closed} (N={n}, m={plan.m}, "
+                f"w={plan.n_wavelengths})",
+            )
+        expected, source = plan.theta, "θ=2⌈log_m N⌉ (−1 with all-to-all)"
+    elif algo == "hring":
+        yield Finding(
+            "PLAN004", Severity.INFO,
+            "skipped: the H-Ring closed form counts wavelength-serialized "
+            "rounds, not schedule steps",
+        )
+        return
+    else:
+        return
+    if expected is not None and actual != expected:
+        yield Finding(
+            "PLAN004", Severity.ERROR,
+            f"{algo} covers {actual} steps but the closed form {source} "
+            f"gives {expected} for N={n}",
+        )
+
+
+@register_rule("PLAN005", "wavelength and physical-layer budgets hold", needs=("plan",))
+def rule_feasibility(ctx: CheckContext) -> Iterator[Finding]:
+    """Wavelength budget, Lemma 1 group size, and phy Eqs 7–13."""
+    plan = ctx.plan
+    budget = ctx.config.n_wavelengths if ctx.config is not None else None
+    if budget is not None:
+        for index, entry in enumerate(plan.entries):
+            rounds = entry.payload if isinstance(entry.payload, tuple) else ()
+            for round_no, rnd in enumerate(rounds):
+                peak = getattr(rnd, "peak_wavelength", None)
+                if peak is not None and peak > budget:
+                    yield Finding(
+                        "PLAN005", Severity.ERROR,
+                        f"round {round_no} uses wavelength index "
+                        f"{peak - 1} but the fiber carries only {budget}",
+                        step_index=index,
+                        details={"round": round_no},
+                    )
+    wrht = ctx.wrht_plan
+    n = ctx.n_nodes
+    if wrht is not None and n is not None:
+        if wrht.m > n:
+            yield Finding(
+                "PLAN005", Severity.ERROR,
+                f"group size m={wrht.m} exceeds the ring size N={n}",
+            )
+        lemma_cap = optimal_group_size(wrht.n_wavelengths)
+        if wrht.m > lemma_cap:
+            yield Finding(
+                "PLAN005", Severity.ERROR,
+                f"group size m={wrht.m} exceeds Lemma 1's cap 2w+1="
+                f"{lemma_cap} for w={wrht.n_wavelengths}",
+            )
+        if wrht.peak_wavelengths > wrht.n_wavelengths:
+            yield Finding(
+                "PLAN005", Severity.ERROR,
+                f"plan demands {wrht.peak_wavelengths} wavelengths but "
+                f"budgets only {wrht.n_wavelengths}",
+            )
+        if budget is not None and wrht.n_wavelengths > budget:
+            yield Finding(
+                "PLAN005", Severity.ERROR,
+                f"plan was computed for w={wrht.n_wavelengths} but the "
+                f"substrate carries {budget} wavelengths",
+            )
+        if ctx.phy is not None:
+            try:
+                m_cap = max_group_size(n, ctx.phy, w=wrht.n_wavelengths)
+            except ValueError as exc:
+                yield Finding("PLAN005", Severity.ERROR, str(exc))
+            else:
+                if wrht.m > m_cap:
+                    yield Finding(
+                        "PLAN005", Severity.ERROR,
+                        f"group size m={wrht.m} exceeds the physical-layer "
+                        f"maximum m'={m_cap} (Eqs 7–13)",
+                    )
+    if ctx.phy is not None and ctx.circuit_rounds:
+        seen_routes: set = set()
+        for index, rounds in sorted(ctx.circuit_rounds.items()):
+            for circuits in rounds:
+                for circuit in circuits:
+                    key = (circuit.route.direction, len(circuit.route.segments))
+                    if key in seen_routes:
+                        continue
+                    seen_routes.add(key)
+                    yield from route_phy_findings(
+                        circuit.route, ctx.phy, step_index=index
+                    )
+
+
+@register_rule(
+    "PLAN006", "no order-dependent writes within a step", needs=("schedule",)
+)
+def rule_write_conflicts(ctx: CheckContext) -> Iterator[Finding]:
+    """Order-dependence audit over the profile's representative steps."""
+    from repro.collectives.verify import step_write_conflicts
+
+    for index, (step, _count) in enumerate(ctx.profile()):
+        for conflict in step_write_conflicts(step):
+            first, second = conflict.first, conflict.second
+            yield Finding(
+                "PLAN006", Severity.ERROR,
+                f"writes [{first.lo},{first.hi}):{first.owner.op} and "
+                f"[{second.lo},{second.hi}):{second.owner.op} into node "
+                f"{conflict.resource} are order-dependent",
+                step_index=index,
+            )
+
+
+def iter_rule_docs() -> Iterable[tuple[str, str]]:
+    """``(rule_id, title)`` pairs for the registered plan rules (docs/CLI)."""
+    from repro.check.engine import all_rules
+
+    return [(rule.rule_id, rule.title) for rule in all_rules()]

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Literal, Sequence
 
+from repro.check.intervals import Claim
 from repro.util.validation import check_positive_int
 
 Op = Literal["sum", "copy"]
@@ -67,6 +68,23 @@ class Transfer:
     def n_elems(self) -> int:
         """Number of vector elements moved."""
         return self.hi - self.lo
+
+    def write_claim(self) -> Claim:
+        """This transfer's destination write as an interval claim.
+
+        The claim resource is the destination node; ``sum`` writes are
+        combinable (they commute), ``copy`` writes are exclusive. The
+        shared interval engine (:mod:`repro.check.intervals`) consumes
+        these for conflict detection in the numerical executor and the
+        static plan verifier alike.
+        """
+        return Claim(
+            resource=self.dst,
+            lo=self.lo,
+            hi=self.hi,
+            owner=self,
+            combinable=self.op == "sum",
+        )
 
 
 @dataclass(frozen=True)
@@ -108,6 +126,26 @@ class CommStep:
         ``c`` costs the same as one moving chunk ``c+1``.
         """
         return tuple(sorted((t.src, t.dst, t.n_elems, t.op) for t in self.transfers))
+
+    def write_claims(self) -> list[Claim]:
+        """Dataflow metadata: every non-empty transfer's destination claim.
+
+        The static verifier's conflict and conservation rules consume this
+        instead of re-deriving write sets from raw transfers.
+        """
+        return [t.write_claim() for t in self.transfers if t.n_elems > 0]
+
+    def reads_by_node(self) -> dict[int, list[Transfer]]:
+        """Dataflow metadata: transfers grouped by the node they read from.
+
+        All reads observe pre-step state (bulk-synchronous semantics), so
+        this grouping fully describes what a step consumes.
+        """
+        by_src: dict[int, list[Transfer]] = {}
+        for t in self.transfers:
+            if t.n_elems > 0:
+                by_src.setdefault(t.src, []).append(t)
+        return by_src
 
 
 @dataclass

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check.intervals import Conflict, find_conflicts
 from repro.collectives.base import CommStep, Schedule
 
 
@@ -26,23 +27,34 @@ class ScheduleConflictError(ValueError):
     """A step contains order-dependent writes to one destination range."""
 
 
+def step_write_conflicts(step: CommStep, first_only: bool = False) -> list[Conflict]:
+    """Order-dependent write overlaps within one step.
+
+    Destination writes become interval claims on the destination node
+    (``sum`` writes are combinable, ``copy`` writes exclusive) and run
+    through the shared interval engine — the same analysis the optical
+    circuit validator and the :mod:`repro.check` plan rules use.
+    """
+    return find_conflicts(
+        [c for t in step.transfers if t.n_elems > 0 for c in [t.write_claim()]],
+        first_only=first_only,
+    )
+
+
 def check_step_conflicts(step: CommStep) -> None:
-    """Reject steps whose outcome would depend on transfer ordering."""
-    # Map destination -> list of (lo, hi, op); overlapping ranges conflict
-    # unless every writer is a commutative "sum".
-    by_dst: dict[int, list[tuple[int, int, str]]] = {}
-    for t in step.transfers:
-        if t.n_elems == 0:
-            continue
-        by_dst.setdefault(t.dst, []).append((t.lo, t.hi, t.op))
-    for dst, writes in by_dst.items():
-        writes.sort()
-        for (lo1, hi1, op1), (lo2, hi2, op2) in zip(writes, writes[1:]):
-            if lo2 < hi1 and not (op1 == "sum" and op2 == "sum"):
-                raise ScheduleConflictError(
-                    f"step writes ranges [{lo1},{hi1}):{op1} and "
-                    f"[{lo2},{hi2}):{op2} into node {dst}; ordering would matter"
-                )
+    """Reject steps whose outcome would depend on transfer ordering.
+
+    Thin raising wrapper over :func:`step_write_conflicts` (the shared
+    interval-engine implementation).
+    """
+    conflicts = step_write_conflicts(step, first_only=True)
+    if conflicts:
+        first, second = conflicts[0].first, conflicts[0].second
+        raise ScheduleConflictError(
+            f"step writes ranges [{first.lo},{first.hi}):"
+            f"{first.owner.op} and [{second.lo},{second.hi}):{second.owner.op} "
+            f"into node {conflicts[0].resource}; ordering would matter"
+        )
 
 
 def run_schedule(schedule: Schedule, buffers: np.ndarray, check: bool = True) -> np.ndarray:

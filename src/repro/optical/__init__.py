@@ -16,9 +16,9 @@ Modules:
 - :mod:`~repro.optical.rwa` — routing and wavelength assignment
   (First-Fit / Random-Fit) over integer segment bitmasks, with exact
   segment-conflict checking.
-- :mod:`~repro.optical.plancache` — bounded LRU of priced step plans shared
+- :mod:`~repro.backend.plancache` — bounded LRU of priced step plans shared
   across executors and ``execute()`` calls (cross-run sweeps reuse RWA
-  results bit-exactly).
+  results bit-exactly); ``repro.optical.plancache`` is a deprecated alias.
 - :mod:`~repro.optical.circuit` — established circuits and conflict
   validation helpers used by the tests.
 - :mod:`~repro.optical.phy` — per-path insertion-loss/crosstalk checks.
@@ -34,7 +34,7 @@ from repro.optical.rwa import (
     assign_wavelengths,
     plan_rounds,
 )
-from repro.optical.plancache import (
+from repro.backend.plancache import (
     CachedRound,
     PlanCache,
     PlanCacheCounters,

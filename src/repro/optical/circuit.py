@@ -4,12 +4,19 @@ The executor turns each (transfer, route, channel) triple of a round into a
 :class:`Circuit` record. Circuits are the unit the test suite audits: within
 one round, no two circuits on the same (direction, fiber, wavelength) may
 share a segment — the defining property of circuit-switched WDM.
+
+Conflict detection is the segment×direction×wavelength interval analysis of
+:mod:`repro.check.intervals` (each crossed segment is a unit interval on
+the circuit's channel resource); :func:`validate_no_conflicts` is the thin
+raising wrapper the executors call, and the plan verifier consumes the same
+:func:`circuit_conflicts` as findings.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.check.intervals import Claim, Conflict, find_conflicts
 from repro.collectives.base import Transfer
 from repro.optical.topology import Route
 
@@ -50,22 +57,57 @@ class Circuit:
         return (self.route.direction.value, self.fiber, self.wavelength)
 
 
+def circuit_claims(circuits: list[Circuit]) -> list[Claim]:
+    """One exclusive unit-interval claim per crossed segment per circuit.
+
+    The claim resource is the WDM channel ``(direction, fiber,
+    wavelength)``; segment ``s`` becomes the unit interval ``[s, s+1)``.
+    Circuits are never combinable — any overlap is a conflict.
+    """
+    return [
+        Claim(
+            resource=circuit.channel,
+            lo=segment,
+            hi=segment + 1,
+            owner=circuit,
+            combinable=False,
+        )
+        for circuit in circuits
+        for segment in circuit.route.segments
+    ]
+
+
+def circuit_conflicts(
+    circuits: list[Circuit], first_only: bool = False
+) -> list[Conflict]:
+    """Segment-exclusivity conflicts among one round's circuits.
+
+    The shared implementation behind :func:`validate_no_conflicts` (raises)
+    and the plan verifier's wavelength-conflict rule (reports findings).
+    """
+    return find_conflicts(circuit_claims(circuits), first_only=first_only)
+
+
+def describe_conflict(conflict: Conflict) -> str:
+    """Human-readable rendering of one circuit conflict."""
+    first: Circuit = conflict.first.owner
+    second: Circuit = conflict.second.owner
+    return (
+        f"circuits {first.transfer.src}->{first.transfer.dst} and "
+        f"{second.transfer.src}->{second.transfer.dst} share "
+        f"segment {conflict.first.lo} on channel {second.channel}"
+    )
+
+
 def validate_no_conflicts(circuits: list[Circuit]) -> None:
     """Assert segment-exclusivity of one round's circuits.
+
+    Thin wrapper over :func:`circuit_conflicts` kept as the executors'
+    runtime entry point.
 
     Raises:
         CircuitConflictError: naming the first offending pair.
     """
-    seen: dict[tuple[str, int, int, int], Circuit] = {}
-    for circuit in circuits:
-        direction, fiber, wavelength = circuit.channel
-        for segment in circuit.route.segments:
-            key = (direction, fiber, wavelength, segment)
-            other = seen.get(key)
-            if other is not None:
-                raise CircuitConflictError(
-                    f"circuits {other.transfer.src}->{other.transfer.dst} and "
-                    f"{circuit.transfer.src}->{circuit.transfer.dst} share "
-                    f"segment {segment} on channel {circuit.channel}"
-                )
-            seen[key] = circuit
+    conflicts = circuit_conflicts(circuits, first_only=True)
+    if conflicts:
+        raise CircuitConflictError(describe_conflict(conflicts[0]))

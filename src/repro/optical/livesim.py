@@ -113,7 +113,7 @@ class LiveOpticalSimulation:
             start = sim.now
             for key in keys:
                 yield channel(key).acquire()
-            if sim.now != start:
+            if sim.now > start:
                 raise ChannelBlockedError(
                     f"circuit {circuit.transfer.src}->{circuit.transfer.dst} "
                     "blocked acquiring its channel — RWA conflict"

@@ -191,6 +191,11 @@ class OpticalRingNetwork:
                     replay=replay,
                 )
             )
+        meta: dict = {}
+        if schedule.meta.get("plan") is not None:
+            # Carried so the static verifier (repro.check) can audit group
+            # size / step count from the lowered plan alone.
+            meta["wrht_plan"] = schedule.meta["plan"]
         return LoweredPlan(
             backend=BACKEND_NAME,
             algorithm=schedule.algorithm,
@@ -199,6 +204,7 @@ class OpticalRingNetwork:
             bytes_per_elem=bytes_per_elem,
             entries=tuple(entries),
             cache=counters,
+            meta=meta,
         )
 
     def execute_plan(self, plan: LoweredPlan) -> OpticalRunResult:
@@ -274,17 +280,22 @@ class OpticalRingNetwork:
         return routes
 
     def plan_step_rounds(
-        self, step: CommStep, bytes_per_elem: float
+        self, step: CommStep, bytes_per_elem: float, validate: bool | None = None
     ) -> list[list[Circuit]]:
         """Route, wavelength-assign and circuit-ify one step's rounds.
 
-        Shared by the lowering path below and the live event-driven
-        simulation (:mod:`repro.optical.livesim`), so both views of a step
-        have the identical round structure.
+        Shared by the lowering path below, the live event-driven simulation
+        (:mod:`repro.optical.livesim`) and the static plan verifier
+        (:mod:`repro.check`), so every view of a step has the identical
+        round structure. ``validate`` overrides the instance-level runtime
+        validation flag — the verifier passes ``False`` so that defects
+        surface as findings instead of exceptions.
         """
+        if validate is None:
+            validate = self.validate
         transfers = list(step.transfers)
         routes = self._route_step(step)
-        if self.config.phy is not None:
+        if validate and self.config.phy is not None:
             for route in routes:
                 validate_route_phy(route, self.config.phy)
         rounds = plan_rounds(
@@ -309,7 +320,7 @@ class OpticalRingNetwork:
                         duration=self._cost.payload_time(payload),
                     )
                 )
-            if self.validate:
+            if validate:
                 validate_no_conflicts(circuits)
                 validate_node_constraints(
                     [(c.transfer, c.route, c.fiber, c.wavelength) for c in circuits],

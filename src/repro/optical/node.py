@@ -64,20 +64,21 @@ class NodeConstraintError(ValueError):
     """A round violates a node's transceiver limits."""
 
 
-def validate_node_constraints(
+def node_violations(
     assignments: list[tuple[Transfer, Route, int, int]],
     mrrs_per_interface: int = 64,
-) -> None:
-    """Check one round's channel assignments against node hardware limits.
+) -> list[str]:
+    """One round's node-hardware violations as messages (empty = clean).
+
+    The shared implementation behind :func:`validate_node_constraints`
+    (raising runtime check) and the PLAN002 port-budget rule in
+    :mod:`repro.check.plan_rules`.
 
     Args:
         assignments: ``(transfer, route, fiber, wavelength)`` per circuit.
         mrrs_per_interface: Wavelength capacity of one Tx/Rx set.
-
-    Raises:
-        NodeConstraintError: on duplicate wavelengths per (node, direction,
-            fiber, role) or on exceeding the MRR count.
     """
+    violations: list[str] = []
     tx_channels: dict[tuple[int, str, int], set[int]] = {}
     rx_channels: dict[tuple[int, str, int], set[int]] = {}
     for transfer, route, fiber, wavelength in assignments:
@@ -85,14 +86,14 @@ def validate_node_constraints(
         rx_key = (transfer.dst, route.direction.value, fiber)
         tx_used = tx_channels.setdefault(tx_key, set())
         if wavelength in tx_used:
-            raise NodeConstraintError(
+            violations.append(
                 f"node {transfer.src} transmits twice on wavelength "
                 f"{wavelength} ({route.direction.value}, fiber {fiber})"
             )
         tx_used.add(wavelength)
         rx_used = rx_channels.setdefault(rx_key, set())
         if wavelength in rx_used:
-            raise NodeConstraintError(
+            violations.append(
                 f"node {transfer.dst} receives twice on wavelength "
                 f"{wavelength} ({route.direction.value}, fiber {fiber})"
             )
@@ -100,8 +101,26 @@ def validate_node_constraints(
     for label, table in (("transmit", tx_channels), ("receive", rx_channels)):
         for (node, direction, fiber), used in table.items():
             if len(used) > mrrs_per_interface:
-                raise NodeConstraintError(
+                violations.append(
                     f"node {node} drives {len(used)} {label} wavelengths "
                     f"({direction}, fiber {fiber}) but has only "
                     f"{mrrs_per_interface} MRRs"
                 )
+    return violations
+
+
+def validate_node_constraints(
+    assignments: list[tuple[Transfer, Route, int, int]],
+    mrrs_per_interface: int = 64,
+) -> None:
+    """Check one round's channel assignments against node hardware limits.
+
+    Thin raising wrapper over :func:`node_violations`.
+
+    Raises:
+        NodeConstraintError: on duplicate wavelengths per (node, direction,
+            fiber, role) or on exceeding the MRR count.
+    """
+    violations = node_violations(assignments, mrrs_per_interface=mrrs_per_interface)
+    if violations:
+        raise NodeConstraintError(violations[0])

@@ -57,9 +57,14 @@ def max_feasible_hops(params: OpticalPhyParams, upper: int = 1 << 20) -> int:
 
 
 def validate_route_phy(route: Route, params: OpticalPhyParams) -> None:
-    """Raise :class:`PhyViolationError` if ``route`` exceeds the budget."""
-    if not path_feasible(route.hops, params):
-        raise PhyViolationError(
-            f"route of {route.hops} hops ({route.direction.value}) violates "
-            "the optical loss/BER budget"
-        )
+    """Raise :class:`PhyViolationError` if ``route`` exceeds the budget.
+
+    Thin raising wrapper over the static rule implementation
+    (:func:`repro.check.plan_rules.route_phy_findings`) so the executor's
+    runtime check and the plan verifier can never disagree.
+    """
+    from repro.check.plan_rules import route_phy_findings
+
+    findings = route_phy_findings(route, params)
+    if findings:
+        raise PhyViolationError(findings[0].message)

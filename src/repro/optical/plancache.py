@@ -3,16 +3,27 @@
 The cross-run plan cache debuted here (PR 1) scoped to the optical
 executors; the unified backend layer moved it behind the shared ``lower()``
 seam so the electrical and analytic backends reuse it. This module
-re-exports the public names so existing imports keep working.
+re-exports the public names so existing imports keep working, but is
+deprecated: import from :mod:`repro.backend.plancache` instead (the REP004
+lint rule enforces this inside the repo).
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.backend.plancache import (
     CachedRound,
     PlanCache,
     PlanCacheCounters,
     default_plan_cache,
+)
+
+warnings.warn(
+    "repro.optical.plancache is deprecated; import from "
+    "repro.backend.plancache instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

@@ -6,6 +6,7 @@ Commands mirror the deliverables:
 - ``fig4``/``fig5``/``fig6``/``fig7`` — regenerate one figure's series.
 - ``plan``                — show the WRHT plan for an (N, w) pair.
 - ``verify``              — numerically verify an algorithm's schedule.
+- ``check``               — statically verify golden plans / run the lint.
 - ``all``                 — everything above at paper defaults.
 """
 
@@ -149,6 +150,12 @@ def _cmd_show(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.check.cli import main as check_main
+
+    return check_main(["check", *args.rest])
+
+
 def _cmd_report(args) -> int:
     from repro.runner.results import write_report
 
@@ -207,6 +214,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wavelengths", type=int, default=2)
     p.set_defaults(fn=_cmd_show)
 
+    p = sub.add_parser(
+        "check",
+        help="statically verify golden plans (repro.check)",
+        add_help=False,
+    )
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+    p.set_defaults(fn=_cmd_check)
+
     p = sub.add_parser("report", help="write a markdown results document")
     _add_common(p)
     p.add_argument("--output", default="RESULTS.md")
@@ -222,6 +237,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point (``wrht-repro`` console script)."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["check"]:
+        # Forward verbatim: argparse REMAINDER drops leading optionals, so
+        # the check subcommand's flags are parsed by its own parser.
+        # ``check lint …`` selects that parser's lint subcommand.
+        from repro.check.cli import main as check_main
+
+        if argv[1:2] == ["lint"]:
+            return check_main(argv[1:])
+        return check_main(argv)
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

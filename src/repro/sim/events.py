@@ -26,6 +26,10 @@ class Interrupted(Exception):
         super().__init__(cause)
         self.cause = cause
 
+    def __reduce__(self):
+        """Pickle support: rebuild from the cause (sweep workers)."""
+        return (type(self), (self.cause,))
+
 
 class Event:
     """A one-shot occurrence that callbacks/processes can wait on."""

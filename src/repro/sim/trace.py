@@ -61,3 +61,18 @@ class Tracer:
 
 NULL_TRACER = Tracer(enabled=False)
 """A shared disabled tracer used as the default everywhere."""
+
+TRACE_EVENTS: frozenset[str] = frozenset(
+    {
+        "electrical.step",
+        "optical.live.round",
+        "optical.round",
+        "optical.step_cached",
+    }
+)
+"""Every trace category the substrates emit.
+
+The registry of record: tests filter on these names, and the REP005 lint
+rule flags any ``tracer.emit(time, "name", ...)`` whose literal category is
+absent here — add new categories to this set when introducing them.
+"""

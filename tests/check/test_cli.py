@@ -1,0 +1,53 @@
+"""The ``repro check`` CLI: golden-cell enumeration and end-to-end runs."""
+
+import pytest
+
+from repro.check.cli import build_parser, golden_cells, main
+
+
+class TestGoldenCells:
+    def test_every_figure_enumerates(self):
+        for fig in ("fig4", "fig5", "fig6", "fig7"):
+            cells = golden_cells(fig)
+            assert cells, fig
+            for cell in cells:
+                assert cell["algo"]
+                assert cell["n"] >= 2
+                assert cell["w"] >= 1
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            golden_cells("fig99")
+
+
+class TestCheckCommand:
+    def test_fig5_analytic_verifies_clean(self, capsys):
+        assert main(
+            ["check", "--fig", "fig5", "--backend", "analytic", "-v"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "clean" in out
+        assert "FAIL" not in out
+
+    def test_fig7_electrical_verifies_clean(self, capsys):
+        assert main(["check", "--fig", "fig7", "--backend", "electrical"]) == 0
+        assert "FAIL" not in capsys.readouterr().out
+
+    def test_lint_subcommand_clean_on_src(self):
+        assert main(["lint", "src"]) == 0
+
+
+class TestParser:
+    def test_default_backend_is_optical(self):
+        args = build_parser().parse_args(["check"])
+        assert args.backend == "optical"
+
+    def test_runner_cli_forwards_check(self, capsys):
+        from repro.runner.cli import main as runner_main
+
+        code = runner_main(
+            ["check", "--fig", "fig5", "--backend", "analytic"]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Rule registry, findings model, and the verify_plan entry point."""
+
+import pickle
+
+import pytest
+
+from repro.check import Finding, Severity
+from repro.check.context import CheckContext
+from repro.check.engine import (
+    PlanVerificationError,
+    all_rules,
+    get_rule,
+    run_rules,
+    verify_plan,
+)
+from repro.collectives import build_schedule
+
+
+class TestRegistry:
+    def test_catalog_registers_plan_rules(self):
+        ids = [r.rule_id for r in all_rules()]
+        for expected in (
+            "PLAN000", "PLAN001", "PLAN002", "PLAN003",
+            "PLAN004", "PLAN005", "PLAN006",
+        ):
+            assert expected in ids
+        assert ids == sorted(ids)
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(KeyError, match="unknown rule"):
+            get_rule("PLAN999")
+
+    def test_rules_declare_needs(self):
+        assert "circuits" in get_rule("PLAN001").needs
+        assert "steps" in get_rule("PLAN003").needs
+
+
+class TestFindings:
+    def test_render_includes_rule_and_severity(self):
+        f = Finding("PLAN001", Severity.ERROR, "boom", step_index=3)
+        text = f.render()
+        assert "PLAN001" in text and "error" in text and "boom" in text
+
+    def test_to_dict_round_trips_fields(self):
+        f = Finding("REP001", Severity.WARNING, "msg", location="a.py:7")
+        d = f.to_dict()
+        assert d["rule_id"] == "REP001"
+        assert d["severity"] == "warning"
+        assert d["location"] == "a.py:7"
+
+
+class TestVerifyPlan:
+    def test_clean_schedule_only_context(self):
+        sched = build_schedule("ring", 8, 64, materialize=True)
+        findings = verify_plan(schedule=sched)
+        assert not [f for f in findings if f.severity is Severity.ERROR]
+
+    def test_rules_skip_when_context_lacks_needs(self):
+        sched = build_schedule("ring", 8, 64, materialize=False)
+        ctx = CheckContext(schedule=sched)
+        # Circuit rules must not run without circuits.
+        findings = run_rules(ctx, rule_ids=["PLAN001", "PLAN002"])
+        assert findings == []
+
+    def test_error_raises_with_findings_attached(self):
+        sched = build_schedule("ring", 8, 64, materialize=False)
+        # Drop one profile entry: the ring closed form no longer matches.
+        step, count = sched.timing_profile[-1]
+        sched.timing_profile[-1] = (step, count - 1)
+        with pytest.raises(PlanVerificationError) as excinfo:
+            verify_plan(schedule=sched, raise_on_error=True)
+        assert any(f.rule_id == "PLAN004" for f in excinfo.value.findings)
+
+    def test_verification_error_pickles(self):
+        err = PlanVerificationError(
+            [Finding("PLAN004", Severity.ERROR, "mismatch")]
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.findings[0].rule_id == "PLAN004"

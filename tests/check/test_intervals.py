@@ -1,0 +1,100 @@
+"""The shared interval engine: claims, conflicts, and the set-interval map."""
+
+import pytest
+
+from repro.check.intervals import Claim, IntervalSetMap, find_conflicts
+
+
+class TestClaim:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError, match="empty claim interval"):
+            Claim(resource="r", lo=5, hi=5)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError, match="empty claim interval"):
+            Claim(resource="r", lo=7, hi=3)
+
+
+class TestFindConflicts:
+    def test_disjoint_claims_clean(self):
+        claims = [Claim("r", 0, 5), Claim("r", 5, 10), Claim("r", 10, 12)]
+        assert find_conflicts(claims) == []
+
+    def test_different_resources_never_conflict(self):
+        claims = [Claim("a", 0, 10), Claim("b", 0, 10)]
+        assert find_conflicts(claims) == []
+
+    def test_overlap_reported_with_interval(self):
+        first, second = Claim("r", 0, 6), Claim("r", 4, 10)
+        (conflict,) = find_conflicts([first, second])
+        assert conflict.resource == "r"
+        assert conflict.overlap == (4, 6)
+
+    def test_two_combinable_claims_coexist(self):
+        claims = [
+            Claim("r", 0, 8, combinable=True),
+            Claim("r", 4, 10, combinable=True),
+        ]
+        assert find_conflicts(claims) == []
+
+    def test_combinable_vs_exclusive_conflicts(self):
+        claims = [Claim("r", 0, 8, combinable=True), Claim("r", 4, 10)]
+        assert len(find_conflicts(claims)) == 1
+
+    def test_first_only_stops_early(self):
+        claims = [Claim("r", 0, 10), Claim("r", 1, 9), Claim("r", 2, 8)]
+        assert len(find_conflicts(claims, first_only=True)) == 1
+        assert len(find_conflicts(claims)) == 3
+
+    def test_owner_echoed_back(self):
+        first = Claim("r", 0, 5, owner="alpha")
+        second = Claim("r", 3, 8, owner="beta")
+        (conflict,) = find_conflicts([first, second])
+        assert {conflict.first.owner, conflict.second.owner} == {"alpha", "beta"}
+
+
+class TestIntervalSetMap:
+    def test_initial_uniform(self):
+        m = IntervalSetMap(total=10, initial=frozenset({3}))
+        assert m.uniform_value() == frozenset({3})
+
+    def test_overwrite_replaces_range(self):
+        m = IntervalSetMap(total=10, initial=frozenset({0}))
+        m.overwrite(2, 6, [(2, 6, frozenset({1}))])
+        assert m.values_over(0, 2) == [frozenset({0})]
+        assert m.values_over(2, 6) == [frozenset({1})]
+        assert m.uniform_value() is None
+
+    def test_union_merges_sets(self):
+        m = IntervalSetMap(total=10, initial=frozenset({0}))
+        dups = m.union(0, 10, [(0, 10, frozenset({1}))])
+        assert dups == []
+        assert m.uniform_value() == frozenset({0, 1})
+
+    def test_union_reports_duplicate_contribution(self):
+        m = IntervalSetMap(total=10, initial=frozenset({0, 1}))
+        dups = m.union(2, 8, [(2, 8, frozenset({1, 2}))])
+        assert dups == [(2, 8, frozenset({1}))]
+        assert m.values_over(2, 8) == [frozenset({0, 1, 2})]
+
+    def test_adjacent_equal_runs_merge(self):
+        m = IntervalSetMap(total=10, initial=frozenset({0}))
+        m.overwrite(0, 5, [(0, 5, frozenset({9}))])
+        m.overwrite(5, 10, [(5, 10, frozenset({9}))])
+        assert m.uniform_value() == frozenset({9})
+        assert len(m.values_over(0, 10)) == 1
+
+    def test_partial_union_decomposes_boundaries(self):
+        m = IntervalSetMap(total=8, initial=frozenset({0}))
+        m.union(2, 6, [(2, 4, frozenset({1})), (4, 6, frozenset({2}))])
+        assert m.values_over(0, 8) == [
+            frozenset({0}),
+            frozenset({0, 1}),
+            frozenset({0, 2}),
+            frozenset({0}),
+        ]
+
+    def test_out_of_range_rejected(self):
+        m = IntervalSetMap(total=4, initial=frozenset())
+        with pytest.raises(ValueError, match="outside"):
+            m.slice(0, 5)

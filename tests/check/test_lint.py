@@ -1,0 +1,157 @@
+"""The REP001–REP005 AST lint: each rule has failing and passing fixtures."""
+
+import textwrap
+
+from repro.check.lint import LINT_RULES, lint_source, main
+
+
+def _ids(source, **kwargs):
+    return [f.rule_id for f in lint_source(textwrap.dedent(source), **kwargs)]
+
+
+class TestRep001UnseededRng:
+    def test_unseeded_default_rng_flagged(self):
+        assert _ids("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """) == ["REP001"]
+
+    def test_unseeded_random_flagged(self):
+        assert _ids("""
+            import random
+            r = random.Random()
+        """) == ["REP001"]
+
+    def test_global_random_function_flagged(self):
+        assert _ids("""
+            import random
+            x = random.shuffle(items)
+        """) == ["REP001"]
+
+    def test_seeded_constructions_pass(self):
+        assert _ids("""
+            import random
+            import numpy as np
+            rng = np.random.default_rng(42)
+            r = random.Random(7)
+        """) == []
+
+
+class TestRep002TimingEquality:
+    def test_duration_equality_flagged(self):
+        assert _ids("if a.duration == b.duration:\n    pass\n") == ["REP002"]
+
+    def test_suffix_s_flagged(self):
+        assert _ids("ok = max_payload_s != other_s\n") == ["REP002"]
+
+    def test_non_timing_names_pass(self):
+        assert _ids("ok = count == total\n") == []
+
+    def test_zero_and_none_guards_pass(self):
+        assert _ids("""
+            a = duration == 0
+            b = elapsed != None
+        """) == []
+
+
+class TestRep003UnpicklableException:
+    def test_custom_init_without_hook_flagged(self):
+        assert _ids("""
+            class SweepError(RuntimeError):
+                def __init__(self, step, detail):
+                    super().__init__(f"{step}: {detail}")
+                    self.step = step
+        """) == ["REP003"]
+
+    def test_custom_init_with_reduce_passes(self):
+        assert _ids("""
+            class SweepError(RuntimeError):
+                def __init__(self, step):
+                    super().__init__(step)
+                    self.step = step
+
+                def __reduce__(self):
+                    return (type(self), (self.step,))
+        """) == []
+
+    def test_plain_exception_passes(self):
+        assert _ids("""
+            class SweepError(RuntimeError):
+                pass
+        """) == []
+
+    def test_non_exception_class_with_init_passes(self):
+        assert _ids("""
+            class Widget:
+                def __init__(self, size):
+                    self.size = size
+        """) == []
+
+
+class TestRep004DeprecatedAlias:
+    def test_from_import_flagged(self):
+        assert _ids(
+            "from repro.optical.plancache import PlanCache\n"
+        ) == ["REP004"]
+
+    def test_module_import_flagged(self):
+        assert _ids("import repro.optical.plancache\n") == ["REP004"]
+
+    def test_member_import_from_package_flagged(self):
+        assert _ids("from repro.optical import plancache\n") == ["REP004"]
+
+    def test_new_location_passes(self):
+        assert _ids(
+            "from repro.backend.plancache import PlanCache\n"
+        ) == []
+
+
+class TestRep005TraceRegistry:
+    def test_unregistered_literal_flagged(self):
+        assert _ids(
+            'tracer.emit(now, "optical.rund", stage=s)\n'
+        ) == ["REP005"]
+
+    def test_registered_literal_passes(self):
+        assert _ids(
+            'tracer.emit(now, "optical.round", stage=s)\n'
+        ) == []
+
+    def test_dynamic_category_passes(self):
+        assert _ids("tracer.emit(now, category, stage=s)\n") == []
+
+
+class TestHarness:
+    def test_select_restricts_rules(self):
+        source = (
+            "import repro.optical.plancache\n"
+            "import random\n"
+            "r = random.Random()\n"
+        )
+        assert _ids(source, select={"REP004"}) == ["REP004"]
+
+    def test_findings_carry_locations(self):
+        (finding,) = lint_source(
+            "import repro.optical.plancache\n", path="fixture.py"
+        )
+        assert finding.location == "fixture.py:1"
+
+    def test_rule_catalog_is_complete(self):
+        assert sorted(LINT_RULES) == [
+            "REP001", "REP002", "REP003", "REP004", "REP005"
+        ]
+
+    def test_main_clean_on_src(self):
+        assert main(["src"]) == 0
+
+    def test_main_flags_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import repro.optical.plancache\n")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP004" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REP001" in out and "REP005" in out

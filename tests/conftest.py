@@ -1,0 +1,8 @@
+"""Suite-wide pytest configuration.
+
+Loads the :mod:`repro.check` plan-verification plugin: every plan lowered
+anywhere in the suite is statically verified against the structural rules
+(disable with ``--no-plan-verify``).
+"""
+
+pytest_plugins = ["repro.check.pytest_plugin"]

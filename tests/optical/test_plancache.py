@@ -5,7 +5,7 @@ import pytest
 from repro.collectives.registry import build_schedule
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.network import OpticalRingNetwork
-from repro.optical.plancache import PlanCache, default_plan_cache
+from repro.backend.plancache import PlanCache, default_plan_cache
 from repro.optical.torus import TorusOpticalNetwork
 from repro.sim.rng import SeededRng
 from repro.sim.trace import Tracer
@@ -165,3 +165,13 @@ class TestTorusCache:
         torus = TorusOpticalNetwork(cfg, rows=4, cols=4, plan_cache=cache)
         result = torus.execute(sched)
         assert result.cache.hits == 0  # virtual-segment plans are distinct
+
+
+def test_alias_module_warns_deprecation():
+    """The legacy repro.optical.plancache alias warns on import."""
+    import importlib
+    import sys
+
+    sys.modules.pop("repro.optical.plancache", None)
+    with pytest.warns(DeprecationWarning, match="repro.backend.plancache"):
+        importlib.import_module("repro.optical.plancache")
