@@ -7,7 +7,9 @@
 #   1. ruff (when available — CI images that lack it skip with a notice)
 #   2. repro.check lint  (REP001-REP005 AST pass over src)
 #   3. repro.check plan verifier over the figure golden plans
-#   4. tier-1 tests (which also auto-verify every lowered plan via the
+#   4. fault-injection smoke (seeded degraded scenarios per backend,
+#      verified by repro.check; live fault runs checked for determinism)
+#   5. tier-1 tests (which also auto-verify every lowered plan via the
 #      repro.check pytest plugin)
 set -euo pipefail
 
@@ -29,6 +31,9 @@ python -m repro.check.lint src
 
 echo "== repro.check golden plans (optical) =="
 python -m repro.check check --backend optical
+
+echo "== fault-injection smoke =="
+python -m repro.faults
 
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"

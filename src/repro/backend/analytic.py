@@ -25,6 +25,7 @@ from repro.backend.plancache import PlanCache, PlanCacheCounters, default_plan_c
 from repro.collectives.base import Schedule
 from repro.collectives.registry import DISPLAY_NAMES
 from repro.core.timing import CostModel, algorithm_time, analytic_profile
+from repro.faults.models import FaultSet
 
 _DEFAULT_HRING_M = 5
 
@@ -40,16 +41,31 @@ class AnalyticBackend(Backend):
         *,
         w: int = 64,
         plan_cache: PlanCache | None = None,
+        faults: FaultSet | None = None,
     ) -> None:
         """Args:
         model: Cost parameters (line rate, step overhead, O/E/O).
         w: Wavelengths available to wavelength-aware closed forms.
         plan_cache: Cross-run cache (default: the process-wide one).
+        faults: Optional fault set for degraded pricing: globally dead
+            wavelengths shrink the effective budget the wavelength-aware
+            closed forms see. The set also salts the plan-cache key, so
+            degraded and healthy prices can never alias.
         """
         self.model = model
         self.w = w
+        self.faults = FaultSet() if faults is None else faults
+        self.effective_w = w - len(self.faults.dead_wavelengths & frozenset(range(w)))
+        if self.effective_w < 1:
+            raise BackendConfigError(
+                "no usable wavelengths remain under the fault set",
+                backend=self.name,
+            )
         self.plan_cache = default_plan_cache() if plan_cache is None else plan_cache
-        self._plan_key_base = (model, w, "analytic")
+        base: tuple = (model, w, "analytic")
+        if self.faults:
+            base = base + (self.faults,)
+        self._plan_key_base = base
 
     def lower(self, schedule: Schedule, *, bytes_per_elem: float = 4.0) -> LoweredPlan:
         """Evaluate the schedule's closed form (cross-run cached).
@@ -105,11 +121,11 @@ class AnalyticBackend(Backend):
         if priced is None:
             total = algorithm_time(
                 display, schedule.n_nodes, d_bytes, self.model,
-                wrht_m=wrht_m, hring_m=hring_m, w=self.w,
+                wrht_m=wrht_m, hring_m=hring_m, w=self.effective_w,
             )
             classes = analytic_profile(
                 display, schedule.n_nodes, d_bytes,
-                wrht_m=wrht_m, hring_m=hring_m, w=self.w,
+                wrht_m=wrht_m, hring_m=hring_m, w=self.effective_w,
             )
             priced = (
                 total,
@@ -135,7 +151,10 @@ class AnalyticBackend(Backend):
             bytes_per_elem=bytes_per_elem,
             entries=entries,
             cache=counters,
-            meta={"total_time": total, "wrht_m": wrht_m, "hring_m": hring_m, "w": self.w},
+            meta={
+                "total_time": total, "wrht_m": wrht_m, "hring_m": hring_m,
+                "w": self.effective_w,
+            },
         )
 
     def execute(self, plan: LoweredPlan) -> ExecutionResult:

@@ -68,7 +68,10 @@ class CheckContext:
 
     def __post_init__(self) -> None:
         if self.phy is None and self.config is not None:
-            self.phy = self.config.phy
+            # Derated by any laser-power droop in the config's fault set,
+            # so the phy rules audit against the budget that actually
+            # applies (identical to config.phy for a healthy system).
+            self.phy = self.config.effective_phy
         if self.mrrs_per_interface is None and self.config is not None:
             self.mrrs_per_interface = self.config.n_wavelengths
 
@@ -100,6 +103,25 @@ class CheckContext:
                 return plan
         if self.plan is not None:
             return self.plan.meta.get("wrht_plan")
+        return None
+
+    @property
+    def participants(self) -> tuple[int, ...] | None:
+        """Participating node ids of a shrunk (degraded) schedule, if any.
+
+        ``None`` means every node participates (the healthy default).
+        Looked up on ``schedule.meta["participants"]`` first, then the
+        lowered plan's ``meta["participants"]`` (stashed by the optical
+        backend's ``lower``).
+        """
+        if self.schedule is not None:
+            participants = self.schedule.meta.get("participants")
+            if participants is not None:
+                return tuple(participants)
+        if self.plan is not None:
+            participants = self.plan.meta.get("participants")
+            if participants is not None:
+                return tuple(participants)
         return None
 
     def profile(self) -> list[tuple[CommStep, int]]:

@@ -1,4 +1,4 @@
-"""The plan-verifier rule catalog (PLAN000–PLAN006).
+"""The plan-verifier rule catalog (PLAN000–PLAN007).
 
 Every rule here audits a lowered plan *statically* — no simulated clock
 ever advances. The catalog:
@@ -24,6 +24,9 @@ PLAN005    Feasibility: wavelength demand within the budget, WRHT group
            ``m'`` (Eqs 7–13), routes within the loss/BER budget.
 PLAN006    Write conflicts: no order-dependent writes within any step
            (shared interval engine with the numerical executor).
+PLAN007    No failed resource used: no circuit rides a dead wavelength,
+           a banned MRR endpoint port, a quarantined or cut segment, and
+           no transfer touches a dropped node (inert without faults).
 =========  ==============================================================
 
 The rules reuse the substrate models as their backends — circuit conflict
@@ -237,8 +240,16 @@ def rule_dataflow_conservation(ctx: CheckContext) -> Iterator[Finding]:
                         step_index=step_no,
                     )
                 emitted += 1
-    expected = frozenset(range(n))
+    # A shrunk (degraded) schedule only reduces over its participants:
+    # they must end holding exactly the participant set, and every
+    # bystander (dropped node) must be untouched, still holding only its
+    # own contribution.
+    participants = ctx.participants
+    full = (
+        frozenset(range(n)) if participants is None else frozenset(participants)
+    )
     for node in range(n):
+        expected = full if node in full else frozenset({node})
         value = held[node].uniform_value()
         if value == expected:
             continue
@@ -299,12 +310,16 @@ def rule_step_count(ctx: CheckContext) -> Iterator[Finding]:
                 "skipped: WRHT plan metadata unavailable",
             )
             return
-        closed = wrht_steps(n, plan.m, plan.n_wavelengths)
+        # A shrunk (degraded) schedule runs WRHT over the survivors: the
+        # closed form applies to the participant count, not the ring size.
+        participants = ctx.participants
+        n_eff = n if participants is None else len(participants)
+        closed = wrht_steps(n_eff, plan.m, plan.n_wavelengths)
         if plan.theta != closed:
             yield Finding(
                 "PLAN004", Severity.ERROR,
                 f"WRHT plan declares θ={plan.theta} but the Eq 5/6 closed "
-                f"form gives {closed} (N={n}, m={plan.m}, "
+                f"form gives {closed} (N={n_eff}, m={plan.m}, "
                 f"w={plan.n_wavelengths})",
             )
         expected, source = plan.theta, "θ=2⌈log_m N⌉ (−1 with all-to-all)"
@@ -413,6 +428,87 @@ def rule_write_conflicts(ctx: CheckContext) -> Iterator[Finding]:
                 f"{conflict.resource} are order-dependent",
                 step_index=index,
             )
+
+
+@register_rule(
+    "PLAN007", "no circuit or transfer uses a failed resource", needs=("config",)
+)
+def rule_no_failed_resources(ctx: CheckContext) -> Iterator[Finding]:
+    """Fault-avoidance audit: a degraded plan must not touch dead hardware.
+
+    Checks every derived circuit against the config's fault set — dead
+    wavelengths, banned MRR endpoint ports, quarantined (stuck-MRR) spans,
+    cut fiber segments — and every scheduled transfer against the dropped
+    nodes. Yields nothing for a fault-free config, so healthy plans verify
+    at zero cost.
+    """
+    config = ctx.config
+    faults = config.faults
+    dead_lams = config.dead_wavelengths
+    if not faults and not dead_lams:
+        return
+    dead_nodes = faults.dead_nodes
+    quarantine = faults.segment_quarantine_masks(config.n_nodes)
+    if dead_nodes:
+        for index, (step, _count) in enumerate(ctx.profile()):
+            for t in step.transfers:
+                for node in (t.src, t.dst):
+                    if node in dead_nodes:
+                        yield Finding(
+                            "PLAN007", Severity.ERROR,
+                            f"transfer {t.src} -> {t.dst} touches dropped "
+                            f"node {node} — the schedule must shrink to "
+                            "the survivors",
+                            step_index=index,
+                        )
+    if not ctx.circuit_rounds:
+        return
+    for index, rounds in sorted(ctx.circuit_rounds.items()):
+        for round_no, circuits in enumerate(rounds):
+            for c in circuits:
+                direction = c.route.direction
+                who = f"circuit {c.transfer.src} -> {c.transfer.dst}"
+                if c.wavelength in dead_lams:
+                    yield Finding(
+                        "PLAN007", Severity.ERROR,
+                        f"round {round_no}: {who} rides dead wavelength "
+                        f"{c.wavelength}",
+                        step_index=index,
+                        details={"round": round_no},
+                    )
+                banned = faults.endpoint_blocked(
+                    c.transfer.src, direction
+                ) | faults.endpoint_blocked(c.transfer.dst, direction)
+                if c.wavelength in banned:
+                    yield Finding(
+                        "PLAN007", Severity.ERROR,
+                        f"round {round_no}: {who} terminates wavelength "
+                        f"{c.wavelength} on a failed MRR port",
+                        step_index=index,
+                        details={"round": round_no},
+                    )
+                cut = [
+                    seg for seg in c.route.segments
+                    if faults.is_cut(seg, direction)
+                ]
+                if cut:
+                    yield Finding(
+                        "PLAN007", Severity.ERROR,
+                        f"round {round_no}: {who} crosses cut "
+                        f"segment(s) {cut} ({direction.value})",
+                        step_index=index,
+                        details={"round": round_no},
+                    )
+                span = quarantine.get((direction, c.wavelength), 0)
+                bad = [seg for seg in c.route.segments if span >> seg & 1]
+                if bad:
+                    yield Finding(
+                        "PLAN007", Severity.ERROR,
+                        f"round {round_no}: {who} crosses quarantined "
+                        f"segment(s) {bad} on wavelength {c.wavelength}",
+                        step_index=index,
+                        details={"round": round_no},
+                    )
 
 
 def iter_rule_docs() -> Iterable[tuple[str, str]]:

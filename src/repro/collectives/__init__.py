@@ -28,6 +28,10 @@ from repro.collectives.grouped import (
     remap_schedule,
     verify_grouped_allreduce,
 )
+from repro.collectives.degraded import (
+    build_shrunk_wrht_schedule,
+    shrunk_representatives,
+)
 from repro.collectives.render import render_schedule, render_step
 from repro.collectives.serialize import dump_schedule, load_schedule
 from repro.collectives.verify import run_schedule, verify_allreduce
@@ -46,6 +50,7 @@ __all__ = [
     "build_rd_schedule",
     "build_ring_schedule",
     "build_schedule",
+    "build_shrunk_wrht_schedule",
     "build_wrht_schedule",
     "dump_schedule",
     "load_schedule",
@@ -53,6 +58,7 @@ __all__ = [
     "render_schedule",
     "render_step",
     "run_schedule",
+    "shrunk_representatives",
     "verify_allreduce",
     "verify_grouped_allreduce",
 ]

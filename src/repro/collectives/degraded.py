@@ -1,0 +1,109 @@
+"""Shrunk-node WRHT schedules: the collective view of degraded mode.
+
+When nodes drop out, the All-reduce must shrink to the survivors. The
+construction mirrors :mod:`repro.collectives.grouped`: build a *logical*
+WRHT template over the ``k`` survivors (``plan_wrht(k, ...)`` decides the
+group size, hierarchy, and whether the all-to-all shortcut still fits the
+remaining wavelength budget) and remap the logical ranks onto the sorted
+surviving physical ids. Representative re-election falls out of the
+regrouping — the middle member of each survivor group becomes its
+representative, so a dead former representative can never reappear.
+
+The resulting schedule keeps ``algorithm="wrht"`` and carries two meta
+keys the static verifier understands:
+
+- ``meta["plan"]`` — the :class:`~repro.core.planner.WrhtPlan` over the
+  *survivor count* (PLAN004 checks θ against it);
+- ``meta["participants"]`` — the sorted surviving physical ids (PLAN003
+  checks that participants end with the survivors' sum and that dead /
+  bystander nodes are untouched).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.collectives.base import Schedule
+from repro.collectives.grouped import remap_schedule
+from repro.collectives.wrht_schedule import build_wrht_schedule
+from repro.core.constraints import OpticalPhyParams
+from repro.core.planner import WrhtPlan, plan_wrht
+from repro.util.validation import check_positive_int
+
+
+def _check_survivors(survivors: Sequence[int], n_nodes: int) -> tuple[int, ...]:
+    ordered = tuple(sorted(survivors))
+    if len(ordered) < 2:
+        raise ValueError(
+            f"a shrunk All-reduce needs at least 2 survivors, got {len(ordered)}"
+        )
+    if len(set(ordered)) != len(ordered):
+        raise ValueError("survivors contain duplicate node ids")
+    for node in ordered:
+        if not (0 <= node < n_nodes):
+            raise ValueError(f"survivor {node} out of range [0, {n_nodes})")
+    return ordered
+
+
+def build_shrunk_wrht_schedule(
+    n_nodes: int,
+    total_elems: int,
+    survivors: Sequence[int],
+    n_wavelengths: int = 64,
+    m: int | None = None,
+    phy: OpticalPhyParams | None = None,
+    plan: WrhtPlan | None = None,
+) -> Schedule:
+    """WRHT over a subset of the ring's nodes.
+
+    Args:
+        n_nodes: Physical ring size N (the schedule's node-id space).
+        total_elems: Gradient vector length.
+        survivors: Physical ids participating (>= 2, distinct); sorted
+            internally so logical rank ``i`` maps to the ``i``-th smallest
+            survivor — ring order is preserved, keeping groups contiguous.
+        n_wavelengths: Wavelength budget for planning (pass the *degraded*
+            budget so the all-to-all feasibility test sees reality).
+        m: Optional forced group size.
+        phy: Optional (possibly droop-derated) physical-layer parameters.
+        plan: Pre-computed plan over ``len(survivors)`` logical ranks;
+            overrides ``n_wavelengths``/``m``/``phy``.
+
+    Returns:
+        A materialized ``"wrht"`` schedule over the physical ids with
+        ``meta["plan"]`` (survivor-count plan) and ``meta["participants"]``.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("total_elems", total_elems)
+    ordered = _check_survivors(survivors, n_nodes)
+    k = len(ordered)
+    if plan is None:
+        plan = plan_wrht(k, n_wavelengths, m=m, phy=phy)
+    elif plan.n_nodes != k:
+        raise ValueError(
+            f"plan is for N={plan.n_nodes} but there are {k} survivors"
+        )
+    template = build_wrht_schedule(k, total_elems, plan=plan)
+    schedule = remap_schedule(template, ordered, n_nodes)
+    schedule.meta["participants"] = ordered
+    return schedule
+
+
+def shrunk_representatives(
+    plan: WrhtPlan, survivors: Sequence[int]
+) -> tuple[tuple[int, ...], ...]:
+    """Physical representative ids per hierarchy level after re-election.
+
+    ``plan`` is the survivor-count plan (logical ranks ``0..k-1``);
+    ``survivors`` the sorted physical ids. Useful for asserting that a dead
+    former representative was actually re-elected away.
+    """
+    ordered = tuple(sorted(survivors))
+    if plan.n_nodes != len(ordered):
+        raise ValueError(
+            f"plan is for N={plan.n_nodes} but there are {len(ordered)} survivors"
+        )
+    return tuple(
+        tuple(ordered[rank] for rank in level.representatives)
+        for level in plan.levels
+    )

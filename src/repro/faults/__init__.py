@@ -1,0 +1,64 @@
+"""Deterministic fault models and degraded-mode rescheduling.
+
+The paper assumes a fault-free ring; this package models what happens when
+it is not. Fault models are declarative frozen dataclasses
+(:mod:`repro.faults.models`) aggregated into a hashable :class:`FaultSet`
+attached to :class:`~repro.optical.config.OpticalSystemConfig` — attaching
+them changes the frozen config, which automatically salts every plan-cache
+key, so degraded and healthy plans can never alias.
+
+Lowering reacts in three layers:
+
+- the RWA masks dead wavelengths out of its probe order, bans dead MRR
+  ports per endpoint and pre-occupies the segments a stuck MRR quarantines
+  (:mod:`repro.optical.rwa`);
+- routing steers around cut fiber segments by taking the opposite ring
+  direction (:meth:`~repro.optical.network.OpticalRingNetwork._route_step`);
+- planning replans against the reduced budget: dropped nodes shrink the
+  participant set (re-electing group representatives),
+  laser-power droop derates the Eq 7–13 budget, and losing wavelengths
+  below ``⌈(m*)²/8⌉`` falls the last level back from the all-to-all to the
+  extra broadcast level (:mod:`repro.faults.replan`).
+
+The live DES executor (:mod:`repro.optical.livesim`) additionally supports
+*mid-flight* faults via :class:`FaultEvent`: the fault interrupts affected
+circuit processes and the coordinator retries against the replanned RWA
+with exponential backoff.
+
+``python -m repro.faults`` runs a seeded dead-wavelength smoke scenario on
+every backend and verifies the degraded plans with :mod:`repro.check`.
+"""
+
+from repro.faults.models import (
+    CutFiber,
+    DeadWavelength,
+    DroppedNode,
+    Fault,
+    FaultEvent,
+    FaultSet,
+    MrrPortFault,
+    PowerDroop,
+)
+from repro.faults.replan import (
+    apply_faults,
+    build_degraded_wrht_schedule,
+    degraded_wavelength_budget,
+    plan_wrht_degraded,
+    surviving_nodes,
+)
+
+__all__ = [
+    "CutFiber",
+    "DeadWavelength",
+    "DroppedNode",
+    "Fault",
+    "FaultEvent",
+    "FaultSet",
+    "MrrPortFault",
+    "PowerDroop",
+    "apply_faults",
+    "build_degraded_wrht_schedule",
+    "degraded_wavelength_budget",
+    "plan_wrht_degraded",
+    "surviving_nodes",
+]

@@ -1,0 +1,136 @@
+"""Degraded-mode replanning: from a fault set to a runnable WRHT plan.
+
+The planner (:func:`repro.core.planner.plan_wrht`) already encodes every
+degradation rule we need — it just has to be fed the *degraded* inputs:
+
+- dropped nodes shrink the planning population to the survivors, which
+  re-elects group representatives (the middle member of each survivor
+  group) and can change the hierarchy depth;
+- dead wavelengths (and the config's ``failed_wavelengths``) shrink the
+  wavelength budget ``w``, which lowers Lemma 1's optimum ``m = 2w + 1``
+  and, once the budget drops below ``⌈(m*)²/8⌉``, flips
+  ``alltoall_feasible`` to False so the last level falls back from the
+  all-to-all shortcut to the extra broadcast level (θ goes from
+  ``2L − 1`` back to ``2L``);
+- a laser-power droop derates the Eq 7–13 physical-layer budget, which
+  tightens the Sec 4.4 group-size cap ``m'`` through ``max_group_size``.
+
+Everything here is pure planning; the RWA-level masking (per-route
+wavelength bans, quarantined segments, cut rerouting) lives in
+:mod:`repro.optical.rwa` and :mod:`repro.optical.network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Iterable
+
+from repro.collectives.base import Schedule
+from repro.collectives.degraded import build_shrunk_wrht_schedule
+from repro.collectives.wrht_schedule import build_wrht_schedule
+from repro.core.constraints import OpticalPhyParams
+from repro.core.planner import WrhtPlan, plan_wrht
+from repro.faults.models import Fault, FaultSet
+from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optical.config import OpticalSystemConfig
+
+
+def surviving_nodes(n_nodes: int, faults: FaultSet) -> tuple[int, ...]:
+    """Ring positions that remain compute endpoints under ``faults``."""
+    check_positive_int("n_nodes", n_nodes)
+    dead = faults.dead_nodes
+    return tuple(i for i in range(n_nodes) if i not in dead)
+
+
+def degraded_wavelength_budget(
+    n_wavelengths: int,
+    faults: FaultSet,
+    failed_wavelengths: Iterable[int] = (),
+) -> int:
+    """Wavelengths still plannable: ``w`` minus every globally dead line.
+
+    Per-node port faults and quarantined segments do *not* reduce the
+    budget — they are local and the RWA schedules around them, possibly at
+    the cost of extra rounds. Only comb-laser lines dead everywhere
+    (:class:`~repro.faults.models.DeadWavelength` plus the config's
+    ``failed_wavelengths``) shrink what the planner may count on.
+    """
+    check_positive_int("n_wavelengths", n_wavelengths)
+    unusable = faults.dead_wavelengths | frozenset(failed_wavelengths)
+    budget = n_wavelengths - len(unusable & frozenset(range(n_wavelengths)))
+    if budget < 1:
+        raise ValueError("no usable wavelengths remain under the fault set")
+    return budget
+
+
+def plan_wrht_degraded(
+    n_nodes: int,
+    faults: FaultSet,
+    n_wavelengths: int = 64,
+    m: int | None = None,
+    phy: OpticalPhyParams | None = None,
+    failed_wavelengths: Iterable[int] = (),
+) -> WrhtPlan:
+    """A WRHT plan over the survivors against the degraded budget.
+
+    The returned plan's ``n_nodes`` is the *survivor count* and its
+    ``n_wavelengths`` the degraded budget; feed it to
+    :func:`build_degraded_wrht_schedule` (or, for no dropped nodes,
+    directly to ``build_wrht_schedule``) to materialize transfers.
+    """
+    faults.validate(n_nodes, n_wavelengths)
+    survivors = surviving_nodes(n_nodes, faults)
+    if len(survivors) < 2:
+        raise ValueError(
+            f"degraded WRHT needs at least 2 surviving nodes, "
+            f"got {len(survivors)}"
+        )
+    budget = degraded_wavelength_budget(n_wavelengths, faults, failed_wavelengths)
+    return plan_wrht(len(survivors), budget, m=m, phy=faults.effective_phy(phy))
+
+
+def build_degraded_wrht_schedule(
+    n_nodes: int,
+    total_elems: int,
+    faults: FaultSet,
+    n_wavelengths: int = 64,
+    m: int | None = None,
+    phy: OpticalPhyParams | None = None,
+    failed_wavelengths: Iterable[int] = (),
+) -> Schedule:
+    """The degraded-mode WRHT schedule for a faulty system.
+
+    Without dropped nodes this is a plain WRHT schedule planned against the
+    degraded wavelength budget and derated phy (bit-identical to the
+    healthy schedule when the fault set changes neither). With dropped
+    nodes the schedule shrinks to the survivors via
+    :func:`~repro.collectives.degraded.build_shrunk_wrht_schedule`, which
+    re-elects representatives and tags ``meta["participants"]``.
+    """
+    plan = plan_wrht_degraded(
+        n_nodes,
+        faults,
+        n_wavelengths=n_wavelengths,
+        m=m,
+        phy=phy,
+        failed_wavelengths=failed_wavelengths,
+    )
+    survivors = surviving_nodes(n_nodes, faults)
+    if len(survivors) == n_nodes:
+        return build_wrht_schedule(n_nodes, total_elems, plan=plan)
+    return build_shrunk_wrht_schedule(n_nodes, total_elems, survivors, plan=plan)
+
+
+def apply_faults(
+    config: "OpticalSystemConfig", *faults: Fault
+) -> "OpticalSystemConfig":
+    """A new config with ``faults`` merged into the existing fault set.
+
+    Validation (bounds, at-least-one-survivor) runs in the config's
+    ``__post_init__``; the changed frozen config automatically salts every
+    plan-cache key, so degraded plans can never alias healthy ones.
+    """
+    merged = FaultSet(tuple(config.faults) + tuple(faults))
+    return replace(config, faults=merged)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.core.constraints import OpticalPhyParams
 from repro.core.timing import CostModel
+from repro.faults.models import FaultSet
 from repro.util.units import gbit_per_s, gbyte_per_s, usec
 from repro.util.validation import check_positive, check_positive_int
 
@@ -47,6 +48,11 @@ class OpticalSystemConfig:
             knob: the RWA routes around them, costing extra rounds; the
             planner should be given the reduced effective budget
             (:attr:`usable_wavelengths`) to replan instead.
+        faults: Declarative fault set (:mod:`repro.faults`). Lowering masks
+            the failed resources out of the RWA, reroutes around cut fiber,
+            and derates the phy budget; because the config is frozen and
+            hashable, attaching faults automatically salts every plan-cache
+            key.
     """
 
     n_nodes: int
@@ -59,6 +65,7 @@ class OpticalSystemConfig:
     packet_bytes: int = 72
     phy: OpticalPhyParams | None = field(default=None)
     failed_wavelengths: frozenset[int] = field(default_factory=frozenset)
+    faults: FaultSet = field(default_factory=FaultSet)
 
     def __post_init__(self) -> None:
         check_positive_int("n_nodes", self.n_nodes)
@@ -83,11 +90,28 @@ class OpticalSystemConfig:
                 )
         if len(self.failed_wavelengths) >= self.n_wavelengths:
             raise ValueError("at least one wavelength must remain usable")
+        if self.faults is None:
+            object.__setattr__(self, "faults", FaultSet())
+        elif not isinstance(self.faults, FaultSet):
+            object.__setattr__(self, "faults", FaultSet(tuple(self.faults)))
+        self.faults.validate(self.n_nodes, self.n_wavelengths)
+        if len(self.dead_wavelengths) >= self.n_wavelengths:
+            raise ValueError("at least one wavelength must remain usable")
+
+    @property
+    def dead_wavelengths(self) -> frozenset[int]:
+        """Every globally unusable wavelength: failures plus dead faults."""
+        return self.failed_wavelengths | self.faults.dead_wavelengths
+
+    @property
+    def effective_phy(self) -> OpticalPhyParams | None:
+        """:attr:`phy` derated by any laser-power droop in the fault set."""
+        return self.faults.effective_phy(self.phy)
 
     @property
     def usable_wavelengths(self) -> int:
         """Wavelengths per fiber after failures — the planning budget."""
-        return self.n_wavelengths - len(self.failed_wavelengths)
+        return self.n_wavelengths - len(self.dead_wavelengths)
 
     @property
     def line_rate(self) -> float:

@@ -11,7 +11,8 @@ discrete-event kernel:
 - each circuit process acquires capacity-1 :class:`~repro.sim.resources.
   Resource` tokens for every (direction, fiber, wavelength, segment) it
   crosses — in canonical order — holds them for the payload duration, and
-  releases them.
+  releases them (in reverse-acquisition order, under ``finally``, so no
+  error path can leak a channel token).
 
 Because the RWA already guarantees segment exclusivity, a circuit process
 must **never block** on a resource; the simulation asserts this, making the
@@ -20,6 +21,21 @@ slipped past the validators would show up here as a blocked acquire). The
 test suite asserts that live total time equals the step-timing executor's
 to float precision — the two derivations of Eq 6 agree.
 
+Mid-flight faults
+-----------------
+
+The live path additionally accepts :class:`~repro.faults.models.FaultEvent`
+inputs: at each event's fixed simulation time a fault driver process
+activates the fault, swaps the round planner for one whose config carries
+the accumulated fault set (so every later RWA is the degraded one), and
+interrupts the in-flight circuit processes the fault breaks. An interrupted
+circuit reports back instead of failing; after the round barrier the
+coordinator collects the unfinished transfers, waits out an exponential
+backoff (``backoff_base × backoff_factor^(attempt−1)``), and retries them
+as a fresh round against the replanned RWA. Everything is deterministic —
+fault times, backoff, and replanning are pure functions of the inputs — so
+two runs with the same seed produce identical retry counts and total time.
+
 This is intentionally the expensive path (one process per transfer): use it
 for validation and for tracing at small/medium scale, and the step-timing
 executor for paper-scale sweeps.
@@ -27,13 +43,17 @@ executor for paper-scale sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Sequence
 
-from repro.collectives.base import Schedule
+from repro.backend.errors import BackendExecutionError
+from repro.collectives.base import CommStep, Schedule
+from repro.faults.models import FaultEvent, FaultSet
 from repro.optical.circuit import Circuit
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.network import OpticalRingNetwork
 from repro.sim import Resource, Simulator
+from repro.sim.events import Interrupted
 from repro.sim.rng import SeededRng
 from repro.sim.trace import NULL_TRACER, Tracer
 
@@ -46,9 +66,13 @@ class LiveRunResult:
         algorithm: Schedule name.
         total_time: Simulation end time (seconds).
         n_steps: Steps executed.
-        n_rounds: Reconfiguration rounds executed.
+        n_rounds: Reconfiguration rounds executed (including retry rounds).
         n_circuits: Circuit processes spawned.
         n_events: Kernel events processed (a determinism fingerprint).
+        n_faults: Fault events that activated during the run.
+        n_retries: Backoff-and-retry cycles the coordinator performed.
+        n_interrupted: Circuit processes interrupted by faults.
+        downtime: Seconds spent waiting in retry backoff.
     """
 
     algorithm: str
@@ -57,6 +81,10 @@ class LiveRunResult:
     n_rounds: int
     n_circuits: int
     n_events: int
+    n_faults: int = 0
+    n_retries: int = 0
+    n_interrupted: int = 0
+    downtime: float = 0.0
 
 
 class ChannelBlockedError(AssertionError):
@@ -65,7 +93,22 @@ class ChannelBlockedError(AssertionError):
 
 
 class LiveOpticalSimulation:
-    """Event-driven replay of schedules on the optical ring."""
+    """Event-driven replay of schedules on the optical ring.
+
+    Args:
+        config: System config; any static ``config.faults`` are degraded
+            from time zero (the shared planner masks them).
+        strategy: RWA strategy (``"first_fit"`` / ``"random_fit"``).
+        rng: Seeded RNG (required for ``random_fit``).
+        tracer: Optional tracer (``optical.live.*`` categories).
+        fault_events: Mid-flight :class:`FaultEvent` s, activated at their
+            fixed simulation times (sorted internally; validated against
+            the config up front).
+        max_retries: Retry budget per step before the run fails.
+        backoff_base: First backoff duration; defaults to the MRR
+            reconfiguration delay.
+        backoff_factor: Multiplier per further attempt (exponential).
+    """
 
     def __init__(
         self,
@@ -73,9 +116,41 @@ class LiveOpticalSimulation:
         strategy: str = "first_fit",
         rng: SeededRng | None = None,
         tracer: Tracer | None = None,
+        fault_events: Sequence[FaultEvent] = (),
+        max_retries: int = 8,
+        backoff_base: float | None = None,
+        backoff_factor: float = 2.0,
     ) -> None:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._strategy = strategy
+        self._rng = rng
+        self.fault_events = tuple(
+            sorted(
+                fault_events,
+                key=lambda e: (e.time, type(e.fault).__name__, repr(e.fault)),
+            )
+        )
+        self.max_retries = int(max_retries)
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries!r}")
+        self.backoff_base = (
+            config.mrr_reconfig_delay if backoff_base is None else backoff_base
+        )
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {backoff_base!r}")
+        self.backoff_factor = backoff_factor
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {backoff_factor!r}"
+            )
+        if self.fault_events:
+            # Fail fast on out-of-range faults (and fault sets that would
+            # leave no node/wavelength alive) before simulating anything.
+            merged = config.faults
+            for event in self.fault_events:
+                merged = merged.with_fault(event.fault)
+            merged.validate(config.n_nodes, config.n_wavelengths)
         # Round planning is delegated to the executor so both paths share
         # routing, RWA, fallback and validation behaviour exactly.
         self._planner = OpticalRingNetwork(
@@ -87,6 +162,15 @@ class LiveOpticalSimulation:
 
         Requires materialized steps (the live path exists to exercise real
         step instances, not compressed patterns).
+
+        Raises:
+            ChannelBlockedError: A circuit blocked on a channel (RWA bug).
+            BackendExecutionError: A step exhausted its retry budget.
+            BackendError: Lowering against the degraded config failed (e.g.
+                a mid-flight :class:`~repro.faults.models.DroppedNode` —
+                retrying cannot help; the schedule must be replanned over
+                the survivors with
+                :func:`repro.faults.build_degraded_wrht_schedule`).
         """
         if schedule.n_nodes > self.config.n_nodes:
             raise ValueError(
@@ -95,7 +179,17 @@ class LiveOpticalSimulation:
             )
         sim = Simulator()
         channels: dict[tuple, Resource] = {}
-        stats = {"rounds": 0, "circuits": 0, "steps": 0}
+        stats = {
+            "rounds": 0, "circuits": 0, "steps": 0,
+            "faults": 0, "retries": 0, "interrupted": 0, "downtime": 0.0,
+        }
+        # Mutable cells shared between the coordinator and the fault driver.
+        state: dict = {
+            "planner": self._planner,
+            "faults": self.config.faults,
+            "inflight": {},  # Process -> Circuit, current round only
+            "done": False,
+        }
 
         def channel(key: tuple) -> Resource:
             resource = channels.get(key)
@@ -111,36 +205,125 @@ class LiveOpticalSimulation:
                 for segment in sorted(circuit.route.segments)
             ]
             start = sim.now
-            for key in keys:
-                yield channel(key).acquire()
-            if sim.now > start:
-                raise ChannelBlockedError(
-                    f"circuit {circuit.transfer.src}->{circuit.transfer.dst} "
-                    "blocked acquiring its channel — RWA conflict"
+            acquired: list[tuple] = []
+            try:
+                for key in keys:
+                    request = channel(key).acquire()
+                    if request.triggered:
+                        # Granted synchronously — the token is held *now*,
+                        # before the yield, so an interrupt arriving during
+                        # the resume tick still sees it in ``acquired``.
+                        acquired.append(key)
+                        yield request
+                    else:
+                        yield request
+                        acquired.append(key)
+                if sim.now > start:
+                    raise ChannelBlockedError(
+                        f"circuit {circuit.transfer.src}->"
+                        f"{circuit.transfer.dst} blocked acquiring its "
+                        "channel — RWA conflict"
+                    )
+                yield sim.timeout(circuit.duration)
+                return ("done", circuit)
+            except Interrupted as interrupt:
+                # A fault broke this circuit mid-flight. Report back as a
+                # value (not a failure) so the round barrier completes
+                # normally and the coordinator can retry the transfer.
+                return ("interrupted", circuit, interrupt.cause)
+            finally:
+                for key in reversed(acquired):
+                    channels[key].release()
+
+        def fault_driver():
+            elapsed = 0.0
+            for event in self.fault_events:
+                yield sim.timeout(event.time - elapsed)
+                elapsed = event.time
+                if state["done"]:
+                    return
+                stats["faults"] += 1
+                state["faults"] = state["faults"].with_fault(event.fault)
+                # Every subsequent RWA must see the degraded resources:
+                # swap in a planner whose frozen config carries the
+                # accumulated set (also re-salts the plan-cache keys).
+                state["planner"] = OpticalRingNetwork(
+                    replace(self.config, faults=state["faults"]),
+                    strategy=self._strategy, rng=self._rng, validate=True,
                 )
-            yield sim.timeout(circuit.duration)
-            for key in keys:
-                channels[key].release()
+                broken = [
+                    proc
+                    for proc, circuit in state["inflight"].items()
+                    if not proc.done
+                    and state["faults"].affects_circuit(circuit, self.config)
+                ]
+                for proc in broken:
+                    proc.interrupt(event.fault)
+                self.tracer.emit(
+                    sim.now, "optical.live.fault",
+                    fault=repr(event.fault), n_interrupted=len(broken),
+                )
 
         def coordinator():
             for step in schedule.iter_steps():
                 stats["steps"] += 1
-                rounds = self._planner.plan_step_rounds(step, bytes_per_elem)
-                for circuits in rounds:
-                    stats["rounds"] += 1
-                    yield sim.timeout(self.config.mrr_reconfig_delay)
-                    processes = [
-                        sim.process(circuit_process(c), name="circuit")
-                        for c in circuits
-                    ]
-                    stats["circuits"] += len(processes)
-                    yield sim.all_of(processes)
-                    self.tracer.emit(
-                        sim.now, "optical.live.round",
-                        stage=step.stage, n_circuits=len(processes),
+                pending = step
+                attempt = 0
+                while True:
+                    rounds = state["planner"].plan_step_rounds(
+                        pending, bytes_per_elem
                     )
+                    unfinished = []
+                    for circuits in rounds:
+                        stats["rounds"] += 1
+                        yield sim.timeout(self.config.mrr_reconfig_delay)
+                        processes = {
+                            sim.process(circuit_process(c), name="circuit"): c
+                            for c in circuits
+                        }
+                        stats["circuits"] += len(processes)
+                        state["inflight"] = processes
+                        yield sim.all_of(list(processes))
+                        state["inflight"] = {}
+                        for proc, circuit in processes.items():
+                            if proc.value[0] == "interrupted":
+                                stats["interrupted"] += 1
+                                unfinished.append(circuit.transfer)
+                        self.tracer.emit(
+                            sim.now, "optical.live.round",
+                            stage=step.stage, n_circuits=len(processes),
+                        )
+                    if not unfinished:
+                        break
+                    attempt += 1
+                    if attempt > self.max_retries:
+                        raise BackendExecutionError(
+                            f"step {stats['steps'] - 1} still has "
+                            f"{len(unfinished)} unfinished transfer(s) "
+                            f"after {self.max_retries} retries",
+                            backend="optical.live",
+                            step_index=stats["steps"] - 1,
+                        )
+                    stats["retries"] += 1
+                    backoff = self.backoff_base * (
+                        self.backoff_factor ** (attempt - 1)
+                    )
+                    yield sim.timeout(backoff)
+                    stats["downtime"] += backoff
+                    self.tracer.emit(
+                        sim.now, "optical.live.retry",
+                        stage=step.stage, attempt=attempt,
+                        n_transfers=len(unfinished),
+                    )
+                    pending = CommStep(
+                        transfers=tuple(unfinished),
+                        stage=step.stage, level=step.level,
+                    )
+            state["done"] = True
             return sim.now
 
+        if self.fault_events:
+            sim.process(fault_driver(), name="faults")
         total = sim.run_process(coordinator(), name="schedule")
         return LiveRunResult(
             algorithm=schedule.algorithm,
@@ -149,4 +332,8 @@ class LiveOpticalSimulation:
             n_rounds=stats["rounds"],
             n_circuits=stats["circuits"],
             n_events=sim.n_processed,
+            n_faults=stats["faults"],
+            n_retries=stats["retries"],
+            n_interrupted=stats["interrupted"],
+            downtime=stats["downtime"],
         )

@@ -131,6 +131,15 @@ class OpticalRingNetwork:
         self.plan_cache = default_plan_cache() if plan_cache is None else plan_cache
         self._plan_key_base = (config, strategy, validate)
         self._cost = config.cost_model()
+        # Fault-derived views, hoisted so the per-step path pays nothing
+        # when the fault set is empty (every one of these is then falsy and
+        # the lowering takes the exact pre-fault code paths).
+        faults = config.faults
+        self._dead_nodes = faults.dead_nodes
+        self._port_faults_active = bool(faults.port_faults)
+        self._quarantine = faults.segment_quarantine_masks(config.n_nodes) or None
+        self._has_cuts = bool(faults.cut_segments)
+        self._phy = config.effective_phy
 
     @property
     def cost_model(self) -> CostModel:
@@ -196,6 +205,11 @@ class OpticalRingNetwork:
             # Carried so the static verifier (repro.check) can audit group
             # size / step count from the lowered plan alone.
             meta["wrht_plan"] = schedule.meta["plan"]
+        if schedule.meta.get("participants") is not None:
+            # Degraded (shrunk-node) schedules span fewer compute endpoints
+            # than the ring has; the verifier needs the participant set to
+            # audit dataflow and step counts against the survivor count.
+            meta["participants"] = schedule.meta["participants"]
         return LoweredPlan(
             backend=BACKEND_NAME,
             algorithm=schedule.algorithm,
@@ -258,6 +272,10 @@ class OpticalRingNetwork:
         Diameter ties (even rings) alternate CW/CCW in sorted (src, dst)
         order; piling all ties into one direction would overload its fibers
         and break the ``⌈k²/8⌉`` all-to-all bound.
+
+        Cut fiber segments force a detour: a route crossing a cut takes the
+        long way around in the opposite direction (with both directions cut
+        between the endpoints there is no path and lowering fails).
         """
         routes = [None] * len(step.transfers)
         ties = []
@@ -277,7 +295,28 @@ class OpticalRingNetwork:
                 routes[i] = self.topology.cw_route(t.src, t.dst)
             else:
                 routes[i] = self.topology.ccw_route(t.src, t.dst)
+        if self._has_cuts:
+            routes = [
+                self._detour_around_cuts(t, route)
+                for t, route in zip(step.transfers, routes)
+            ]
         return routes
+
+    def _detour_around_cuts(self, transfer, route):
+        """Reroute in the opposite ring direction if ``route`` is severed."""
+        faults = self.config.faults
+        if not any(faults.is_cut(s, route.direction) for s in route.segments):
+            return route
+        alt = self.topology.route(
+            transfer.src, transfer.dst, route.direction.opposite()
+        )
+        if any(faults.is_cut(s, alt.direction) for s in alt.segments):
+            raise BackendError(
+                f"no usable path {transfer.src} -> {transfer.dst}: fiber is "
+                f"cut in both ring directions",
+                backend=BACKEND_NAME,
+            )
+        return alt
 
     def plan_step_rounds(
         self, step: CommStep, bytes_per_elem: float, validate: bool | None = None
@@ -294,10 +333,27 @@ class OpticalRingNetwork:
         if validate is None:
             validate = self.validate
         transfers = list(step.transfers)
+        if validate and self._dead_nodes:
+            for t in transfers:
+                if t.src in self._dead_nodes or t.dst in self._dead_nodes:
+                    raise BackendConfigError(
+                        f"transfer {t.src} -> {t.dst} touches a dropped "
+                        f"node; replan the schedule over the survivors "
+                        f"(repro.faults.build_degraded_wrht_schedule)",
+                        backend=BACKEND_NAME,
+                    )
         routes = self._route_step(step)
-        if validate and self.config.phy is not None:
+        if validate and self._phy is not None:
             for route in routes:
-                validate_route_phy(route, self.config.phy)
+                validate_route_phy(route, self._phy)
+        route_blocked = None
+        if self._port_faults_active:
+            faults = self.config.faults
+            route_blocked = [
+                faults.endpoint_blocked(t.src, r.direction)
+                | faults.endpoint_blocked(t.dst, r.direction)
+                for t, r in zip(transfers, routes)
+            ]
         rounds = plan_rounds(
             routes,
             n_segments=self.config.n_nodes,
@@ -305,7 +361,9 @@ class OpticalRingNetwork:
             fibers_per_direction=self.config.fibers_per_direction,
             strategy=self.strategy,
             rng=self.rng,
-            blocked=self.config.failed_wavelengths,
+            blocked=self.config.dead_wavelengths,
+            route_blocked=route_blocked,
+            preoccupied=self._quarantine,
         )
         circuit_rounds: list[list[Circuit]] = []
         for assignment in rounds:

@@ -47,6 +47,12 @@ def max_feasible_hops(params: OpticalPhyParams, upper: int = 1 << 20) -> int:
     while hi < upper and path_feasible(hi, params):
         lo, hi = hi, hi * 2
     hi = min(hi, upper)
+    # The doubling loop can exit on the ``hi < upper`` bound with
+    # ``path_feasible(hi)`` still true (every hop count up to ``upper`` is
+    # feasible). The bisection below assumes ``hi`` is infeasible and would
+    # converge to ``upper - 1``; answer directly instead.
+    if path_feasible(hi, params):
+        return hi
     while lo < hi - 1:
         mid = (lo + hi) // 2
         if path_feasible(mid, params):

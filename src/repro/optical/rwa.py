@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -127,6 +128,8 @@ def dsatur_assign(
     fibers_per_direction: int = 1,
     blocked: frozenset[int] = frozenset(),
     masks: list[int] | None = None,
+    route_blocked: Sequence[frozenset[int]] | None = None,
+    preoccupied: Mapping[tuple[Direction, int], int] | None = None,
 ) -> AssignmentResult | None:
     """Optimal-leaning assignment via DSATUR graph coloring.
 
@@ -146,6 +149,13 @@ def dsatur_assign(
     Args:
         masks: Precomputed :func:`_route_masks` output, to avoid recomputing
             when the caller (``plan_rounds``) already has them.
+        route_blocked: Optional per-route wavelength bans (same length as
+            ``routes``); fault injection uses these for dead MRR endpoint
+            ports. Banned colors are pre-marked as ``seen`` without touching
+            saturation, so the selection order is unchanged when no route
+            has bans.
+        preoccupied: Optional segment bitmask per (direction, wavelength)
+            that counts as already busy (stuck-MRR quarantine spans).
 
     Returns:
         A complete assignment, or ``None`` if even DSATUR needs more than
@@ -200,6 +210,16 @@ def dsatur_assign(
     # neighbour-color sets as one bool row per vertex; saturation is the
     # row's True count, tracked incrementally for the heap keys.
     seen = np.zeros((n, capacity), dtype=bool)
+    # Fault bans are pre-marked as seen WITHOUT contributing to saturation:
+    # a banned color can never be picked (free skips it) yet the selection
+    # order stays bit-identical to the unfaulted run when no bans exist.
+    if route_blocked is not None or preoccupied is not None:
+        pre = preoccupied or {}
+        for v in range(n):
+            bans = route_blocked[v] if route_blocked is not None else frozenset()
+            for c, (_f, lam) in enumerate(allowed):
+                if lam in bans or pre.get((routes[v].direction, lam), 0) & masks[v]:
+                    seen[v, c] = True
     sat = [0] * n
     # Lazy max-heap over (saturation, degree, -index) — the seed's exact
     # selection order (the key is a total order, so ties cannot differ).
@@ -260,6 +280,8 @@ def plan_rounds(
     rng: SeededRng | None = None,
     dsatur_fallback: bool = True,
     blocked: frozenset[int] = frozenset(),
+    route_blocked: Sequence[frozenset[int]] | None = None,
+    preoccupied: Mapping[tuple[Direction, int], int] | None = None,
 ) -> list[dict[int, tuple[int, int]]]:
     """Split one step's transfers into conflict-free rounds.
 
@@ -271,7 +293,10 @@ def plan_rounds(
     simulation so their round structure is identical by construction.
 
     Route masks are computed once here and reused across spill rounds and
-    the DSATUR fallback.
+    the DSATUR fallback. ``route_blocked`` (per-route wavelength bans, e.g.
+    dead MRR endpoint ports) and ``preoccupied`` (segment bitmask per
+    (direction, wavelength) counting as busy, e.g. stuck-MRR quarantine)
+    thread through both assignment paths.
 
     Raises:
         RwaInfeasibleError: If a fresh round places nothing (zero channel
@@ -279,6 +304,11 @@ def plan_rounds(
             the combination instead of aborting.
     """
     _validate_rwa_args(n_segments, n_wavelengths, fibers_per_direction, strategy, rng)
+    if route_blocked is not None and len(route_blocked) != len(routes):
+        raise ValueError(
+            f"route_blocked has {len(route_blocked)} entries "
+            f"for {len(routes)} routes"
+        )
     masks = _route_masks(routes)
     channels = _allowed_channels(n_wavelengths, fibers_per_direction, blocked)
     remaining = list(range(len(routes)))
@@ -287,13 +317,20 @@ def plan_rounds(
     while remaining:
         subset = [routes[i] for i in remaining]
         subset_masks = [masks[i] for i in remaining]
+        subset_blocked = (
+            [route_blocked[i] for i in remaining]
+            if route_blocked is not None
+            else None
+        )
         assignment = _assign_with_masks(
-            subset, subset_masks, n_wavelengths, channels, strategy, rng
+            subset, subset_masks, n_wavelengths, channels, strategy, rng,
+            route_blocked=subset_blocked, preoccupied=preoccupied,
         )
         if first and assignment.unassigned and dsatur_fallback:
             structured = dsatur_assign(
                 subset, n_segments, n_wavelengths, fibers_per_direction,
                 blocked=blocked, masks=subset_masks,
+                route_blocked=subset_blocked, preoccupied=preoccupied,
             )
             if structured is not None:
                 assignment = structured
@@ -333,6 +370,8 @@ def _assign_with_masks(
     channels: list[tuple[int, int, int]],
     strategy: str,
     rng: SeededRng | None,
+    route_blocked: Sequence[frozenset[int]] | None = None,
+    preoccupied: Mapping[tuple[Direction, int], int] | None = None,
 ) -> AssignmentResult:
     """Bitmask assignment core shared by both public entry points.
 
@@ -341,9 +380,18 @@ def _assign_with_masks(
     (fiber, wavelength). Random-Fit shuffles a fresh copy of the channel
     list per transfer, consuming the RNG exactly as the seed implementation
     did (one same-length shuffle per transfer, placed or not).
+
+    ``preoccupied`` seeds the occupancy integers (quarantined spans behave
+    exactly like already-busy channels, on every fiber of the direction);
+    ``route_blocked`` bans wavelengths per route at probe time.
     """
     n_slots = channels[-1][0] + 1 if channels else 0
     busy = {direction: [0] * n_slots for direction in Direction}
+    if preoccupied:
+        for (direction, lam), span in preoccupied.items():
+            for slot, _fiber, chan_lam in channels:
+                if chan_lam == lam:
+                    busy[direction][slot] |= span
     result = AssignmentResult()
     # Longest routes are hardest to place; assign them first. Ties keep the
     # original order so the outcome is deterministic.
@@ -353,12 +401,15 @@ def _assign_with_masks(
     for idx in order:
         mask = masks[idx]
         occ = busy[routes[idx].direction]
+        bans = route_blocked[idx] if route_blocked is not None else None
         if random_fit:
             probe = channels.copy()
             rng.shuffle(probe)
         else:
             probe = channels
         for slot, fiber, lam in probe:
+            if bans is not None and lam in bans:
+                continue
             if occ[slot] & mask == 0:
                 occ[slot] = occ[slot] | mask
                 result.assigned[idx] = (fiber, lam)
@@ -379,6 +430,8 @@ def assign_wavelengths(
     strategy: str = "first_fit",
     rng: SeededRng | None = None,
     blocked: frozenset[int] = frozenset(),
+    route_blocked: Sequence[frozenset[int]] | None = None,
+    preoccupied: Mapping[tuple[Direction, int], int] | None = None,
 ) -> AssignmentResult:
     """Assign channels to routed transfers for one round.
 
@@ -389,12 +442,21 @@ def assign_wavelengths(
         fibers_per_direction: Parallel fibers per direction.
         strategy: ``"first_fit"`` or ``"random_fit"``.
         rng: Required for ``"random_fit"``.
+        blocked: Wavelengths unusable on every fiber in both directions.
+        route_blocked: Per-route wavelength bans (dead MRR endpoint ports).
+        preoccupied: Busy segment bitmask per (direction, wavelength)
+            (stuck-MRR quarantine spans).
 
     Returns:
         An :class:`AssignmentResult`; ``assigned ∪ unassigned`` covers all
         inputs exactly once.
     """
     _validate_rwa_args(n_segments, n_wavelengths, fibers_per_direction, strategy, rng)
+    if route_blocked is not None and len(route_blocked) != len(routes):
+        raise ValueError(
+            f"route_blocked has {len(route_blocked)} entries "
+            f"for {len(routes)} routes"
+        )
     return _assign_with_masks(
         routes,
         _route_masks(routes),
@@ -402,4 +464,6 @@ def assign_wavelengths(
         _allowed_channels(n_wavelengths, fibers_per_direction, blocked),
         strategy,
         rng,
+        route_blocked=route_blocked,
+        preoccupied=preoccupied,
     )

@@ -16,15 +16,25 @@ from repro.runner.experiments import (
     run_fig7,
     run_table1,
 )
+from repro.runner.faultsweep import (
+    FaultScenarioResult,
+    default_fault_scenarios,
+    run_fault_scenario,
+    run_fault_sweep,
+)
 from repro.runner.report import ExperimentResult, percent_reduction
 from repro.runner.sweep import SweepCombinationError, SweepFailure, sweep
 
 __all__ = [
     "ExperimentResult",
+    "FaultScenarioResult",
     "SweepCombinationError",
     "SweepFailure",
     "clear_network_caches",
+    "default_fault_scenarios",
     "percent_reduction",
+    "run_fault_scenario",
+    "run_fault_sweep",
     "run_fig4",
     "run_fig5",
     "run_fig6",

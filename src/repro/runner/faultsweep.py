@@ -1,0 +1,295 @@
+"""Availability/overhead sweeps over fault scenarios (``repro.faults``).
+
+Each cell prices the same workload twice — once on the healthy system and
+once degraded under a named :class:`~repro.faults.models.FaultSet` — and
+reports the slowdown plus the availability ratio (healthy / degraded
+throughput). The degraded schedule is the replanned one
+(:func:`repro.faults.build_degraded_wrht_schedule`), statically verified by
+:mod:`repro.check` before its number is trusted, so a scenario whose
+degraded plan violates any PLAN rule surfaces as a nonzero error count
+rather than a silently wrong data point.
+
+Two backends are supported per cell:
+
+- ``"optical"`` — full substrate lowering against the faulted config
+  (masked RWA, detours, quarantines), verified with the complete optical
+  evidence (circuits re-derived, PLAN007 armed);
+- ``"analytic"`` — the closed forms with the degraded wavelength budget
+  (:class:`~repro.backend.analytic.AnalyticBackend` with ``faults=``),
+  verified structurally.
+
+Used by ``benchmarks/bench_faults.py`` and the ``python -m repro.faults``
+smoke CLI; scenarios and results pickle, so the grid can run through
+:func:`repro.runner.sweep.sweep` with ``workers > 1``.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.backend.analytic import AnalyticBackend
+from repro.check.context import optical_context
+from repro.check.engine import verify_plan
+from repro.check.findings import errors
+from repro.collectives import build_wrht_schedule
+from repro.core.planner import plan_wrht
+from repro.faults import build_degraded_wrht_schedule, plan_wrht_degraded
+from repro.faults.models import (
+    CutFiber,
+    DeadWavelength,
+    DroppedNode,
+    FaultSet,
+    MrrPortFault,
+    PowerDroop,
+)
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.network import OpticalRingNetwork
+from repro.runner.sweep import sweep
+
+FAULT_BACKENDS = ("optical", "analytic")
+
+
+@dataclass(frozen=True)
+class FaultScenarioResult:
+    """One (scenario, backend) cell of a fault sweep.
+
+    Attributes:
+        scenario: Scenario name.
+        backend: ``"optical"`` or ``"analytic"``.
+        n_nodes: Ring size of the healthy system.
+        n_survivors: Nodes still participating under the fault set.
+        healthy_time: All-reduce seconds on the healthy system.
+        degraded_time: All-reduce seconds under the fault set.
+        slowdown_pct: ``100 × (degraded − healthy) / healthy``.
+        availability: ``healthy_time / degraded_time`` — the fraction of
+            healthy throughput the degraded system retains (1.0 = no loss).
+        n_errors: ``ERROR`` findings from :mod:`repro.check` on the
+            degraded plan. Zero for every shipped scenario.
+    """
+
+    scenario: str
+    backend: str
+    n_nodes: int
+    n_survivors: int
+    healthy_time: float
+    degraded_time: float
+    slowdown_pct: float
+    availability: float
+    n_errors: int
+
+
+def default_fault_scenarios(
+    n_nodes: int, n_wavelengths: int
+) -> dict[str, FaultSet]:
+    """The canonical named scenarios for one system size.
+
+    Covers every fault kind once, plus the compound case from the
+    acceptance scenario (dead wavelength + dead representative). The
+    dropped node is always a level-0 representative so re-election is
+    actually exercised.
+    """
+    plan = plan_wrht(n_nodes, n_wavelengths)
+    representative = plan.levels[0].groups[0].representative
+    return {
+        "dead-wavelength": FaultSet.of(DeadWavelength(0)),
+        "dead-representative": FaultSet.of(DroppedNode(representative)),
+        "stuck-mrr": FaultSet.of(
+            MrrPortFault(node=1, wavelength=0, mode="stuck")
+        ),
+        "cut-fiber": FaultSet.of(CutFiber(segment=0, direction="cw")),
+        "laser-droop": FaultSet.of(PowerDroop(droop_db=1.0)),
+        "compound": FaultSet.of(
+            DeadWavelength(0), DroppedNode(representative)
+        ),
+    }
+
+
+def _optical_cell(
+    faults: FaultSet,
+    n_nodes: int,
+    n_wavelengths: int,
+    total_elems: int,
+    bytes_per_elem: float,
+    verify: bool,
+) -> tuple[float, float, int, int]:
+    """(healthy_s, degraded_s, n_survivors, n_errors) on the substrate."""
+    healthy_cfg = OpticalSystemConfig(
+        n_nodes=n_nodes, n_wavelengths=n_wavelengths
+    )
+    healthy_net = OpticalRingNetwork(healthy_cfg)
+    healthy_sched = build_wrht_schedule(
+        n_nodes, total_elems, n_wavelengths=n_wavelengths
+    )
+    healthy_plan = healthy_net.lower(healthy_sched, bytes_per_elem)
+    healthy_s = healthy_net.execute_plan(healthy_plan).total_time
+
+    degraded_cfg = OpticalSystemConfig(
+        n_nodes=n_nodes, n_wavelengths=n_wavelengths, faults=faults
+    )
+    degraded_sched = build_degraded_wrht_schedule(
+        n_nodes, total_elems, faults, n_wavelengths=n_wavelengths
+    )
+    degraded_net = OpticalRingNetwork(degraded_cfg)
+    degraded_plan = degraded_net.lower(degraded_sched, bytes_per_elem)
+    degraded_s = degraded_net.execute_plan(degraded_plan).total_time
+    n_errors = 0
+    if verify:
+        context = optical_context(
+            degraded_net,
+            degraded_sched,
+            degraded_plan,
+            bytes_per_elem=bytes_per_elem,
+        )
+        n_errors = len(errors(verify_plan(context=context)))
+    survivors = n_nodes - len(faults.dead_nodes)
+    return healthy_s, degraded_s, survivors, n_errors
+
+
+def _analytic_cell(
+    faults: FaultSet,
+    n_nodes: int,
+    n_wavelengths: int,
+    total_elems: int,
+    bytes_per_elem: float,
+    verify: bool,
+) -> tuple[float, float, int, int]:
+    """(healthy_s, degraded_s, n_survivors, n_errors) via the closed forms.
+
+    Degraded pricing evaluates the closed form over the *survivor* count
+    with the degraded wavelength budget (``AnalyticBackend(faults=...)``),
+    i.e. the k-node template the shrunk schedule remaps — the exact
+    wall-clock model of the degraded collective.
+    """
+    model = OpticalSystemConfig(
+        n_nodes=n_nodes, n_wavelengths=n_wavelengths
+    ).cost_model()
+    healthy = AnalyticBackend(model, w=n_wavelengths)
+    healthy_sched = build_wrht_schedule(
+        n_nodes, total_elems, n_wavelengths=n_wavelengths, materialize=False
+    )
+    healthy_plan = healthy.lower(healthy_sched)
+    healthy_s = healthy.execute(healthy_plan).total_time
+
+    degraded = AnalyticBackend(model, w=n_wavelengths, faults=faults)
+    plan = plan_wrht_degraded(n_nodes, faults, n_wavelengths=n_wavelengths)
+    degraded_sched = build_wrht_schedule(
+        plan.n_nodes, total_elems, plan=plan, materialize=False
+    )
+    degraded_plan = degraded.lower(degraded_sched)
+    degraded_s = degraded.execute(degraded_plan).total_time
+    n_errors = 0
+    if verify:
+        n_errors = len(errors(verify_plan(degraded_plan, degraded_sched)))
+    return healthy_s, degraded_s, plan.n_nodes, n_errors
+
+
+def run_fault_scenario(
+    name: str,
+    faults: FaultSet,
+    *,
+    n_nodes: int = 16,
+    n_wavelengths: int = 8,
+    total_elems: int = 100_000,
+    backend: str = "optical",
+    bytes_per_elem: float = 4.0,
+    verify: bool = True,
+) -> FaultScenarioResult:
+    """Price one fault scenario against its healthy baseline.
+
+    Raises:
+        ValueError: Unknown ``backend``.
+        BackendError: The fault set leaves no feasible degraded system
+            (e.g. every wavelength dead, or a segment cut both ways).
+    """
+    if backend == "optical":
+        cell = _optical_cell
+    elif backend == "analytic":
+        cell = _analytic_cell
+    else:
+        raise ValueError(
+            f"backend must be one of {FAULT_BACKENDS}, got {backend!r}"
+        )
+    healthy_s, degraded_s, survivors, n_errors = cell(
+        faults, n_nodes, n_wavelengths, total_elems, bytes_per_elem, verify
+    )
+    return FaultScenarioResult(
+        scenario=name,
+        backend=backend,
+        n_nodes=n_nodes,
+        n_survivors=survivors,
+        healthy_time=healthy_s,
+        degraded_time=degraded_s,
+        slowdown_pct=100.0 * (degraded_s - healthy_s) / healthy_s,
+        availability=healthy_s / degraded_s,
+        n_errors=n_errors,
+    )
+
+
+def _run_cell(
+    scenario: tuple[str, FaultSet],
+    backend: str,
+    *,
+    n_nodes: int,
+    n_wavelengths: int,
+    total_elems: int,
+    bytes_per_elem: float,
+    verify: bool,
+) -> FaultScenarioResult:
+    """Picklable sweep cell (scenario arrives as a ``(name, set)`` pair)."""
+    name, faults = scenario
+    return run_fault_scenario(
+        name,
+        faults,
+        n_nodes=n_nodes,
+        n_wavelengths=n_wavelengths,
+        total_elems=total_elems,
+        backend=backend,
+        bytes_per_elem=bytes_per_elem,
+        verify=verify,
+    )
+
+
+def run_fault_sweep(
+    scenarios: Mapping[str, FaultSet] | None = None,
+    *,
+    n_nodes: int = 16,
+    n_wavelengths: int = 8,
+    total_elems: int = 100_000,
+    backends: Sequence[str] = FAULT_BACKENDS,
+    bytes_per_elem: float = 4.0,
+    verify: bool = True,
+    workers: int | None = None,
+    on_error: str = "raise",
+) -> list[FaultScenarioResult]:
+    """Price every scenario on every backend, in deterministic grid order.
+
+    Args:
+        scenarios: ``name -> FaultSet``; defaults to
+            :func:`default_fault_scenarios` for the given system size.
+        backends: Subset of :data:`FAULT_BACKENDS`.
+        workers / on_error: Forwarded to :func:`repro.runner.sweep.sweep`
+            (captured failures are dropped from the returned list — check
+            the sweep directly when you need them).
+
+    Returns:
+        One :class:`FaultScenarioResult` per surviving cell, scenario-major.
+    """
+    if scenarios is None:
+        scenarios = default_fault_scenarios(n_nodes, n_wavelengths)
+    fn = functools.partial(
+        _run_cell,
+        n_nodes=n_nodes,
+        n_wavelengths=n_wavelengths,
+        total_elems=total_elems,
+        bytes_per_elem=bytes_per_elem,
+        verify=verify,
+    )
+    grid = sweep(
+        fn,
+        {"scenario": list(scenarios.items()), "backend": list(backends)},
+        workers=workers,
+        on_error=on_error,
+    )
+    return [cell for cell in grid.values() if cell]

@@ -165,7 +165,27 @@ def sweep(
         ]
         # Collect in submission order: product-order determinism.
         for chunk, future in zip(chunks, futures):
-            for combo, (payload, ok) in zip(chunk, future.result()):
+            try:
+                chunk_results = future.result()
+            except Exception as exc:  # noqa: BLE001 — pool-level failure
+                # The whole chunk died at pool level (worker killed →
+                # BrokenProcessPool, or the chunk's result failed to
+                # pickle/unpickle). No worker-side payloads exist, so
+                # synthesize one failure per slot to keep the product-order
+                # contract; "raise" surfaces the chunk's first combination.
+                tb = _traceback.format_exc()
+                if on_error == "raise":
+                    raise SweepCombinationError(
+                        dict(zip(names, chunk[0])), repr(exc), tb
+                    ) from exc
+                for combo in chunk:
+                    results[combo] = SweepFailure(
+                        params=dict(zip(names, combo)),
+                        error=repr(exc),
+                        traceback=tb,
+                    )
+                continue
+            for combo, (payload, ok) in zip(chunk, chunk_results):
                 if not ok and on_error == "raise":
                     raise SweepCombinationError(
                         payload.params, payload.error, payload.traceback

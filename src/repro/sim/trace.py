@@ -65,6 +65,8 @@ NULL_TRACER = Tracer(enabled=False)
 TRACE_EVENTS: frozenset[str] = frozenset(
     {
         "electrical.step",
+        "optical.live.fault",
+        "optical.live.retry",
         "optical.live.round",
         "optical.round",
         "optical.step_cached",

@@ -1,0 +1,303 @@
+"""Degraded lowering: RWA masking, detours, PLAN007, cache salting."""
+
+import pytest
+
+from repro.backend.analytic import AnalyticBackend
+from repro.backend.errors import BackendConfigError, BackendError
+from repro.backend.plancache import PlanCache
+from repro.check.context import CheckContext, optical_context
+from repro.check.engine import verify_plan
+from repro.check.findings import errors
+from repro.collectives import build_wrht_schedule
+from repro.core.planner import plan_wrht
+from repro.faults import apply_faults, build_degraded_wrht_schedule
+from repro.faults.models import (
+    CutFiber,
+    DeadWavelength,
+    DroppedNode,
+    FaultSet,
+    MrrPortFault,
+)
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.network import OpticalRingNetwork
+from repro.optical.topology import Direction
+
+N, W = 16, 8
+
+
+def _cfg(faults=None, **kwargs):
+    return OpticalSystemConfig(
+        n_nodes=N, n_wavelengths=W,
+        faults=FaultSet() if faults is None else faults, **kwargs,
+    )
+
+
+def _circuits(net, schedule, bytes_per_elem=4.0):
+    """Every circuit the network would actually establish, flattened."""
+    out = []
+    for step in schedule.iter_steps():
+        for rounds in [net.plan_step_rounds(step, bytes_per_elem)]:
+            for circuits in rounds:
+                out.extend(circuits)
+    return out
+
+
+class TestAcceptanceScenario:
+    """ISSUE acceptance: dead wavelength + dead representative lowers to a
+    degraded plan that passes every repro.check rule, PLAN007 included."""
+
+    def test_degraded_plan_verifies_clean(self):
+        rep = plan_wrht(N, W).levels[0].groups[0].representative
+        faults = FaultSet.of(DeadWavelength(2), DroppedNode(rep))
+        config = _cfg(faults)
+        schedule = build_degraded_wrht_schedule(N, 4096, faults, n_wavelengths=W)
+        net = OpticalRingNetwork(config)
+        context = optical_context(net, schedule)
+        findings = verify_plan(context=context, raise_on_error=False)
+        assert errors(findings) == []
+
+    def test_degraded_lowering_avoids_every_failed_resource(self):
+        rep = plan_wrht(N, W).levels[0].groups[0].representative
+        faults = FaultSet.of(DeadWavelength(2), DroppedNode(rep))
+        schedule = build_degraded_wrht_schedule(N, 4096, faults, n_wavelengths=W)
+        net = OpticalRingNetwork(_cfg(faults))
+        circuits = _circuits(net, schedule)
+        assert circuits
+        for c in circuits:
+            assert c.wavelength != 2
+            assert rep not in (c.transfer.src, c.transfer.dst)
+
+
+class TestRwaMasking:
+    def test_dead_wavelength_never_assigned(self):
+        faults = FaultSet.of(DeadWavelength(0))
+        net = OpticalRingNetwork(_cfg(faults))
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        used = {c.wavelength for c in _circuits(net, schedule)}
+        assert 0 not in used
+        assert used  # the masking did not empty the assignment
+
+    def test_dead_port_bans_endpoint_wavelength(self):
+        # first_fit on the healthy system gives wavelength 3 to the
+        # 3 -> 8 circuit; a dead MRR for it at node 3 must push every
+        # circuit terminating there off that wavelength.
+        faults = FaultSet.of(MrrPortFault(3, 3, mode="dead"))
+        net = OpticalRingNetwork(_cfg(faults))
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        touching = [
+            c for c in _circuits(net, schedule)
+            if 3 in (c.transfer.src, c.transfer.dst)
+        ]
+        assert touching
+        for c in touching:
+            assert c.wavelength != 3
+
+    def test_stuck_port_quarantines_adjacent_segments(self):
+        faults = FaultSet.of(MrrPortFault(3, 0, mode="stuck"))
+        net = OpticalRingNetwork(_cfg(faults))
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        for c in _circuits(net, schedule):
+            if c.wavelength == 0:
+                assert not ({2, 3} & set(c.route.segments))
+
+    def test_fault_free_rounds_bit_identical(self):
+        # The fault extensions must not perturb the healthy DSATUR order.
+        plain = OpticalRingNetwork(OpticalSystemConfig(n_nodes=N, n_wavelengths=W))
+        gated = OpticalRingNetwork(_cfg(FaultSet()))
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        for step in schedule.iter_steps():
+            a = plain.plan_step_rounds(step, 4.0)
+            b = gated.plan_step_rounds(step, 4.0)
+            assert a == b
+
+
+class TestCutFiber:
+    def test_one_direction_cut_takes_the_long_way(self):
+        faults = FaultSet.of(CutFiber(0, direction="cw"))
+        net = OpticalRingNetwork(_cfg(faults))
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        circuits = _circuits(net, schedule)
+        assert circuits
+        for c in circuits:
+            if c.route.direction is Direction.CW:
+                assert 0 not in c.route.segments
+
+    def test_cut_both_ways_around_is_an_error(self):
+        # Transfer 0 -> 1 crosses segment 0 clockwise; the detour goes
+        # counter-clockwise through segment 3. Cutting both leaves no path.
+        from repro.collectives.base import CommStep, Transfer
+
+        faults = FaultSet.of(
+            CutFiber(0, direction="cw"), CutFiber(3, direction="ccw")
+        )
+        net = OpticalRingNetwork(_cfg(faults))
+        step = CommStep(transfers=(Transfer(0, 1, 0, 10, "sum"),))
+        with pytest.raises(BackendError, match="both ring directions"):
+            net.plan_step_rounds(step, 4.0)
+
+
+class TestDeadNodeGuard:
+    def test_lowering_over_a_dead_node_refuses(self):
+        faults = FaultSet.of(DroppedNode(5))
+        net = OpticalRingNetwork(_cfg(faults))
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        with pytest.raises(BackendConfigError, match="survivors"):
+            net.lower(schedule, 4.0)
+
+
+class TestPlan007:
+    def _healthy_evidence(self, schedule):
+        """Plan + circuits derived on the *healthy* substrate."""
+        net = OpticalRingNetwork(OpticalSystemConfig(n_nodes=N, n_wavelengths=W))
+        return optical_context(net, schedule)
+
+    def _against(self, schedule, faults):
+        healthy = self._healthy_evidence(schedule)
+        context = CheckContext(
+            plan=healthy.plan,
+            schedule=schedule,
+            config=_cfg(faults),
+            circuit_rounds=healthy.circuit_rounds,
+        )
+        return [
+            f
+            for f in verify_plan(context=context, rule_ids=["PLAN007"])
+        ]
+
+    def test_inert_on_healthy_config(self):
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        assert self._against(schedule, FaultSet()) == []
+
+    def test_flags_dead_wavelength(self):
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        findings = self._against(schedule, FaultSet.of(DeadWavelength(0)))
+        assert findings and all(f.rule_id == "PLAN007" for f in findings)
+        assert any("dead wavelength" in f.message for f in findings)
+
+    def test_flags_dropped_node(self):
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        findings = self._against(schedule, FaultSet.of(DroppedNode(8)))
+        assert any("dropped node 8" in f.message for f in findings)
+
+    def test_flags_dead_port_endpoint(self):
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        # The healthy RWA terminates wavelength 3 at node 3 (the 3 -> 8
+        # circuit), so a dead port for that pair must be flagged.
+        findings = self._against(
+            schedule, FaultSet.of(MrrPortFault(3, 3, mode="dead"))
+        )
+        assert any("failed MRR port" in f.message for f in findings)
+
+    def test_flags_cut_segment(self):
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        findings = self._against(schedule, FaultSet.of(CutFiber(0)))
+        assert any("cut segment" in f.message for f in findings)
+
+    def test_flags_quarantined_segment(self):
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        findings = self._against(
+            schedule, FaultSet.of(MrrPortFault(3, 0, mode="stuck"))
+        )
+        assert any("quarantined segment" in f.message for f in findings)
+
+
+class TestParticipantsAwareRules:
+    def test_plan003_needs_the_participants_tag(self):
+        faults = FaultSet.of(DroppedNode(7))
+        schedule = build_degraded_wrht_schedule(N, 64, faults, n_wavelengths=W)
+        clean = verify_plan(schedule=schedule, rule_ids=["PLAN003"])
+        assert errors(clean) == []
+        # Stripping the tag makes the shrunk schedule look like a broken
+        # full-population All-reduce: PLAN003 must fail.
+        del schedule.meta["participants"]
+        broken = verify_plan(schedule=schedule, rule_ids=["PLAN003"])
+        assert errors(broken)
+
+    def test_plan004_counts_steps_against_survivors(self):
+        faults = FaultSet.of(DroppedNode(7))
+        schedule = build_degraded_wrht_schedule(N, 64, faults, n_wavelengths=W)
+        findings = verify_plan(schedule=schedule, rule_ids=["PLAN004"])
+        assert errors(findings) == []
+
+
+class TestCacheSalting:
+    def test_faulted_config_gets_its_own_cache_entry(self):
+        cache = PlanCache(maxsize=64)
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        healthy = OpticalRingNetwork(
+            OpticalSystemConfig(n_nodes=N, n_wavelengths=W), plan_cache=cache
+        )
+        faulted = OpticalRingNetwork(
+            _cfg(FaultSet.of(DeadWavelength(0))), plan_cache=cache
+        )
+        p1 = healthy.lower(schedule, 4.0)
+        p2 = faulted.lower(schedule, 4.0)
+        assert p1.cache.misses > 0 and p1.cache.hits == 0
+        assert p2.cache.misses > 0 and p2.cache.hits == 0  # no aliasing
+        p3 = healthy.lower(schedule, 4.0)
+        assert p3.cache.hits > 0 and p3.cache.misses == 0
+
+    def test_empty_faultset_hits_healthy_entries(self):
+        cache = PlanCache(maxsize=64)
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        OpticalRingNetwork(
+            OpticalSystemConfig(n_nodes=N, n_wavelengths=W), plan_cache=cache
+        ).lower(schedule, 4.0)
+        gated = OpticalRingNetwork(_cfg(FaultSet()), plan_cache=cache)
+        plan = gated.lower(schedule, 4.0)
+        assert plan.cache.hits > 0 and plan.cache.misses == 0
+
+
+class TestAnalyticDegraded:
+    def test_effective_budget_prices_like_a_smaller_comb(self):
+        cfg = OpticalSystemConfig(n_nodes=64, n_wavelengths=8)
+        sched = build_wrht_schedule(64, 4096, n_wavelengths=8, materialize=False)
+        degraded = AnalyticBackend(
+            cfg.cost_model(), w=8,
+            faults=FaultSet.of(DeadWavelength(0), DeadWavelength(1)),
+        )
+        shrunk = AnalyticBackend(cfg.cost_model(), w=6)
+        a = degraded.execute(degraded.lower(sched)).total_time
+        b = shrunk.execute(shrunk.lower(sched)).total_time
+        assert a == b
+
+    def test_no_budget_left_refuses(self):
+        cfg = OpticalSystemConfig(n_nodes=16, n_wavelengths=8)
+        with pytest.raises(BackendConfigError, match="no usable wavelengths"):
+            AnalyticBackend(
+                cfg.cost_model(), w=2,
+                faults=FaultSet.of(DeadWavelength(0), DeadWavelength(1)),
+            )
+
+    def test_key_salting_no_aliasing(self):
+        cache = PlanCache(maxsize=64)
+        cfg = OpticalSystemConfig(n_nodes=64, n_wavelengths=8)
+        sched = build_wrht_schedule(64, 4096, n_wavelengths=8, materialize=False)
+        healthy = AnalyticBackend(cfg.cost_model(), w=8, plan_cache=cache)
+        faulted = AnalyticBackend(
+            cfg.cost_model(), w=8, plan_cache=cache,
+            faults=FaultSet.of(DeadWavelength(0)),
+        )
+        assert healthy.lower(sched).cache.misses == 1
+        assert faulted.lower(sched).cache.misses == 1  # distinct key
+        assert healthy.lower(sched).cache.hits == 1
+
+    def test_empty_faults_share_healthy_keys(self):
+        cache = PlanCache(maxsize=64)
+        cfg = OpticalSystemConfig(n_nodes=64, n_wavelengths=8)
+        sched = build_wrht_schedule(64, 4096, n_wavelengths=8, materialize=False)
+        AnalyticBackend(cfg.cost_model(), w=8, plan_cache=cache).lower(sched)
+        gated = AnalyticBackend(
+            cfg.cost_model(), w=8, plan_cache=cache, faults=FaultSet()
+        )
+        assert gated.lower(sched).cache.hits == 1
+
+
+class TestApplyFaultsLowering:
+    def test_apply_faults_end_to_end(self):
+        config = OpticalSystemConfig(n_nodes=N, n_wavelengths=W)
+        faulted = apply_faults(config, DeadWavelength(0))
+        net = OpticalRingNetwork(faulted)
+        schedule = build_wrht_schedule(N, 4096, n_wavelengths=W)
+        used = {c.wavelength for c in _circuits(net, schedule)}
+        assert 0 not in used

@@ -1,0 +1,127 @@
+"""Live-executor fault tests: determinism, retries, parity, token hygiene."""
+
+import pytest
+
+from repro.backend.errors import BackendConfigError, BackendExecutionError
+from repro.collectives import build_wrht_schedule
+from repro.faults.models import DeadWavelength, DroppedNode, FaultEvent, FaultSet
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.livesim import LiveOpticalSimulation
+from repro.optical.network import OpticalRingNetwork
+from repro.sim.trace import Tracer
+
+N, W = 16, 8
+ELEMS = 50_000  # payloads long enough that a mid-run fault lands mid-flight
+
+
+def _fixture():
+    config = OpticalSystemConfig(n_nodes=N, n_wavelengths=W)
+    schedule = build_wrht_schedule(N, ELEMS, n_wavelengths=W)
+    healthy = LiveOpticalSimulation(config).run(schedule)
+    return config, schedule, healthy
+
+
+class TestEmptyFaultParity:
+    def test_exactly_matches_step_timing(self):
+        # With no faults the live path must not merely approximate the
+        # step-timing executor — the floats must be identical.
+        config, schedule, healthy = _fixture()
+        fast = OpticalRingNetwork(config).execute(schedule)
+        assert healthy.total_time == fast.total_time
+
+    def test_counters_stay_zero(self):
+        _, _, healthy = _fixture()
+        assert healthy.n_faults == 0
+        assert healthy.n_retries == 0
+        assert healthy.n_interrupted == 0
+        assert healthy.downtime == 0.0
+
+
+class TestMidFlightFault:
+    def _faulted(self, config, schedule, healthy, **kwargs):
+        events = (FaultEvent(healthy.total_time / 2, DeadWavelength(0)),)
+        return LiveOpticalSimulation(
+            config, fault_events=events, **kwargs
+        ).run(schedule)
+
+    def test_interrupts_retries_and_recovers(self):
+        config, schedule, healthy = _fixture()
+        result = self._faulted(config, schedule, healthy)
+        assert result.n_faults == 1
+        assert result.n_interrupted >= 1
+        assert result.n_retries >= 1
+        assert result.downtime > 0.0
+        assert result.total_time > healthy.total_time
+
+    def test_two_runs_identical(self):
+        # The acceptance criterion: same inputs, identical retry counts
+        # and total time, bit for bit.
+        config, schedule, healthy = _fixture()
+        a = self._faulted(config, schedule, healthy)
+        b = self._faulted(config, schedule, healthy)
+        assert (a.total_time, a.n_retries, a.n_interrupted, a.n_events) == (
+            b.total_time, b.n_retries, b.n_interrupted, b.n_events
+        )
+
+    def test_retried_circuits_avoid_the_dead_wavelength(self):
+        # If an interrupted circuit leaked any channel token, the retry
+        # round would block on it and the run would raise
+        # ChannelBlockedError — completing cleanly is the leak regression.
+        config, schedule, healthy = _fixture()
+        tracer = Tracer()
+        events = (FaultEvent(healthy.total_time / 2, DeadWavelength(0)),)
+        result = LiveOpticalSimulation(
+            config, fault_events=events, tracer=tracer
+        ).run(schedule)
+        assert result.n_retries >= 1
+        assert tracer.records("optical.live.fault")
+        assert tracer.records("optical.live.retry")
+
+    def test_retry_budget_exhaustion_raises(self):
+        config, schedule, healthy = _fixture()
+        with pytest.raises(BackendExecutionError, match="unfinished"):
+            self._faulted(config, schedule, healthy, max_retries=0)
+
+    def test_fault_after_completion_is_ignored(self):
+        config, schedule, healthy = _fixture()
+        events = (FaultEvent(healthy.total_time * 10, DeadWavelength(0)),)
+        result = LiveOpticalSimulation(config, fault_events=events).run(schedule)
+        assert result.n_faults == 0
+        assert result.total_time == healthy.total_time
+
+    def test_dropped_node_mid_flight_demands_replanning(self):
+        # A dead compute endpoint cannot be retried around: the degraded
+        # planner refuses and tells the caller to shrink the schedule.
+        config, schedule, healthy = _fixture()
+        events = (FaultEvent(healthy.total_time / 2, DroppedNode(8)),)
+        with pytest.raises(BackendConfigError, match="survivors"):
+            LiveOpticalSimulation(config, fault_events=events).run(schedule)
+
+
+class TestStaticFaults:
+    def test_config_faults_degrade_from_time_zero(self):
+        config = OpticalSystemConfig(
+            n_nodes=N, n_wavelengths=W, faults=FaultSet.of(DeadWavelength(0))
+        )
+        schedule = build_wrht_schedule(N, ELEMS, n_wavelengths=W)
+        live = LiveOpticalSimulation(config).run(schedule)
+        fast = OpticalRingNetwork(config).execute(schedule)
+        assert live.total_time == pytest.approx(fast.total_time, rel=1e-12)
+        assert live.n_faults == 0  # static faults are not events
+
+
+class TestInputValidation:
+    def test_bad_knobs_rejected(self):
+        config = OpticalSystemConfig(n_nodes=N, n_wavelengths=W)
+        with pytest.raises(ValueError, match="max_retries"):
+            LiveOpticalSimulation(config, max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_base"):
+            LiveOpticalSimulation(config, backoff_base=-1.0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            LiveOpticalSimulation(config, backoff_factor=0.5)
+
+    def test_fault_events_validated_eagerly(self):
+        config = OpticalSystemConfig(n_nodes=N, n_wavelengths=W)
+        events = (FaultEvent(1.0, DeadWavelength(W)),)
+        with pytest.raises(ValueError, match="out of range"):
+            LiveOpticalSimulation(config, fault_events=events)

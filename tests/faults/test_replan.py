@@ -1,0 +1,128 @@
+"""Degraded replanning tests: survivors, budgets, fallback, re-election."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import shrunk_representatives
+from repro.collectives.verify import initial_buffers, run_schedule
+from repro.core.planner import plan_wrht
+from repro.faults import (
+    apply_faults,
+    build_degraded_wrht_schedule,
+    degraded_wavelength_budget,
+    plan_wrht_degraded,
+    surviving_nodes,
+)
+from repro.faults.models import DeadWavelength, DroppedNode, FaultSet
+from repro.optical.config import OpticalSystemConfig
+
+
+class TestBudgets:
+    def test_surviving_nodes(self):
+        fs = FaultSet.of(DroppedNode(0), DroppedNode(3))
+        assert surviving_nodes(5, fs) == (1, 2, 4)
+
+    def test_budget_unions_config_failures(self):
+        fs = FaultSet.of(DeadWavelength(0), DeadWavelength(1))
+        assert degraded_wavelength_budget(8, fs) == 6
+        # Overlap with the config's own failed set counts once.
+        assert degraded_wavelength_budget(8, fs, failed_wavelengths={1, 2}) == 5
+
+    def test_budget_ignores_out_of_range(self):
+        fs = FaultSet.of(DeadWavelength(100))
+        assert degraded_wavelength_budget(8, fs) == 8
+
+    def test_budget_exhausted_raises(self):
+        fs = FaultSet.of(*[DeadWavelength(i) for i in range(4)])
+        with pytest.raises(ValueError, match="no usable wavelengths"):
+            degraded_wavelength_budget(4, fs)
+
+
+class TestDegradedPlanning:
+    def test_plan_over_survivors_with_degraded_budget(self):
+        fs = FaultSet.of(DroppedNode(5), DeadWavelength(0))
+        plan = plan_wrht_degraded(16, fs, n_wavelengths=8)
+        assert plan.n_nodes == 15
+        assert plan.n_wavelengths == 7
+
+    def test_alltoall_falls_back_to_broadcast_level(self):
+        # N=64, w=8 plans the all-to-all shortcut (θ = 2L − 1); killing
+        # half the comb drops the budget below ⌈(m*)²/8⌉ and the planner
+        # must flip to the extra broadcast level (θ back to 2L).
+        healthy = plan_wrht(64, 8)
+        assert healthy.alltoall
+        fs = FaultSet.of(*[DeadWavelength(i) for i in range(4)])
+        degraded = plan_wrht_degraded(64, fs, n_wavelengths=8)
+        assert not degraded.alltoall
+        assert degraded.theta == healthy.theta + 1
+
+    def test_too_few_survivors_raises(self):
+        fs = FaultSet.of(DroppedNode(0), DroppedNode(1), DroppedNode(2))
+        with pytest.raises(ValueError, match="at least 2 surviving"):
+            plan_wrht_degraded(4, fs, n_wavelengths=8)
+
+    def test_out_of_range_fault_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            plan_wrht_degraded(16, FaultSet.of(DroppedNode(99)), n_wavelengths=8)
+
+
+class TestDegradedSchedule:
+    def test_no_dead_nodes_keeps_full_population(self):
+        fs = FaultSet.of(DeadWavelength(0))
+        sched = build_degraded_wrht_schedule(16, 1000, fs, n_wavelengths=8)
+        assert sched.n_nodes == 16
+        assert "participants" not in sched.meta
+
+    def test_dead_nodes_shrink_and_tag_participants(self):
+        fs = FaultSet.of(DroppedNode(7))
+        sched = build_degraded_wrht_schedule(16, 1000, fs, n_wavelengths=8)
+        assert sched.n_nodes == 16
+        assert sched.meta["participants"] == tuple(
+            i for i in range(16) if i != 7
+        )
+        assert sched.meta["plan"].n_nodes == 15
+
+    def test_shrunk_schedule_computes_survivor_sum(self):
+        fs = FaultSet.of(DroppedNode(3), DroppedNode(11))
+        sched = build_degraded_wrht_schedule(16, 64, fs, n_wavelengths=8)
+        buffers = initial_buffers(16, 64)
+        original = buffers.copy()
+        run_schedule(sched, buffers)
+        survivors = list(sched.meta["participants"])
+        expected = original[survivors].sum(axis=0)
+        for node in survivors:
+            assert np.array_equal(buffers[node], expected)
+        for dead in (3, 11):
+            assert np.array_equal(buffers[dead], original[dead])
+
+    def test_dead_representative_is_reelected_away(self):
+        # N=16, w=8 plans one 16-node group whose representative is the
+        # middle member; dropping it must elect a survivor instead.
+        healthy = plan_wrht(16, 8)
+        rep = healthy.levels[0].groups[0].representative
+        fs = FaultSet.of(DroppedNode(rep))
+        sched = build_degraded_wrht_schedule(16, 1000, fs, n_wavelengths=8)
+        plan = sched.meta["plan"]
+        reps = shrunk_representatives(plan, sched.meta["participants"])
+        flat = {r for level in reps for r in level}
+        assert rep not in flat
+        assert flat  # someone got elected
+        # No transfer may touch the dead node.
+        for step in sched.iter_steps():
+            for t in step.transfers:
+                assert rep not in (t.src, t.dst)
+
+
+class TestApplyFaults:
+    def test_merges_into_config(self):
+        cfg = OpticalSystemConfig(
+            n_nodes=16, n_wavelengths=8, faults=FaultSet.of(DeadWavelength(0))
+        )
+        faulted = apply_faults(cfg, DroppedNode(2))
+        assert faulted.faults == FaultSet.of(DeadWavelength(0), DroppedNode(2))
+        assert cfg.faults == FaultSet.of(DeadWavelength(0))  # original intact
+
+    def test_merge_validates(self):
+        cfg = OpticalSystemConfig(n_nodes=16, n_wavelengths=8)
+        with pytest.raises(ValueError, match="out of range"):
+            apply_faults(cfg, DeadWavelength(8))

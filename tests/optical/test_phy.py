@@ -39,6 +39,19 @@ class TestPathFeasible:
         bad = OpticalPhyParams(laser_power_dbm=5.0, modulator_loss_db=5.0)
         assert max_feasible_hops(bad) == 0
 
+    def test_everything_feasible_returns_upper(self):
+        # Regression: when every hop count up to ``upper`` is feasible the
+        # doubling loop exits on the bound with hi still feasible; the
+        # bisection used to treat hi as infeasible and converge to
+        # ``upper - 1``.
+        assert max_feasible_hops(PARAMS, upper=100) == 100
+
+    @pytest.mark.parametrize("upper", [139, 140, 141])
+    def test_upper_clamp_boundary(self, upper):
+        # Around the true 140-hop budget the answer is min(limit, upper),
+        # exactly.
+        assert max_feasible_hops(PARAMS, upper=upper) == min(140, upper)
+
 
 class TestValidateRoute:
     def test_ok_route(self):

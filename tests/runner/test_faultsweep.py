@@ -1,0 +1,77 @@
+"""Fault-scenario sweep tests (availability/overhead records)."""
+
+import pytest
+
+from repro.core.planner import plan_wrht
+from repro.runner.faultsweep import (
+    FAULT_BACKENDS,
+    FaultScenarioResult,
+    default_fault_scenarios,
+    run_fault_scenario,
+    run_fault_sweep,
+)
+
+N, W, ELEMS = 16, 8, 10_000
+
+
+class TestScenarios:
+    def test_default_scenarios_cover_every_fault_kind(self):
+        scenarios = default_fault_scenarios(N, W)
+        assert set(scenarios) == {
+            "dead-wavelength", "dead-representative", "stuck-mrr",
+            "cut-fiber", "laser-droop", "compound",
+        }
+
+    def test_dropped_node_is_a_representative(self):
+        scenarios = default_fault_scenarios(N, W)
+        rep = plan_wrht(N, W).levels[0].groups[0].representative
+        dead = scenarios["dead-representative"].dead_nodes
+        assert dead == frozenset({rep})
+
+
+class TestRunScenario:
+    @pytest.mark.parametrize("backend", FAULT_BACKENDS)
+    def test_dead_wavelength_cell(self, backend):
+        scenarios = default_fault_scenarios(N, W)
+        cell = run_fault_scenario(
+            "dead-wavelength", scenarios["dead-wavelength"],
+            n_nodes=N, n_wavelengths=W, total_elems=ELEMS, backend=backend,
+        )
+        assert isinstance(cell, FaultScenarioResult)
+        assert cell.n_errors == 0
+        assert cell.degraded_time >= cell.healthy_time > 0
+        assert 0 < cell.availability <= 1.0
+        assert cell.slowdown_pct >= 0
+
+    def test_unknown_backend_rejected(self):
+        scenarios = default_fault_scenarios(N, W)
+        with pytest.raises(ValueError, match="backend"):
+            run_fault_scenario(
+                "dead-wavelength", scenarios["dead-wavelength"],
+                n_nodes=N, n_wavelengths=W, backend="electrical",
+            )
+
+
+class TestRunSweep:
+    def test_full_grid_verifies_clean(self):
+        cells = run_fault_sweep(
+            n_nodes=N, n_wavelengths=W, total_elems=ELEMS
+        )
+        assert len(cells) == 6 * len(FAULT_BACKENDS)
+        assert all(c.n_errors == 0 for c in cells)
+        compound = [c for c in cells if c.scenario == "compound"]
+        assert all(c.n_survivors == N - 1 for c in compound)
+
+    def test_grid_order_is_scenario_major(self):
+        cells = run_fault_sweep(
+            scenarios={
+                k: v
+                for k, v in default_fault_scenarios(N, W).items()
+                if k in ("dead-wavelength", "compound")
+            },
+            n_nodes=N, n_wavelengths=W, total_elems=ELEMS,
+        )
+        assert [(c.scenario, c.backend) for c in cells] == [
+            ("dead-wavelength", "optical"), ("dead-wavelength", "analytic"),
+            ("compound", "optical"), ("compound", "analytic"),
+        ]

@@ -1,5 +1,6 @@
 """Sweep helper tests: serial semantics, process-pool parity, error capture."""
 
+import os
 import pickle
 
 import pytest
@@ -17,6 +18,22 @@ def _fragile(a, b):
     if a == 2 and b == 10:
         raise ValueError("bad cell")
     return a * b
+
+
+def _kill_worker(a, b):
+    """Kills its worker process on the first combination in product order.
+
+    ``os._exit`` bypasses every exception handler, so the pool breaks
+    instead of the worker capturing a failure — the pool-level path.
+    """
+    if a == 1 and b == 10:
+        os._exit(1)
+    return a * b
+
+
+def _unpicklable(a, b):
+    """Succeeds worker-side, but the result cannot pickle back."""
+    return lambda: a * b
 
 
 class TestSweep:
@@ -86,6 +103,60 @@ class TestErrorHandling:
         good = {k: v for k, v in results.items() if k != (2, 10)}
         assert good == {k: v for k, v in sweep(_product, self.PARAMS).items()
                         if k != (2, 10)}
+
+
+class TestPoolLevelFailure:
+    """A whole chunk dying at pool level (killed worker, unpicklable
+    result) must keep the product-order contract, not hang or KeyError."""
+
+    PARAMS = {"a": [1, 2, 3], "b": [10, 20]}
+
+    def test_killed_worker_capture_fills_every_slot(self):
+        results = sweep(
+            _kill_worker, self.PARAMS, workers=2, on_error="capture"
+        )
+        import itertools
+
+        combos = list(itertools.product(self.PARAMS["a"], self.PARAMS["b"]))
+        assert list(results) == combos  # every slot, product order
+        # The chunk whose worker died (and every chunk the broken pool
+        # refuses afterwards) carries per-slot failures with the right
+        # params; chunks that finished before the breakage keep their
+        # values. Either way no slot may be missing.
+        failures = 0
+        for (a, b), payload in results.items():
+            if isinstance(payload, SweepFailure):
+                failures += 1
+                assert payload.params == {"a": a, "b": b}
+                assert not payload
+            else:
+                assert payload == a * b
+        assert isinstance(results[(1, 10)], SweepFailure)
+        assert failures >= 1
+
+    def test_killed_worker_raise_names_first_combination(self):
+        with pytest.raises(SweepCombinationError) as exc_info:
+            sweep(_kill_worker, self.PARAMS, workers=2)
+        # The pool cannot say which combo of the chunk killed the worker;
+        # the error is pinned to the chunk's first combination in product
+        # order, which is also the sweep's first combination here.
+        assert exc_info.value.params == {"a": 1, "b": 10}
+        assert exc_info.value.__cause__ is not None
+
+    def test_unpicklable_result_capture(self):
+        results = sweep(
+            _unpicklable, self.PARAMS, workers=2, chunk_size=1,
+            on_error="capture",
+        )
+        assert len(results) == 6
+        for (a, b), payload in results.items():
+            assert isinstance(payload, SweepFailure)
+            assert payload.params == {"a": a, "b": b}
+
+    def test_unpicklable_result_raise(self):
+        with pytest.raises(SweepCombinationError) as exc_info:
+            sweep(_unpicklable, self.PARAMS, workers=2, chunk_size=1)
+        assert exc_info.value.params == {"a": 1, "b": 10}
 
 
 class TestFailurePickling:
