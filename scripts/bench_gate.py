@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: re-measure pinned bench cells, compare, exit.
+
+Re-runs a pinned subset of the committed benchmarks and gates the fresh
+numbers against the committed baselines via :mod:`repro.obs.benchgate`:
+
+- **RWA kernel micro cells** (``BENCH_rwa.json``): the dense-alltoall and
+  wrht-heaviest cases at N=64 and N=256 — every shape from the committed
+  ``micro`` table except the ~20 s N=1024 dense case, which is too slow
+  for a per-push gate. Transfer counts are gated exactly; speedups are
+  best-of-3 and gated against a perf *floor* (default 0.25 x baseline,
+  i.e. only a 4x regression fails — wall clock is host-noisy).
+- **Fault-sweep scenarios** (``BENCH_faults.json``): the full canonical
+  scenario x backend grid. These are deterministic simulated quantities,
+  gated with a tight relative tolerance (default 1e-6) plus exact
+  survivor counts and a zero static-verification-error requirement.
+
+Exit status: 0 when every comparison passes, 1 on any regression, 2 when
+a baseline file is missing or unreadable. ``--json`` writes the full diff
+record (uploaded as a CI artifact on failure); ``--skip-perf`` drops the
+wall-clock RWA measurements for a fast deterministic-only run.
+
+Usage::
+
+    python scripts/bench_gate.py [--json diff.json] [--skip-perf]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.obs.benchgate import (  # noqa: E402
+    DEFAULT_PERF_FLOOR,
+    DEFAULT_SIM_REL_TOL,
+    GateReport,
+    compare_faults,
+    compare_rwa,
+)
+
+#: Pinned RWA micro cells: (case label, N, dense representative count or
+#: None for the wrht-heaviest shape). The N=1024 dense case is excluded —
+#: its seed-kernel measurement alone takes ~20 s.
+PINNED_RWA_CELLS = (
+    ("dense-alltoall", 64, 16),
+    ("dense-alltoall", 256, 32),
+    ("wrht-heaviest", 64, None),
+    ("wrht-heaviest", 256, None),
+)
+
+BEST_OF = 3
+
+
+def measure_rwa(best_of: int = BEST_OF) -> list[dict]:
+    """Fresh measurements for the pinned RWA cells (best-of-``best_of``)."""
+    from benchmarks.bench_rwa import (
+        _dense_routes,
+        _time_kernels,
+        _wrht_heaviest_routes,
+    )
+
+    rows = []
+    for case, n, k in PINNED_RWA_CELLS:
+        if k is not None:
+            n_seg, routes = _dense_routes(n, k)
+        else:
+            n_seg, routes = _wrht_heaviest_routes(n)
+        best = None
+        for _ in range(best_of):
+            seed_s, fast_s = _time_kernels(n_seg, routes)
+            speedup = seed_s / fast_s
+            if best is None or speedup > best["speedup"]:
+                best = {"seed_s": seed_s, "bitmask_s": fast_s, "speedup": speedup}
+        rows.append(
+            {"case": case, "n": n, "transfers": len(routes), **best}
+        )
+    return rows
+
+
+def measure_faults() -> list[dict]:
+    """Fresh fault-sweep rows, same shape as ``BENCH_faults.json``."""
+    from benchmarks.bench_faults import _run_availability
+
+    return _run_availability()
+
+
+def load_baseline(path: Path) -> dict | None:
+    """Parsed baseline JSON, or ``None`` when missing/unreadable."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status (0/1/2)."""
+    parser = argparse.ArgumentParser(
+        prog="scripts/bench_gate.py",
+        description="re-measure pinned bench cells and gate them against "
+        "the committed BENCH_rwa.json / BENCH_faults.json baselines",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full diff record to PATH (CI failure artifact)",
+    )
+    parser.add_argument(
+        "--perf-floor", type=float, default=DEFAULT_PERF_FLOOR,
+        help="speedup must stay above baseline x FLOOR (default %(default)s)",
+    )
+    parser.add_argument(
+        "--sim-rel-tol", type=float, default=DEFAULT_SIM_REL_TOL,
+        help="relative tolerance for deterministic simulated values "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--skip-perf", action="store_true",
+        help="skip the wall-clock RWA measurements (deterministic-only)",
+    )
+    parser.add_argument(
+        "--baseline-rwa", type=Path, default=REPO_ROOT / "BENCH_rwa.json",
+        help="override the RWA baseline path (tests)",
+    )
+    parser.add_argument(
+        "--baseline-faults", type=Path,
+        default=REPO_ROOT / "BENCH_faults.json",
+        help="override the faults baseline path (tests)",
+    )
+    args = parser.parse_args(argv)
+
+    missing = [
+        path
+        for path in (
+            ([] if args.skip_perf else [args.baseline_rwa])
+            + [args.baseline_faults]
+        )
+        if load_baseline(path) is None
+    ]
+    if missing:
+        for path in missing:
+            print(f"bench gate: missing or unreadable baseline: {path}",
+                  file=sys.stderr)
+        return 2
+
+    report = GateReport()
+    if not args.skip_perf:
+        print(f"measuring pinned RWA cells (best of {BEST_OF}) ...")
+        rwa_rows = measure_rwa()
+        for row in rwa_rows:
+            print(
+                f"  rwa.{row['case']}.n{row['n']}: "
+                f"transfers={row['transfers']} speedup={row['speedup']:.1f}x"
+            )
+        report.merge(
+            compare_rwa(
+                rwa_rows, load_baseline(args.baseline_rwa),
+                perf_floor=args.perf_floor,
+            )
+        )
+    print("measuring fault-sweep scenarios ...")
+    fault_rows = measure_faults()
+    report.merge(
+        compare_faults(
+            fault_rows, load_baseline(args.baseline_faults),
+            rel_tol=args.sim_rel_tol,
+        )
+    )
+
+    print(report.render())
+    if args.json:
+        out = Path(args.json)
+        out.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"wrote diff record to {out}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

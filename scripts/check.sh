@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Repo check gate: lint + static plan verification + the tier-1 test suite.
 #
-# Usage: scripts/check.sh [extra pytest args...]
+# Usage: scripts/check.sh [--fast] [extra pytest args...]
 #
 # Stages:
 #   1. ruff (when available — CI images that lack it skip with a notice)
 #   2. repro.check lint  (REP001-REP005 AST pass over src)
 #   3. repro.check plan verifier over the figure golden plans
+#   --fast stops here (lint + verifier only — the seconds-scale
+#   pre-commit loop; see docs/TESTING.md). The full gate continues with:
 #   4. fault-injection smoke (seeded degraded scenarios per backend,
 #      verified by repro.check; live fault runs checked for determinism)
 #   5. tier-1 tests (which also auto-verify every lowered plan via the
@@ -14,6 +16,12 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+    FAST=1
+    shift
+fi
 
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
@@ -31,6 +39,11 @@ python -m repro.check.lint src
 
 echo "== repro.check golden plans (optical) =="
 python -m repro.check check --backend optical
+
+if [[ "$FAST" == "1" ]]; then
+    echo "== --fast: skipping fault smoke and tier-1 tests =="
+    exit 0
+fi
 
 echo "== fault-injection smoke =="
 python -m repro.faults

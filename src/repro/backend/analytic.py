@@ -26,6 +26,7 @@ from repro.collectives.base import Schedule
 from repro.collectives.registry import DISPLAY_NAMES
 from repro.core.timing import CostModel, algorithm_time, analytic_profile
 from repro.faults.models import FaultSet
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 _DEFAULT_HRING_M = 5
 
@@ -42,6 +43,7 @@ class AnalyticBackend(Backend):
         w: int = 64,
         plan_cache: PlanCache | None = None,
         faults: FaultSet | None = None,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         """Args:
         model: Cost parameters (line rate, step overhead, O/E/O).
@@ -51,9 +53,12 @@ class AnalyticBackend(Backend):
             wavelengths shrink the effective budget the wavelength-aware
             closed forms see. The set also salts the plan-cache key, so
             degraded and healthy prices can never alias.
+        metrics: Observability registry (default disabled); cache tallies
+            are recorded and a snapshot is attached to results.
         """
         self.model = model
         self.w = w
+        self.metrics = metrics
         self.faults = FaultSet() if faults is None else faults
         self.effective_w = w - len(self.faults.dead_wavelengths & frozenset(range(w)))
         if self.effective_w < 1:
@@ -133,6 +138,10 @@ class AnalyticBackend(Backend):
             )
             if use_cache:
                 counters.evictions += self.plan_cache.put(key, priced)
+        if self.metrics.enabled:
+            self.metrics.inc("plan_cache.hits", counters.hits)
+            self.metrics.inc("plan_cache.misses", counters.misses)
+            self.metrics.inc("plan_cache.evictions", counters.evictions)
         total, priced_classes = priced
         entries = tuple(
             LoweredStep(
@@ -168,6 +177,9 @@ class AnalyticBackend(Backend):
             )
             for e in plan.entries
         )
+        if self.metrics.enabled:
+            for record in timeline:
+                self.metrics.observe("analytic.step.duration_s", record.duration)
         return ExecutionResult(
             backend=self.name,
             algorithm=plan.algorithm,
@@ -177,4 +189,5 @@ class AnalyticBackend(Backend):
             timeline=timeline,
             cache=PlanCacheCounters(**plan.cache.as_dict()),
             meta=dict(plan.meta),
+            metrics=self.metrics.snapshot() if self.metrics.enabled else None,
         )

@@ -40,6 +40,7 @@ from typing import Any
 from repro.backend.errors import BackendConfigError
 from repro.backend.plancache import PlanCacheCounters
 from repro.collectives.base import Schedule
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, MetricsSnapshot
 
 
 @dataclass(frozen=True)
@@ -160,6 +161,8 @@ class ExecutionResult:
         cache: Plan-cache tallies inherited from the plan's ``lower()``.
         meta: Backend-specific extras (peak wavelength, congestion, the
             interpretation used, ...).
+        metrics: :class:`~repro.obs.metrics.MetricsSnapshot` of the run
+            when the backend had metrics enabled, else ``None``.
     """
 
     backend: str
@@ -171,6 +174,7 @@ class ExecutionResult:
     events: tuple[tuple[float, str, dict], ...] = ()
     cache: PlanCacheCounters = field(default_factory=PlanCacheCounters)
     meta: dict = field(default_factory=dict)
+    metrics: MetricsSnapshot | None = None
 
     @property
     def total_rounds(self) -> int:
@@ -199,6 +203,7 @@ class ExecutionResult:
             "events": [list(e[:2]) + [dict(e[2])] for e in self.events],
             "cache": self.cache.as_dict(),
             "meta": dict(self.meta),
+            "metrics": None if self.metrics is None else self.metrics.to_dict(),
         }
 
     @classmethod
@@ -216,6 +221,11 @@ class ExecutionResult:
             ),
             cache=PlanCacheCounters(**data.get("cache", {})),
             meta=dict(data.get("meta", {})),
+            metrics=(
+                MetricsSnapshot.from_dict(data["metrics"])
+                if data.get("metrics") is not None
+                else None
+            ),
         )
 
 
@@ -224,9 +234,16 @@ class Backend(abc.ABC):
 
     Subclasses set :attr:`name` and implement :meth:`lower` and
     :meth:`execute`; :meth:`run` composes them.
+
+    Backends built with a :class:`~repro.obs.metrics.MetricsRegistry` bind
+    it to :attr:`metrics` (the class default is the disabled
+    :data:`~repro.obs.metrics.NULL_METRICS`); :meth:`run` profiles the two
+    stages under ``backend.<name>.lower`` / ``backend.<name>.execute``
+    spans, and adapters attach a snapshot to the result when enabled.
     """
 
     name: str = "abstract"
+    metrics: MetricsRegistry = NULL_METRICS
 
     @abc.abstractmethod
     def lower(self, schedule: Schedule, *, bytes_per_elem: float = 4.0) -> LoweredPlan:
@@ -271,10 +288,17 @@ class Backend(abc.ABC):
             check: Statically verify the lowered plan (:meth:`verify`)
                 before executing it.
         """
-        plan = self.lower(schedule, bytes_per_elem=bytes_per_elem)
+        with self.metrics.span(f"backend.{self.name}.lower"):
+            plan = self.lower(schedule, bytes_per_elem=bytes_per_elem)
         if check:
             self.verify(plan, schedule)
-        return self.execute(plan)
+        with self.metrics.span(f"backend.{self.name}.execute"):
+            result = self.execute(plan)
+        if self.metrics.enabled:
+            # Re-snapshot after the stage spans close so the attached
+            # snapshot includes them (execute() snapshots mid-span).
+            result.metrics = self.metrics.snapshot()
+        return result
 
     # -- shared entry-point validation ----------------------------------
     def _check_schedule(

@@ -11,6 +11,7 @@ from repro.backend.base import Backend, ExecutionResult, LoweredPlan, StepRecord
 from repro.backend.plancache import PlanCache
 from repro.electrical.config import ElectricalSystemConfig
 from repro.electrical.network import ElectricalNetwork
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.sim.trace import Tracer
 
 
@@ -25,15 +26,18 @@ class ElectricalBackend(Backend):
         *,
         plan_cache: PlanCache | None = None,
         collect_events: bool = False,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         """Args mirror :class:`~repro.electrical.network.ElectricalNetwork`;
         ``collect_events`` harvests the executor's trace into
-        ``ExecutionResult.events``."""
+        ``ExecutionResult.events``; ``metrics`` (default disabled) collects
+        observability data and attaches a snapshot to results."""
         self.config = config
         self.collect_events = collect_events
+        self.metrics = metrics
         self._tracer = Tracer(enabled=True) if collect_events else None
         self._net = ElectricalNetwork(
-            config, tracer=self._tracer, plan_cache=plan_cache
+            config, tracer=self._tracer, plan_cache=plan_cache, metrics=metrics
         )
 
     @property
@@ -75,4 +79,5 @@ class ElectricalBackend(Backend):
             events=events,
             cache=run.cache,
             meta={"interpretation": self.config.interpretation},
+            metrics=self.metrics.snapshot() if self.metrics.enabled else None,
         )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.backend.base import Backend, ExecutionResult, LoweredPlan, StepRecord
 from repro.backend.plancache import PlanCache
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.network import OpticalRingNetwork
 from repro.sim.rng import SeededRng
@@ -31,12 +32,15 @@ class OpticalBackend(Backend):
         validate: bool = True,
         plan_cache: PlanCache | None = None,
         collect_events: bool = False,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         """Args mirror :class:`~repro.optical.network.OpticalRingNetwork`;
         ``collect_events`` additionally harvests the executor's trace into
-        ``ExecutionResult.events``."""
+        ``ExecutionResult.events``; ``metrics`` (default disabled) collects
+        observability data and attaches a snapshot to results."""
         self.config = config
         self.collect_events = collect_events
+        self.metrics = metrics
         self._tracer = Tracer(enabled=True) if collect_events else None
         self._net = OpticalRingNetwork(
             config,
@@ -45,6 +49,7 @@ class OpticalBackend(Backend):
             tracer=self._tracer,
             validate=validate,
             plan_cache=plan_cache,
+            metrics=metrics,
         )
 
     @property
@@ -104,4 +109,5 @@ class OpticalBackend(Backend):
             events=events,
             cache=run.cache,
             meta={"interpretation": self.config.interpretation},
+            metrics=self.metrics.snapshot() if self.metrics.enabled else None,
         )

@@ -224,6 +224,8 @@ def _check_rep004(tree: ast.AST, path: str) -> Iterator[Finding]:
 
 def _check_rep005(tree: ast.AST, path: str) -> Iterator[Finding]:
     """REP005 — unregistered literal trace categories."""
+    from difflib import get_close_matches
+
     from repro.sim.trace import TRACE_EVENTS
 
     for node in ast.walk(tree):
@@ -240,12 +242,14 @@ def _check_rep005(tree: ast.AST, path: str) -> Iterator[Finding]:
             and isinstance(category.value, str)
             and category.value not in TRACE_EVENTS
         ):
-            yield _finding(
-                "REP005",
+            message = (
                 f"trace category {category.value!r} is not registered in "
-                "repro.sim.trace.TRACE_EVENTS",
-                path, node,
+                "repro.sim.trace.TRACE_EVENTS"
             )
+            close = get_close_matches(category.value, sorted(TRACE_EVENTS), n=1)
+            if close:
+                message += f" (did you mean {close[0]!r}?)"
+            yield _finding("REP005", message, path, node)
 
 
 _CHECKERS: dict[str, Callable[[ast.AST, str], Iterator[Finding]]] = {

@@ -27,6 +27,7 @@ from repro.electrical.config import ElectricalSystemConfig
 from repro.electrical.fattree import FatTree
 from repro.electrical.flows import Flow, FluidSimulation
 from repro.electrical.routing import route
+from repro.obs.metrics import COUNT_EDGES, NULL_METRICS, MetricsRegistry
 from repro.sim.trace import NULL_TRACER, Tracer
 
 BACKEND_NAME = "electrical"
@@ -109,10 +110,12 @@ class ElectricalNetwork:
         config: ElectricalSystemConfig,
         tracer: Tracer | None = None,
         plan_cache: PlanCache | None = None,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self.config = config
         self.tree = FatTree(config)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.plan_cache = default_plan_cache() if plan_cache is None else plan_cache
         # "electrical" disambiguates from optical entries in the shared cache.
         self._plan_key_base = (config, "electrical")
@@ -155,6 +158,10 @@ class ElectricalNetwork:
                     replay=replay,
                 )
             )
+        if self.metrics.enabled:
+            self.metrics.inc("plan_cache.hits", counters.hits)
+            self.metrics.inc("plan_cache.misses", counters.misses)
+            self.metrics.inc("plan_cache.evictions", counters.evictions)
         return LoweredPlan(
             backend=BACKEND_NAME,
             algorithm=schedule.algorithm,
@@ -193,6 +200,14 @@ class ElectricalNetwork:
             )
             result.total_time += priced.duration * entry.count
             result.total_bytes += priced.bytes_per_step * entry.count
+            if self.metrics.enabled:
+                # Simulated, per distinct profile entry — deterministic.
+                self.metrics.observe("electrical.step.duration_s", priced.duration)
+                self.metrics.observe(
+                    "electrical.step.link_share",
+                    float(priced.max_link_share),
+                    edges=COUNT_EDGES,
+                )
         return result
 
     def execute(self, schedule: Schedule, bytes_per_elem: float = 4.0) -> ElectricalRunResult:
@@ -221,26 +236,27 @@ class ElectricalNetwork:
                 counters.hits += 1
                 return cached
             counters.misses += 1
-        flows: list[Flow] = []
-        flow_meta: list[tuple[int, float]] = []
-        link_load: dict[int, int] = {}
-        step_bytes = 0.0
-        for i, t in enumerate(step.transfers):
-            path = route(self.tree, t.src, t.dst, ecmp=self.config.ecmp)
-            size = t.n_elems * bytes_per_elem
-            step_bytes += size
-            flows.append(
-                Flow(
-                    flow_id=i,
-                    links=path.links,
-                    size=size,
-                    latency=path.n_routers * self.config.router_delay,
+        with self.metrics.span("electrical.price_pattern"):
+            flows: list[Flow] = []
+            flow_meta: list[tuple[int, float]] = []
+            link_load: dict[int, int] = {}
+            step_bytes = 0.0
+            for i, t in enumerate(step.transfers):
+                path = route(self.tree, t.src, t.dst, ecmp=self.config.ecmp)
+                size = t.n_elems * bytes_per_elem
+                step_bytes += size
+                flows.append(
+                    Flow(
+                        flow_id=i,
+                        links=path.links,
+                        size=size,
+                        latency=path.n_routers * self.config.router_delay,
+                    )
                 )
-            )
-            flow_meta.append((path.n_routers, size))
-            for link in path.links:
-                link_load[link] = link_load.get(link, 0) + 1
-        duration = self._fluid.run(flows)
+                flow_meta.append((path.n_routers, size))
+                for link in path.links:
+                    link_load[link] = link_load.get(link, 0) + 1
+            duration = self._fluid.run(flows)
         summary = ElectricalStepPlan(
             duration=duration,
             n_flows=len(flows),

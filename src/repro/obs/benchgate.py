@@ -1,0 +1,239 @@
+"""Benchmark-regression gate: compare fresh measurements to baselines.
+
+The committed ``BENCH_rwa.json``/``BENCH_faults.json`` baselines were
+write-only artifacts: a perf or correctness regression changed the numbers
+the next time someone happened to re-run the benches, and nothing noticed.
+This module turns them into an enforced trajectory — ``scripts/bench_gate.py``
+re-measures a pinned subset of bench cells and the comparison logic here
+decides pass/fail. CI runs the script as its own job.
+
+Two comparison regimes, matched to what each number *is*:
+
+- **Deterministic simulated values** (fault-sweep availability, slowdown,
+  degraded seconds, survivor counts, RWA transfer counts) are pure
+  functions of the inputs — identical on every machine. They are compared
+  with a tight relative tolerance (:data:`DEFAULT_SIM_REL_TOL`); any drift
+  means the model's behavior changed.
+- **Wall-clock performance floors** (RWA kernel speedups) are host-noisy,
+  so the gate only enforces a floor: the measured speedup must stay above
+  ``baseline_speedup × perf_floor`` (:data:`DEFAULT_PERF_FLOOR`, i.e. a
+  4× perf regression fails with the default 0.25). Measurements should be
+  best-of-N to tame scheduler noise (the script does best-of-3).
+
+A metric present in the current measurement but missing from the baseline
+is itself a violation (``missing-baseline``): silently ungated metrics are
+how trajectories rot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DEFAULT_SIM_REL_TOL = 1e-6
+DEFAULT_PERF_FLOOR = 0.25
+
+
+@dataclass(frozen=True)
+class GateViolation:
+    """One failed comparison.
+
+    Attributes:
+        metric: Dotted metric label (``"faults.cut-fiber.optical.availability"``).
+        kind: ``"rel"`` (deterministic drift), ``"floor"`` (perf floor
+            breached), ``"exact"`` (integer mismatch) or
+            ``"missing-baseline"``.
+        current: Freshly measured value (``None`` for missing metrics).
+        baseline: Committed value (``None`` when absent from the baseline).
+        allowed: Human-readable bound that was violated.
+    """
+
+    metric: str
+    kind: str
+    current: float | None
+    baseline: float | None
+    allowed: str
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"[{self.kind}] {self.metric}: current={self.current!r} "
+            f"baseline={self.baseline!r} (allowed: {self.allowed})"
+        )
+
+
+@dataclass
+class GateReport:
+    """Outcome of one gate run: every comparison made, every violation."""
+
+    checked: list[str] = field(default_factory=list)
+    violations: list[GateViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no comparison failed."""
+        return not self.violations
+
+    def merge(self, other: "GateReport") -> "GateReport":
+        """Fold ``other``'s comparisons into this report (returns self)."""
+        self.checked.extend(other.checked)
+        self.violations.extend(other.violations)
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-ready diff record (uploaded as a CI artifact on failure)."""
+        return {
+            "ok": self.ok,
+            "n_checked": len(self.checked),
+            "checked": list(self.checked),
+            "violations": [
+                {
+                    "metric": v.metric,
+                    "kind": v.kind,
+                    "current": v.current,
+                    "baseline": v.baseline,
+                    "allowed": v.allowed,
+                }
+                for v in self.violations
+            ],
+        }
+
+    def render(self) -> str:
+        """Multi-line summary (violations first)."""
+        lines = [v.render() for v in self.violations]
+        lines.append(
+            f"bench gate: {len(self.checked)} comparison(s), "
+            f"{len(self.violations)} violation(s)"
+        )
+        return "\n".join(lines)
+
+
+def _check_rel(
+    report: GateReport, metric: str, current: float, baseline: object, rel_tol: float
+) -> None:
+    """Two-sided relative comparison for deterministic values."""
+    report.checked.append(metric)
+    if baseline is None:
+        report.violations.append(
+            GateViolation(metric, "missing-baseline", current, None, "baseline present")
+        )
+        return
+    baseline = float(baseline)
+    scale = max(abs(current), abs(baseline))
+    if scale == 0.0:
+        return
+    if abs(current - baseline) > rel_tol * scale:
+        report.violations.append(
+            GateViolation(
+                metric, "rel", current, baseline, f"rel delta <= {rel_tol:g}"
+            )
+        )
+
+
+def _check_exact(
+    report: GateReport, metric: str, current: float, baseline: object
+) -> None:
+    """Exact comparison for structural integers."""
+    report.checked.append(metric)
+    if baseline is None:
+        report.violations.append(
+            GateViolation(metric, "missing-baseline", current, None, "baseline present")
+        )
+    elif current != baseline:
+        report.violations.append(
+            GateViolation(metric, "exact", current, baseline, "exact match")
+        )
+
+
+def _check_floor(
+    report: GateReport, metric: str, current: float, baseline: object, floor: float
+) -> None:
+    """Perf floor: ``current >= baseline * floor``."""
+    report.checked.append(metric)
+    if baseline is None:
+        report.violations.append(
+            GateViolation(metric, "missing-baseline", current, None, "baseline present")
+        )
+        return
+    bound = float(baseline) * floor
+    if current < bound:
+        report.violations.append(
+            GateViolation(
+                metric, "floor", current, float(baseline),
+                f">= {bound:.3g} ({floor:g} x baseline)",
+            )
+        )
+
+
+def compare_rwa(
+    current_rows: list[dict],
+    baseline: dict | None,
+    *,
+    perf_floor: float = DEFAULT_PERF_FLOOR,
+) -> GateReport:
+    """Gate re-measured RWA micro rows against a ``BENCH_rwa.json`` dict.
+
+    Per (case, n) row: the transfer count must match exactly (a structural
+    change to the step shapes is a regression in its own right) and the
+    speedup must stay above the perf floor.
+    """
+    report = GateReport()
+    if baseline is None:
+        baseline = {}
+    base_rows = {
+        (row["case"], row["n"]): row for row in baseline.get("micro", [])
+    }
+    for row in current_rows:
+        key = (row["case"], row["n"])
+        label = f"rwa.{row['case']}.n{row['n']}"
+        base = base_rows.get(key)
+        _check_exact(
+            report, f"{label}.transfers", row["transfers"],
+            None if base is None else base.get("transfers"),
+        )
+        _check_floor(
+            report, f"{label}.speedup", row["speedup"],
+            None if base is None else base.get("speedup"), perf_floor,
+        )
+    return report
+
+
+#: Deterministic per-cell fields of a fault-sweep row, gated with the tight
+#: relative tolerance (``n_survivors``/``n_errors`` are gated exactly).
+_FAULT_REL_FIELDS = ("healthy_s", "degraded_s", "slowdown_pct", "availability")
+
+
+def compare_faults(
+    current_rows: list[dict],
+    baseline: dict | None,
+    *,
+    rel_tol: float = DEFAULT_SIM_REL_TOL,
+) -> GateReport:
+    """Gate re-measured fault-sweep rows against a ``BENCH_faults.json`` dict.
+
+    Every field here is a deterministic simulated quantity; any drift past
+    ``rel_tol`` is a behavior change in the degraded-mode pipeline, not
+    noise. ``n_errors`` must additionally be zero — an availability number
+    whose plan failed static verification is worthless.
+    """
+    report = GateReport()
+    if baseline is None:
+        baseline = {}
+    base_rows = {
+        (row["scenario"], row["backend"]): row
+        for row in baseline.get("scenarios", [])
+    }
+    for row in current_rows:
+        key = (row["scenario"], row["backend"])
+        label = f"faults.{row['scenario']}.{row['backend']}"
+        base = base_rows.get(key)
+        _check_exact(report, f"{label}.n_errors", row["n_errors"], 0)
+        _check_exact(
+            report, f"{label}.n_survivors", row["n_survivors"],
+            None if base is None else base.get("n_survivors"),
+        )
+        for field_name in _FAULT_REL_FIELDS:
+            _check_rel(
+                report, f"{label}.{field_name}", row[field_name],
+                None if base is None else base.get(field_name), rel_tol,
+            )
+    return report

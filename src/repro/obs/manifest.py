@@ -1,0 +1,137 @@
+"""Run manifests: one JSON record that pins down what a run *was*.
+
+A manifest couples a result's headline numbers with everything needed to
+reproduce or audit them later: the configuration fingerprint (a hash of the
+frozen config dataclass's repr — stable because the configs normalize their
+fields), the fault-set fingerprint, the backend and algorithm, the git
+commit the code ran at, the interpreter version, and the full
+:class:`~repro.obs.metrics.MetricsSnapshot` when metrics were enabled.
+
+Manifests are written by the ``wrht-repro obs`` CLI (one per figure cell)
+and by the CI bench-gate job, where they are uploaded as workflow
+artifacts on failure so a red build carries its own diagnosis.
+
+Schema (``wrht-repro/run-manifest/v1``)::
+
+    {
+      "schema": "wrht-repro/run-manifest/v1",
+      "backend": "optical",            # which executor priced the run
+      "algorithm": "wrht",
+      "n_steps": 7,
+      "total_time": 1.05e-4,           # simulated seconds
+      "total_bytes": 5.3e6,            # absent for live runs
+      "total_rounds": 7,               # absent when the backend lacks it
+      "peak_wavelength": 16,
+      "cache": {"hits": ..., "misses": ..., "evictions": ...},
+      "config": {"hash": "<sha256/16>", "repr": "OpticalSystemConfig(...)"},
+      "faults": {"hash": "<sha256/16>", "n_faults": 0},
+      "git_sha": "abc123..." | null,   # null outside a git checkout
+      "python": "3.11.9",
+      "metrics": {...} | null,         # MetricsSnapshot.to_dict()
+      "extra": {...}                   # caller-supplied context
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsSnapshot
+
+SCHEMA = "wrht-repro/run-manifest/v1"
+
+
+def fingerprint(obj: Any) -> str:
+    """A 16-hex-digit SHA-256 fingerprint of ``repr(obj)``.
+
+    The frozen config dataclasses and :class:`~repro.faults.models.FaultSet`
+    normalize their fields in ``__post_init__``, so equal values repr (and
+    therefore fingerprint) identically regardless of construction order.
+    """
+    return hashlib.sha256(repr(obj).encode()).hexdigest()[:16]
+
+
+def git_sha(root: Path | None = None) -> str | None:
+    """The current commit's SHA, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def build_run_manifest(
+    result: Any,
+    *,
+    config: Any = None,
+    extra: dict | None = None,
+    root: Path | None = None,
+) -> dict:
+    """Build a manifest dict for ``result``.
+
+    Args:
+        result: An :class:`~repro.backend.base.ExecutionResult`, an
+            :class:`~repro.optical.livesim.LiveRunResult`, or anything
+            with the same duck-typed attributes — only the fields a result
+            actually has appear in the manifest.
+        config: The system config the run used (fingerprinted; its
+            ``faults`` attribute, when present, is fingerprinted
+            separately).
+        extra: Caller context merged under ``"extra"`` (figure name, cell
+            coordinates, CLI arguments, ...).
+        root: Directory whose git checkout identifies the code version
+            (default: the current working directory).
+    """
+    manifest: dict = {
+        "schema": SCHEMA,
+        "backend": getattr(result, "backend", None),
+        "algorithm": getattr(result, "algorithm", None),
+        "n_steps": getattr(result, "n_steps", None),
+        "total_time": getattr(result, "total_time", None),
+        "git_sha": git_sha(root),
+        "python": platform.python_version(),
+        "extra": dict(extra or {}),
+    }
+    for attr in ("total_bytes", "total_rounds", "peak_wavelength",
+                 "n_rounds", "n_circuits", "n_events", "n_faults",
+                 "n_retries", "n_interrupted", "downtime"):
+        value = getattr(result, attr, None)
+        if value is not None:
+            manifest[attr] = value
+    cache = getattr(result, "cache", None)
+    if cache is not None:
+        manifest["cache"] = cache.as_dict()
+    if config is not None:
+        manifest["config"] = {"hash": fingerprint(config), "repr": repr(config)}
+        faults = getattr(config, "faults", None)
+        if faults is not None:
+            manifest["faults"] = {
+                "hash": fingerprint(faults),
+                "n_faults": len(faults),
+            }
+    snapshot = getattr(result, "metrics", None)
+    if isinstance(snapshot, MetricsSnapshot):
+        manifest["metrics"] = snapshot.to_dict()
+    else:
+        manifest["metrics"] = None
+    return manifest
+
+
+def write_run_manifest(manifest: dict, path: str | Path) -> Path:
+    """Write ``manifest`` as indented JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path

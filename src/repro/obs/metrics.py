@@ -1,0 +1,261 @@
+"""Dependency-free metrics: counters, gauges, histograms, profiling spans.
+
+The registry is the observability companion to :class:`repro.sim.trace.
+Tracer`: substrates and backends accept an optional
+:class:`MetricsRegistry` and record into it as they lower, execute and
+simulate. The same contract applies — recording is off by default
+(:data:`NULL_METRICS`) and a disabled registry costs exactly one branch per
+emission, so the hot paths are unchanged when nobody is looking.
+
+Determinism is a first-class property. Metrics split into two groups:
+
+- **Deterministic** — counters, gauges and histograms record *simulated*
+  quantities (simulated seconds, rounds, wavelengths, cache tallies).
+  Histogram bucket edges are fixed at registration, so two identical
+  seeded runs produce byte-identical serialized output
+  (``snapshot.to_json(wall_clock=False)`` — asserted in the test suite).
+- **Wall clock** — :meth:`MetricsRegistry.span` profiles host time
+  (``time.perf_counter``) around named stages (lowering, RWA, execution).
+  Span call *counts* are deterministic; their accumulated seconds are
+  host noise by nature and are therefore segregated so the deterministic
+  serialization can exclude them.
+
+A :class:`MetricsSnapshot` is the frozen, JSON-serializable view of a
+registry; :class:`~repro.backend.base.ExecutionResult` and
+:class:`~repro.optical.livesim.LiveRunResult` carry one when metrics were
+enabled for the run, and run manifests (:mod:`repro.obs.manifest`) embed it
+next to the config/fault fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+#: Default histogram bucket edges for duration-like values (seconds):
+#: one decade per bucket from 1 ns to 1000 s. Fixed so output is
+#: deterministic and snapshots from different runs are comparable.
+DURATION_EDGES: tuple[float, ...] = tuple(10.0**e for e in range(-9, 4))
+
+#: Default bucket edges for small-count values (rounds, wavelengths,
+#: retries): powers of two from 1 to 4096.
+COUNT_EDGES: tuple[float, ...] = tuple(float(2**e) for e in range(0, 13))
+
+
+class _Histogram:
+    """Fixed-bucket histogram; ``counts[i]`` tallies ``value <= edges[i]``
+    (last slot is the overflow bucket)."""
+
+    __slots__ = ("edges", "counts", "n", "total", "min", "max")
+
+    def __init__(self, edges: tuple[float, ...]) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError(f"edges must be non-empty and ascending, got {edges!r}")
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(edges) + 1)
+        self.n = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.n += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def as_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "n": self.n,
+            "total": self.total,
+            "min": None if self.n == 0 else self.min,
+            "max": None if self.n == 0 else self.max,
+        }
+
+
+class _Span:
+    """Context manager recording one wall-clock interval into a registry."""
+
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._registry._record_span(self._name, time.perf_counter() - self._t0)
+
+
+class _NullSpan:
+    """Shared no-op span returned by disabled registries (reentrant)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@dataclass
+class MetricsSnapshot:
+    """Frozen, serializable view of a registry at one point in time.
+
+    Attributes:
+        counters: Monotonic tallies (``name -> int``).
+        gauges: Last-written values (``name -> float``).
+        histograms: Fixed-bucket distributions (``name -> as_dict`` form).
+        spans: Wall-clock profile (``name -> {"count", "total_s"}``).
+            Counts are deterministic; ``total_s`` is host time.
+    """
+
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+    spans: dict = field(default_factory=dict)
+
+    def to_dict(self, *, wall_clock: bool = True) -> dict:
+        """Plain-dict view, keys sorted.
+
+        Args:
+            wall_clock: When ``False``, span entries keep their
+                (deterministic) call counts but drop the host-time
+                ``total_s`` field — the form the byte-identical
+                determinism guarantee covers.
+        """
+        spans = {
+            name: (dict(stat) if wall_clock else {"count": stat["count"]})
+            for name, stat in sorted(self.spans.items())
+        }
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {k: dict(v) for k, v in sorted(self.histograms.items())},
+            "spans": spans,
+        }
+
+    def to_json(self, *, wall_clock: bool = True, indent: int | None = None) -> str:
+        """Canonical JSON (sorted keys, fixed separators).
+
+        With ``wall_clock=False`` the output is byte-identical across
+        identical seeded runs.
+        """
+        separators = (",", ": ") if indent is not None else (",", ":")
+        return json.dumps(
+            self.to_dict(wall_clock=wall_clock),
+            sort_keys=True,
+            indent=indent,
+            separators=separators,
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        """Rebuild from :meth:`to_dict` output (JSON round-trip safe)."""
+        return cls(
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            histograms={k: dict(v) for k, v in data.get("histograms", {}).items()},
+            spans={k: dict(v) for k, v in data.get("spans", {}).items()},
+        )
+
+
+class MetricsRegistry:
+    """Collects counters, gauges, histograms and profiling spans.
+
+    Disabled registries (``enabled=False``) return immediately from every
+    recording method after a single branch — the exact cost contract of
+    :class:`~repro.sim.trace.Tracer`. The shared disabled instance is
+    :data:`NULL_METRICS`; substrates default to it.
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms", "_spans")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, _Histogram] = {}
+        self._spans: dict[str, dict] = {}
+
+    # -- recording ------------------------------------------------------
+    def inc(self, name: str, by: int = 1) -> None:
+        """Add ``by`` to counter ``name`` (created at 0)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + by
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    def observe(
+        self, name: str, value: float, edges: tuple[float, ...] = DURATION_EDGES
+    ) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        ``edges`` fixes the bucket boundaries on the histogram's first
+        observation; later calls reuse the registered edges (passing
+        different ones is not an error — the first registration wins, so
+        bucket layout can never drift mid-run).
+        """
+        if not self.enabled:
+            return
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = _Histogram(edges)
+        hist.observe(value)
+
+    def span(self, name: str):
+        """Context manager timing a wall-clock interval under ``name``.
+
+        Disabled registries return a shared no-op manager.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def _record_span(self, name: str, seconds: float) -> None:
+        stat = self._spans.get(name)
+        if stat is None:
+            stat = self._spans[name] = {"count": 0, "total_s": 0.0}
+        stat["count"] += 1
+        stat["total_s"] += seconds
+
+    # -- views ----------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        """A :class:`MetricsSnapshot` copy of the current state."""
+        return MetricsSnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            histograms={k: h.as_dict() for k, h in self._histograms.items()},
+            spans={k: dict(v) for k, v in self._spans.items()},
+        )
+
+    def clear(self) -> None:
+        """Drop all recorded values (registration state included)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._spans.clear()
+
+
+NULL_METRICS = MetricsRegistry(enabled=False)
+"""A shared disabled registry used as the default everywhere."""

@@ -49,6 +49,7 @@ from typing import Sequence
 from repro.backend.errors import BackendExecutionError
 from repro.collectives.base import CommStep, Schedule
 from repro.faults.models import FaultEvent, FaultSet
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, MetricsSnapshot
 from repro.optical.circuit import Circuit
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.network import OpticalRingNetwork
@@ -73,6 +74,8 @@ class LiveRunResult:
         n_retries: Backoff-and-retry cycles the coordinator performed.
         n_interrupted: Circuit processes interrupted by faults.
         downtime: Seconds spent waiting in retry backoff.
+        metrics: :class:`~repro.obs.metrics.MetricsSnapshot` of the run
+            when the simulation had metrics enabled, else ``None``.
     """
 
     algorithm: str
@@ -85,6 +88,7 @@ class LiveRunResult:
     n_retries: int = 0
     n_interrupted: int = 0
     downtime: float = 0.0
+    metrics: MetricsSnapshot | None = None
 
 
 class ChannelBlockedError(AssertionError):
@@ -108,6 +112,9 @@ class LiveOpticalSimulation:
         backoff_base: First backoff duration; defaults to the MRR
             reconfiguration delay.
         backoff_factor: Multiplier per further attempt (exponential).
+        metrics: Observability registry (default disabled); threaded into
+            the kernel and the round planner, with a snapshot attached to
+            the result. Recording never changes simulated timings.
     """
 
     def __init__(
@@ -120,9 +127,11 @@ class LiveOpticalSimulation:
         max_retries: int = 8,
         backoff_base: float | None = None,
         backoff_factor: float = 2.0,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self._strategy = strategy
         self._rng = rng
         self.fault_events = tuple(
@@ -154,7 +163,7 @@ class LiveOpticalSimulation:
         # Round planning is delegated to the executor so both paths share
         # routing, RWA, fallback and validation behaviour exactly.
         self._planner = OpticalRingNetwork(
-            config, strategy=strategy, rng=rng, validate=True
+            config, strategy=strategy, rng=rng, validate=True, metrics=metrics
         )
 
     def run(self, schedule: Schedule, bytes_per_elem: float = 4.0) -> LiveRunResult:
@@ -177,7 +186,7 @@ class LiveOpticalSimulation:
                 f"schedule spans {schedule.n_nodes} nodes but the ring has "
                 f"{self.config.n_nodes}"
             )
-        sim = Simulator()
+        sim = Simulator(metrics=self.metrics)
         channels: dict[tuple, Resource] = {}
         stats = {
             "rounds": 0, "circuits": 0, "steps": 0,
@@ -250,6 +259,7 @@ class LiveOpticalSimulation:
                 state["planner"] = OpticalRingNetwork(
                     replace(self.config, faults=state["faults"]),
                     strategy=self._strategy, rng=self._rng, validate=True,
+                    metrics=self.metrics,
                 )
                 broken = [
                     proc
@@ -267,6 +277,7 @@ class LiveOpticalSimulation:
         def coordinator():
             for step in schedule.iter_steps():
                 stats["steps"] += 1
+                step_start = sim.now
                 pending = step
                 attempt = 0
                 while True:
@@ -319,12 +330,27 @@ class LiveOpticalSimulation:
                         transfers=tuple(unfinished),
                         stage=step.stage, level=step.level,
                     )
+                self.tracer.emit(
+                    sim.now, "optical.live.step",
+                    stage=step.stage, duration=sim.now - step_start,
+                    attempts=attempt,
+                )
+                if self.metrics.enabled:
+                    # Simulated per-step transfer time, retries included.
+                    self.metrics.observe("optical.live.step_s", sim.now - step_start)
             state["done"] = True
             return sim.now
 
         if self.fault_events:
             sim.process(fault_driver(), name="faults")
         total = sim.run_process(coordinator(), name="schedule")
+        if self.metrics.enabled:
+            self.metrics.inc("optical.live.circuits", stats["circuits"])
+            self.metrics.inc("optical.live.rounds", stats["rounds"])
+            self.metrics.inc("optical.live.retries", stats["retries"])
+            self.metrics.inc("optical.live.faults", stats["faults"])
+            self.metrics.inc("optical.live.interrupted", stats["interrupted"])
+            self.metrics.gauge("optical.live.downtime_s", stats["downtime"])
         return LiveRunResult(
             algorithm=schedule.algorithm,
             total_time=total,
@@ -336,4 +362,5 @@ class LiveOpticalSimulation:
             n_retries=stats["retries"],
             n_interrupted=stats["interrupted"],
             downtime=stats["downtime"],
+            metrics=self.metrics.snapshot() if self.metrics.enabled else None,
         )

@@ -38,6 +38,7 @@ from repro.backend.plancache import (
 )
 from repro.collectives.base import CommStep, Schedule
 from repro.core.timing import CostModel
+from repro.obs.metrics import COUNT_EDGES, NULL_METRICS, MetricsRegistry
 from repro.optical.circuit import Circuit, validate_no_conflicts
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.node import validate_node_constraints
@@ -114,6 +115,7 @@ class OpticalRingNetwork:
         tracer: Tracer | None = None,
         validate: bool = True,
         plan_cache: PlanCache | None = None,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self.config = config
         self.topology = RingTopology(config.n_nodes)
@@ -122,6 +124,7 @@ class OpticalRingNetwork:
         if strategy == "random_fit" and self.rng is None:
             raise ValueError("random_fit requires an rng")
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.validate = validate
         # Cross-run plan cache (default: the process-wide shared one). The
         # key salts every pricing-relevant knob: the frozen config (which
@@ -200,6 +203,10 @@ class OpticalRingNetwork:
                     replay=replay,
                 )
             )
+        if self.metrics.enabled:
+            self.metrics.inc("plan_cache.hits", counters.hits)
+            self.metrics.inc("plan_cache.misses", counters.misses)
+            self.metrics.inc("plan_cache.evictions", counters.evictions)
         meta: dict = {}
         if schedule.meta.get("plan") is not None:
             # Carried so the static verifier (repro.check) can audit group
@@ -251,6 +258,17 @@ class OpticalRingNetwork:
             result.total_bytes += timing.bytes_per_step * entry.count
             result.peak_wavelength = max(result.peak_wavelength, timing.peak_wavelength)
             clock = result.total_time
+            if self.metrics.enabled:
+                # Simulated, per distinct profile entry — deterministic.
+                self.metrics.observe("optical.step.duration_s", timing.duration)
+                self.metrics.observe(
+                    "optical.step.rounds", float(timing.rounds), edges=COUNT_EDGES
+                )
+                self.metrics.observe(
+                    "optical.step.wavelengths",
+                    float(timing.peak_wavelength),
+                    edges=COUNT_EDGES,
+                )
         return result
 
     def execute(self, schedule: Schedule, bytes_per_elem: float = 4.0) -> OpticalRunResult:
@@ -364,6 +382,7 @@ class OpticalRingNetwork:
             blocked=self.config.dead_wavelengths,
             route_blocked=route_blocked,
             preoccupied=self._quarantine,
+            metrics=self.metrics,
         )
         circuit_rounds: list[list[Circuit]] = []
         for assignment in rounds:
@@ -403,7 +422,8 @@ class OpticalRingNetwork:
                 counters.hits += 1
                 return cached
             counters.misses += 1
-        circuit_rounds = self.plan_step_rounds(step, bytes_per_elem)
+        with self.metrics.span("optical.price_pattern"):
+            circuit_rounds = self.plan_step_rounds(step, bytes_per_elem)
         summary = tuple(
             CachedRound(
                 n_circuits=len(circuits),

@@ -36,6 +36,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.backend.errors import BackendError
+from repro.obs.metrics import COUNT_EDGES, NULL_METRICS, MetricsRegistry
 from repro.optical.topology import Direction, Route
 from repro.sim.rng import SeededRng
 from repro.util.validation import check_positive_int
@@ -130,6 +131,7 @@ def dsatur_assign(
     masks: list[int] | None = None,
     route_blocked: Sequence[frozenset[int]] | None = None,
     preoccupied: Mapping[tuple[Direction, int], int] | None = None,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> AssignmentResult | None:
     """Optimal-leaning assignment via DSATUR graph coloring.
 
@@ -156,6 +158,9 @@ def dsatur_assign(
             has bans.
         preoccupied: Optional segment bitmask per (direction, wavelength)
             that counts as already busy (stuck-MRR quarantine spans).
+        metrics: Observability registry; records the number of heap
+            selections under ``rwa.dsatur_iterations`` (a deterministic
+            count — the coloring itself never consults the registry).
 
     Returns:
         A complete assignment, or ``None`` if even DSATUR needs more than
@@ -227,13 +232,16 @@ def dsatur_assign(
     # on pop when stale.
     heap = [(0, -int(deg[v]), v) for v in range(n)]
     heapq.heapify(heap)
+    pops = 0
     while len(colors) < n:
         while True:
             neg_sat, _neg_deg, pick = heapq.heappop(heap)
+            pops += 1
             if pick not in colors and -neg_sat == sat[pick]:
                 break
         free = np.flatnonzero(~seen[pick])
         if free.size == 0:
+            metrics.inc("rwa.dsatur_iterations", pops)
             return None
         color = int(free[0])
         colors[pick] = color
@@ -246,6 +254,7 @@ def dsatur_assign(
             peer = int(peer)
             sat[peer] += 1
             heapq.heappush(heap, (-sat[peer], -int(deg[peer]), peer))
+    metrics.inc("rwa.dsatur_iterations", pops)
     result = AssignmentResult()
     for idx, color in colors.items():
         fiber, lam = allowed[color]
@@ -282,6 +291,7 @@ def plan_rounds(
     blocked: frozenset[int] = frozenset(),
     route_blocked: Sequence[frozenset[int]] | None = None,
     preoccupied: Mapping[tuple[Direction, int], int] | None = None,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> list[dict[int, tuple[int, int]]]:
     """Split one step's transfers into conflict-free rounds.
 
@@ -298,6 +308,12 @@ def plan_rounds(
     (direction, wavelength) counting as busy, e.g. stuck-MRR quarantine)
     thread through both assignment paths.
 
+    When ``metrics`` is enabled, each round records ``rwa.rounds`` and a
+    ``rwa.wavelengths_per_round`` histogram sample; mask construction is
+    profiled under the ``rwa.mask_build`` span and DSATUR retries count
+    ``rwa.dsatur_fallback`` / ``rwa.dsatur_iterations``. Recording never
+    influences the assignment itself.
+
     Raises:
         RwaInfeasibleError: If a fresh round places nothing (zero channel
             capacity for a direction in use) — sweeps catch this and report
@@ -309,7 +325,8 @@ def plan_rounds(
             f"route_blocked has {len(route_blocked)} entries "
             f"for {len(routes)} routes"
         )
-    masks = _route_masks(routes)
+    with metrics.span("rwa.mask_build"):
+        masks = _route_masks(routes)
     channels = _allowed_channels(n_wavelengths, fibers_per_direction, blocked)
     remaining = list(range(len(routes)))
     rounds: list[dict[int, tuple[int, int]]] = []
@@ -327,10 +344,12 @@ def plan_rounds(
             route_blocked=subset_blocked, preoccupied=preoccupied,
         )
         if first and assignment.unassigned and dsatur_fallback:
+            metrics.inc("rwa.dsatur_fallback")
             structured = dsatur_assign(
                 subset, n_segments, n_wavelengths, fibers_per_direction,
                 blocked=blocked, masks=subset_masks,
                 route_blocked=subset_blocked, preoccupied=preoccupied,
+                metrics=metrics,
             )
             if structured is not None:
                 assignment = structured
@@ -342,6 +361,13 @@ def plan_rounds(
         rounds.append(
             {remaining[local]: chan for local, chan in assignment.assigned.items()}
         )
+        if metrics.enabled:
+            metrics.inc("rwa.rounds")
+            metrics.observe(
+                "rwa.wavelengths_per_round",
+                float(assignment.peak_wavelength),
+                edges=COUNT_EDGES,
+            )
         remaining = [remaining[j] for j in assignment.unassigned]
     return rounds
 

@@ -7,6 +7,7 @@ Commands mirror the deliverables:
 - ``plan``                — show the WRHT plan for an (N, w) pair.
 - ``verify``              — numerically verify an algorithm's schedule.
 - ``check``               — statically verify golden plans / run the lint.
+- ``obs``                 — observe one figure cell (metrics, manifest).
 - ``all``                 — everything above at paper defaults.
 """
 
@@ -156,6 +157,12 @@ def _cmd_check(args) -> int:
     return check_main(["check", *args.rest])
 
 
+def _cmd_obs(args) -> int:
+    from repro.obs.cli import main as obs_main
+
+    return obs_main(args.rest)
+
+
 def _cmd_report(args) -> int:
     from repro.runner.results import write_report
 
@@ -222,6 +229,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("rest", nargs=argparse.REMAINDER)
     p.set_defaults(fn=_cmd_check)
 
+    p = sub.add_parser(
+        "obs",
+        help="run one figure cell with metrics (repro.obs)",
+        add_help=False,
+    )
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+    p.set_defaults(fn=_cmd_obs)
+
     p = sub.add_parser("report", help="write a markdown results document")
     _add_common(p)
     p.add_argument("--output", default="RESULTS.md")
@@ -238,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point (``wrht-repro`` console script)."""
     argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["obs"]:
+        # Forward verbatim for the same reason as ``check`` below.
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     if argv[:1] == ["check"]:
         # Forward verbatim: argparse REMAINDER drops leading optionals, so
         # the check subcommand's flags are parsed by its own parser.

@@ -13,6 +13,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Optional
 
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
@@ -31,10 +32,14 @@ class Simulator:
 
     Attributes:
         now: Current simulation time in seconds.
+        metrics: Observability registry; defaults to the disabled
+            :data:`~repro.obs.metrics.NULL_METRICS` (one branch per
+            emission, no recording).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry = NULL_METRICS) -> None:
         self.now: float = 0.0
+        self.metrics = metrics
         self._queue: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._n_processed = 0
@@ -108,9 +113,19 @@ class Simulator:
         while self._queue:
             if until is not None and self.peek() > until:
                 self.now = until
+                self._record_run()
                 return self.now
             self.step()
+        self._record_run()
         return self.now
+
+    def _record_run(self) -> None:
+        """Observe one completed :meth:`run` (deterministic simulated state)."""
+        if not self.metrics.enabled:
+            return
+        self.metrics.inc("sim.run_calls")
+        self.metrics.gauge("sim.events_processed", float(self._n_processed))
+        self.metrics.gauge("sim.time_s", self.now)
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Convenience: start ``generator`` as a process and run to completion.

@@ -59,6 +59,15 @@ class Resource:
             event.succeed()
         else:
             self._waiters.append(event)
+            if self.sim.metrics.enabled:
+                # Observe the simulated seconds this waiter spent queued —
+                # a deterministic quantity, captured when the grant fires.
+                metrics, sim, t0 = self.sim.metrics, self.sim, self.sim.now
+                event.callbacks.append(
+                    lambda _e: metrics.observe(
+                        "sim.resource.wait_s", sim.now - t0
+                    )
+                )
         return event
 
     def release(self) -> None:

@@ -68,6 +68,7 @@ TRACE_EVENTS: frozenset[str] = frozenset(
         "optical.live.fault",
         "optical.live.retry",
         "optical.live.round",
+        "optical.live.step",
         "optical.round",
         "optical.step_cached",
     }

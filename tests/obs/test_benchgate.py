@@ -1,0 +1,161 @@
+"""The bench gate: comparator unit tests plus the script's exit contract."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs.benchgate import (
+    GateReport,
+    GateViolation,
+    compare_faults,
+    compare_rwa,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+GATE_SCRIPT = REPO_ROOT / "scripts" / "bench_gate.py"
+
+_RWA_BASELINE = {
+    "micro": [
+        {"case": "dense-alltoall", "n": 64, "transfers": 240, "speedup": 12.0},
+    ]
+}
+
+_FAULT_ROW = {
+    "scenario": "cut-fiber", "backend": "optical", "n_survivors": 64,
+    "healthy_s": 1e-4, "degraded_s": 2e-4, "slowdown_pct": 100.0,
+    "availability": 0.5, "n_errors": 0,
+}
+_FAULT_BASELINE = {"scenarios": [dict(_FAULT_ROW)]}
+
+
+class TestCompareRwa:
+    def _row(self, **over):
+        row = {"case": "dense-alltoall", "n": 64, "transfers": 240,
+               "speedup": 11.0}
+        row.update(over)
+        return row
+
+    def test_pass(self):
+        report = compare_rwa([self._row()], _RWA_BASELINE, perf_floor=0.25)
+        assert report.ok
+        assert len(report.checked) == 2
+
+    def test_perf_floor_breach(self):
+        report = compare_rwa(
+            [self._row(speedup=1.0)], _RWA_BASELINE, perf_floor=0.25
+        )
+        assert [v.kind for v in report.violations] == ["floor"]
+        assert "0.25" in report.violations[0].allowed
+
+    def test_above_floor_but_below_baseline_passes(self):
+        # Wall clock is noisy: only a floor breach fails, not any slowdown.
+        report = compare_rwa(
+            [self._row(speedup=4.0)], _RWA_BASELINE, perf_floor=0.25
+        )
+        assert report.ok
+
+    def test_transfer_count_exact(self):
+        report = compare_rwa([self._row(transfers=239)], _RWA_BASELINE)
+        assert [v.kind for v in report.violations] == ["exact"]
+
+    def test_missing_baseline_row_is_a_violation(self):
+        report = compare_rwa([self._row(n=256)], _RWA_BASELINE)
+        assert {v.kind for v in report.violations} == {"missing-baseline"}
+        assert len(report.violations) == 2  # transfers and speedup
+
+
+class TestCompareFaults:
+    def test_pass(self):
+        report = compare_faults([dict(_FAULT_ROW)], _FAULT_BASELINE)
+        assert report.ok
+        assert len(report.checked) == 6
+
+    def test_rel_drift_fails(self):
+        row = dict(_FAULT_ROW, availability=0.500001)
+        report = compare_faults([row], _FAULT_BASELINE, rel_tol=1e-6)
+        assert [v.metric for v in report.violations] == [
+            "faults.cut-fiber.optical.availability"
+        ]
+        assert report.violations[0].kind == "rel"
+
+    def test_rel_tolerance_is_configurable(self):
+        row = dict(_FAULT_ROW, availability=0.500001)
+        assert compare_faults([row], _FAULT_BASELINE, rel_tol=1e-3).ok
+
+    def test_nonzero_check_errors_fail(self):
+        row = dict(_FAULT_ROW, n_errors=2)
+        report = compare_faults([row], _FAULT_BASELINE)
+        assert "n_errors" in report.violations[0].metric
+
+    def test_survivor_count_exact(self):
+        row = dict(_FAULT_ROW, n_survivors=63)
+        report = compare_faults([row], _FAULT_BASELINE)
+        assert [v.kind for v in report.violations] == ["exact"]
+
+    def test_missing_baseline_row(self):
+        row = dict(_FAULT_ROW, scenario="unknown")
+        report = compare_faults([row], _FAULT_BASELINE)
+        # n_errors is gated against the constant 0 even without a baseline.
+        assert len(report.violations) == 5
+        assert {v.kind for v in report.violations} == {"missing-baseline"}
+
+
+class TestGateReport:
+    def test_merge_accumulates(self):
+        a = GateReport(checked=["x"], violations=[])
+        b = GateReport(
+            checked=["y"],
+            violations=[GateViolation("y", "rel", 1.0, 2.0, "<= 1e-6")],
+        )
+        assert a.merge(b) is a
+        assert a.checked == ["x", "y"]
+        assert not a.ok
+
+    def test_to_dict_round_trips_through_json(self):
+        report = compare_rwa([], _RWA_BASELINE)
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["ok"] is True
+        assert data["n_checked"] == 0
+
+    def test_render_mentions_counts(self):
+        assert "0 violation(s)" in GateReport().render()
+
+
+def _run_gate(*argv):
+    return subprocess.run(
+        [sys.executable, str(GATE_SCRIPT), "--skip-perf", *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+class TestBenchGateScript:
+    def test_green_against_committed_baseline(self, tmp_path):
+        out = tmp_path / "diff.json"
+        proc = _run_gate("--json", str(out))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert json.loads(out.read_text())["ok"] is True
+
+    def test_perturbed_baseline_fails(self, tmp_path):
+        baseline = json.loads((REPO_ROOT / "BENCH_faults.json").read_text())
+        baseline["scenarios"][0]["availability"] *= 0.9
+        path = tmp_path / "perturbed.json"
+        path.write_text(json.dumps(baseline))
+        out = tmp_path / "diff.json"
+        proc = _run_gate(
+            "--baseline-faults", str(path), "--json", str(out)
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        diff = json.loads(out.read_text())
+        assert diff["ok"] is False
+        assert any(
+            v["metric"].endswith(".availability") for v in diff["violations"]
+        )
+
+    def test_missing_baseline_exits_2(self, tmp_path):
+        proc = _run_gate("--baseline-faults", str(tmp_path / "absent.json"))
+        assert proc.returncode == 2
+        assert "missing or unreadable baseline" in proc.stderr

@@ -1,0 +1,50 @@
+"""The ``wrht-repro obs`` CLI: table, metrics summary, manifest, forwarding."""
+
+import json
+
+from repro.obs.cli import main as obs_main
+from repro.obs.manifest import SCHEMA
+from repro.runner.cli import main as runner_main
+
+# A cheap cell: fig5 at w=8 on 64 nodes (the default N=1024 would route
+# thousands of transfers per step).
+CELL = ["fig5", "--x", "8", "--nodes", "64", "--workload", "AlexNet"]
+
+
+class TestObsCli:
+    def test_renders_table_and_metrics(self, capsys):
+        assert obs_main(CELL) == 0
+        out = capsys.readouterr().out
+        assert "fig5 cell: WRHT on AlexNet" in out
+        assert "wavelengths w=8" in out
+        assert "stage" in out and "time %" in out  # timing table header
+        assert "counters:" in out
+        assert "rwa.rounds" in out
+        assert "spans (wall clock):" in out
+
+    def test_no_metrics_flag_drops_the_summary(self, capsys):
+        assert obs_main([*CELL, "--no-metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out
+        assert "counters:" not in out
+
+    def test_manifest_written(self, tmp_path, capsys):
+        path = tmp_path / "cell.json"
+        assert obs_main([*CELL, "--manifest", str(path)]) == 0
+        manifest = json.loads(path.read_text())
+        assert manifest["schema"] == SCHEMA
+        assert manifest["extra"]["figure"] == "fig5"
+        assert manifest["extra"]["x"] == 8
+        assert manifest["metrics"]["counters"]
+        assert manifest["config"]["hash"]
+
+    def test_unknown_algo_for_figure_rejected(self, capsys):
+        assert obs_main(["fig4", "--algo", "E-Ring"]) == 2
+        assert "no algorithm 'E-Ring'" in capsys.readouterr().err
+
+    def test_runner_cli_forwards_verbatim(self, capsys):
+        # ``wrht-repro obs ...`` must behave exactly like ``python -m
+        # repro.obs ...`` — including leading optionals that argparse
+        # REMAINDER would otherwise swallow.
+        assert runner_main(["obs", *CELL, "--no-metrics"]) == 0
+        assert "fig5 cell: WRHT on AlexNet" in capsys.readouterr().out

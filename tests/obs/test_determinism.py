@@ -1,0 +1,95 @@
+"""The observability determinism contract.
+
+Two guarantees, both acceptance criteria for the metrics layer:
+
+1. Identical seeded runs produce **byte-identical** deterministic
+   serializations (``MetricsSnapshot.to_json(wall_clock=False)``) — the
+   counters, gauges and histograms record only simulated quantities.
+2. Enabling metrics never changes the simulated timings: a metered run's
+   floats equal the unmetered run's bit for bit.
+"""
+
+from repro.backend import PlanCache
+from repro.backend.optical import OpticalBackend
+from repro.collectives import build_wrht_schedule
+from repro.collectives.registry import build_schedule
+from repro.faults.models import DeadWavelength, FaultEvent
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.livesim import LiveOpticalSimulation
+
+N, W = 16, 8
+
+
+def _backend_run(metrics):
+    # A fresh plan cache per run: the shared cross-run cache would make the
+    # first run cold and the second warm, legitimately changing the
+    # plan_cache.* counters.
+    backend = OpticalBackend(
+        OpticalSystemConfig(n_nodes=N, n_wavelengths=W),
+        plan_cache=PlanCache(maxsize=64),
+        metrics=metrics,
+    )
+    schedule = build_schedule("wrht", N, N * 40, n_wavelengths=W, materialize=False)
+    return backend.run(schedule)
+
+
+def _live_run(metrics, fault_time):
+    config = OpticalSystemConfig(n_nodes=N, n_wavelengths=W)
+    schedule = build_wrht_schedule(N, 50_000, n_wavelengths=W)
+    events = (FaultEvent(fault_time, DeadWavelength(0)),)
+    return LiveOpticalSimulation(
+        config, fault_events=events, metrics=metrics
+    ).run(schedule)
+
+
+class TestBackendDeterminism:
+    def test_two_runs_byte_identical(self):
+        a = _backend_run(MetricsRegistry()).metrics
+        b = _backend_run(MetricsRegistry()).metrics
+        assert a.to_json(wall_clock=False) == b.to_json(wall_clock=False)
+
+    def test_wall_clock_form_differs_only_in_span_seconds(self):
+        snap = _backend_run(MetricsRegistry()).metrics
+        full = snap.to_dict()
+        det = snap.to_dict(wall_clock=False)
+        assert full["counters"] == det["counters"]
+        assert full["histograms"] == det["histograms"]
+        assert all("total_s" in s for s in full["spans"].values())
+        assert all(set(s) == {"count"} for s in det["spans"].values())
+
+    def test_metrics_do_not_change_simulated_timings(self):
+        metered = _backend_run(MetricsRegistry())
+        plain = _backend_run(NULL_METRICS)
+        assert metered.total_time == plain.total_time
+        assert metered.timeline == plain.timeline
+        assert plain.metrics is None
+
+
+class TestLiveDeterminism:
+    def test_two_faulted_runs_byte_identical(self):
+        healthy = _live_run(NULL_METRICS, fault_time=1.0)  # fault never fires
+        fault_time = healthy.total_time / 2
+        a = _live_run(MetricsRegistry(), fault_time).metrics
+        b = _live_run(MetricsRegistry(), fault_time).metrics
+        assert a.counters["optical.live.retries"] >= 1
+        assert a.to_json(wall_clock=False) == b.to_json(wall_clock=False)
+
+    def test_metrics_do_not_change_live_timings(self):
+        healthy = _live_run(NULL_METRICS, fault_time=1.0)
+        fault_time = healthy.total_time / 2
+        metered = _live_run(MetricsRegistry(), fault_time)
+        plain = _live_run(NULL_METRICS, fault_time)
+        assert metered.total_time == plain.total_time
+        assert metered.n_retries == plain.n_retries
+        assert metered.n_events == plain.n_events
+        assert plain.metrics is None
+
+    def test_live_metrics_cover_kernel_and_executor(self):
+        healthy = _live_run(NULL_METRICS, fault_time=1.0)
+        snap = _live_run(MetricsRegistry(), healthy.total_time / 2).metrics
+        assert snap.counters["sim.run_calls"] == 1
+        assert snap.counters["rwa.rounds"] >= 1
+        assert snap.counters["optical.live.faults"] == 1
+        assert snap.histograms["optical.live.step_s"]["n"] == healthy.n_steps
+        assert snap.gauges["optical.live.downtime_s"] > 0.0

@@ -1,0 +1,87 @@
+"""Run manifests: schema, fingerprints, duck-typed result coverage."""
+
+import json
+
+from repro.backend.optical import OpticalBackend
+from repro.collectives.registry import build_schedule
+from repro.faults.models import DeadWavelength, FaultSet
+from repro.obs.manifest import (
+    SCHEMA,
+    build_run_manifest,
+    fingerprint,
+    git_sha,
+    write_run_manifest,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.optical.config import OpticalSystemConfig
+
+
+def _run(metrics=None):
+    config = OpticalSystemConfig(n_nodes=8, n_wavelengths=4)
+    backend = OpticalBackend(
+        config, metrics=metrics if metrics is not None else MetricsRegistry()
+    )
+    result = backend.run(build_schedule("ring", 8, 800, materialize=False))
+    return config, result
+
+
+class TestFingerprint:
+    def test_stable_and_short(self):
+        config = OpticalSystemConfig(n_nodes=8, n_wavelengths=4)
+        same = OpticalSystemConfig(n_nodes=8, n_wavelengths=4)
+        assert fingerprint(config) == fingerprint(same)
+        assert len(fingerprint(config)) == 16
+
+    def test_differs_across_configs(self):
+        a = OpticalSystemConfig(n_nodes=8, n_wavelengths=4)
+        b = OpticalSystemConfig(n_nodes=8, n_wavelengths=8)
+        assert fingerprint(a) != fingerprint(b)
+
+
+class TestGitSha:
+    def test_returns_sha_or_none_without_crashing(self):
+        sha = git_sha()
+        assert sha is None or (isinstance(sha, str) and len(sha) >= 7)
+
+    def test_none_outside_a_checkout(self, tmp_path):
+        assert git_sha(tmp_path) is None
+
+
+class TestBuildRunManifest:
+    def test_schema_and_core_fields(self):
+        config, result = _run()
+        manifest = build_run_manifest(result, config=config)
+        assert manifest["schema"] == SCHEMA
+        assert manifest["backend"] == "optical"
+        assert manifest["algorithm"] == result.algorithm
+        assert manifest["n_steps"] == result.n_steps
+        assert manifest["total_time"] == result.total_time
+        assert manifest["config"]["hash"] == fingerprint(config)
+        assert manifest["cache"] == result.cache.as_dict()
+        assert manifest["metrics"]["counters"]  # enabled run embeds metrics
+
+    def test_fault_set_fingerprinted_separately(self):
+        faults = FaultSet((DeadWavelength(0),))
+        config = OpticalSystemConfig(n_nodes=8, n_wavelengths=4, faults=faults)
+        manifest = build_run_manifest(object(), config=config)
+        assert manifest["faults"] == {"hash": fingerprint(faults), "n_faults": 1}
+
+    def test_metrics_null_for_disabled_run(self):
+        from repro.obs.metrics import NULL_METRICS
+
+        _, result = _run(metrics=NULL_METRICS)
+        assert build_run_manifest(result)["metrics"] is None
+
+    def test_extra_is_copied(self):
+        extra = {"figure": "fig6"}
+        manifest = build_run_manifest(object(), extra=extra)
+        extra["figure"] = "mutated"
+        assert manifest["extra"] == {"figure": "fig6"}
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        config, result = _run()
+        manifest = build_run_manifest(result, config=config)
+        path = write_run_manifest(manifest, tmp_path / "run.json")
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(manifest)
+        )

@@ -1,0 +1,138 @@
+"""The metrics registry: recording semantics, cost contract, serialization."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_EDGES,
+    DURATION_EDGES,
+    NULL_METRICS,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestCounters:
+    def test_inc_creates_and_accumulates(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.inc("a", 4)
+        assert m.snapshot().counters == {"a": 5}
+
+    def test_gauge_last_write_wins(self):
+        m = MetricsRegistry()
+        m.gauge("x", 1.0)
+        m.gauge("x", 2.5)
+        assert m.snapshot().gauges == {"x": 2.5}
+
+
+class TestHistograms:
+    def test_bucketing(self):
+        m = MetricsRegistry()
+        edges = (1.0, 2.0, 4.0)
+        for v in (0.5, 1.0, 3.0, 100.0):
+            m.observe("h", v, edges=edges)
+        hist = m.snapshot().histograms["h"]
+        # counts[i] tallies value <= edges[i]; the last slot is overflow.
+        assert hist["edges"] == [1.0, 2.0, 4.0]
+        assert hist["counts"] == [2, 0, 1, 1]
+        assert hist["n"] == 4
+        assert hist["total"] == pytest.approx(104.5)
+        assert hist["min"] == 0.5
+        assert hist["max"] == 100.0
+
+    def test_first_registration_wins_on_edges(self):
+        m = MetricsRegistry()
+        m.observe("h", 1.0, edges=COUNT_EDGES)
+        m.observe("h", 2.0, edges=DURATION_EDGES)  # ignored, not an error
+        assert m.snapshot().histograms["h"]["edges"] == list(COUNT_EDGES)
+
+    def test_empty_histogram_min_max_are_none_after_round_trip(self):
+        m = MetricsRegistry()
+        m.observe("h", 1.0)
+        snap = MetricsSnapshot.from_dict(json.loads(m.snapshot().to_json()))
+        assert snap.histograms["h"]["min"] == 1.0
+
+    def test_default_edges_are_fixed_decades(self):
+        assert DURATION_EDGES[0] == 1e-9
+        assert DURATION_EDGES[-1] == 1e3
+        assert list(DURATION_EDGES) == sorted(DURATION_EDGES)
+        assert list(COUNT_EDGES) == [float(2**e) for e in range(13)]
+
+
+class TestSpans:
+    def test_span_records_count_and_time(self):
+        m = MetricsRegistry()
+        with m.span("stage"):
+            pass
+        with m.span("stage"):
+            pass
+        stat = m.snapshot().spans["stage"]
+        assert stat["count"] == 2
+        assert stat["total_s"] >= 0.0
+
+    def test_span_records_on_exception(self):
+        m = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with m.span("stage"):
+                raise RuntimeError("boom")
+        assert m.snapshot().spans["stage"]["count"] == 1
+
+
+class TestDisabledRegistry:
+    def test_everything_is_a_no_op(self):
+        m = MetricsRegistry(enabled=False)
+        m.inc("a")
+        m.gauge("g", 1.0)
+        m.observe("h", 2.0)
+        with m.span("s"):
+            pass
+        snap = m.snapshot()
+        assert snap.counters == snap.gauges == snap.histograms == snap.spans == {}
+
+    def test_disabled_span_is_the_shared_null_instance(self):
+        # The cost contract: a disabled emission is one branch, with no
+        # per-call allocation.
+        m = MetricsRegistry(enabled=False)
+        assert m.span("a") is m.span("b") is NULL_METRICS.span("c")
+
+    def test_null_metrics_is_disabled(self):
+        assert NULL_METRICS.enabled is False
+
+
+class TestSnapshot:
+    def _populated(self):
+        m = MetricsRegistry()
+        m.inc("c", 3)
+        m.gauge("g", 1.5)
+        m.observe("h", 0.25, edges=(1.0, 2.0))
+        with m.span("s"):
+            pass
+        return m.snapshot()
+
+    def test_json_round_trip(self):
+        snap = self._populated()
+        back = MetricsSnapshot.from_dict(json.loads(snap.to_json()))
+        assert back.to_json() == snap.to_json()
+
+    def test_wall_clock_false_drops_span_seconds_only(self):
+        snap = self._populated()
+        data = snap.to_dict(wall_clock=False)
+        assert data["spans"]["s"] == {"count": 1}
+        assert "total_s" in snap.to_dict()["spans"]["s"]
+        assert data["counters"] == {"c": 3}  # deterministic groups untouched
+
+    def test_snapshot_is_a_copy(self):
+        m = MetricsRegistry()
+        m.inc("c")
+        snap = m.snapshot()
+        m.inc("c")
+        assert snap.counters == {"c": 1}
+
+    def test_clear_drops_registration_state(self):
+        m = MetricsRegistry()
+        m.observe("h", 1.0, edges=(10.0,))
+        m.clear()
+        m.observe("h", 1.0, edges=(5.0,))  # re-registration after clear
+        assert m.snapshot().histograms["h"]["edges"] == [5.0]
