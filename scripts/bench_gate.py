@@ -14,15 +14,23 @@ numbers against the committed baselines via :mod:`repro.obs.benchgate`:
   scenario x backend grid. These are deterministic simulated quantities,
   gated with a tight relative tolerance (default 1e-6) plus exact
   survivor counts and a zero static-verification-error requirement.
+- **Incremental-repair micro cells** (``BENCH_repair.json``): single-fault
+  repair vs full recolor at N in {64, 256, 1024}. Transfer and fallback
+  counts are gated exactly (fallbacks must be 0); the repair speedup is
+  best-of-N wall clock, gated against the same perf floor.
 
 Exit status: 0 when every comparison passes, 1 on any regression, 2 when
 a baseline file is missing or unreadable. ``--json`` writes the full diff
 record (uploaded as a CI artifact on failure); ``--skip-perf`` drops the
-wall-clock RWA measurements for a fast deterministic-only run.
+wall-clock RWA/repair measurements for a fast deterministic-only run.
+``--update-baseline`` rewrites the measured cells back into the pinned
+baseline JSONs (leaving unmeasured cells untouched) instead of gating —
+for intentional perf/behavior changes; review the resulting diff.
 
 Usage::
 
     python scripts/bench_gate.py [--json diff.json] [--skip-perf]
+    python scripts/bench_gate.py --update-baseline
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from repro.obs.benchgate import (  # noqa: E402
     DEFAULT_SIM_REL_TOL,
     GateReport,
     compare_faults,
+    compare_repair,
     compare_rwa,
 )
 
@@ -91,6 +100,17 @@ def measure_faults() -> list[dict]:
     return _run_availability()
 
 
+def measure_repair() -> list[dict]:
+    """Fresh repair micro rows, same shape as ``BENCH_repair.json``.
+
+    All three cells are cheap (the slowest side is one ~5 ms full recolor
+    at N=1024), so unlike the RWA table nothing is excluded from the gate.
+    """
+    from benchmarks.bench_repair import _run_repair_micro
+
+    return _run_repair_micro()
+
+
 def load_baseline(path: Path) -> dict | None:
     """Parsed baseline JSON, or ``None`` when missing/unreadable."""
     try:
@@ -99,12 +119,35 @@ def load_baseline(path: Path) -> dict | None:
         return None
 
 
+def update_baseline(
+    path: Path, section: str, rows: list[dict], key_fields: tuple[str, ...]
+) -> None:
+    """Splice freshly measured ``rows`` into ``path``'s ``section`` list.
+
+    Rows are matched by ``key_fields``; measured cells are replaced in
+    place, unmeasured cells (e.g. the N=1024 dense RWA case the gate never
+    re-runs) keep their committed values, and genuinely new cells append.
+    """
+    baseline = load_baseline(path) or {}
+    existing = list(baseline.get(section, []))
+    fresh = {tuple(row[k] for k in key_fields): row for row in rows}
+    merged = []
+    for row in existing:
+        key = tuple(row.get(k) for k in key_fields)
+        merged.append(fresh.pop(key, row))
+    merged.extend(fresh.values())
+    baseline[section] = merged
+    path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"updated {len(rows)} {section} row(s) in {path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit status (0/1/2)."""
     parser = argparse.ArgumentParser(
         prog="scripts/bench_gate.py",
         description="re-measure pinned bench cells and gate them against "
-        "the committed BENCH_rwa.json / BENCH_faults.json baselines",
+        "the committed BENCH_rwa.json / BENCH_faults.json / "
+        "BENCH_repair.json baselines",
     )
     parser.add_argument(
         "--json", metavar="PATH", default=None,
@@ -121,7 +164,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--skip-perf", action="store_true",
-        help="skip the wall-clock RWA measurements (deterministic-only)",
+        help="skip the wall-clock RWA/repair measurements "
+        "(deterministic-only)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the measured cells back into the pinned baseline "
+        "JSONs instead of gating (for intentional changes)",
     )
     parser.add_argument(
         "--baseline-rwa", type=Path, default=REPO_ROOT / "BENCH_rwa.json",
@@ -132,17 +181,22 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_faults.json",
         help="override the faults baseline path (tests)",
     )
+    parser.add_argument(
+        "--baseline-repair", type=Path,
+        default=REPO_ROOT / "BENCH_repair.json",
+        help="override the repair baseline path (tests)",
+    )
     args = parser.parse_args(argv)
 
+    perf_baselines = (
+        [] if args.skip_perf else [args.baseline_rwa, args.baseline_repair]
+    )
     missing = [
         path
-        for path in (
-            ([] if args.skip_perf else [args.baseline_rwa])
-            + [args.baseline_faults]
-        )
+        for path in perf_baselines + [args.baseline_faults]
         if load_baseline(path) is None
     ]
-    if missing:
+    if missing and not args.update_baseline:
         for path in missing:
             print(f"bench gate: missing or unreadable baseline: {path}",
                   file=sys.stderr)
@@ -157,14 +211,39 @@ def main(argv: list[str] | None = None) -> int:
                 f"  rwa.{row['case']}.n{row['n']}: "
                 f"transfers={row['transfers']} speedup={row['speedup']:.1f}x"
             )
-        report.merge(
-            compare_rwa(
-                rwa_rows, load_baseline(args.baseline_rwa),
-                perf_floor=args.perf_floor,
+        print("measuring incremental-repair cells ...")
+        repair_rows = measure_repair()
+        for row in repair_rows:
+            print(
+                f"  repair.{row['case']}.n{row['n']}: "
+                f"transfers={row['transfers']} speedup={row['speedup']:.1f}x"
             )
-        )
+        if args.update_baseline:
+            update_baseline(args.baseline_rwa, "micro", rwa_rows, ("case", "n"))
+            update_baseline(
+                args.baseline_repair, "repair", repair_rows, ("case", "n")
+            )
+        else:
+            report.merge(
+                compare_rwa(
+                    rwa_rows, load_baseline(args.baseline_rwa),
+                    perf_floor=args.perf_floor,
+                )
+            )
+            report.merge(
+                compare_repair(
+                    repair_rows, load_baseline(args.baseline_repair),
+                    perf_floor=args.perf_floor,
+                )
+            )
     print("measuring fault-sweep scenarios ...")
     fault_rows = measure_faults()
+    if args.update_baseline:
+        update_baseline(
+            args.baseline_faults, "scenarios", fault_rows,
+            ("scenario", "backend"),
+        )
+        return 0
     report.merge(
         compare_faults(
             fault_rows, load_baseline(args.baseline_faults),

@@ -5,12 +5,14 @@
 #
 # Stages:
 #   1. ruff (when available — CI images that lack it skip with a notice)
-#   2. repro.check lint  (REP001-REP005 AST pass over src)
+#   2. repro.check lint  (REP001-REP006 AST pass over src)
 #   3. repro.check plan verifier over the figure golden plans
 #   --fast stops here (lint + verifier only — the seconds-scale
 #   pre-commit loop; see docs/TESTING.md). The full gate continues with:
 #   4. fault-injection smoke (seeded degraded scenarios per backend,
-#      verified by repro.check; live fault runs checked for determinism)
+#      verified by repro.check; live fault runs checked for determinism;
+#      incremental repair cross-checked against from-scratch recoloring
+#      via --paranoid-repair)
 #   5. tier-1 tests (which also auto-verify every lowered plan via the
 #      repro.check pytest plugin)
 set -euo pipefail
@@ -46,7 +48,7 @@ if [[ "$FAST" == "1" ]]; then
 fi
 
 echo "== fault-injection smoke =="
-python -m repro.faults
+python -m repro.faults --paranoid-repair
 
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"

@@ -34,6 +34,17 @@ copy (fork inherits the parent's warmed cache for free on Linux).
 This module started life as ``repro.optical.plancache`` (PR 1); it moved
 here when the cache went behind the unified ``lower()`` seam so that every
 backend benefits. ``repro.optical.plancache`` remains as an alias.
+
+Delta-salted keys
+-----------------
+
+Incremental repair (:mod:`repro.optical.repair`) produces plans that are
+valid for a degraded config but were *derived* from a base solution, and a
+repaired coloring need not equal the from-scratch coloring for the same
+final fault set. Such entries are keyed with :func:`delta_salted_key` —
+``(base key, delta)`` instead of the final config — so the two can never
+alias: a from-scratch lowering of the degraded config keys on its own
+frozen config, a repair keys on where it came from plus what changed.
 """
 
 from __future__ import annotations
@@ -148,6 +159,18 @@ class PlanCache:
     def clear(self) -> None:
         """Drop every entry (counters keep their lifetime values)."""
         self._entries.clear()
+
+
+def delta_salted_key(base_key: Hashable, delta: Hashable) -> tuple:
+    """Key base for plans *derived* from another plan by a delta.
+
+    Repaired lowerings are a function of (what they repaired, what
+    changed), not of the final config alone — two different repair
+    lineages reaching the same fault set may legitimately cache different
+    plans. The ``"delta"`` sentinel keeps the derived namespace disjoint
+    from every config-keyed entry.
+    """
+    return ("delta", base_key, delta)
 
 
 _DEFAULT_CACHE = PlanCache()

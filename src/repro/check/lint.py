@@ -1,4 +1,4 @@
-"""Reproduction-specific AST lint (REP001–REP005). Stdlib ``ast`` only.
+"""Reproduction-specific AST lint (REP001–REP006). Stdlib ``ast`` only.
 
 General-purpose linters cannot know that this repo's determinism contract
 forbids unseeded RNGs, that timing quantities are floats that must never be
@@ -22,6 +22,12 @@ REP004   Import of the deprecated ``repro.optical.plancache`` alias
 REP005   ``tracer.emit(time, "name", ...)`` with a literal category
          absent from :data:`repro.sim.trace.TRACE_EVENTS`. Tests filter
          traces by these names; a typo silently records nothing.
+REP006   Statement-level ``for`` loop over ``step.transfers`` in an
+         executor hot path (the pricing modules). Per-transfer Python
+         accumulation is the pattern the vectorized executors replaced;
+         inherently sequential loops (per-pair routing) are allowlisted
+         with a ``# REP006: <reason>`` pragma on the loop line or the
+         comment block directly above it.
 =======  ==============================================================
 
 Run as a module over one or more files/directories::
@@ -70,8 +76,18 @@ LINT_RULES: dict[str, str] = {
     "REP003": "exception with custom __init__ but no pickle hook",
     "REP004": "import of the deprecated repro.optical.plancache alias",
     "REP005": "trace category not registered in TRACE_EVENTS",
+    "REP006": "per-transfer Python loop in an executor hot path",
 }
 """Rule id -> short title, for ``--list-rules`` and the docs."""
+
+#: Executor pricing modules where per-transfer statement loops are hot
+#: (REP006). Matched as path suffixes so the rule follows the files, not
+#: the checkout location.
+_HOT_PATH_SUFFIXES = (
+    "repro/optical/network.py",
+    "repro/optical/livesim.py",
+    "repro/electrical/network.py",
+)
 
 
 def _terminal_name(node: ast.expr) -> str | None:
@@ -252,12 +268,64 @@ def _check_rep005(tree: ast.AST, path: str) -> Iterator[Finding]:
             yield _finding("REP005", message, path, node)
 
 
-_CHECKERS: dict[str, Callable[[ast.AST, str], Iterator[Finding]]] = {
-    "REP001": _check_rep001,
-    "REP002": _check_rep002,
-    "REP003": _check_rep003,
-    "REP004": _check_rep004,
-    "REP005": _check_rep005,
+def _iterates_transfers(node: ast.expr) -> bool:
+    """Whether an iterated expression references a ``transfers`` name."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "transfers":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "transfers":
+            return True
+    return False
+
+
+def _rep006_pragma(lines: list[str], lineno: int) -> bool:
+    """A ``REP006`` pragma on the loop line or the comment block above."""
+    index = lineno - 1
+    if 0 <= index < len(lines) and "REP006" in lines[index]:
+        return True
+    index -= 1
+    while index >= 0 and lines[index].lstrip().startswith("#"):
+        if "REP006" in lines[index]:
+            return True
+        index -= 1
+    return False
+
+
+def _check_rep006(tree: ast.AST, path: str, lines: list[str]) -> Iterator[Finding]:
+    """REP006 — per-transfer statement loops in executor hot paths.
+
+    Comprehensions are allowed (they build a value, not a scalar
+    accumulation); only statement-level ``for``/``async for`` over a
+    ``transfers`` collection is flagged, and only inside the pricing
+    modules listed in :data:`_HOT_PATH_SUFFIXES`.
+    """
+    norm = str(path).replace("\\", "/")
+    if not norm.endswith(_HOT_PATH_SUFFIXES):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            continue
+        if not _iterates_transfers(node.iter):
+            continue
+        if _rep006_pragma(lines, node.lineno):
+            continue
+        yield _finding(
+            "REP006",
+            "per-transfer Python loop over step.transfers in an executor "
+            "hot path; vectorize over numpy arrays (see payload_times / "
+            "np.bincount in the executors) or allowlist with a "
+            "'# REP006: <reason>' pragma",
+            path, node,
+        )
+
+
+_CHECKERS: dict[str, Callable[[ast.AST, str, list[str]], Iterator[Finding]]] = {
+    "REP001": lambda tree, path, lines: _check_rep001(tree, path),
+    "REP002": lambda tree, path, lines: _check_rep002(tree, path),
+    "REP003": lambda tree, path, lines: _check_rep003(tree, path),
+    "REP004": lambda tree, path, lines: _check_rep004(tree, path),
+    "REP005": lambda tree, path, lines: _check_rep005(tree, path),
+    "REP006": _check_rep006,
 }
 
 
@@ -272,11 +340,12 @@ def lint_source(
         select: Restrict to these rule ids (default: all).
     """
     tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
     findings: list[Finding] = []
     for rule_id, checker in _CHECKERS.items():
         if select is not None and rule_id not in select:
             continue
-        findings.extend(checker(tree, path))
+        findings.extend(checker(tree, path, lines))
     findings.sort(key=lambda f: (f.details.get("line", 0), f.rule_id))
     return findings
 
@@ -303,7 +372,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI: lint the given paths, print findings, exit 1 on any."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.check.lint",
-        description="Reproduction-specific AST lint (REP001-REP005).",
+        description="Reproduction-specific AST lint (REP001-REP006).",
     )
     parser.add_argument("paths", nargs="*", type=Path, help="files or directories")
     parser.add_argument(

@@ -62,6 +62,24 @@ class CostModel:
         n_packets = math.ceil(payload_bytes / self.packet_bytes)
         return payload_bytes / self.line_rate + n_packets * self.oeo_delay_per_packet
 
+    def payload_times(self, payload_bytes):
+        """Vectorized :meth:`payload_time` over a float64 numpy array.
+
+        Bit-identical to the scalar path element-wise: the division, the
+        packet-count ceiling and the multiply are the same IEEE-754
+        operations whether evaluated by ``math`` or ``numpy`` (packet
+        counts stay far below 2**53, where ``float(math.ceil(x)) ==
+        np.ceil(x)`` exactly). Used by the executors to price a whole
+        step's transfers in one pass instead of a per-transfer Python loop.
+        """
+        import numpy as np
+
+        payload_bytes = np.asarray(payload_bytes, dtype=np.float64)
+        if payload_bytes.size and float(payload_bytes.min()) < 0:
+            raise ValueError("payloads must be >= 0")
+        n_packets = np.ceil(payload_bytes / self.packet_bytes)
+        return payload_bytes / self.line_rate + n_packets * self.oeo_delay_per_packet
+
     def step_time(self, payload_bytes: float) -> float:
         """One full communication step: payload plus the constant overhead."""
         return self.payload_time(payload_bytes) + self.step_overhead

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.backend.base import LoweredPlan, LoweredStep
 from repro.backend.errors import BackendConfigError
 from repro.backend.plancache import PlanCache, PlanCacheCounters, default_plan_cache
@@ -237,30 +239,47 @@ class ElectricalNetwork:
                 return cached
             counters.misses += 1
         with self.metrics.span("electrical.price_pattern"):
-            flows: list[Flow] = []
-            flow_meta: list[tuple[int, float]] = []
-            link_load: dict[int, int] = {}
-            step_bytes = 0.0
-            for i, t in enumerate(step.transfers):
-                path = route(self.tree, t.src, t.dst, ecmp=self.config.ecmp)
-                size = t.n_elems * bytes_per_elem
-                step_bytes += size
-                flows.append(
-                    Flow(
-                        flow_id=i,
-                        links=path.links,
-                        size=size,
-                        latency=path.n_routers * self.config.router_delay,
-                    )
+            # Routing stays per-pair (graph lookups), but sizes, byte totals
+            # and link shares are computed over numpy arrays instead of a
+            # per-transfer accumulation loop. ``step_bytes`` keeps the
+            # transfer-order sequential sum so the floats are bit-identical
+            # to the scalar path (numpy pairwise summation could differ in
+            # the last ulp).
+            paths = [
+                route(self.tree, t.src, t.dst, ecmp=self.config.ecmp)
+                for t in step.transfers
+            ]
+            sizes = (
+                np.array(
+                    [t.n_elems for t in step.transfers], dtype=np.float64
                 )
-                flow_meta.append((path.n_routers, size))
-                for link in path.links:
-                    link_load[link] = link_load.get(link, 0) + 1
+                * bytes_per_elem
+            )
+            step_bytes = float(sum(sizes.tolist()))
+            flows = [
+                Flow(
+                    flow_id=i,
+                    links=path.links,
+                    size=float(sizes[i]),
+                    latency=path.n_routers * self.config.router_delay,
+                )
+                for i, path in enumerate(paths)
+            ]
+            flow_meta = [
+                (path.n_routers, float(sizes[i]))
+                for i, path in enumerate(paths)
+            ]
+            all_links = np.fromiter(
+                (link for path in paths for link in path.links), dtype=np.int64
+            )
+            max_link_share = (
+                int(np.bincount(all_links).max()) if all_links.size else 0
+            )
             duration = self._fluid.run(flows)
         summary = ElectricalStepPlan(
             duration=duration,
             n_flows=len(flows),
-            max_link_share=max(link_load.values(), default=0),
+            max_link_share=max_link_share,
             bytes_per_step=step_bytes,
             flows=tuple(flow_meta),
         )

@@ -14,7 +14,8 @@ Two comparison regimes, matched to what each number *is*:
   functions of the inputs — identical on every machine. They are compared
   with a tight relative tolerance (:data:`DEFAULT_SIM_REL_TOL`); any drift
   means the model's behavior changed.
-- **Wall-clock performance floors** (RWA kernel speedups) are host-noisy,
+- **Wall-clock performance floors** (RWA kernel and incremental-repair
+  speedups, ``BENCH_repair.json``) are host-noisy,
   so the gate only enforces a floor: the measured speedup must stay above
   ``baseline_speedup × perf_floor`` (:data:`DEFAULT_PERF_FLOOR`, i.e. a
   4× perf regression fails with the default 0.25). Measurements should be
@@ -154,12 +155,15 @@ def _check_floor(
             GateViolation(metric, "missing-baseline", current, None, "baseline present")
         )
         return
-    bound = float(baseline) * floor
+    baseline = float(baseline)
+    bound = baseline * floor
     if current < bound:
+        ratio = current / baseline if baseline else float("inf")
         report.violations.append(
             GateViolation(
-                metric, "floor", current, float(baseline),
-                f">= {bound:.3g} ({floor:g} x baseline)",
+                metric, "floor", current, baseline,
+                f">= {bound:.3g} ({floor:g} x baseline); "
+                f"measured {ratio:.3g} x baseline",
             )
         )
 
@@ -190,6 +194,41 @@ def compare_rwa(
             report, f"{label}.transfers", row["transfers"],
             None if base is None else base.get("transfers"),
         )
+        _check_floor(
+            report, f"{label}.speedup", row["speedup"],
+            None if base is None else base.get("speedup"), perf_floor,
+        )
+    return report
+
+
+def compare_repair(
+    current_rows: list[dict],
+    baseline: dict | None,
+    *,
+    perf_floor: float = DEFAULT_PERF_FLOOR,
+) -> GateReport:
+    """Gate re-measured repair micro rows against a ``BENCH_repair.json`` dict.
+
+    Per (case, n) row: transfer and fallback counts are structural
+    (``fallbacks`` must stay 0 — a benchmark instance that falls back to
+    the full recolor is no longer measuring the repair path) and the
+    repair-vs-full-recolor speedup must stay above the perf floor.
+    """
+    report = GateReport()
+    if baseline is None:
+        baseline = {}
+    base_rows = {
+        (row["case"], row["n"]): row for row in baseline.get("repair", [])
+    }
+    for row in current_rows:
+        key = (row["case"], row["n"])
+        label = f"repair.{row['case']}.n{row['n']}"
+        base = base_rows.get(key)
+        _check_exact(
+            report, f"{label}.transfers", row["transfers"],
+            None if base is None else base.get("transfers"),
+        )
+        _check_exact(report, f"{label}.fallbacks", row["fallbacks"], 0)
         _check_floor(
             report, f"{label}.speedup", row["speedup"],
             None if base is None else base.get("speedup"), perf_floor,

@@ -16,6 +16,10 @@ Modules:
 - :mod:`~repro.optical.rwa` — routing and wavelength assignment
   (First-Fit / Random-Fit) over integer segment bitmasks, with exact
   segment-conflict checking.
+- :mod:`~repro.optical.repair` — incremental DSATUR repair: splice a
+  fault/constraint delta into a previously solved coloring instead of
+  recoloring from scratch (untouched claims pinned, validated, falls back
+  past 50% affected).
 - :mod:`~repro.backend.plancache` — bounded LRU of priced step plans shared
   across executors and ``execute()`` calls (cross-run sweeps reuse RWA
   results bit-exactly); ``repro.optical.plancache`` is a deprecated alias.
@@ -40,6 +44,13 @@ from repro.backend.plancache import (
     PlanCacheCounters,
     default_plan_cache,
 )
+from repro.optical.repair import (
+    RwaContext,
+    RwaSolution,
+    capture_solution,
+    repair_rounds,
+    validate_rounds,
+)
 from repro.optical.circuit import Circuit, validate_no_conflicts
 from repro.optical.livesim import LiveOpticalSimulation, LiveRunResult
 from repro.optical.network import OpticalRingNetwork, OpticalRunResult, StepTiming
@@ -61,17 +72,22 @@ __all__ = [
     "PlanCacheCounters",
     "RingTopology",
     "Route",
+    "RwaContext",
     "RwaInfeasibleError",
+    "RwaSolution",
     "StepTiming",
     "TeraRackNode",
     "TorusOpticalNetwork",
     "TorusRunResult",
     "TorusTopology",
     "assign_wavelengths",
+    "capture_solution",
     "default_plan_cache",
     "path_feasible",
     "plan_rounds",
+    "repair_rounds",
     "validate_no_conflicts",
     "validate_node_constraints",
+    "validate_rounds",
     "validate_route_phy",
 ]

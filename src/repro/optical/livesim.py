@@ -115,6 +115,14 @@ class LiveOpticalSimulation:
         metrics: Observability registry (default disabled); threaded into
             the kernel and the round planner, with a snapshot attached to
             the result. Recording never changes simulated timings.
+        repair: Repair cached RWA solutions across fault events instead of
+            re-solving every pattern from scratch (incremental DSATUR,
+            :mod:`repro.optical.repair`). Off by default — repaired round
+            structures are valid but need not match from-scratch ones, so
+            the default timings stay bit-identical to earlier releases.
+            Requires ``first_fit``.
+        paranoid_repair: With ``repair``, cross-check every repair against
+            a from-scratch recolor (the ``--paranoid-repair`` oracle).
     """
 
     def __init__(
@@ -128,12 +136,21 @@ class LiveOpticalSimulation:
         backoff_base: float | None = None,
         backoff_factor: float = 2.0,
         metrics: MetricsRegistry = NULL_METRICS,
+        repair: bool = False,
+        paranoid_repair: bool = False,
     ) -> None:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self._strategy = strategy
         self._rng = rng
+        self.repair = repair
+        self.paranoid_repair = paranoid_repair
+        if repair and strategy == "random_fit":
+            raise ValueError(
+                "repair=True is deterministic and cannot preserve the "
+                "random_fit RNG stream; use first_fit"
+            )
         self.fault_events = tuple(
             sorted(
                 fault_events,
@@ -161,9 +178,12 @@ class LiveOpticalSimulation:
                 merged = merged.with_fault(event.fault)
             merged.validate(config.n_nodes, config.n_wavelengths)
         # Round planning is delegated to the executor so both paths share
-        # routing, RWA, fallback and validation behaviour exactly.
+        # routing, RWA, fallback and validation behaviour exactly. With
+        # ``repair`` the planner keeps its full solutions so each fault
+        # event's replacement planner can splice the delta in.
         self._planner = OpticalRingNetwork(
-            config, strategy=strategy, rng=rng, validate=True, metrics=metrics
+            config, strategy=strategy, rng=rng, validate=True, metrics=metrics,
+            keep_solutions=repair,
         )
 
     def run(self, schedule: Schedule, bytes_per_elem: float = 4.0) -> LiveRunResult:
@@ -256,11 +276,20 @@ class LiveOpticalSimulation:
                 # Every subsequent RWA must see the degraded resources:
                 # swap in a planner whose frozen config carries the
                 # accumulated set (also re-salts the plan-cache keys).
-                state["planner"] = OpticalRingNetwork(
-                    replace(self.config, faults=state["faults"]),
-                    strategy=self._strategy, rng=self._rng, validate=True,
-                    metrics=self.metrics,
-                )
+                # Under ``repair`` the new planner chains to the previous
+                # one and repairs its cached solutions incrementally —
+                # each event repairs the *already repaired* state, so a
+                # fault sequence pays O(delta) per event, not O(plan).
+                if self.repair:
+                    state["planner"] = state["planner"].repair_network(
+                        state["faults"], paranoid=self.paranoid_repair
+                    )
+                else:
+                    state["planner"] = OpticalRingNetwork(
+                        replace(self.config, faults=state["faults"]),
+                        strategy=self._strategy, rng=self._rng, validate=True,
+                        metrics=self.metrics,
+                    )
                 broken = [
                     proc
                     for proc, circuit in state["inflight"].items()

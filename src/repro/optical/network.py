@@ -26,7 +26,9 @@ against uncompressed execution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from repro.backend.base import LoweredPlan, LoweredStep
 from repro.backend.errors import BackendConfigError, BackendError
@@ -35,6 +37,7 @@ from repro.backend.plancache import (
     PlanCache,
     PlanCacheCounters,
     default_plan_cache,
+    delta_salted_key,
 )
 from repro.collectives.base import CommStep, Schedule
 from repro.core.timing import CostModel
@@ -43,6 +46,7 @@ from repro.optical.circuit import Circuit, validate_no_conflicts
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.node import validate_node_constraints
 from repro.optical.phy import validate_route_phy
+from repro.optical.repair import RwaContext, capture_solution, repair_rounds
 from repro.optical.rwa import plan_rounds
 from repro.optical.topology import RingTopology
 from repro.sim.rng import SeededRng
@@ -116,6 +120,9 @@ class OpticalRingNetwork:
         validate: bool = True,
         plan_cache: PlanCache | None = None,
         metrics: MetricsRegistry = NULL_METRICS,
+        keep_solutions: bool = False,
+        repair_from: "OpticalRingNetwork | None" = None,
+        paranoid_repair: bool = False,
     ) -> None:
         self.config = config
         self.topology = RingTopology(config.n_nodes)
@@ -134,6 +141,31 @@ class OpticalRingNetwork:
         self.plan_cache = default_plan_cache() if plan_cache is None else plan_cache
         self._plan_key_base = (config, strategy, validate)
         self._cost = config.cost_model()
+        # Incremental-repair wiring. ``keep_solutions`` retains the full
+        # per-pattern RWA solutions (not just priced summaries) so a later
+        # network can repair them; ``repair_from`` chains this network to a
+        # base whose solutions it repairs instead of re-solving. Repaired
+        # patterns get *delta-salted* plan-cache keys — (base key, fault
+        # diff) rather than the final config — so a repaired coloring can
+        # never collide with a from-scratch entry for the same fault set.
+        self.keep_solutions = keep_solutions
+        self.paranoid_repair = paranoid_repair
+        self._solutions: dict[tuple, "object"] = {}
+        self._repair_base = repair_from
+        if repair_from is not None:
+            if strategy == "random_fit":
+                raise ValueError(
+                    "incremental repair is deterministic and cannot preserve "
+                    "the random_fit RNG stream; use first_fit"
+                )
+            diff = tuple(
+                f
+                for f in config.faults.faults
+                if f not in set(repair_from.config.faults.faults)
+            )
+            self._plan_key_base = delta_salted_key(
+                repair_from._plan_key_base, ("fault-delta", diff)
+            )
         # Fault-derived views, hoisted so the per-step path pays nothing
         # when the fault set is empty (every one of these is then falsy and
         # the lowering takes the exact pre-fault code paths).
@@ -297,6 +329,9 @@ class OpticalRingNetwork:
         """
         routes = [None] * len(step.transfers)
         ties = []
+        # REP006: shortest-path routing is per-pair graph lookups with a
+        # data-dependent tie list — no array form; RWA and pricing are the
+        # vectorized hot paths.
         for i, t in enumerate(step.transfers):
             cw = self.topology.cw_distance(t.src, t.dst)
             ccw = self.topology.ccw_distance(t.src, t.dst)
@@ -352,14 +387,17 @@ class OpticalRingNetwork:
             validate = self.validate
         transfers = list(step.transfers)
         if validate and self._dead_nodes:
-            for t in transfers:
-                if t.src in self._dead_nodes or t.dst in self._dead_nodes:
-                    raise BackendConfigError(
-                        f"transfer {t.src} -> {t.dst} touches a dropped "
-                        f"node; replan the schedule over the survivors "
-                        f"(repro.faults.build_degraded_wrht_schedule)",
-                        backend=BACKEND_NAME,
-                    )
+            dead = self._dead_nodes
+            bad = next(
+                (t for t in transfers if t.src in dead or t.dst in dead), None
+            )
+            if bad is not None:
+                raise BackendConfigError(
+                    f"transfer {bad.src} -> {bad.dst} touches a dropped "
+                    f"node; replan the schedule over the survivors "
+                    f"(repro.faults.build_degraded_wrht_schedule)",
+                    backend=BACKEND_NAME,
+                )
         routes = self._route_step(step)
         if validate and self._phy is not None:
             for route in routes:
@@ -372,31 +410,25 @@ class OpticalRingNetwork:
                 | faults.endpoint_blocked(t.dst, r.direction)
                 for t, r in zip(transfers, routes)
             ]
-        rounds = plan_rounds(
-            routes,
-            n_segments=self.config.n_nodes,
-            n_wavelengths=self.config.n_wavelengths,
-            fibers_per_direction=self.config.fibers_per_direction,
-            strategy=self.strategy,
-            rng=self.rng,
-            blocked=self.config.dead_wavelengths,
-            route_blocked=route_blocked,
-            preoccupied=self._quarantine,
-            metrics=self.metrics,
+        rounds = self._solve_rounds(step, routes, route_blocked)
+        # Vectorized pricing: payloads and durations for the whole step in
+        # one numpy pass, bit-identical element-wise to the scalar
+        # CostModel.payload_time path (see payload_times).
+        payloads = (
+            np.array([t.n_elems for t in transfers], dtype=np.float64)
+            * bytes_per_elem
         )
+        durations = self._cost.payload_times(payloads)
         circuit_rounds: list[list[Circuit]] = []
         for assignment in rounds:
-            circuits = []
-            for idx, (fiber, lam) in assignment.items():
-                t = transfers[idx]
-                payload = t.n_elems * bytes_per_elem
-                circuits.append(
-                    Circuit(
-                        transfer=t, route=routes[idx], fiber=fiber,
-                        wavelength=lam, payload_bytes=payload,
-                        duration=self._cost.payload_time(payload),
-                    )
+            circuits = [
+                Circuit(
+                    transfer=transfers[idx], route=routes[idx], fiber=fiber,
+                    wavelength=lam, payload_bytes=float(payloads[idx]),
+                    duration=float(durations[idx]),
                 )
+                for idx, (fiber, lam) in assignment.items()
+            ]
             if validate:
                 validate_no_conflicts(circuits)
                 validate_node_constraints(
@@ -405,6 +437,130 @@ class OpticalRingNetwork:
                 )
             circuit_rounds.append(circuits)
         return circuit_rounds
+
+    def _rwa_context(
+        self, route_blocked: list[frozenset[int]] | None
+    ) -> RwaContext:
+        """This network's channel-space constraints for one routed step."""
+        return RwaContext(
+            n_segments=self.config.n_nodes,
+            n_wavelengths=self.config.n_wavelengths,
+            fibers_per_direction=self.config.fibers_per_direction,
+            blocked=self.config.dead_wavelengths,
+            route_blocked=tuple(route_blocked) if route_blocked else None,
+            preoccupied=self._quarantine,
+        )
+
+    def _solve_rounds(
+        self,
+        step: CommStep,
+        routes: list,
+        route_blocked: list[frozenset[int]] | None,
+    ) -> list[dict[int, tuple[int, int]]]:
+        """RWA for one routed step: incremental repair when chained to a
+        base network that has a cached solution for this pattern, full
+        ``plan_rounds`` otherwise. Captures the solution for downstream
+        repair when ``keep_solutions`` is set."""
+        ctx = self._rwa_context(route_blocked)
+        rounds = None
+        if self._repair_base is not None:
+            base_solution = self._repair_base._solutions.get(step.transfers)
+            if base_solution is not None and len(base_solution.routes) == len(routes):
+                edited = frozenset(
+                    i
+                    for i, (fresh, old) in enumerate(zip(routes, base_solution.routes))
+                    if fresh != old
+                )
+                rounds = repair_rounds(
+                    base_solution,
+                    routes,
+                    ctx,
+                    edited=edited,
+                    strategy=self.strategy,
+                    rng=self.rng,
+                    paranoid=self.paranoid_repair,
+                    metrics=self.metrics,
+                )
+            elif self.metrics.enabled:
+                self.metrics.inc("rwa.repair_miss")
+        if rounds is None:
+            rounds = plan_rounds(
+                routes,
+                n_segments=self.config.n_nodes,
+                n_wavelengths=self.config.n_wavelengths,
+                fibers_per_direction=self.config.fibers_per_direction,
+                strategy=self.strategy,
+                rng=self.rng,
+                blocked=self.config.dead_wavelengths,
+                route_blocked=route_blocked,
+                preoccupied=self._quarantine,
+                metrics=self.metrics,
+            )
+        if self.keep_solutions:
+            self._solutions[step.transfers] = capture_solution(routes, rounds, ctx)
+        return rounds
+
+    def repair_network(
+        self, faults, *, paranoid: bool = False
+    ) -> "OpticalRingNetwork":
+        """A degraded executor that repairs this network's cached solutions.
+
+        The returned network shares this one's plan cache and metrics; its
+        plan-cache keys are salted by the *fault diff* against this
+        network's config (see ``delta_salted_key``), and every pattern this
+        network has a kept solution for is incrementally repaired instead
+        of re-solved. Patterns never seen here fall back to full RWA
+        (counted under ``rwa.repair_miss``).
+
+        Args:
+            faults: The new (full) fault set for the degraded config.
+            paranoid: Cross-check every repair against a from-scratch
+                recolor (the ``--paranoid-repair`` oracle).
+
+        Raises:
+            ValueError: When this network was built without
+                ``keep_solutions`` or uses ``random_fit``.
+        """
+        if not self.keep_solutions:
+            raise ValueError(
+                "construct the base network with keep_solutions=True to "
+                "enable incremental repair"
+            )
+        return OpticalRingNetwork(
+            replace(self.config, faults=faults),
+            strategy=self.strategy,
+            tracer=self.tracer,
+            validate=self.validate,
+            plan_cache=self.plan_cache,
+            metrics=self.metrics,
+            keep_solutions=True,
+            repair_from=self,
+            paranoid_repair=paranoid,
+        )
+
+    def repair_plan(
+        self,
+        schedule: Schedule,
+        faults,
+        *,
+        bytes_per_elem: float = 4.0,
+        paranoid: bool = False,
+    ) -> tuple[LoweredPlan, "OpticalRingNetwork"]:
+        """Lower ``schedule`` under ``faults`` by repairing cached solutions.
+
+        Call after :meth:`lower` has populated this network's solution
+        store (``keep_solutions=True``): each pattern is spliced through
+        :func:`repro.optical.repair.repair_rounds` rather than re-solved,
+        and the repaired summaries land in the plan cache under their
+        delta-salted keys.
+
+        Returns:
+            ``(plan, degraded_network)`` — the degraded network is needed
+            to execute the plan and to build verification context (its
+            derived circuits match the repaired rounds).
+        """
+        network = self.repair_network(faults, paranoid=paranoid)
+        return network.lower(schedule, bytes_per_elem), network
 
     def _price_pattern(
         self,

@@ -25,6 +25,17 @@ is what makes paper-scale sweeps interactive; the seed implementation is
 preserved in :mod:`repro.optical._rwa_reference` and the parity property
 tests assert both produce identical assignments, round structure and
 Random-Fit RNG consumption.
+
+Incremental repair
+------------------
+
+A fault delta (dead wavelength, port fault, quarantine growth) rarely
+invalidates more than a handful of a step's assignments. Instead of
+re-solving from scratch, :func:`repair_rounds` (implemented in
+:mod:`repro.optical.repair`, re-exported here) recolors only the
+conflict-affected subgraph with the untouched assignments pinned — see the
+repair module for the cascade/fallback semantics and the paranoid
+cross-check oracle.
 """
 
 from __future__ import annotations
@@ -446,6 +457,19 @@ def _assign_with_masks(
             result.unassigned.append(idx)
     result.peak_wavelength = peak
     return result
+
+
+def repair_rounds(*args, **kwargs):
+    """Incrementally repair a cached solution against a constraint delta.
+
+    Thin dispatcher to :func:`repro.optical.repair.repair_rounds` (imported
+    lazily to keep the module graph acyclic — the repair module calls back
+    into :func:`plan_rounds` for its fallback and paranoid oracle). See that
+    module for the full contract.
+    """
+    from repro.optical.repair import repair_rounds as _repair_rounds
+
+    return _repair_rounds(*args, **kwargs)
 
 
 def assign_wavelengths(

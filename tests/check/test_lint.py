@@ -1,4 +1,4 @@
-"""The REP001–REP005 AST lint: each rule has failing and passing fixtures."""
+"""The REP001–REP006 AST lint: each rule has failing and passing fixtures."""
 
 import textwrap
 
@@ -121,6 +121,54 @@ class TestRep005TraceRegistry:
         assert _ids("tracer.emit(now, category, stage=s)\n") == []
 
 
+HOT_PATH = "src/repro/optical/network.py"
+
+
+class TestRep006TransferLoop:
+    def test_hot_path_transfer_loop_flagged(self):
+        assert _ids("""
+            for t in step.transfers:
+                price(t)
+        """, path=HOT_PATH) == ["REP006"]
+
+    def test_bare_transfers_name_flagged(self):
+        assert _ids("""
+            for i, t in enumerate(transfers):
+                price(t)
+        """, path=HOT_PATH) == ["REP006"]
+
+    def test_cold_path_passes(self):
+        assert _ids("""
+            for t in step.transfers:
+                price(t)
+        """, path="src/repro/runner/faultsweep.py") == []
+
+    def test_comprehension_passes(self):
+        assert _ids(
+            "sizes = [t.n_elems for t in step.transfers]\n", path=HOT_PATH
+        ) == []
+
+    def test_pragma_on_loop_line_passes(self):
+        assert _ids("""
+            for t in step.transfers:  # REP006: per-circuit trace emission
+                trace(t)
+        """, path=HOT_PATH) == []
+
+    def test_pragma_comment_block_above_passes(self):
+        assert _ids("""
+            # REP006: route construction is per-transfer by nature; the
+            # priced hot loop below it is vectorized.
+            for t in step.transfers:
+                route(t)
+        """, path=HOT_PATH) == []
+
+    def test_non_transfer_loop_passes(self):
+        assert _ids("""
+            for circuits in rounds:
+                fold(circuits)
+        """, path=HOT_PATH) == []
+
+
 class TestHarness:
     def test_select_restricts_rules(self):
         source = (
@@ -138,7 +186,7 @@ class TestHarness:
 
     def test_rule_catalog_is_complete(self):
         assert sorted(LINT_RULES) == [
-            "REP001", "REP002", "REP003", "REP004", "REP005"
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
         ]
 
     def test_main_clean_on_src(self):

@@ -9,6 +9,7 @@ from repro.obs.benchgate import (
     GateReport,
     GateViolation,
     compare_faults,
+    compare_repair,
     compare_rwa,
 )
 
@@ -63,6 +64,53 @@ class TestCompareRwa:
         report = compare_rwa([self._row(n=256)], _RWA_BASELINE)
         assert {v.kind for v in report.violations} == {"missing-baseline"}
         assert len(report.violations) == 2  # transfers and speedup
+
+
+_REPAIR_BASELINE = {
+    "repair": [
+        {"case": "dead-wavelength", "n": 1024, "transfers": 240,
+         "fallbacks": 0, "speedup": 12.0},
+    ]
+}
+
+
+class TestCompareRepair:
+    def _row(self, **over):
+        row = {"case": "dead-wavelength", "n": 1024, "transfers": 240,
+               "fallbacks": 0, "speedup": 11.0}
+        row.update(over)
+        return row
+
+    def test_pass(self):
+        report = compare_repair([self._row()], _REPAIR_BASELINE)
+        assert report.ok
+        assert len(report.checked) == 3
+
+    def test_perf_floor_breach_reports_measured_ratio(self):
+        report = compare_repair(
+            [self._row(speedup=1.2)], _REPAIR_BASELINE, perf_floor=0.25
+        )
+        assert [v.kind for v in report.violations] == ["floor"]
+        # The violation message names the measured current/baseline ratio
+        # (1.2 / 12.0 = 0.1x), not just the bound.
+        assert "measured 0.1 x baseline" in report.violations[0].allowed
+
+    def test_fallback_is_a_regression(self):
+        report = compare_repair([self._row(fallbacks=1)], _REPAIR_BASELINE)
+        assert [v.metric for v in report.violations] == [
+            "repair.dead-wavelength.n1024.fallbacks"
+        ]
+        assert report.violations[0].kind == "exact"
+
+    def test_transfer_count_exact(self):
+        report = compare_repair([self._row(transfers=239)], _REPAIR_BASELINE)
+        assert [v.kind for v in report.violations] == ["exact"]
+
+    def test_missing_baseline_row(self):
+        report = compare_repair([self._row(n=64)], _REPAIR_BASELINE)
+        # fallbacks is gated against the constant 0 even without a baseline.
+        assert len(report.violations) == 2
+        assert {v.kind for v in report.violations} == {"missing-baseline"}
 
 
 class TestCompareFaults:
@@ -159,3 +207,22 @@ class TestBenchGateScript:
         proc = _run_gate("--baseline-faults", str(tmp_path / "absent.json"))
         assert proc.returncode == 2
         assert "missing or unreadable baseline" in proc.stderr
+
+    def test_update_baseline_rewrites_measured_cells(self, tmp_path):
+        """--update-baseline splices fresh rows into the pinned JSON; the
+        deterministic fault rows must round-trip identically."""
+        baseline = json.loads((REPO_ROOT / "BENCH_faults.json").read_text())
+        baseline["scenarios"][0]["availability"] *= 0.9  # stale cell
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(baseline))
+        proc = _run_gate("--update-baseline", "--baseline-faults", str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        updated = json.loads(path.read_text())
+        committed = json.loads((REPO_ROOT / "BENCH_faults.json").read_text())
+        assert updated["scenarios"] == committed["scenarios"]
+
+    def test_update_baseline_creates_missing_file(self, tmp_path):
+        path = tmp_path / "fresh.json"
+        proc = _run_gate("--update-baseline", "--baseline-faults", str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert json.loads(path.read_text())["scenarios"]
