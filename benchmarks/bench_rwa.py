@@ -25,7 +25,7 @@ from repro.dnn.workload import PAPER_WORKLOADS
 from repro.optical._rwa_reference import plan_rounds_reference
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.network import OpticalRingNetwork
-from repro.optical.plancache import default_plan_cache
+from repro.backend.plancache import default_plan_cache
 from repro.optical.rwa import plan_rounds
 from repro.runner.experiments import clear_network_caches, run_fig6
 from repro.util.tables import AsciiTable

@@ -18,6 +18,10 @@ numbers against the committed baselines via :mod:`repro.obs.benchgate`:
   repair vs full recolor at N in {64, 256, 1024}. Transfer and fallback
   counts are gated exactly (fallbacks must be 0); the repair speedup is
   best-of-N wall clock, gated against the same perf floor.
+- **Planning-service throughput** (``BENCH_service.json``): the
+  multi-tenant micro-grid replay through a live daemon. Request/tenant/
+  cell counts are gated exactly; req/s is gated against the perf floor
+  *and* an absolute >=500 req/s floor.
 
 Exit status: 0 when every comparison passes, 1 on any regression, 2 when
 a baseline file is missing or unreadable. ``--json`` writes the full diff
@@ -52,6 +56,7 @@ from repro.obs.benchgate import (  # noqa: E402
     compare_faults,
     compare_repair,
     compare_rwa,
+    compare_service,
 )
 
 #: Pinned RWA micro cells: (case label, N, dense representative count or
@@ -109,6 +114,13 @@ def measure_repair() -> list[dict]:
     from benchmarks.bench_repair import _run_repair_micro
 
     return _run_repair_micro()
+
+
+def measure_service() -> list[dict]:
+    """Fresh service-throughput rows, same shape as ``BENCH_service.json``."""
+    from benchmarks.bench_service import _run_service_micro
+
+    return _run_service_micro()
 
 
 def load_baseline(path: Path) -> dict | None:
@@ -186,10 +198,17 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_repair.json",
         help="override the repair baseline path (tests)",
     )
+    parser.add_argument(
+        "--baseline-service", type=Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        help="override the service baseline path (tests)",
+    )
     args = parser.parse_args(argv)
 
     perf_baselines = (
-        [] if args.skip_perf else [args.baseline_rwa, args.baseline_repair]
+        []
+        if args.skip_perf
+        else [args.baseline_rwa, args.baseline_repair, args.baseline_service]
     )
     missing = [
         path
@@ -218,10 +237,20 @@ def main(argv: list[str] | None = None) -> int:
                 f"  repair.{row['case']}.n{row['n']}: "
                 f"transfers={row['transfers']} speedup={row['speedup']:.1f}x"
             )
+        print("measuring planning-service throughput ...")
+        service_rows = measure_service()
+        for row in service_rows:
+            print(
+                f"  service.{row['case']}: rps={row['rps']:.0f} "
+                f"p50={row['p50_ms']:.3f}ms p99={row['p99_ms']:.3f}ms"
+            )
         if args.update_baseline:
             update_baseline(args.baseline_rwa, "micro", rwa_rows, ("case", "n"))
             update_baseline(
                 args.baseline_repair, "repair", repair_rows, ("case", "n")
+            )
+            update_baseline(
+                args.baseline_service, "service", service_rows, ("case",)
             )
         else:
             report.merge(
@@ -233,6 +262,12 @@ def main(argv: list[str] | None = None) -> int:
             report.merge(
                 compare_repair(
                     repair_rows, load_baseline(args.baseline_repair),
+                    perf_floor=args.perf_floor,
+                )
+            )
+            report.merge(
+                compare_service(
+                    service_rows, load_baseline(args.baseline_service),
                     perf_floor=args.perf_floor,
                 )
             )

@@ -5,7 +5,7 @@
 #
 # Stages:
 #   1. ruff (when available — CI images that lack it skip with a notice)
-#   2. repro.check lint  (REP001-REP006 AST pass over src)
+#   2. repro.check lint  (REP001-REP007 AST pass over src; REP004 retired)
 #   3. repro.check plan verifier over the figure golden plans
 #   --fast stops here (lint + verifier only — the seconds-scale
 #   pre-commit loop; see docs/TESTING.md). The full gate continues with:
@@ -13,7 +13,10 @@
 #      verified by repro.check; live fault runs checked for determinism;
 #      incremental repair cross-checked against from-scratch recoloring
 #      via --paranoid-repair)
-#   5. tier-1 tests (which also auto-verify every lowered plan via the
+#   5. planning-service smoke (daemon on a temp socket; every backend's
+#      served answer asserted bit-identical to the in-process path, plus
+#      a faulted request through the repair seam)
+#   6. tier-1 tests (which also auto-verify every lowered plan via the
 #      repro.check pytest plugin)
 set -euo pipefail
 
@@ -49,6 +52,9 @@ fi
 
 echo "== fault-injection smoke =="
 python -m repro.faults --paranoid-repair
+
+echo "== planning-service smoke =="
+python -m repro.service smoke
 
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"

@@ -1,4 +1,4 @@
-"""Reproduction-specific AST lint (REP001–REP006). Stdlib ``ast`` only.
+"""Reproduction-specific AST lint (REP001–REP007). Stdlib ``ast`` only.
 
 General-purpose linters cannot know that this repo's determinism contract
 forbids unseeded RNGs, that timing quantities are floats that must never be
@@ -17,8 +17,6 @@ REP003   Exception class with a custom ``__init__`` but no
          exceptions may not survive the pickling round-trip through
          sweep workers (multi-arg ``__init__`` breaks the default
          reduce protocol).
-REP004   Import of the deprecated ``repro.optical.plancache`` alias
-         (moved to ``repro.backend.plancache``).
 REP005   ``tracer.emit(time, "name", ...)`` with a literal category
          absent from :data:`repro.sim.trace.TRACE_EVENTS`. Tests filter
          traces by these names; a typo silently records nothing.
@@ -28,7 +26,15 @@ REP006   Statement-level ``for`` loop over ``step.transfers`` in an
          inherently sequential loops (per-pair routing) are allowlisted
          with a ``# REP006: <reason>`` pragma on the loop line or the
          comment block directly above it.
+REP007   Direct plan-cache mutation (``.put``/``.clear``/``.resize`` on
+         a plan-cache object) outside the cache layers themselves and
+         the lowering seams. All persistence-visible writes must flow
+         through the ``plan_cache`` seam so the service's sharded store
+         observes them; escape hatch: ``# REP007: <reason>`` pragma.
 =======  ==============================================================
+
+REP004 (import of the late ``repro.optical.plancache`` alias) is retired:
+the alias was removed in PR 7 and the id is never reused.
 
 Run as a module over one or more files/directories::
 
@@ -68,15 +74,13 @@ _TIMING_NAME = re.compile(
 #: to pickle (REP003).
 _PICKLE_HOOKS = frozenset({"__reduce__", "__getstate__", "__setstate__"})
 
-_DEPRECATED_MODULE = "repro.optical.plancache"
-
 LINT_RULES: dict[str, str] = {
     "REP001": "unseeded RNG construction",
     "REP002": "float equality on a timing quantity",
     "REP003": "exception with custom __init__ but no pickle hook",
-    "REP004": "import of the deprecated repro.optical.plancache alias",
     "REP005": "trace category not registered in TRACE_EVENTS",
     "REP006": "per-transfer Python loop in an executor hot path",
+    "REP007": "direct plan-cache mutation outside the cache/lowering seams",
 }
 """Rule id -> short title, for ``--list-rules`` and the docs."""
 
@@ -203,41 +207,6 @@ def _check_rep003(tree: ast.AST, path: str) -> Iterator[Finding]:
             )
 
 
-def _check_rep004(tree: ast.AST, path: str) -> Iterator[Finding]:
-    """REP004 — imports of the deprecated plan-cache alias."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name == _DEPRECATED_MODULE or alias.name.startswith(
-                    _DEPRECATED_MODULE + "."
-                ):
-                    yield _finding(
-                        "REP004",
-                        f"import of deprecated {_DEPRECATED_MODULE}; use "
-                        "repro.backend.plancache",
-                        path, node,
-                    )
-        elif isinstance(node, ast.ImportFrom):
-            module = node.module or ""
-            names = {alias.name for alias in node.names}
-            if module == _DEPRECATED_MODULE or module.startswith(
-                _DEPRECATED_MODULE + "."
-            ):
-                yield _finding(
-                    "REP004",
-                    f"import of deprecated {_DEPRECATED_MODULE}; use "
-                    "repro.backend.plancache",
-                    path, node,
-                )
-            elif module == "repro.optical" and "plancache" in names:
-                yield _finding(
-                    "REP004",
-                    "import of deprecated repro.optical plancache alias; "
-                    "use repro.backend.plancache",
-                    path, node,
-                )
-
-
 def _check_rep005(tree: ast.AST, path: str) -> Iterator[Finding]:
     """REP005 — unregistered literal trace categories."""
     from difflib import get_close_matches
@@ -319,13 +288,90 @@ def _check_rep006(tree: ast.AST, path: str, lines: list[str]) -> Iterator[Findin
         )
 
 
+#: Receiver names that denote a plan-cache object (REP007).
+_PLAN_CACHE_NAME = re.compile(r"(^|_)plan_?cache$", re.IGNORECASE)
+
+#: The only modules allowed to mutate a plan cache directly (REP007):
+#: the cache layers themselves plus the backend lowering seams that
+#: populate them. Matched as path suffixes, like :data:`_HOT_PATH_SUFFIXES`.
+_PLAN_CACHE_SEAM_SUFFIXES = (
+    "repro/backend/plancache.py",
+    "repro/service/store.py",
+    "repro/optical/network.py",
+    "repro/optical/torus.py",
+    "repro/electrical/network.py",
+    "repro/backend/analytic.py",
+)
+
+_PLAN_CACHE_MUTATORS = frozenset({"put", "clear", "resize"})
+
+
+def _rep007_pragma(lines: list[str], lineno: int) -> bool:
+    """A ``REP007`` pragma on the call line or the comment block above."""
+    index = lineno - 1
+    if 0 <= index < len(lines) and "REP007" in lines[index]:
+        return True
+    index -= 1
+    while index >= 0 and lines[index].lstrip().startswith("#"):
+        if "REP007" in lines[index]:
+            return True
+        index -= 1
+    return False
+
+
+def _is_plan_cache_receiver(node: ast.expr) -> bool:
+    """Whether an expression names a plan-cache object.
+
+    Covers ``plan_cache`` / ``self.plan_cache`` / ``self._plan_cache``
+    name chains and ``default_plan_cache()`` call results.
+    """
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    if isinstance(node, ast.Call):
+        return name == "default_plan_cache"
+    return bool(_PLAN_CACHE_NAME.search(name))
+
+
+def _check_rep007(tree: ast.AST, path: str, lines: list[str]) -> Iterator[Finding]:
+    """REP007 — direct plan-cache mutation outside the sanctioned seams.
+
+    The persistent plan store only observes writes that flow through the
+    ``plan_cache`` seam (:class:`~repro.service.store.PersistentPlanCache`
+    overrides ``put``); ad-hoc mutation elsewhere silently diverges the
+    in-memory and on-disk views. Reads (``get``) are unrestricted.
+    """
+    norm = str(path).replace("\\", "/")
+    if norm.endswith(_PLAN_CACHE_SEAM_SUFFIXES):
+        return
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _PLAN_CACHE_MUTATORS
+        ):
+            continue
+        if not _is_plan_cache_receiver(node.func.value):
+            continue
+        if _rep007_pragma(lines, node.lineno):
+            continue
+        yield _finding(
+            "REP007",
+            f"direct plan-cache .{node.func.attr}() outside "
+            "repro.backend.plancache / repro.service.store / the lowering "
+            "seams; route writes through the plan_cache seam (or allowlist "
+            "with a '# REP007: <reason>' pragma)",
+            path, node,
+        )
+
+
 _CHECKERS: dict[str, Callable[[ast.AST, str, list[str]], Iterator[Finding]]] = {
     "REP001": lambda tree, path, lines: _check_rep001(tree, path),
     "REP002": lambda tree, path, lines: _check_rep002(tree, path),
     "REP003": lambda tree, path, lines: _check_rep003(tree, path),
-    "REP004": lambda tree, path, lines: _check_rep004(tree, path),
     "REP005": lambda tree, path, lines: _check_rep005(tree, path),
     "REP006": _check_rep006,
+    "REP007": _check_rep007,
 }
 
 
@@ -372,7 +418,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI: lint the given paths, print findings, exit 1 on any."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.check.lint",
-        description="Reproduction-specific AST lint (REP001-REP006).",
+        description="Reproduction-specific AST lint (REP001-REP007).",
     )
     parser.add_argument("paths", nargs="*", type=Path, help="files or directories")
     parser.add_argument(

@@ -22,7 +22,8 @@ Modules:
   past 50% affected).
 - :mod:`~repro.backend.plancache` — bounded LRU of priced step plans shared
   across executors and ``execute()`` calls (cross-run sweeps reuse RWA
-  results bit-exactly); ``repro.optical.plancache`` is a deprecated alias.
+  results bit-exactly); :mod:`repro.service.store` layers the sharded
+  persistent plan store underneath.
 - :mod:`~repro.optical.circuit` — established circuits and conflict
   validation helpers used by the tests.
 - :mod:`~repro.optical.phy` — per-path insertion-loss/crosstalk checks.

@@ -130,7 +130,7 @@ class TorusRunResult:
     """Result of pricing a schedule on the torus substrate.
 
     ``cache`` carries the cross-run plan-cache hit/miss/eviction tallies
-    for this run (see :mod:`repro.optical.plancache`).
+    for this run (see :mod:`repro.backend.plancache`).
     """
 
     algorithm: str

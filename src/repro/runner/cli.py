@@ -8,7 +8,11 @@ Commands mirror the deliverables:
 - ``verify``              — numerically verify an algorithm's schedule.
 - ``check``               — statically verify golden plans / run the lint.
 - ``obs``                 — observe one figure cell (metrics, manifest).
+- ``serve``               — planning-service daemon / smoke (repro.service).
 - ``all``                 — everything above at paper defaults.
+
+Figure commands accept ``--service SOCKET`` to route every grid cell
+through a running planning daemon instead of lowering in-process.
 """
 
 from __future__ import annotations
@@ -35,6 +39,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         help="force one pricing backend for every cell "
         "(default: the mode's historical mapping)",
     )
+    p.add_argument(
+        "--service", metavar="SOCKET", default=None,
+        help="route every cell through the planning daemon at this unix "
+        "socket (see 'wrht-repro serve'; answers are bit-identical to "
+        "in-process evaluation)",
+    )
 
 
 def _cmd_table1(args) -> int:
@@ -52,6 +62,7 @@ def _figure(runner, args, reductions: list[tuple[str, str]]) -> int:
     result = runner(
         mode=args.mode, interpretation=args.interpretation,
         backend=getattr(args, "backend", None),
+        service=getattr(args, "service", None),
     )
     print(result.render())
     summary = AsciiTable(["comparison", "avg reduction (%)"])
@@ -68,6 +79,7 @@ def _cmd_fig4(args) -> int:
     result = run_fig4(
         mode=args.mode, interpretation=args.interpretation,
         backend=getattr(args, "backend", None),
+        service=getattr(args, "service", None),
     )
     print(result.render())
     ref_algo, ref_m = result.meta["reference"]
@@ -163,6 +175,12 @@ def _cmd_obs(args) -> int:
     return obs_main(args.rest)
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.__main__ import main as service_main
+
+    return service_main(args.rest)
+
+
 def _cmd_report(args) -> int:
     from repro.runner.results import write_report
 
@@ -237,6 +255,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("rest", nargs=argparse.REMAINDER)
     p.set_defaults(fn=_cmd_obs)
 
+    p = sub.add_parser(
+        "serve",
+        help="planning-service daemon and smoke check (repro.service)",
+        add_help=False,
+    )
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+    p.set_defaults(fn=_cmd_serve)
+
     p = sub.add_parser("report", help="write a markdown results document")
     _add_common(p)
     p.add_argument("--output", default="RESULTS.md")
@@ -258,6 +284,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        # Forward verbatim for the same reason as ``check`` below.
+        from repro.service.__main__ import main as service_main
+
+        return service_main(argv[1:])
     if argv[:1] == ["check"]:
         # Forward verbatim: argparse REMAINDER drops leading optionals, so
         # the check subcommand's flags are parsed by its own parser.

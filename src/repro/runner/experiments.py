@@ -114,6 +114,45 @@ def _build_cell_schedule(algo: str, n: int, w: int, workload: DnnWorkload, *,
     return build_schedule(algo, n, workload.n_params, **kwargs)
 
 
+# Daemon clients are cached per socket path per process: sweep workers each
+# open their own connection (sockets never survive pickling into a worker).
+_CLIENTS: dict[str, object] = {}
+
+
+def _service_client(service: str):
+    """The process's client for the planning daemon at ``service``."""
+    from repro.service.client import PlanClient
+
+    client = _CLIENTS.get(service)
+    if client is None:
+        client = PlanClient(service)
+        _CLIENTS[service] = client
+    return client
+
+
+def _service_time(
+    service: str,
+    backend: str,
+    algo: str,
+    n: int,
+    w: int,
+    workload: DnnWorkload,
+    interpretation: str,
+    wrht_m: int | None,
+    hring_m: int,
+) -> float:
+    """One cell served by the planning daemon (bit-identical by contract)."""
+    return _service_client(service).total_time(
+        algo, n, workload.n_params,
+        backend=backend,
+        n_wavelengths=w,
+        interpretation=interpretation,
+        bytes_per_elem=workload.bytes_per_param,
+        m=wrht_m,
+        hring_m=hring_m,
+    )
+
+
 def _optical_time(
     algo: str,
     n: int,
@@ -124,9 +163,14 @@ def _optical_time(
     wrht_m: int | None = None,
     hring_m: int = HRING_M,
     backend: str | None = None,
+    service: str | None = None,
 ) -> float:
     """Seconds for one algorithm on the mode- or flag-selected backend."""
     name = _resolve_backend(mode, backend)
+    if service is not None:
+        return _service_time(
+            service, name, algo, n, w, workload, interpretation, wrht_m, hring_m
+        )
     be = get_backend(name, n, w, interpretation)
     schedule = _build_cell_schedule(
         algo, n, w, workload, wrht_m=wrht_m, hring_m=hring_m
@@ -139,8 +183,14 @@ def _electrical_time(
     n: int,
     workload: DnnWorkload,
     interpretation: str,
+    service: str | None = None,
 ) -> float:
     """Seconds for one algorithm on the electrical fat-tree (simulated)."""
+    if service is not None:
+        return _service_time(
+            service, "electrical", algo, n, DEFAULT_WAVELENGTHS, workload,
+            interpretation, None, HRING_M,
+        )
     be = get_backend("electrical", n, DEFAULT_WAVELENGTHS, interpretation)
     schedule = build_schedule(algo, n, workload.n_params, materialize=False)
     return be.run(schedule, bytes_per_elem=workload.bytes_per_param).total_time
@@ -164,32 +214,35 @@ def clear_network_caches() -> None:
 def _fig4_cell(
     workload: DnnWorkload, m: int, mode: str, interpretation: str,
     n_nodes: int, n_wavelengths: int, backend: str | None = None,
+    service: str | None = None,
 ) -> float:
     """One Fig 4 grid cell: WRHT at group size ``m`` on one workload."""
     return _optical_time(
         "WRHT", n_nodes, n_wavelengths, workload, mode, interpretation,
-        wrht_m=m, backend=backend,
+        wrht_m=m, backend=backend, service=service,
     )
 
 
 def _fig5_cell(
     workload: DnnWorkload, algo: str, w: int, mode: str, interpretation: str,
-    n_nodes: int, backend: str | None = None,
+    n_nodes: int, backend: str | None = None, service: str | None = None,
 ) -> float:
     """One Fig 5 grid cell: ``algo`` under wavelength count ``w``."""
     return _optical_time(
         algo, n_nodes, w, workload, mode, interpretation,
         wrht_m=min(optimal_group_size(w), n_nodes), backend=backend,
+        service=service,
     )
 
 
 def _fig6_cell(
     workload: DnnWorkload, algo: str, n: int, mode: str, interpretation: str,
-    n_wavelengths: int, backend: str | None = None,
+    n_wavelengths: int, backend: str | None = None, service: str | None = None,
 ) -> float:
     """One Fig 6 grid cell: ``algo`` at cluster size ``n``."""
     return _optical_time(
-        algo, n, n_wavelengths, workload, mode, interpretation, backend=backend
+        algo, n, n_wavelengths, workload, mode, interpretation, backend=backend,
+        service=service,
     )
 
 
@@ -199,7 +252,7 @@ _FIG7_BASE = {"E-Ring": "Ring", "O-Ring": "Ring", "RD": "RD", "WRHT": "WRHT"}
 
 def _fig7_cell(
     workload: DnnWorkload, algo: str, n: int, mode: str, interpretation: str,
-    n_wavelengths: int, backend: str | None = None,
+    n_wavelengths: int, backend: str | None = None, service: str | None = None,
 ) -> float:
     """One Fig 7 grid cell: electrical or optical flavor by algorithm.
 
@@ -210,11 +263,14 @@ def _fig7_cell(
     base = _FIG7_BASE[algo]
     if backend is not None:
         return _optical_time(
-            base, n, n_wavelengths, workload, mode, interpretation, backend=backend
+            base, n, n_wavelengths, workload, mode, interpretation,
+            backend=backend, service=service,
         )
     if algo in ("E-Ring", "RD"):
-        return _electrical_time(base, n, workload, interpretation)
-    return _optical_time(base, n, n_wavelengths, workload, mode, interpretation)
+        return _electrical_time(base, n, workload, interpretation, service=service)
+    return _optical_time(
+        base, n, n_wavelengths, workload, mode, interpretation, service=service
+    )
 
 
 def run_table1(
@@ -260,6 +316,7 @@ def run_fig4(
     workloads: tuple[DnnWorkload, ...] = PAPER_WORKLOADS,
     workers: int | None = None,
     backend: str | None = None,
+    service: str | None = None,
 ) -> ExperimentResult:
     """Fig 4: WRHT with different numbers of grouped nodes.
 
@@ -278,6 +335,7 @@ def run_fig4(
     cell = functools.partial(
         _fig4_cell, mode=mode, interpretation=interpretation,
         n_nodes=n_nodes, n_wavelengths=n_wavelengths, backend=backend,
+        service=service,
     )
     grid = sweep(cell, {"workload": workloads, "m": group_sizes}, workers=workers)
     for wl in workloads:
@@ -294,6 +352,7 @@ def run_fig5(
     workloads: tuple[DnnWorkload, ...] = PAPER_WORKLOADS,
     workers: int | None = None,
     backend: str | None = None,
+    service: str | None = None,
 ) -> ExperimentResult:
     """Fig 5: four algorithms under different wavelength counts.
 
@@ -311,7 +370,7 @@ def run_fig5(
     algos = ("Ring", "H-Ring", "BT", "WRHT")
     cell = functools.partial(
         _fig5_cell, mode=mode, interpretation=interpretation, n_nodes=n_nodes,
-        backend=backend,
+        backend=backend, service=service,
     )
     grid = sweep(
         cell, {"workload": workloads, "algo": algos, "w": wavelengths},
@@ -334,6 +393,7 @@ def run_fig6(
     workloads: tuple[DnnWorkload, ...] = PAPER_WORKLOADS,
     workers: int | None = None,
     backend: str | None = None,
+    service: str | None = None,
 ) -> ExperimentResult:
     """Fig 6: four algorithms on the optical system across cluster sizes.
 
@@ -348,7 +408,7 @@ def run_fig6(
     algos = ("Ring", "H-Ring", "BT", "WRHT")
     cell = functools.partial(
         _fig6_cell, mode=mode, interpretation=interpretation,
-        n_wavelengths=n_wavelengths, backend=backend,
+        n_wavelengths=n_wavelengths, backend=backend, service=service,
     )
     grid = sweep(
         cell, {"workload": workloads, "algo": algos, "n": nodes}, workers=workers
@@ -368,6 +428,7 @@ def run_fig7(
     workloads: tuple[DnnWorkload, ...] = PAPER_WORKLOADS,
     workers: int | None = None,
     backend: str | None = None,
+    service: str | None = None,
 ) -> ExperimentResult:
     """Fig 7: electrical fat-tree (E-Ring, RD) vs optical ring (O-Ring, WRHT).
 
@@ -384,7 +445,7 @@ def run_fig7(
     algos = ("E-Ring", "RD", "O-Ring", "WRHT")
     cell = functools.partial(
         _fig7_cell, mode=mode, interpretation=interpretation,
-        n_wavelengths=n_wavelengths, backend=backend,
+        n_wavelengths=n_wavelengths, backend=backend, service=service,
     )
     grid = sweep(
         cell, {"workload": workloads, "algo": algos, "n": nodes}, workers=workers

@@ -1,0 +1,63 @@
+"""Planning service: thin client API, persistent daemon, sharded plan store.
+
+``repro.service`` splits the one-process-per-experiment lowering model into
+three layers so many callers (tenants) can share one long-lived planner:
+
+- :mod:`repro.service.client` — the thin client API. In-process mode keeps
+  today's ``lower()``/``execute()`` contract bit-identical (it drives the
+  exact same :class:`~repro.backend.base.Backend` seam the experiment
+  runners use); socket mode transparently proxies the same requests to a
+  daemon over a local unix socket.
+- :mod:`repro.service.daemon` — the persistent planning service: an asyncio
+  server speaking the small length-prefixed JSON protocol of
+  :mod:`repro.service.protocol`, with admission control, per-tenant
+  quotas/metrics and request coalescing (identical
+  ``(backend, config-fingerprint, fault-diff)`` requests share a single
+  lowering).
+- :mod:`repro.service.store` — the sharded persistent plan store: spills
+  the in-memory :mod:`repro.backend.plancache` to versioned on-disk shards
+  shared across worker processes, with atomic per-writer files,
+  corruption-tolerant loads, and the same delta-salted keys incremental
+  repair uses, so repaired plans never alias from-scratch ones.
+
+The request model and the evaluation engine both layers share live in
+:mod:`repro.service.api`. Faulted requests are served through the
+incremental-repair path (:meth:`OpticalRingNetwork.repair_plan`) rather
+than from-scratch lowering.
+
+Run a daemon with ``wrht-repro serve`` (or ``python -m repro.service
+serve``) and point the figure runners at it with ``--service SOCKET``.
+"""
+
+from __future__ import annotations
+
+from repro.service.api import PlanEngine, PlanRequest, comparable_dict
+from repro.service.client import PlanClient, PlanResponse
+from repro.service.errors import (
+    ServiceError,
+    ServiceProtocolError,
+    ServiceRemoteError,
+    ServiceRequestError,
+)
+from repro.service.store import (
+    PersistentPlanCache,
+    PlanStore,
+    STORE_ENV,
+    install_persistent_cache,
+)
+
+__all__ = [
+    "PersistentPlanCache",
+    "PlanClient",
+    "PlanEngine",
+    "PlanRequest",
+    "PlanResponse",
+    "PlanStore",
+    "STORE_ENV",
+    "ServiceError",
+    "ServiceProtocolError",
+    "ServiceRemoteError",
+    "ServiceRequestError",
+    "comparable_dict",
+    "install_persistent_cache",
+]

@@ -1,0 +1,440 @@
+"""Request model and evaluation engine shared by client and daemon.
+
+A :class:`PlanRequest` names one plan-service cell — tenant, backend,
+collective, topology size, wavelength budget, payload and fault set — in a
+JSON-safe, hashable form. :class:`PlanEngine` evaluates requests exactly
+the way the experiment runners do: it mirrors
+:func:`repro.runner.experiments.get_backend` /
+``_build_cell_schedule`` construction so an in-process evaluation is
+bit-identical to calling ``Backend.run`` directly, which is what makes the
+daemon's answers auditable against the goldens.
+
+Faulted optical requests do **not** re-lower from scratch: the engine
+keeps one healthy base network per ``(N, w, interpretation)`` with
+``keep_solutions=True`` and serves the degraded cell through the PR-6
+incremental-repair path (:meth:`OpticalRingNetwork.repair_plan`), whose
+plan-cache entries carry delta-salted keys.
+
+The coalescing identity of a request is
+``(backend, config fingerprint, fault diff)`` — built from
+:func:`repro.obs.manifest.fingerprint` and
+:func:`repro.backend.plancache.delta_salted_key`, the same primitives the
+plan cache itself uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.backend.base import Backend, ExecutionResult, StepRecord
+from repro.backend.errors import BackendError
+from repro.backend.plancache import (
+    PlanCache,
+    default_plan_cache,
+    delta_salted_key,
+)
+from repro.faults.models import (
+    CutFiber,
+    DeadWavelength,
+    DroppedNode,
+    Fault,
+    FaultSet,
+    MrrPortFault,
+    PowerDroop,
+)
+from repro.obs.manifest import fingerprint
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.service.errors import ServiceRequestError
+
+#: Algorithms a request may name (the experiment display names).
+ALGORITHMS = ("Ring", "H-Ring", "BT", "RD", "WRHT")
+
+_DEFAULT_HRING_M = 5
+
+
+# -- fault wire codec ---------------------------------------------------
+# Faults travel as plain tuples so a PlanRequest stays hashable and JSON
+# round-trips losslessly (JSON lists are re-tupled on decode).
+
+_FAULT_KINDS = {
+    "dead_wavelength": DeadWavelength,
+    "mrr_port": MrrPortFault,
+    "cut_fiber": CutFiber,
+    "dropped_node": DroppedNode,
+    "power_droop": PowerDroop,
+}
+
+
+def fault_to_wire(fault: Fault) -> tuple:
+    """Encode one fault as a JSON-safe tuple (inverse of wire decode)."""
+    if isinstance(fault, DeadWavelength):
+        return ("dead_wavelength", fault.wavelength)
+    if isinstance(fault, MrrPortFault):
+        return ("mrr_port", fault.node, fault.wavelength, fault.mode, fault.direction)
+    if isinstance(fault, CutFiber):
+        return ("cut_fiber", fault.segment, fault.direction)
+    if isinstance(fault, DroppedNode):
+        return ("dropped_node", fault.node)
+    if isinstance(fault, PowerDroop):
+        return ("power_droop", fault.droop_db)
+    raise ServiceRequestError(f"unencodable fault {fault!r}")
+
+
+def fault_from_wire(wire: Any) -> Fault:
+    """Decode one :func:`fault_to_wire` tuple (or JSON list) to a fault."""
+    if not isinstance(wire, (tuple, list)) or not wire:
+        raise ServiceRequestError(f"malformed fault entry {wire!r}")
+    kind, *args = wire
+    cls = _FAULT_KINDS.get(kind)
+    if cls is None:
+        raise ServiceRequestError(
+            f"unknown fault kind {kind!r}; known: {sorted(_FAULT_KINDS)}"
+        )
+    try:
+        return cls(*args)
+    except (TypeError, ValueError) as exc:
+        raise ServiceRequestError(f"invalid fault {wire!r}: {exc}") from exc
+
+
+def faults_to_wire(faults: FaultSet) -> tuple[tuple, ...]:
+    """Encode a whole fault set in its normalized order."""
+    return tuple(fault_to_wire(f) for f in faults)
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One plan-service request (hashable, JSON round-trip safe).
+
+    Attributes:
+        algorithm: Collective display name (see :data:`ALGORITHMS`).
+        n_nodes: Topology size N.
+        n_params: Payload elements to all-reduce.
+        backend: Pricing backend name (``optical``/``electrical``/
+            ``analytic``).
+        n_wavelengths: Wavelength budget w (optical/analytic).
+        interpretation: Line-rate units (``calibrated``/``strict``).
+        bytes_per_elem: Element width in bytes.
+        m: WRHT group size (``None``: Lemma-1 optimal).
+        hring_m: H-Ring group size.
+        tenant: Caller identity for quotas and per-tenant metrics; never
+            part of the coalescing key.
+        faults: Wire-encoded fault tuples (see :func:`fault_to_wire`),
+            normalized into :class:`FaultSet` order.
+    """
+
+    algorithm: str
+    n_nodes: int
+    n_params: int
+    backend: str = "optical"
+    n_wavelengths: int = 64
+    interpretation: str = "calibrated"
+    bytes_per_elem: float = 4.0
+    m: int | None = None
+    hring_m: int = _DEFAULT_HRING_M
+    tenant: str = "default"
+    faults: tuple[tuple, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize the wire tuples through FaultSet so equal fault sets
+        # written in any order produce equal requests (and coalesce keys).
+        decoded = FaultSet(tuple(fault_from_wire(f) for f in self.faults))
+        object.__setattr__(self, "faults", faults_to_wire(decoded))
+
+    def fault_set(self) -> FaultSet:
+        """The decoded :class:`FaultSet` this request asks to plan under."""
+        return FaultSet(tuple(fault_from_wire(f) for f in self.faults))
+
+    def coalesce_key(self) -> tuple:
+        """The identity under which identical requests share one lowering.
+
+        ``(backend, config fingerprint)`` for healthy requests; faulted
+        ones are delta-salted with the fault tuple, mirroring how their
+        plan-cache entries are keyed — so a faulted and a healthy request
+        for the same cell can never coalesce with each other.
+        """
+        base = (
+            self.backend,
+            fingerprint(
+                (
+                    self.algorithm,
+                    self.n_nodes,
+                    self.n_params,
+                    self.n_wavelengths,
+                    self.interpretation,
+                    self.bytes_per_elem,
+                    self.m,
+                    self.hring_m,
+                )
+            ),
+        )
+        if self.faults:
+            return delta_salted_key(base, self.faults)
+        return base
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (inverse of :meth:`from_dict`)."""
+        return {
+            "algorithm": self.algorithm,
+            "n_nodes": self.n_nodes,
+            "n_params": self.n_params,
+            "backend": self.backend,
+            "n_wavelengths": self.n_wavelengths,
+            "interpretation": self.interpretation,
+            "bytes_per_elem": self.bytes_per_elem,
+            "m": self.m,
+            "hring_m": self.hring_m,
+            "tenant": self.tenant,
+            "faults": [list(f) for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanRequest":
+        """Rebuild from :meth:`to_dict` output (tolerates JSON lists)."""
+        if not isinstance(data, dict):
+            raise ServiceRequestError(f"plan request must be an object, got {data!r}")
+        try:
+            return cls(
+                algorithm=data["algorithm"],
+                n_nodes=int(data["n_nodes"]),
+                n_params=int(data["n_params"]),
+                backend=data.get("backend", "optical"),
+                n_wavelengths=int(data.get("n_wavelengths", 64)),
+                interpretation=data.get("interpretation", "calibrated"),
+                bytes_per_elem=float(data.get("bytes_per_elem", 4.0)),
+                m=None if data.get("m") is None else int(data["m"]),
+                hring_m=int(data.get("hring_m", _DEFAULT_HRING_M)),
+                tenant=str(data.get("tenant", "default")),
+                faults=tuple(tuple(f) for f in data.get("faults", ())),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceRequestError(f"malformed plan request: {exc}") from exc
+
+
+def comparable_dict(result: ExecutionResult) -> dict:
+    """The bit-identity view of a result: everything but cache/metrics.
+
+    Cache counters depend on what the serving process had already lowered
+    and metrics snapshots carry wall clocks, so neither participates in
+    the daemon-vs-in-process equality the service guarantees. Timings,
+    timelines, events and meta must match exactly.
+    """
+    data = result.to_dict()
+    data.pop("cache", None)
+    data.pop("metrics", None)
+    return data
+
+
+class PlanEngine:
+    """Evaluates :class:`PlanRequest` cells on shared backend state.
+
+    One engine instance is the unit both the in-process client and the
+    daemon share: it owns the backend instances (mirroring
+    :func:`repro.runner.experiments.get_backend` construction so results
+    are bit-identical to the figure runners), the optical repair bases,
+    and the plan cache every lowering goes through.
+
+    Args:
+        plan_cache: Cache behind every ``lower()`` (default: the
+            process-wide one; the daemon passes a
+            :class:`~repro.service.store.PersistentPlanCache`).
+        metrics: Observability registry shared with the daemon.
+    """
+
+    def __init__(
+        self,
+        *,
+        plan_cache: PlanCache | None = None,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
+        self.plan_cache = default_plan_cache() if plan_cache is None else plan_cache
+        self.metrics = metrics
+        self._backends: dict[tuple, Backend] = {}
+        self._repair_bases: dict[tuple, Any] = {}
+
+    # -- construction mirrors ------------------------------------------
+    def _backend_for(self, request: PlanRequest) -> Backend:
+        """A cached backend instance for the request's healthy config."""
+        from repro.backend import registry
+
+        key = (
+            request.backend,
+            request.n_nodes,
+            request.n_wavelengths,
+            request.interpretation,
+        )
+        backend = self._backends.get(key)
+        if backend is not None:
+            return backend
+        if request.backend == "optical":
+            from repro.optical.config import OpticalSystemConfig
+
+            backend = registry.create(
+                "optical",
+                config=OpticalSystemConfig(
+                    n_nodes=request.n_nodes,
+                    n_wavelengths=request.n_wavelengths,
+                    interpretation=request.interpretation,
+                ),
+                plan_cache=self.plan_cache,
+            )
+        elif request.backend == "electrical":
+            from repro.electrical.config import ElectricalSystemConfig
+
+            backend = registry.create(
+                "electrical",
+                config=ElectricalSystemConfig(
+                    n_nodes=request.n_nodes,
+                    interpretation=request.interpretation,
+                ),
+                plan_cache=self.plan_cache,
+            )
+        elif request.backend == "analytic":
+            from repro.optical.config import OpticalSystemConfig
+
+            cfg = OpticalSystemConfig(
+                n_nodes=request.n_nodes,
+                n_wavelengths=request.n_wavelengths,
+                interpretation=request.interpretation,
+            )
+            backend = registry.create(
+                "analytic",
+                model=cfg.cost_model(),
+                w=request.n_wavelengths,
+                plan_cache=self.plan_cache,
+            )
+        else:
+            raise ServiceRequestError(
+                f"unknown backend {request.backend!r}; "
+                f"available: {registry.available()}"
+            )
+        self._backends[key] = backend
+        return backend
+
+    def _schedule_for(self, request: PlanRequest):
+        """The request's schedule (never materialized), runner-identical."""
+        from repro.collectives.registry import build_schedule
+
+        if request.algorithm not in ALGORITHMS:
+            raise ServiceRequestError(
+                f"unknown algorithm {request.algorithm!r}; known: {ALGORITHMS}"
+            )
+        kwargs: dict = {"materialize": False}
+        if request.algorithm == "WRHT":
+            kwargs.update(n_wavelengths=request.n_wavelengths, m=request.m)
+        elif request.algorithm == "H-Ring":
+            kwargs.update(m=request.hring_m)
+        try:
+            return build_schedule(
+                request.algorithm, request.n_nodes, request.n_params, **kwargs
+            )
+        except (KeyError, ValueError) as exc:
+            raise ServiceRequestError(f"unbuildable schedule: {exc}") from exc
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate(self, request: PlanRequest) -> ExecutionResult:
+        """Lower and execute one request (the service's whole data plane).
+
+        Healthy requests run ``Backend.run`` on the mirrored backend —
+        bit-identical to the figure runners. Faulted optical requests
+        route through the incremental-repair path; faulted requests on
+        other backends are rejected (the repair engine is optical-only).
+
+        Raises:
+            ServiceRequestError: Malformed/unservable request.
+            BackendError: Lowering or execution failed.
+        """
+        schedule = self._schedule_for(request)
+        if request.faults:
+            if request.backend != "optical":
+                raise ServiceRequestError(
+                    "faulted requests are served through the optical repair "
+                    f"path; backend {request.backend!r} does not support them"
+                )
+            return self._evaluate_repaired(request, schedule)
+        backend = self._backend_for(request)
+        with self.metrics.span("service.evaluate"):
+            return backend.run(schedule, bytes_per_elem=request.bytes_per_elem)
+
+    def _repair_base(self, request: PlanRequest):
+        """The healthy keep-solutions network repairs are derived from."""
+        from repro.optical.config import OpticalSystemConfig
+        from repro.optical.network import OpticalRingNetwork
+
+        key = (request.n_nodes, request.n_wavelengths, request.interpretation)
+        base = self._repair_bases.get(key)
+        if base is None:
+            base = OpticalRingNetwork(
+                OpticalSystemConfig(
+                    n_nodes=request.n_nodes,
+                    n_wavelengths=request.n_wavelengths,
+                    interpretation=request.interpretation,
+                ),
+                plan_cache=self.plan_cache,
+                metrics=self.metrics,
+                keep_solutions=True,
+            )
+            self._repair_bases[key] = base
+        return base
+
+    def _evaluate_repaired(self, request: PlanRequest, schedule) -> ExecutionResult:
+        """Serve a faulted optical cell via incremental repair.
+
+        The healthy base lowers the schedule once (cross-run cached, and
+        its full RWA solutions are kept), then the fault set is applied as
+        a repair: only the delta-affected subgraph recolors, and the
+        repaired summaries land in the plan cache under delta-salted keys.
+        """
+        faults = request.fault_set()
+        try:
+            faults.validate(request.n_nodes, request.n_wavelengths)
+        except ValueError as exc:
+            raise ServiceRequestError(f"invalid fault set: {exc}") from exc
+        base = self._repair_base(request)
+        with self.metrics.span("service.evaluate"):
+            base.lower(schedule, request.bytes_per_elem)
+            try:
+                plan, degraded = base.repair_plan(
+                    schedule, faults, bytes_per_elem=request.bytes_per_elem
+                )
+            except BackendError:
+                raise
+            run = degraded.execute_plan(plan)
+        # Reshape exactly as OpticalBackend.execute does, plus repair meta.
+        return ExecutionResult(
+            backend="optical",
+            algorithm=run.algorithm,
+            n_steps=run.n_steps,
+            total_time=run.total_time,
+            total_bytes=run.total_bytes,
+            timeline=tuple(
+                StepRecord(
+                    stage=t.stage,
+                    count=t.count,
+                    duration=t.duration,
+                    bytes_per_step=t.bytes_per_step,
+                    n_transfers=t.n_transfers,
+                    rounds=t.rounds,
+                    peak_wavelength=t.peak_wavelength,
+                )
+                for t in run.step_timings
+            ),
+            cache=run.cache,
+            meta={
+                "interpretation": request.interpretation,
+                "repair": True,
+                "n_faults": len(faults),
+            },
+            metrics=self.metrics.snapshot() if self.metrics.enabled else None,
+        )
+
+    def flush(self) -> None:
+        """Persist the plan cache when it is store-backed (else no-op)."""
+        flush = getattr(self.plan_cache, "flush", None)
+        if callable(flush):
+            flush()
+
+
+def request_without_tenant(request: PlanRequest) -> PlanRequest:
+    """The request with its tenant scrubbed (coalescing/fixture helper)."""
+    return replace(request, tenant="default")

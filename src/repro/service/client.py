@@ -1,0 +1,200 @@
+"""The thin client API in front of the planning layers.
+
+:class:`PlanClient` preserves today's two-stage backend contract for
+callers — build a request, get back a full
+:class:`~repro.backend.base.ExecutionResult` — while hiding *where* the
+lowering happened:
+
+- **In-process mode** (``socket_path=None``): requests evaluate on a local
+  :class:`~repro.service.api.PlanEngine`, going through exactly the same
+  backend construction as :mod:`repro.runner.experiments`. Nothing changes
+  versus calling ``Backend.run`` directly; results are bit-identical.
+- **Daemon mode** (``socket_path=...``): requests are framed onto the unix
+  socket (:mod:`repro.service.protocol`) and a daemon answers. Results
+  travel as ``ExecutionResult.to_dict()`` JSON — a representation whose
+  floats round-trip exactly — so this mode is bit-identical too, which the
+  service smoke test asserts per golden cell.
+
+The transport is deliberately synchronous: one lock serializes
+request/response pairs per client, and anything needing concurrency opens
+more clients (they are cheap — one ``connect()``). Error responses raise
+the matching :mod:`repro.service.errors` class, so ``except
+ServiceQuotaError`` works identically against both modes.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.backend.base import ExecutionResult
+from repro.service.api import PlanEngine, PlanRequest
+from repro.service.errors import (
+    ServiceError,
+    ServiceProtocolError,
+    ServiceRemoteError,
+)
+from repro.service.protocol import PROTOCOL, recv_frame, send_frame
+
+
+class PlanResponse:
+    """One answered plan request.
+
+    Attributes:
+        result: The full execution result (parsed back from the wire in
+            daemon mode; the engine's own object in-process).
+        coalesced: Whether the daemon shared this lowering with an
+            identical in-flight request (always ``False`` in-process).
+        remote: Whether a daemon served the request.
+    """
+
+    __slots__ = ("result", "coalesced", "remote")
+
+    def __init__(
+        self, result: ExecutionResult, *, coalesced: bool = False, remote: bool = False
+    ) -> None:
+        self.result = result
+        self.coalesced = coalesced
+        self.remote = remote
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanResponse(algorithm={self.result.algorithm!r}, "
+            f"total_time={self.result.total_time!r}, "
+            f"coalesced={self.coalesced}, remote={self.remote})"
+        )
+
+
+class PlanClient:
+    """Client for the planning service, in-process or over a unix socket.
+
+    Args:
+        socket_path: Daemon socket to connect to; ``None`` keeps every
+            evaluation in-process (the default, and the compatibility
+            mode — no daemon required).
+        engine: Engine for in-process mode (default: a fresh
+            :class:`PlanEngine` on the process-wide plan cache). Ignored
+            in daemon mode.
+        timeout: Socket timeout in seconds for daemon mode (``None``:
+            block indefinitely — lowerings can be slow when cold).
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path | None = None,
+        *,
+        engine: PlanEngine | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        self.socket_path = None if socket_path is None else Path(socket_path)
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._sock: socket.socket | None = None
+        self._engine: PlanEngine | None = None
+        if self.socket_path is None:
+            self._engine = PlanEngine() if engine is None else engine
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            try:
+                sock.connect(str(self.socket_path))
+            except OSError:
+                sock.close()
+                raise
+            self._sock = sock
+
+    @property
+    def remote(self) -> bool:
+        """Whether this client talks to a daemon (vs evaluating locally)."""
+        return self.socket_path is not None
+
+    # -- the data plane -------------------------------------------------
+    def submit(self, request: PlanRequest) -> PlanResponse:
+        """Evaluate one request wherever this client is pointed.
+
+        Raises:
+            ServiceError: The matching typed error, whichever side failed.
+            BackendError: In-process lowering/execution failure (daemon
+                mode surfaces these as ``kind="backend"`` remote errors).
+        """
+        if self._engine is not None:
+            result = self._engine.evaluate(request)
+            self._engine.flush()
+            return PlanResponse(result)
+        response = self._call({"op": "plan", "request": request.to_dict()})
+        if not response.get("ok"):
+            raise ServiceRemoteError.from_response(response)
+        return PlanResponse(
+            ExecutionResult.from_dict(response["result"]),
+            coalesced=bool(response.get("coalesced", False)),
+            remote=True,
+        )
+
+    def run(self, algorithm: str, n_nodes: int, n_params: int, **kwargs: Any) -> PlanResponse:
+        """Convenience: build a :class:`PlanRequest` and :meth:`submit` it."""
+        return self.submit(PlanRequest(algorithm, n_nodes, n_params, **kwargs))
+
+    def total_time(self, algorithm: str, n_nodes: int, n_params: int, **kwargs: Any) -> float:
+        """Just the all-reduce completion time for one cell (runner seam)."""
+        return self.run(algorithm, n_nodes, n_params, **kwargs).result.total_time
+
+    # -- the control plane ----------------------------------------------
+    def ping(self) -> dict:
+        """Liveness/version probe (in-process mode answers locally)."""
+        if self._engine is not None:
+            return {"ok": True, "protocol": PROTOCOL, "pid": None}
+        return self._call({"op": "ping"})
+
+    def stats(self) -> dict:
+        """The serving side's counters (plan cache, store, tenants)."""
+        if self._engine is not None:
+            return {
+                "ok": True,
+                "stats": {"plan_cache": self._engine.plan_cache.stats.as_dict()},
+            }
+        return self._call({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        """Ask a daemon to stop (error in in-process mode — nothing runs)."""
+        if self._engine is not None:
+            raise ServiceError("in-process client has no daemon to shut down")
+        return self._call({"op": "shutdown"})
+
+    # -- plumbing --------------------------------------------------------
+    def _call(self, message: dict) -> dict:
+        assert self._sock is not None, "daemon-mode call on a closed client"
+        with self._lock:
+            self._next_id += 1
+            message["id"] = self._next_id
+            send_frame(self._sock, message)
+            response = recv_frame(self._sock)
+        if response is None:
+            raise ServiceProtocolError(
+                f"daemon at {self.socket_path} closed the connection"
+            )
+        if response.get("id") not in (None, message["id"]):
+            raise ServiceProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {message['id']!r}"
+            )
+        return response
+
+    def close(self) -> None:
+        """Release the socket (daemon mode) or flush the engine's cache."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+        if self._engine is not None:
+            self._engine.flush()
+
+    def __enter__(self) -> "PlanClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,76 @@
+"""Typed errors for the planning service.
+
+Every error carries a machine-readable ``kind`` that travels over the wire
+(the daemon maps exceptions to ``{"ok": false, "kind": ..., "error": ...}``
+responses and the client raises the matching class back). None of the
+classes define a custom ``__init__`` so they all survive the pickling
+round-trip through sweep workers unmodified (house rule REP003).
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(RuntimeError):
+    """Base class for planning-service failures."""
+
+    kind = "service"
+
+
+class ServiceRequestError(ServiceError):
+    """The request itself is malformed or names an unservable cell."""
+
+    kind = "bad-request"
+
+
+class ServiceUnavailableError(ServiceError):
+    """Admission control or a per-tenant quota rejected the request."""
+
+    kind = "admission"
+
+
+class ServiceQuotaError(ServiceUnavailableError):
+    """The tenant exceeded its in-flight request quota."""
+
+    kind = "quota"
+
+
+class ServiceProtocolError(ServiceError):
+    """A malformed, oversized or truncated protocol frame."""
+
+    kind = "protocol"
+
+
+class ServiceRemoteError(ServiceError):
+    """Client-side wrapper for an error response from the daemon.
+
+    ``kind`` is reassigned per instance from the response's ``kind`` field
+    so callers can branch without parsing the message text.
+    """
+
+    kind = "remote"
+
+    @classmethod
+    def from_response(cls, response: dict) -> ServiceError:
+        """Rebuild the daemon-side failure from an error response dict.
+
+        Known kinds come back as their original class (so ``except
+        ServiceQuotaError`` works across the wire); unknown kinds fall back
+        to a plain :class:`ServiceRemoteError` tagged with that kind.
+        """
+        kind = str(response.get("kind", "remote"))
+        error_cls = _ERRORS_BY_KIND.get(kind, cls)
+        error = error_cls(str(response.get("error", "unknown service error")))
+        error.kind = kind
+        return error
+
+
+_ERRORS_BY_KIND: dict[str, type[ServiceError]] = {
+    cls.kind: cls
+    for cls in (
+        ServiceError,
+        ServiceRequestError,
+        ServiceUnavailableError,
+        ServiceQuotaError,
+        ServiceProtocolError,
+    )
+}

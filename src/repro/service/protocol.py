@@ -1,0 +1,144 @@
+"""The planning service's wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object. Deliberately minimal — no
+streaming, no compression, no schema negotiation beyond the ``protocol``
+tag in every request/response — because the daemon only ever runs behind a
+local unix socket.
+
+Requests are objects with an ``op`` field:
+
+``{"op": "ping"}``
+    Liveness probe; answered with ``{"ok": true, "protocol": ...}``.
+``{"op": "plan", "request": {...}, "id": n}``
+    One :class:`~repro.service.api.PlanRequest` (``to_dict`` form). The
+    optional ``id`` is echoed back so clients may pipeline.
+``{"op": "stats"}``
+    Service counters: metrics snapshot, plan-cache/store tallies,
+    in-flight bookkeeping.
+``{"op": "shutdown"}``
+    Acknowledge and stop the daemon.
+
+Responses always carry ``ok``; failures add ``kind`` (an error taxonomy
+from :mod:`repro.service.errors`) and ``error`` (the message). Successful
+``plan`` responses carry the ``result``
+(:meth:`~repro.backend.base.ExecutionResult.to_dict`) plus ``coalesced``
+(whether the lowering was shared with an identical in-flight request).
+
+Both asyncio (daemon-side) and blocking-socket (client-side) helpers live
+here so the two ends can never disagree on framing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.service.errors import ServiceProtocolError
+
+#: Protocol identifier, echoed by ``ping`` for version sanity checks.
+PROTOCOL = "wrht-repro/plan-service/v1"
+
+#: Hard frame-size cap; a header above this is treated as corruption.
+MAX_FRAME_BYTES = 32 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(payload: Any) -> bytes:
+    """Serialize ``payload`` into one length-prefixed JSON frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise ServiceProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Any:
+    """Parse one frame body back into its JSON payload."""
+    try:
+        return json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceProtocolError(f"undecodable frame body: {exc}") from exc
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ServiceProtocolError(
+            f"frame header announces {length} bytes "
+            f"(cap {MAX_FRAME_BYTES}); treating as corruption"
+        )
+
+
+# -- asyncio side (daemon) ---------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Any | None:
+    """Read one frame; ``None`` on clean EOF (peer closed between frames).
+
+    Raises:
+        ServiceProtocolError: On a truncated frame or an oversized header.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ServiceProtocolError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ServiceProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    return decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: Any) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# -- blocking-socket side (client) -------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes | None:
+    """``n`` bytes from ``sock``; ``None`` on immediate clean EOF."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise ServiceProtocolError(
+                f"connection closed mid-read ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, payload: Any) -> None:
+    """Send one frame over a blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame(sock: socket.socket) -> Any | None:
+    """Receive one frame; ``None`` on clean EOF between frames."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ServiceProtocolError("connection closed between header and body")
+    return decode_body(body)

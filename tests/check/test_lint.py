@@ -1,4 +1,4 @@
-"""The REP001–REP006 AST lint: each rule has failing and passing fixtures."""
+"""The REP001–REP007 AST lint: each rule has failing and passing fixtures."""
 
 import textwrap
 
@@ -88,24 +88,6 @@ class TestRep003UnpicklableException:
         """) == []
 
 
-class TestRep004DeprecatedAlias:
-    def test_from_import_flagged(self):
-        assert _ids(
-            "from repro.optical.plancache import PlanCache\n"
-        ) == ["REP004"]
-
-    def test_module_import_flagged(self):
-        assert _ids("import repro.optical.plancache\n") == ["REP004"]
-
-    def test_member_import_from_package_flagged(self):
-        assert _ids("from repro.optical import plancache\n") == ["REP004"]
-
-    def test_new_location_passes(self):
-        assert _ids(
-            "from repro.backend.plancache import PlanCache\n"
-        ) == []
-
-
 class TestRep005TraceRegistry:
     def test_unregistered_literal_flagged(self):
         assert _ids(
@@ -169,24 +151,70 @@ class TestRep006TransferLoop:
         """, path=HOT_PATH) == []
 
 
+COLD_PATH = "src/repro/runner/faultsweep.py"
+
+
+class TestRep007PlanCacheMutation:
+    def test_put_outside_seams_flagged(self):
+        assert _ids(
+            "self.plan_cache.put(key, value)\n", path=COLD_PATH
+        ) == ["REP007"]
+
+    def test_clear_on_default_cache_flagged(self):
+        assert _ids(
+            "default_plan_cache().clear()\n", path=COLD_PATH
+        ) == ["REP007"]
+
+    def test_resize_flagged(self):
+        assert _ids("plan_cache.resize(0)\n", path=COLD_PATH) == ["REP007"]
+
+    def test_get_passes(self):
+        assert _ids("v = self.plan_cache.get(key)\n", path=COLD_PATH) == []
+
+    def test_non_cache_receiver_passes(self):
+        assert _ids("registry.put(key, value)\n", path=COLD_PATH) == []
+
+    def test_plain_clear_passes(self):
+        assert _ids("self._entries.clear()\n", path=COLD_PATH) == []
+
+    def test_lowering_seam_passes(self):
+        assert _ids(
+            "self.plan_cache.put(key, value)\n",
+            path="src/repro/optical/network.py",
+        ) == []
+
+    def test_store_module_passes(self):
+        assert _ids(
+            "self.plan_cache.put(key, value)\n",
+            path="src/repro/service/store.py",
+        ) == []
+
+    def test_pragma_passes(self):
+        assert _ids(
+            "plan_cache.clear()  # REP007: bench cold-path measurement\n",
+            path=COLD_PATH,
+        ) == []
+
+
 class TestHarness:
     def test_select_restricts_rules(self):
         source = (
-            "import repro.optical.plancache\n"
+            "plan_cache.resize(0)\n"
             "import random\n"
             "r = random.Random()\n"
         )
-        assert _ids(source, select={"REP004"}) == ["REP004"]
+        assert _ids(source, select={"REP007"}) == ["REP007"]
 
     def test_findings_carry_locations(self):
         (finding,) = lint_source(
-            "import repro.optical.plancache\n", path="fixture.py"
+            "plan_cache.resize(0)\n", path="fixture.py"
         )
         assert finding.location == "fixture.py:1"
 
     def test_rule_catalog_is_complete(self):
+        """REP004 is retired (alias removed in PR 7); the id is not reused."""
         assert sorted(LINT_RULES) == [
-            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+            "REP001", "REP002", "REP003", "REP005", "REP006", "REP007"
         ]
 
     def test_main_clean_on_src(self):
@@ -194,10 +222,10 @@ class TestHarness:
 
     def test_main_flags_bad_file(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
-        bad.write_text("import repro.optical.plancache\n")
+        bad.write_text("default_plan_cache().clear()\n")
         assert main([str(tmp_path)]) == 1
         out = capsys.readouterr().out
-        assert "REP004" in out
+        assert "REP007" in out
 
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0

@@ -11,6 +11,7 @@ from repro.obs.benchgate import (
     compare_faults,
     compare_repair,
     compare_rwa,
+    compare_service,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
@@ -146,6 +147,65 @@ class TestCompareFaults:
         report = compare_faults([row], _FAULT_BASELINE)
         # n_errors is gated against the constant 0 even without a baseline.
         assert len(report.violations) == 5
+        assert {v.kind for v in report.violations} == {"missing-baseline"}
+
+
+_SERVICE_BASELINE = {
+    "service": [
+        {"case": "service-micro", "tenants": 4, "requests": 400,
+         "distinct_cells": 10, "rps": 1600.0, "p50_ms": 2.0, "p99_ms": 5.0},
+    ]
+}
+
+
+class TestCompareService:
+    def _row(self, **over):
+        row = {"case": "service-micro", "tenants": 4, "requests": 400,
+               "distinct_cells": 10, "rps": 1500.0, "p50_ms": 2.5,
+               "p99_ms": 6.0}
+        row.update(over)
+        return row
+
+    def test_pass(self):
+        report = compare_service([self._row()], _SERVICE_BASELINE)
+        assert report.ok
+        assert len(report.checked) == 5
+
+    def test_perf_floor_breach(self):
+        report = compare_service(
+            [self._row(rps=450.0)], _SERVICE_BASELINE, perf_floor=0.25
+        )
+        # 450 clears 0.25 x 1600 = 400 but breaches the absolute >=500 floor.
+        assert [v.metric for v in report.violations] == [
+            "service.service-micro.rps_absolute"
+        ]
+        report = compare_service(
+            [self._row(rps=350.0)], _SERVICE_BASELINE, perf_floor=0.5
+        )
+        assert {v.metric for v in report.violations} == {
+            "service.service-micro.rps",
+            "service.service-micro.rps_absolute",
+        }
+
+    def test_absolute_floor_is_configurable(self):
+        assert compare_service(
+            [self._row(rps=520.0)], _SERVICE_BASELINE, min_rps=500.0
+        ).ok
+        report = compare_service(
+            [self._row(rps=520.0)], _SERVICE_BASELINE, min_rps=1000.0
+        )
+        assert [v.metric for v in report.violations] == [
+            "service.service-micro.rps_absolute"
+        ]
+
+    def test_structural_counts_exact(self):
+        report = compare_service([self._row(requests=399)], _SERVICE_BASELINE)
+        assert [v.kind for v in report.violations] == ["exact"]
+
+    def test_missing_baseline_row(self):
+        report = compare_service([self._row(case="other")], _SERVICE_BASELINE)
+        # The absolute rps floor still applies without a baseline row.
+        assert len(report.violations) == 4
         assert {v.kind for v in report.violations} == {"missing-baseline"}
 
 

@@ -165,13 +165,3 @@ class TestTorusCache:
         torus = TorusOpticalNetwork(cfg, rows=4, cols=4, plan_cache=cache)
         result = torus.execute(sched)
         assert result.cache.hits == 0  # virtual-segment plans are distinct
-
-
-def test_alias_module_warns_deprecation():
-    """The legacy repro.optical.plancache alias warns on import."""
-    import importlib
-    import sys
-
-    sys.modules.pop("repro.optical.plancache", None)
-    with pytest.warns(DeprecationWarning, match="repro.backend.plancache"):
-        importlib.import_module("repro.optical.plancache")

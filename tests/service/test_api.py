@@ -1,0 +1,197 @@
+"""Request model and engine: round-trips, coalescing identity, parity."""
+
+import pytest
+
+from repro.backend.plancache import PlanCache
+from repro.dnn.workload import DnnWorkload
+from repro.faults.models import DeadWavelength, FaultSet
+from repro.runner.experiments import (
+    _build_cell_schedule,
+    get_backend,
+)
+from repro.service.api import (
+    ALGORITHMS,
+    PlanEngine,
+    PlanRequest,
+    comparable_dict,
+    fault_from_wire,
+    fault_to_wire,
+    request_without_tenant,
+)
+from repro.service.errors import ServiceRequestError
+
+
+class TestFaultCodec:
+    @pytest.mark.parametrize(
+        "wire",
+        [
+            ("dead_wavelength", 3),
+            ("mrr_port", 2, 1, "stuck", "cw"),
+            ("cut_fiber", 4, "cw"),
+            ("dropped_node", 7),
+            ("power_droop", 1.5),
+        ],
+    )
+    def test_round_trip(self, wire):
+        fault = fault_from_wire(wire)
+        assert fault_to_wire(fault) == wire
+
+    def test_json_list_accepted(self):
+        assert fault_from_wire(["dead_wavelength", 3]) == DeadWavelength(3)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceRequestError):
+            fault_from_wire(("laser_on_fire", 1))
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ServiceRequestError):
+            fault_from_wire(("dead_wavelength",))
+
+
+class TestPlanRequest:
+    def test_dict_round_trip(self):
+        req = PlanRequest(
+            "WRHT", 16, 4096, n_wavelengths=8, m=5, tenant="alice",
+            faults=(("dead_wavelength", 2),),
+        )
+        assert PlanRequest.from_dict(req.to_dict()) == req
+
+    def test_json_shaped_faults_normalize(self):
+        a = PlanRequest("Ring", 8, 100, faults=(("dead_wavelength", 2),))
+        b = PlanRequest.from_dict(
+            {**a.to_dict(), "faults": [["dead_wavelength", 2]]}
+        )
+        assert a == b
+
+    def test_fault_order_normalized(self):
+        a = PlanRequest(
+            "Ring", 8, 100,
+            faults=(("dead_wavelength", 5), ("dead_wavelength", 2)),
+        )
+        b = PlanRequest(
+            "Ring", 8, 100,
+            faults=(("dead_wavelength", 2), ("dead_wavelength", 5)),
+        )
+        assert a == b
+        assert a.coalesce_key() == b.coalesce_key()
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ServiceRequestError):
+            PlanRequest.from_dict({"algorithm": "Ring"})  # missing sizes
+        with pytest.raises(ServiceRequestError):
+            PlanRequest.from_dict("not an object")
+
+    def test_fault_set_decodes(self):
+        req = PlanRequest("Ring", 8, 100, faults=(("dead_wavelength", 2),))
+        assert req.fault_set() == FaultSet((DeadWavelength(2),))
+
+
+class TestCoalesceKey:
+    def test_identical_requests_share_a_key(self):
+        a = PlanRequest("WRHT", 16, 4096, n_wavelengths=8)
+        b = PlanRequest("WRHT", 16, 4096, n_wavelengths=8)
+        assert a.coalesce_key() == b.coalesce_key()
+
+    def test_tenant_never_splits_the_key(self):
+        a = PlanRequest("WRHT", 16, 4096, tenant="alice")
+        b = PlanRequest("WRHT", 16, 4096, tenant="bob")
+        assert a.coalesce_key() == b.coalesce_key()
+        assert request_without_tenant(a) == request_without_tenant(b)
+
+    def test_distinct_cells_split_the_key(self):
+        a = PlanRequest("WRHT", 16, 4096)
+        assert a.coalesce_key() != PlanRequest("WRHT", 32, 4096).coalesce_key()
+        assert a.coalesce_key() != PlanRequest("Ring", 16, 4096).coalesce_key()
+        assert (
+            a.coalesce_key()
+            != PlanRequest("WRHT", 16, 4096, backend="analytic").coalesce_key()
+        )
+
+    def test_faults_delta_salt_the_key(self):
+        healthy = PlanRequest("WRHT", 16, 4096, n_wavelengths=8)
+        faulted = PlanRequest(
+            "WRHT", 16, 4096, n_wavelengths=8,
+            faults=(("dead_wavelength", 2),),
+        )
+        assert healthy.coalesce_key() != faulted.coalesce_key()
+        assert faulted.coalesce_key()[0] == "delta"
+        assert faulted.coalesce_key()[1] == healthy.coalesce_key()
+
+
+class TestPlanEngine:
+    @pytest.mark.parametrize("backend", ["optical", "electrical", "analytic"])
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_parity_with_runner_path(self, backend, algorithm):
+        """Engine answers are bit-identical to the experiment runners'."""
+        engine = PlanEngine(plan_cache=PlanCache())
+        request = PlanRequest(algorithm, 8, 4096, backend=backend, n_wavelengths=8)
+        mine = comparable_dict(engine.evaluate(request))
+        workload = DnnWorkload("cell", 4096)
+        be = get_backend(backend, 8, 8, "calibrated")
+        schedule = _build_cell_schedule(
+            algorithm, 8, 8, workload, wrht_m=None, hring_m=5
+        )
+        theirs = comparable_dict(
+            be.run(schedule, bytes_per_elem=workload.bytes_per_param)
+        )
+        assert mine == theirs
+
+    def test_result_json_round_trips_exactly(self):
+        import json
+
+        from repro.backend.base import ExecutionResult
+
+        engine = PlanEngine(plan_cache=PlanCache())
+        result = engine.evaluate(PlanRequest("WRHT", 8, 4096, n_wavelengths=8))
+        wire = json.loads(json.dumps(result.to_dict()))
+        assert comparable_dict(ExecutionResult.from_dict(wire)) == comparable_dict(
+            result
+        )
+
+    def test_faulted_optical_served_via_repair(self):
+        engine = PlanEngine(plan_cache=PlanCache())
+        result = engine.evaluate(
+            PlanRequest(
+                "WRHT", 8, 4096, n_wavelengths=8,
+                faults=(("dead_wavelength", 2),),
+            )
+        )
+        assert result.meta["repair"] is True
+        assert result.meta["n_faults"] == 1
+        assert result.total_time > 0
+
+    def test_faulted_non_optical_rejected(self):
+        engine = PlanEngine(plan_cache=PlanCache())
+        with pytest.raises(ServiceRequestError):
+            engine.evaluate(
+                PlanRequest(
+                    "Ring", 8, 4096, backend="electrical",
+                    faults=(("dead_wavelength", 2),),
+                )
+            )
+
+    def test_unknown_algorithm_rejected(self):
+        engine = PlanEngine(plan_cache=PlanCache())
+        with pytest.raises(ServiceRequestError):
+            engine.evaluate(PlanRequest("Butterfly", 8, 4096))
+
+    def test_unknown_backend_rejected(self):
+        engine = PlanEngine(plan_cache=PlanCache())
+        with pytest.raises(ServiceRequestError):
+            engine.evaluate(PlanRequest("Ring", 8, 4096, backend="quantum"))
+
+    def test_invalid_fault_set_rejected(self):
+        engine = PlanEngine(plan_cache=PlanCache())
+        with pytest.raises(ServiceRequestError):
+            engine.evaluate(
+                PlanRequest(
+                    "WRHT", 8, 4096, n_wavelengths=8,
+                    faults=(("dead_wavelength", 99),),  # out of budget
+                )
+            )
+
+    def test_lowerings_fill_the_shared_cache(self):
+        cache = PlanCache()
+        engine = PlanEngine(plan_cache=cache)
+        engine.evaluate(PlanRequest("WRHT", 8, 4096, n_wavelengths=8))
+        assert len(cache) > 0

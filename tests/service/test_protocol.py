@@ -1,0 +1,108 @@
+"""Wire protocol: framing round-trips, truncation, oversize, EOF."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.service.errors import ServiceProtocolError
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    decode_body,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        payload = {"op": "plan", "request": {"n": 8}, "id": 3}
+        frame = encode_frame(payload)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert decode_body(frame[4:]) == payload
+
+    def test_non_ascii_round_trip(self):
+        payload = {"error": "tenant über quota"}
+        frame = encode_frame(payload)
+        assert decode_body(frame[4:]) == payload
+
+    def test_garbled_body_raises(self):
+        with pytest.raises(ServiceProtocolError):
+            decode_body(b"not json at all{")
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(ServiceProtocolError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 16)})
+
+
+class TestBlockingSockets:
+    def _pair(self):
+        return socket.socketpair()
+
+    def test_send_recv_round_trip(self):
+        a, b = self._pair()
+        try:
+            send_frame(a, {"op": "ping"})
+            assert recv_frame(b) == {"op": "ping"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = self._pair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = self._pair()
+        try:
+            frame = encode_frame({"op": "stats"})
+            a.sendall(frame[: len(frame) - 2])
+            a.close()
+            with pytest.raises(ServiceProtocolError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_header_raises(self):
+        a, b = self._pair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ServiceProtocolError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAsyncReader:
+    def _read(self, data: bytes):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        return asyncio.run(go())
+
+    def test_reads_one_frame(self):
+        assert self._read(encode_frame({"ok": True})) == {"ok": True}
+
+    def test_clean_eof_returns_none(self):
+        assert self._read(b"") is None
+
+    def test_mid_header_eof_raises(self):
+        with pytest.raises(ServiceProtocolError):
+            self._read(b"\x00\x00")
+
+    def test_mid_body_eof_raises(self):
+        frame = encode_frame({"op": "ping"})
+        with pytest.raises(ServiceProtocolError):
+            self._read(frame[:-1])

@@ -1,0 +1,275 @@
+"""Persistent plan store: sharing, corruption tolerance, fork safety."""
+
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.backend.plancache import (
+    PlanCache,
+    default_plan_cache,
+    set_default_plan_cache,
+)
+from repro.service.store import (
+    STORE_ENV,
+    STORE_VERSION,
+    PersistentPlanCache,
+    PlanStore,
+    ensure_worker_store,
+    install_persistent_cache,
+    key_digest,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_cache():
+    """Keep the process-wide default cache pristine across tests."""
+    before = default_plan_cache()
+    yield
+    set_default_plan_cache(before)
+
+
+class TestStoreBasics:
+    def test_round_trip(self, tmp_path):
+        store = PlanStore(tmp_path)
+        key = ("pattern", ("cfg", 1.25), 4.0)
+        store.put(key, {"t": 0.125})
+        assert store.get(key) == {"t": 0.125}
+        assert store.stats.writes == 1
+        assert store.stats.hits == 1
+
+    def test_miss_counted(self, tmp_path):
+        store = PlanStore(tmp_path)
+        assert store.get(("absent",)) is None
+        assert store.stats.misses == 1
+
+    def test_survives_process_restart(self, tmp_path):
+        PlanStore(tmp_path).put(("k",), 1.5)
+        reopened = PlanStore(tmp_path)
+        assert reopened.get(("k",)) == 1.5
+
+    def test_flush_batching(self, tmp_path):
+        store = PlanStore(tmp_path, flush_every=10)
+        store.put(("a",), 1)
+        assert store.stats.flushes == 0  # buffered
+        assert PlanStore(tmp_path).get(("a",)) is None  # not on disk yet
+        store.flush()
+        assert PlanStore(tmp_path).get(("a",)) == 1
+
+    def test_equal_keys_digest_identically(self):
+        assert key_digest(("a", 1, 2.5)) == key_digest(("a", 1, 2.5))
+        assert key_digest(("a", 1)) != key_digest(("a", 2))
+
+    def test_len_spans_writers(self, tmp_path):
+        PlanStore(tmp_path).put(("k1",), 1)
+        store = PlanStore(tmp_path)
+        store.put(("k2",), 2)
+        assert len(store) == 2
+
+
+class TestCorruptionTolerance:
+    def test_truncated_shard_is_a_miss(self, tmp_path):
+        store = PlanStore(tmp_path, n_shards=1)
+        store.put(("k",), 1)
+        (shard,) = tmp_path.glob("shard-*.pkl")
+        shard.write_bytes(shard.read_bytes()[:7])
+        fresh = PlanStore(tmp_path, n_shards=1)
+        assert fresh.get(("k",)) is None
+        assert fresh.stats.corrupt_files == 1
+
+    def test_garbage_shard_is_a_miss(self, tmp_path):
+        store = PlanStore(tmp_path, n_shards=1)
+        store.put(("k",), 1)
+        (shard,) = tmp_path.glob("shard-*.pkl")
+        shard.write_bytes(b"\x00garbage, not a pickle")
+        fresh = PlanStore(tmp_path, n_shards=1)
+        assert fresh.get(("k",)) is None
+        assert fresh.stats.corrupt_files == 1
+
+    def test_wrong_payload_shape_is_a_miss(self, tmp_path):
+        store = PlanStore(tmp_path, n_shards=1)
+        store.put(("k",), 1)
+        (shard,) = tmp_path.glob("shard-*.pkl")
+        shard.write_bytes(pickle.dumps(["not", "a", "dict"]))
+        fresh = PlanStore(tmp_path, n_shards=1)
+        assert fresh.get(("k",)) is None
+        assert fresh.stats.corrupt_files == 1
+
+    def test_version_mismatch_ignored_not_crashed(self, tmp_path):
+        store = PlanStore(tmp_path, n_shards=1)
+        store.put(("k",), 1)
+        (shard,) = tmp_path.glob("shard-*.pkl")
+        payload = pickle.loads(shard.read_bytes())
+        payload["version"] = STORE_VERSION + 1
+        shard.write_bytes(pickle.dumps(payload))
+        fresh = PlanStore(tmp_path, n_shards=1)
+        assert fresh.get(("k",)) is None
+        assert fresh.stats.stale_files == 1
+        assert fresh.stats.corrupt_files == 0
+
+    def test_one_bad_writer_does_not_hide_good_ones(self, tmp_path):
+        good = PlanStore(tmp_path, n_shards=1)
+        good.put(("k",), 42)
+        (tmp_path / "shard-000.99999.pkl").write_bytes(b"junk")
+        fresh = PlanStore(tmp_path, n_shards=1)
+        assert fresh.get(("k",)) == 42
+        assert fresh.stats.corrupt_files == 1
+
+
+def _worker_writes(root, worker_id, n_keys, out):
+    """Write this worker's keys, then read everything back (own + disk)."""
+    store = PlanStore(root, flush_every=1)
+    for i in range(n_keys):
+        store.put(("w", worker_id, i), worker_id * 1000 + i)
+    store.flush()
+    out.put((worker_id, os.getpid()))
+
+
+class TestMultiProcessSharing:
+    def test_concurrent_writers_never_clobber(self, tmp_path):
+        """Two processes writing the same store keep every entry."""
+        ctx = multiprocessing.get_context("fork")
+        out = ctx.Queue()
+        n_keys = 25
+        procs = [
+            ctx.Process(target=_worker_writes, args=(str(tmp_path), w, n_keys, out))
+            for w in (1, 2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=30)
+            assert p.exitcode == 0
+        pids = {out.get(timeout=5)[1] for _ in procs}
+        assert len(pids) == 2  # genuinely distinct writer processes
+        merged = PlanStore(tmp_path)
+        for w in (1, 2):
+            for i in range(n_keys):
+                assert merged.get(("w", w, i)) == w * 1000 + i
+
+    def test_writers_use_per_pid_files(self, tmp_path):
+        store = PlanStore(tmp_path, n_shards=1)
+        store.put(("k",), 1)
+        (shard,) = tmp_path.glob("shard-*.pkl")
+        assert f".{os.getpid()}." in shard.name
+
+    def test_fork_rekeys_writer_identity(self, tmp_path):
+        """A forked child must not rewrite the parent's shard files."""
+        store = PlanStore(tmp_path, n_shards=1)
+        store.put(("parent-key",), "parent")
+        parent_file = tmp_path / f"shard-000.{os.getpid()}.pkl"
+        assert parent_file.exists()
+
+        ctx = multiprocessing.get_context("fork")
+
+        def child():
+            # The inherited store re-keys to the child pid on first use.
+            store.put(("child-key",), "child")
+            store.flush()
+
+        p = ctx.Process(target=child)
+        p.start()
+        p.join(timeout=30)
+        assert p.exitcode == 0
+        child_files = [
+            f for f in tmp_path.glob("shard-000.*.pkl") if f != parent_file
+        ]
+        assert len(child_files) == 1  # child wrote its own file
+        merged = PlanStore(tmp_path, n_shards=1)
+        assert merged.get(("parent-key",)) == "parent"
+        assert merged.get(("child-key",)) == "child"
+
+    def test_refresh_sees_other_writers(self, tmp_path):
+        reader = PlanStore(tmp_path, n_shards=1)
+        assert reader.get(("late",)) is None  # snapshot now cached
+        writer = PlanStore(tmp_path, n_shards=1)
+        writer.put(("late",), 7)
+        reader.refresh()
+        assert reader.get(("late",)) == 7
+
+
+class TestPersistentPlanCache:
+    def test_write_through_and_disk_fallback(self, tmp_path):
+        cache = PersistentPlanCache(PlanStore(tmp_path))
+        cache.put(("k",), 3.5)
+        cold = PersistentPlanCache(PlanStore(tmp_path))
+        assert len(cold) == 0  # memory empty
+        assert cold.get(("k",)) == 3.5  # served from disk
+        assert cold.stats.hits == 1
+
+    def test_disk_hit_promotes_without_rewriting(self, tmp_path):
+        PersistentPlanCache(PlanStore(tmp_path)).put(("k",), 1)
+        cache = PersistentPlanCache(PlanStore(tmp_path))
+        assert cache.get(("k",)) == 1
+        assert cache.store.stats.writes == 0
+        assert len(cache) == 1  # promoted into memory
+        assert cache.get(("k",)) == 1
+        assert cache.store.stats.hits == 1  # second hit was memory-only
+
+    def test_is_a_plan_cache(self, tmp_path):
+        assert isinstance(PersistentPlanCache(PlanStore(tmp_path)), PlanCache)
+
+
+def _worker_plan_probe(n_kb):
+    """Sweep cell: lower a plan through the process-default cache."""
+    from repro.backend.plancache import default_plan_cache
+    from repro.service.api import PlanEngine, PlanRequest
+
+    cache = default_plan_cache()
+    engine = PlanEngine(plan_cache=cache)
+    result = engine.evaluate(
+        PlanRequest("WRHT", 8, 1024 * n_kb, n_wavelengths=8)
+    )
+    engine.flush()
+    return (os.getpid(), type(cache).__name__, result.total_time)
+
+
+class TestSweepWorkerStore:
+    def test_workers_inherit_env_store(self, tmp_path, monkeypatch):
+        """With WRHT_PLAN_STORE set, sweep workers share one on-disk store."""
+        from repro.runner.sweep import sweep
+
+        monkeypatch.setenv(STORE_ENV, str(tmp_path))
+        results = sweep(
+            _worker_plan_probe, {"n_kb": [1, 2, 3, 4]}, workers=2, chunk_size=1
+        )
+        assert {r[1] for r in results.values()} == {"PersistentPlanCache"}
+        shard_files = list(tmp_path.glob("shard-*.pkl"))
+        assert shard_files  # workers spilled lowerings to disk
+        writer_pids = {f.name.split(".")[1] for f in shard_files}
+        worker_pids = {str(r[0]) for r in results.values()}
+        assert writer_pids <= worker_pids  # per-worker files, never clobbered
+        assert len(PlanStore(tmp_path)) > 0
+
+    def test_serial_sweep_untouched_without_env(self, tmp_path, monkeypatch):
+        from repro.runner.sweep import sweep
+
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        results = sweep(_worker_plan_probe, {"n_kb": [1]}, workers=2)
+        assert {r[1] for r in results.values()} == {"PlanCache"}
+        assert not list(tmp_path.glob("shard-*.pkl"))
+
+
+class TestWorkerStoreHook:
+    def test_install_sets_process_default(self, tmp_path):
+        cache = install_persistent_cache(tmp_path)
+        assert default_plan_cache() is cache
+
+    def test_ensure_refreshes_installed_cache(self, tmp_path):
+        cache = install_persistent_cache(tmp_path)
+        assert ensure_worker_store() is cache
+
+    def test_ensure_installs_from_env(self, tmp_path, monkeypatch):
+        set_default_plan_cache(PlanCache())
+        monkeypatch.setenv(STORE_ENV, str(tmp_path))
+        cache = ensure_worker_store()
+        assert isinstance(cache, PersistentPlanCache)
+        assert default_plan_cache() is cache
+
+    def test_ensure_noop_without_env(self, monkeypatch):
+        plain = PlanCache()
+        set_default_plan_cache(plain)
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        assert ensure_worker_store() is None
+        assert default_plan_cache() is plain
