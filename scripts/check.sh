@@ -5,18 +5,20 @@
 #
 # Stages:
 #   1. ruff (when available — CI images that lack it skip with a notice)
-#   2. repro.check lint  (REP001-REP007 AST pass over src; REP004 retired)
-#   3. repro.check plan verifier over the figure golden plans
-#   --fast stops here (lint + verifier only — the seconds-scale
+#   2. repro.check lint  (REP001-REP008 AST pass over src; REP004 retired)
+#   3. repro.check flow  (CONC/DET call-graph rules over src; pure AST,
+#      so it stays in the --fast loop; writes flow.sarif.json for CI)
+#   4. repro.check plan verifier over the figure golden plans
+#   --fast stops here (lint + flow + verifier only — the seconds-scale
 #   pre-commit loop; see docs/TESTING.md). The full gate continues with:
-#   4. fault-injection smoke (seeded degraded scenarios per backend,
+#   5. fault-injection smoke (seeded degraded scenarios per backend,
 #      verified by repro.check; live fault runs checked for determinism;
 #      incremental repair cross-checked against from-scratch recoloring
 #      via --paranoid-repair)
-#   5. planning-service smoke (daemon on a temp socket; every backend's
+#   6. planning-service smoke (daemon on a temp socket; every backend's
 #      served answer asserted bit-identical to the in-process path, plus
 #      a faulted request through the repair seam)
-#   6. tier-1 tests (which also auto-verify every lowered plan via the
+#   7. tier-1 tests (which also auto-verify every lowered plan via the
 #      repro.check pytest plugin)
 set -euo pipefail
 
@@ -41,6 +43,9 @@ fi
 
 echo "== repro.check lint =="
 python -m repro.check.lint src
+
+echo "== repro.check flow (CONC/DET call-graph rules) =="
+python -m repro.check flow src --sarif flow.sarif.json
 
 echo "== repro.check golden plans (optical) =="
 python -m repro.check check --backend optical

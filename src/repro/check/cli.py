@@ -11,7 +11,13 @@ Two subcommands:
     Exit status 1 on any ERROR finding.
 
 ``lint``
-    The REP001–REP005 AST pass (same as ``python -m repro.check.lint``).
+    The REP001–REP008 AST pass (same as ``python -m repro.check.lint``).
+
+``flow``
+    The call-graph-aware concurrency/determinism pass
+    (CONC001–CONC005, DET001–DET004; see :mod:`repro.check.flow`).
+    ``--sarif out.json`` additionally writes a SARIF 2.1.0 report for CI
+    annotation. Exit status 1 on any ERROR finding.
 
 Golden plans use the figures' real communication geometry with a compact
 gradient vector: routing, wavelength assignment and step structure depend
@@ -24,6 +30,7 @@ Examples::
     $ wrht-repro check --backend optical --fig fig5
     $ python -m repro.check check --fig fig6 --backend analytic
     $ python -m repro.check lint src
+    $ python -m repro.check flow src --sarif flow.sarif.json
 """
 
 from __future__ import annotations
@@ -144,6 +151,39 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def cmd_flow(args: argparse.Namespace) -> int:
+    """Run the call-graph flow rules (CONC/DET families)."""
+    from repro.check.flow import FLOW_RULES, analyze_paths
+    from repro.check.sarif import write_sarif
+
+    if args.list_rules:
+        for rule_id in sorted(FLOW_RULES):
+            print(f"{rule_id}  {FLOW_RULES[rule_id]}")
+        return 0
+    select = None
+    if args.select:
+        select = {r.strip() for r in args.select.split(",") if r.strip()}
+        unknown = select - set(FLOW_RULES)
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(FLOW_RULES))}",
+                file=sys.stderr,
+            )
+            return 2
+    findings = analyze_paths(args.paths, select=select)
+    if args.sarif:
+        write_sarif(findings, args.sarif, rule_catalog=FLOW_RULES)
+    for finding in findings:
+        print(finding.render())
+    bad = errors(findings)
+    scope = ", ".join(sorted(select)) if select else "all flow rules"
+    print(
+        f"flow: {len(findings)} finding(s), {len(bad)} error(s) ({scope})"
+    )
+    return 1 if bad else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro.check`` CLI parser."""
     parser = argparse.ArgumentParser(
@@ -173,6 +213,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="+", help="files or directories to lint")
     p.add_argument("--select", help="comma-separated rule ids")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "flow", help="run the CONC/DET call-graph flow rules"
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    p.add_argument("--select", help="comma-separated CONC/DET rule ids")
+    p.add_argument(
+        "--sarif", metavar="PATH",
+        help="also write a SARIF 2.1.0 report to PATH",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the flow rule catalog and exit",
+    )
+    p.set_defaults(fn=cmd_flow)
     return parser
 
 

@@ -115,7 +115,10 @@ class PlanVerificationError(AssertionError):
 
 
 def run_rules(
-    ctx: CheckContext, rule_ids: Iterable[str] | None = None
+    ctx: CheckContext,
+    rule_ids: Iterable[str] | None = None,
+    *,
+    report_skipped: bool = False,
 ) -> list[Finding]:
     """Run every applicable rule against ``ctx`` and collect findings.
 
@@ -123,15 +126,36 @@ def run_rules(
         ctx: The evidence to audit.
         rule_ids: Restrict to these ids (default: all registered rules).
             Named rules that the context cannot satisfy are still skipped.
+        report_skipped: Emit an ``INFO`` finding for every rule the
+            context cannot satisfy, naming the missing requirement tags —
+            so "clean because nothing applied" is distinguishable from
+            "clean because everything passed". The analytic backend's
+            plans, for example, carry no optical config or circuits, and
+            the budget/feasibility rules silently sit out without this.
 
     Returns:
         Findings in (rule id, emission) order.
     """
+    from repro.check.findings import Severity
+
     rules = all_rules() if rule_ids is None else [get_rule(r) for r in rule_ids]
     findings: list[Finding] = []
     for rule in rules:
         if rule.applies(ctx):
             findings.extend(rule.fn(ctx))
+        elif report_skipped:
+            missing = sorted(need for need in rule.needs if not ctx.has(need))
+            findings.append(
+                Finding(
+                    rule_id=rule.rule_id,
+                    severity=Severity.INFO,
+                    message=(
+                        f"skipped: context lacks {', '.join(missing)!s} "
+                        f"(rule: {rule.title})"
+                    ),
+                    details={"skipped": True, "missing": missing},
+                )
+            )
     return findings
 
 
@@ -143,6 +167,7 @@ def verify_plan(
     context: CheckContext | None = None,
     rule_ids: Iterable[str] | None = None,
     raise_on_error: bool = False,
+    report_skipped: bool = False,
 ) -> list[Finding]:
     """Statically verify a lowered plan (and/or its source schedule).
 
@@ -159,13 +184,15 @@ def verify_plan(
         rule_ids: Restrict verification to these rule ids.
         raise_on_error: Raise :class:`PlanVerificationError` when any
             ``ERROR`` finding is produced.
+        report_skipped: Report inapplicable rules as ``INFO`` findings
+            (see :func:`run_rules`).
 
     Returns:
         All findings (including ``INFO``/``WARNING``), in rule order.
     """
     if context is None:
         context = CheckContext(plan=plan, schedule=schedule, config=config)
-    findings = run_rules(context, rule_ids=rule_ids)
+    findings = run_rules(context, rule_ids=rule_ids, report_skipped=report_skipped)
     if raise_on_error and errors(findings):
         raise PlanVerificationError(findings)
     return findings

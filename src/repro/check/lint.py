@@ -31,10 +31,24 @@ REP007   Direct plan-cache mutation (``.put``/``.clear``/``.resize`` on
          the lowering seams. All persistence-visible writes must flow
          through the ``plan_cache`` seam so the service's sharded store
          observes them; escape hatch: ``# REP007: <reason>`` pragma.
+REP008   Suppression pragma without a reason (``# REP006`` bare, or
+         ``# REP006:`` with nothing after the colon). A pragma is an
+         audit record; a bare one suppresses nothing and is flagged.
 =======  ==============================================================
 
 REP004 (import of the late ``repro.optical.plancache`` alias) is retired:
 the alias was removed in PR 7 and the id is never reused.
+
+**Pragmas.** Every rule in this file — and every ``CONC``/``DET`` rule of
+the flow analyzer (:mod:`repro.check.flow`) — honours one uniform escape
+hatch: a ``# <RULEID>: <reason>`` comment on the offending line or in the
+comment block directly above it suppresses that rule's finding there. The
+reason is mandatory (see REP008); :func:`pragma_suppresses` is the single
+shared implementation.
+
+Files that fail to parse are reported as a structured ``SYNTAX`` finding
+(file, line, message) instead of raising, so one broken file cannot mask
+the findings of every other file in the batch.
 
 Run as a module over one or more files/directories::
 
@@ -81,8 +95,64 @@ LINT_RULES: dict[str, str] = {
     "REP005": "trace category not registered in TRACE_EVENTS",
     "REP006": "per-transfer Python loop in an executor hot path",
     "REP007": "direct plan-cache mutation outside the cache/lowering seams",
+    "REP008": "suppression pragma without a reason",
 }
 """Rule id -> short title, for ``--list-rules`` and the docs."""
+
+#: Rule id reserved for unparseable files (always reported, never
+#: ``--select``-able away: no other rule can run on such a file).
+SYNTAX_RULE = "SYNTAX"
+
+#: One suppression pragma: ``# <RULEID>: <reason>`` at the end of a line.
+#: The id must be the whole comment tail (prose like "# REP006 is retired"
+#: does not match) and the reason group is ``None`` for bare pragmas.
+_PRAGMA = re.compile(r"#\s*((?:REP|CONC|DET)\d{3})\s*(?::\s*(\S.*?))?\s*$")
+
+
+def pragma_at(line: str) -> tuple[str, str | None] | None:
+    """The ``(rule_id, reason)`` of a pragma-shaped comment on ``line``.
+
+    ``None`` when the line carries no pragma; ``(id, None)`` for a bare
+    pragma (flagged by REP008, suppresses nothing).
+    """
+    match = _PRAGMA.search(line)
+    if match is None:
+        return None
+    return match.group(1), match.group(2)
+
+
+def pragma_suppresses(rule_id: str, lines: list[str], lineno: int) -> bool:
+    """Whether a reasoned ``# <rule_id>: <reason>`` pragma covers ``lineno``.
+
+    The single escape-hatch implementation shared by every REP lint rule
+    and every CONC/DET flow rule: the pragma may sit on the offending line
+    itself or anywhere in the comment block directly above it, and must
+    carry a non-empty reason (bare pragmas are rejected — see REP008).
+    """
+    index = lineno - 1
+    if 0 <= index < len(lines):
+        found = pragma_at(lines[index])
+        if found is not None and found[0] == rule_id and found[1]:
+            return True
+    index -= 1
+    while index >= 0 and lines[index].lstrip().startswith("#"):
+        found = pragma_at(lines[index])
+        if found is not None and found[0] == rule_id and found[1]:
+            return True
+        index -= 1
+    return False
+
+
+def syntax_finding(exc: SyntaxError, path: str) -> Finding:
+    """The structured ``SYNTAX`` finding for an unparseable file."""
+    lineno = exc.lineno or 0
+    return Finding(
+        rule_id=SYNTAX_RULE,
+        severity=Severity.ERROR,
+        message=f"file does not parse: {exc.msg}",
+        location=f"{path}:{lineno}",
+        details={"line": lineno},
+    )
 
 #: Executor pricing modules where per-transfer statement loops are hot
 #: (REP006). Matched as path suffixes so the rule follows the files, not
@@ -247,19 +317,6 @@ def _iterates_transfers(node: ast.expr) -> bool:
     return False
 
 
-def _rep006_pragma(lines: list[str], lineno: int) -> bool:
-    """A ``REP006`` pragma on the loop line or the comment block above."""
-    index = lineno - 1
-    if 0 <= index < len(lines) and "REP006" in lines[index]:
-        return True
-    index -= 1
-    while index >= 0 and lines[index].lstrip().startswith("#"):
-        if "REP006" in lines[index]:
-            return True
-        index -= 1
-    return False
-
-
 def _check_rep006(tree: ast.AST, path: str, lines: list[str]) -> Iterator[Finding]:
     """REP006 — per-transfer statement loops in executor hot paths.
 
@@ -275,8 +332,6 @@ def _check_rep006(tree: ast.AST, path: str, lines: list[str]) -> Iterator[Findin
         if not isinstance(node, (ast.For, ast.AsyncFor)):
             continue
         if not _iterates_transfers(node.iter):
-            continue
-        if _rep006_pragma(lines, node.lineno):
             continue
         yield _finding(
             "REP006",
@@ -304,19 +359,6 @@ _PLAN_CACHE_SEAM_SUFFIXES = (
 )
 
 _PLAN_CACHE_MUTATORS = frozenset({"put", "clear", "resize"})
-
-
-def _rep007_pragma(lines: list[str], lineno: int) -> bool:
-    """A ``REP007`` pragma on the call line or the comment block above."""
-    index = lineno - 1
-    if 0 <= index < len(lines) and "REP007" in lines[index]:
-        return True
-    index -= 1
-    while index >= 0 and lines[index].lstrip().startswith("#"):
-        if "REP007" in lines[index]:
-            return True
-        index -= 1
-    return False
 
 
 def _is_plan_cache_receiver(node: ast.expr) -> bool:
@@ -353,8 +395,6 @@ def _check_rep007(tree: ast.AST, path: str, lines: list[str]) -> Iterator[Findin
             continue
         if not _is_plan_cache_receiver(node.func.value):
             continue
-        if _rep007_pragma(lines, node.lineno):
-            continue
         yield _finding(
             "REP007",
             f"direct plan-cache .{node.func.attr}() outside "
@@ -365,6 +405,28 @@ def _check_rep007(tree: ast.AST, path: str, lines: list[str]) -> Iterator[Findin
         )
 
 
+def _check_rep008(tree: ast.AST, path: str, lines: list[str]) -> Iterator[Finding]:
+    """REP008 — pragma-shaped comments carrying no reason.
+
+    A suppression without a reason is indistinguishable from a stale
+    copy-paste; the reason is the audit record. Bare pragmas never
+    suppress (see :func:`pragma_suppresses`) *and* are flagged here.
+    """
+    for index, line in enumerate(lines):
+        found = pragma_at(line)
+        if found is None or found[1]:
+            continue
+        rule_id = found[0]
+        yield _finding(
+            "REP008",
+            f"bare {rule_id} pragma (no reason); a suppression must read "
+            f"'# {rule_id}: <reason>' and without the reason it suppresses "
+            "nothing",
+            path,
+            type("N", (), {"lineno": index + 1})(),
+        )
+
+
 _CHECKERS: dict[str, Callable[[ast.AST, str, list[str]], Iterator[Finding]]] = {
     "REP001": lambda tree, path, lines: _check_rep001(tree, path),
     "REP002": lambda tree, path, lines: _check_rep002(tree, path),
@@ -372,7 +434,27 @@ _CHECKERS: dict[str, Callable[[ast.AST, str, list[str]], Iterator[Finding]]] = {
     "REP005": lambda tree, path, lines: _check_rep005(tree, path),
     "REP006": _check_rep006,
     "REP007": _check_rep007,
+    "REP008": _check_rep008,
 }
+
+
+def apply_pragmas(findings: list[Finding], lines: list[str]) -> list[Finding]:
+    """Drop findings covered by a reasoned pragma (shared escape hatch).
+
+    Used by both this lint pass and the flow analyzer
+    (:mod:`repro.check.flow`) so every REP/CONC/DET rule honours the same
+    ``# <RULEID>: <reason>`` convention. REP008 findings are exempt: a
+    pragma cannot excuse its own missing reason.
+    """
+    kept: list[Finding] = []
+    for finding in findings:
+        lineno = finding.details.get("line", 0)
+        if finding.rule_id != "REP008" and pragma_suppresses(
+            finding.rule_id, lines, lineno
+        ):
+            continue
+        kept.append(finding)
+    return kept
 
 
 def lint_source(
@@ -380,18 +462,26 @@ def lint_source(
 ) -> list[Finding]:
     """Lint one source string; returns findings sorted by line.
 
+    Unparseable source yields a single ``SYNTAX`` finding (regardless of
+    ``select`` — no rule can run on such a file). Findings covered by a
+    reasoned ``# <RULEID>: <reason>`` pragma are dropped.
+
     Args:
         source: Python source text.
         path: Display path used in finding locations.
         select: Restrict to these rule ids (default: all).
     """
-    tree = ast.parse(source, filename=path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [syntax_finding(exc, path)]
     lines = source.splitlines()
     findings: list[Finding] = []
     for rule_id, checker in _CHECKERS.items():
         if select is not None and rule_id not in select:
             continue
         findings.extend(checker(tree, path, lines))
+    findings = apply_pragmas(findings, lines)
     findings.sort(key=lambda f: (f.details.get("line", 0), f.rule_id))
     return findings
 
@@ -418,7 +508,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI: lint the given paths, print findings, exit 1 on any."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.check.lint",
-        description="Reproduction-specific AST lint (REP001-REP007).",
+        description="Reproduction-specific AST lint (REP001-REP008).",
     )
     parser.add_argument("paths", nargs="*", type=Path, help="files or directories")
     parser.add_argument(

@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 emission for check findings.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange format
+CI systems ingest for inline annotations. The mapping is deliberately
+minimal: one ``run``, one ``tool.driver`` naming the analyzer, one
+``rules`` entry per distinct rule id seen (plus the full catalog when
+given), one ``result`` per :class:`~repro.check.findings.Finding`.
+
+Severity maps ``ERROR -> "error"``, ``WARNING -> "warning"``,
+``INFO -> "note"`` per the SARIF ``level`` enumeration.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.check.findings import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _location(finding: Finding) -> list[dict]:
+    if not finding.location:
+        return []
+    path, _, line_text = finding.location.rpartition(":")
+    if not path:
+        path, line_text = finding.location, ""
+    region = {}
+    if line_text.isdigit():
+        region = {"region": {"startLine": max(1, int(line_text))}}
+    return [
+        {
+            "physicalLocation": {
+                "artifactLocation": {"uri": path},
+                **region,
+            }
+        }
+    ]
+
+
+def to_sarif(
+    findings: list[Finding],
+    *,
+    tool_name: str = "repro.check.flow",
+    rule_catalog: Mapping[str, str] | None = None,
+) -> dict:
+    """Render findings as a SARIF 2.1.0 log object (a plain dict).
+
+    Args:
+        findings: The findings to report.
+        tool_name: ``tool.driver.name`` for the run.
+        rule_catalog: Optional rule id -> short description map; ids seen
+            in ``findings`` but absent from the catalog are added with
+            their first message as the description.
+    """
+    catalog: dict[str, str] = dict(rule_catalog or {})
+    for finding in findings:
+        catalog.setdefault(finding.rule_id, finding.message)
+    rule_ids = sorted(catalog)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index[finding.rule_id],
+            "level": _LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": _location(finding),
+        }
+        for finding in findings
+    ]
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {"text": catalog[rule_id]},
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    findings: list[Finding],
+    path: str,
+    *,
+    tool_name: str = "repro.check.flow",
+    rule_catalog: Mapping[str, str] | None = None,
+) -> None:
+    """Serialize :func:`to_sarif` output to ``path`` as JSON."""
+    log = to_sarif(findings, tool_name=tool_name, rule_catalog=rule_catalog)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(log, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -38,6 +38,44 @@ class TestCheckCommand:
         assert main(["lint", "src"]) == 0
 
 
+class TestFlowCommand:
+    def test_flow_clean_on_src(self, capsys):
+        assert main(["flow", "src"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_flow_flags_violation_and_writes_sarif(self, tmp_path, capsys):
+        bad = tmp_path / "svc.py"
+        bad.write_text(
+            "import time\n\n\nasync def handler():\n    time.sleep(1)\n"
+        )
+        sarif = tmp_path / "flow.sarif.json"
+        assert main(["flow", str(tmp_path), "--sarif", str(sarif)]) == 1
+        assert "CONC001" in capsys.readouterr().out
+        import json
+
+        log = json.loads(sarif.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "CONC001"
+
+    def test_flow_select_restricts_rules(self, tmp_path, capsys):
+        bad = tmp_path / "svc.py"
+        bad.write_text(
+            "import time\n\n\nasync def handler():\n    time.sleep(1)\n"
+        )
+        assert main(["flow", str(tmp_path), "--select", "DET001"]) == 0
+        assert "CONC001" not in capsys.readouterr().out
+
+    def test_flow_unknown_rule_rejected(self, capsys):
+        assert main(["flow", "src", "--select", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_flow_list_rules(self, capsys):
+        assert main(["flow", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("CONC001", "CONC005", "DET001", "DET004"):
+            assert rule_id in out
+
+
 class TestParser:
     def test_default_backend_is_optical(self):
         args = build_parser().parse_args(["check"])
@@ -51,3 +89,9 @@ class TestParser:
         )
         assert code == 0
         assert "clean" in capsys.readouterr().out
+
+    def test_runner_cli_forwards_check_flow(self, capsys):
+        from repro.runner.cli import main as runner_main
+
+        assert runner_main(["check", "flow", "src"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out

@@ -62,6 +62,30 @@ class TestVerifyPlan:
         findings = run_rules(ctx, rule_ids=["PLAN001", "PLAN002"])
         assert findings == []
 
+    def test_report_skipped_names_inapplicable_rules(self):
+        """Analytic-backend plans carry no config/circuits: the budget and
+        wavelength rules sit out, and report_skipped says so per rule."""
+        from repro.backend.analytic import AnalyticBackend
+        from repro.optical.config import OpticalSystemConfig
+
+        cfg = OpticalSystemConfig(n_nodes=8, n_wavelengths=4)
+        backend = AnalyticBackend(cfg.cost_model(), w=4)
+        sched = build_schedule("ring", 8, 64, materialize=True)
+        plan = backend.lower(sched, bytes_per_elem=4.0)
+        findings = verify_plan(plan, sched, report_skipped=True)
+        skipped = [f for f in findings if f.details.get("skipped")]
+        assert skipped, "expected at least one skipped rule on analytic plans"
+        for f in skipped:
+            assert f.severity is Severity.INFO
+            assert f.details["missing"]
+            assert "skipped" in f.message
+        skipped_ids = {f.rule_id for f in skipped}
+        # The circuit rule needs circuits; analytic lowering has none.
+        assert "PLAN001" in skipped_ids
+        # Without report_skipped the same verification stays silent.
+        quiet = verify_plan(plan, sched)
+        assert not [f for f in quiet if f.details.get("skipped")]
+
     def test_error_raises_with_findings_attached(self):
         sched = build_schedule("ring", 8, 64, materialize=False)
         # Drop one profile entry: the ring closed form no longer matches.

@@ -196,6 +196,39 @@ class TestRep007PlanCacheMutation:
         ) == []
 
 
+class TestRep008BarePragma:
+    """Lint of the lint: a suppression without a reason is itself flagged."""
+
+    def test_bare_pragma_flagged_and_not_honoured(self):
+        source = "plan_cache.clear()  # REP007\n"
+        assert sorted(_ids(source, path=COLD_PATH)) == ["REP007", "REP008"]
+
+    def test_reasoned_pragma_passes(self):
+        assert _ids(
+            "plan_cache.clear()  # REP007: bench cold-path measurement\n",
+            path=COLD_PATH,
+        ) == []
+
+    def test_bare_conc_pragma_flagged(self):
+        # The shared pragma grammar covers the flow rule families too.
+        assert _ids("x = 1  # CONC001\n") == ["REP008"]
+
+    def test_rep008_cannot_suppress_itself(self):
+        assert _ids("x = 1  # REP006\n# REP008: hush\n") == ["REP008"]
+
+
+class TestSyntaxErrorHandling:
+    def test_unparseable_source_reports_finding_not_raise(self):
+        (finding,) = lint_source("def broken(:\n", path="bad.py")
+        assert finding.rule_id == "SYNTAX"
+        assert finding.location and finding.location.startswith("bad.py:")
+
+    def test_main_exits_nonzero_on_syntax_error(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        assert main([str(tmp_path)]) == 1
+        assert "SYNTAX" in capsys.readouterr().out
+
+
 class TestHarness:
     def test_select_restricts_rules(self):
         source = (
@@ -214,7 +247,8 @@ class TestHarness:
     def test_rule_catalog_is_complete(self):
         """REP004 is retired (alias removed in PR 7); the id is not reused."""
         assert sorted(LINT_RULES) == [
-            "REP001", "REP002", "REP003", "REP005", "REP006", "REP007"
+            "REP001", "REP002", "REP003", "REP005", "REP006", "REP007",
+            "REP008",
         ]
 
     def test_main_clean_on_src(self):
