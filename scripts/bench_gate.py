@@ -22,6 +22,11 @@ numbers against the committed baselines via :mod:`repro.obs.benchgate`:
   multi-tenant micro-grid replay through a live daemon. Request/tenant/
   cell counts are gated exactly; req/s is gated against the perf floor
   *and* an absolute >=500 req/s floor.
+- **Collectives bake-off** (``BENCH_collectives.json``): the rival
+  algorithm lineup (Ring/BT/RD/Swing/SCRing/WRHT) over the completion
+  -time curve grid and the canonical fault scenarios. All deterministic:
+  step/survivor counts exact, times and availability at the tight
+  relative tolerance, zero verification errors required.
 
 Exit status: 0 when every comparison passes, 1 on any regression, 2 when
 a baseline file is missing or unreadable. ``--json`` writes the full diff
@@ -53,6 +58,7 @@ from repro.obs.benchgate import (  # noqa: E402
     DEFAULT_PERF_FLOOR,
     DEFAULT_SIM_REL_TOL,
     GateReport,
+    compare_collectives,
     compare_faults,
     compare_repair,
     compare_rwa,
@@ -121,6 +127,19 @@ def measure_service() -> list[dict]:
     from benchmarks.bench_service import _run_service_micro
 
     return _run_service_micro()
+
+
+def measure_collectives() -> dict:
+    """Fresh bake-off sections, same shape as ``BENCH_collectives.json``.
+
+    The whole grid (both sections) is deterministic and re-measures in a
+    few seconds — the simulated backends are capped at N=64 and the
+    analytic N=1024 cells skip materialization — so unlike the RWA table
+    nothing is excluded from the gate.
+    """
+    from benchmarks.bench_collectives import _run_curves, _run_fault_grid
+
+    return {"curves": _run_curves(), "faults": _run_fault_grid()}
 
 
 def load_baseline(path: Path) -> dict | None:
@@ -203,6 +222,11 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_service.json",
         help="override the service baseline path (tests)",
     )
+    parser.add_argument(
+        "--baseline-collectives", type=Path,
+        default=REPO_ROOT / "BENCH_collectives.json",
+        help="override the collectives bake-off baseline path (tests)",
+    )
     args = parser.parse_args(argv)
 
     perf_baselines = (
@@ -212,7 +236,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     missing = [
         path
-        for path in perf_baselines + [args.baseline_faults]
+        for path in perf_baselines
+        + [args.baseline_faults, args.baseline_collectives]
         if load_baseline(path) is None
     ]
     if missing and not args.update_baseline:
@@ -273,15 +298,31 @@ def main(argv: list[str] | None = None) -> int:
             )
     print("measuring fault-sweep scenarios ...")
     fault_rows = measure_faults()
+    print("measuring collectives bake-off grids ...")
+    collectives = measure_collectives()
     if args.update_baseline:
         update_baseline(
             args.baseline_faults, "scenarios", fault_rows,
             ("scenario", "backend"),
         )
+        update_baseline(
+            args.baseline_collectives, "curves", collectives["curves"],
+            ("algorithm", "backend", "n_nodes", "elems"),
+        )
+        update_baseline(
+            args.baseline_collectives, "faults", collectives["faults"],
+            ("algorithm", "scenario"),
+        )
         return 0
     report.merge(
         compare_faults(
             fault_rows, load_baseline(args.baseline_faults),
+            rel_tol=args.sim_rel_tol,
+        )
+    )
+    report.merge(
+        compare_collectives(
+            collectives, load_baseline(args.baseline_collectives),
             rel_tol=args.sim_rel_tol,
         )
     )

@@ -55,6 +55,33 @@ if [[ "$FAST" == "1" ]]; then
     exit 0
 fi
 
+echo "== collectives smoke (every registered algorithm, all N classes) =="
+python - <<'PY'
+from repro.backend.analytic import AnalyticBackend
+from repro.collectives import build_schedule, verify_allreduce
+from repro.collectives.registry import available_algorithms
+from repro.core.timing import CostModel
+
+# Build, numerically verify, and (where a closed form exists) lower every
+# registered algorithm at a power of two, a non-power-of-two, and the
+# paper's mid-size N. DBTree has no closed-form model by design, so it is
+# verified numerically but not priced analytically.
+backend = AnalyticBackend(CostModel(line_rate=40e9 / 8, step_overhead=25e-6), w=8)
+for algo in available_algorithms():
+    for n in (8, 15, 64):
+        kwargs = {"n_wavelengths": 8} if algo == "wrht" else {}
+        if algo == "hring":
+            kwargs["m"] = min(5, n)
+        schedule = build_schedule(algo, n, max(n, 32), materialize=True, **kwargs)
+        verify_allreduce(schedule)
+        if algo != "dbtree":
+            result = backend.run(schedule, bytes_per_elem=4.0)
+            assert result.n_steps == schedule.n_steps, (
+                algo, n, result.n_steps, schedule.n_steps
+            )
+    print(f"  {algo}: verified at N=8/15/64")
+PY
+
 echo "== fault-injection smoke =="
 python -m repro.faults --paranoid-repair
 

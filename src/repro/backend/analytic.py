@@ -99,12 +99,17 @@ class AnalyticBackend(Backend):
         display = DISPLAY_NAMES.get(schedule.algorithm)
         wrht_m = None
         hring_m = _DEFAULT_HRING_M
+        scring_pipeline = 1
         if schedule.algorithm == "wrht":
             plan = schedule.meta.get("plan")
             wrht_m = plan.m if plan is not None else None
         elif schedule.algorithm == "hring":
             hring_m = schedule.meta.get("m", _DEFAULT_HRING_M)
-        if display is None or display not in ("Ring", "H-Ring", "BT", "RD", "WRHT"):
+        elif schedule.algorithm == "scring":
+            scring_pipeline = schedule.meta.get("pipeline", 1)
+        if display is None or display not in (
+            "Ring", "H-Ring", "BT", "RD", "WRHT", "Swing", "SCRing"
+        ):
             raise BackendConfigError(
                 f"no closed-form model for algorithm {schedule.algorithm!r}",
                 backend=self.name,
@@ -114,7 +119,10 @@ class AnalyticBackend(Backend):
         priced = None
         if use_cache:
             key = (
-                (display, schedule.n_nodes, schedule.total_elems, wrht_m, hring_m),
+                (
+                    display, schedule.n_nodes, schedule.total_elems,
+                    wrht_m, hring_m, scring_pipeline,
+                ),
                 self._plan_key_base,
                 bytes_per_elem,
             )
@@ -127,10 +135,12 @@ class AnalyticBackend(Backend):
             total = algorithm_time(
                 display, schedule.n_nodes, d_bytes, self.model,
                 wrht_m=wrht_m, hring_m=hring_m, w=self.effective_w,
+                scring_pipeline=scring_pipeline,
             )
             classes = analytic_profile(
                 display, schedule.n_nodes, d_bytes,
                 wrht_m=wrht_m, hring_m=hring_m, w=self.effective_w,
+                scring_pipeline=scring_pipeline,
             )
             priced = (
                 total,

@@ -45,7 +45,14 @@ from repro.check.engine import register_rule
 from repro.check.findings import Finding, Severity
 from repro.check.intervals import IntervalSetMap
 from repro.core.constraints import OpticalPhyParams, max_group_size
-from repro.core.steps import bt_steps, rd_steps, ring_steps, wrht_steps
+from repro.core.steps import (
+    bt_steps,
+    rd_steps,
+    ring_steps,
+    scring_steps,
+    swing_steps,
+    wrht_steps,
+)
 from repro.core.wavelengths import optimal_group_size
 from repro.optical.circuit import circuit_conflicts, describe_conflict
 from repro.optical.node import node_violations
@@ -287,12 +294,16 @@ def rule_step_count(ctx: CheckContext) -> Iterator[Finding]:
                 f"single-node schedule must have 0 steps, has {actual}",
             )
         return
+    # A shrunk (degraded) schedule runs the collective over the survivors:
+    # every closed form applies to the participant count, not the ring size.
+    participants = ctx.participants
+    n_eff = n if participants is None else len(participants)
     expected: int | None = None
     source = ""
     if algo == "ring":
-        expected, source = ring_steps(n), "2(N-1)"
+        expected, source = ring_steps(n_eff), "2(N-1)"
     elif algo == "bt":
-        expected, source = bt_steps(n), "2⌈log2 N⌉"
+        expected, source = bt_steps(n_eff), "2⌈log2 N⌉"
     elif algo == "rd":
         if ctx.schedule is None:
             yield Finding(
@@ -301,7 +312,21 @@ def rule_step_count(ctx: CheckContext) -> Iterator[Finding]:
             )
             return
         variant = ctx.schedule.meta.get("variant", "doubling")
-        expected, source = rd_steps(n, variant=variant), f"RD[{variant}]"
+        expected, source = rd_steps(n_eff, variant=variant), f"RD[{variant}]"
+    elif algo == "swing":
+        expected, source = swing_steps(n_eff), "2⌊log2 N⌋ (+2 off powers of two)"
+    elif algo == "scring":
+        if ctx.schedule is None:
+            yield Finding(
+                "PLAN004", Severity.INFO,
+                "skipped: SCRing pipeline knob unknown without the schedule",
+            )
+            return
+        pipeline = ctx.schedule.meta.get("pipeline", 1)
+        expected, source = (
+            scring_steps(n_eff, pipeline),
+            f"2⌈(N-1)/min(2·{pipeline}, N-1)⌉",
+        )
     elif algo == "wrht":
         plan = ctx.wrht_plan
         if plan is None:
@@ -310,10 +335,6 @@ def rule_step_count(ctx: CheckContext) -> Iterator[Finding]:
                 "skipped: WRHT plan metadata unavailable",
             )
             return
-        # A shrunk (degraded) schedule runs WRHT over the survivors: the
-        # closed form applies to the participant count, not the ring size.
-        participants = ctx.participants
-        n_eff = n if participants is None else len(participants)
         closed = wrht_steps(n_eff, plan.m, plan.n_wavelengths)
         if plan.theta != closed:
             yield Finding(
@@ -336,7 +357,7 @@ def rule_step_count(ctx: CheckContext) -> Iterator[Finding]:
         yield Finding(
             "PLAN004", Severity.ERROR,
             f"{algo} covers {actual} steps but the closed form {source} "
-            f"gives {expected} for N={n}",
+            f"gives {expected} for N={n_eff}",
         )
 
 

@@ -20,6 +20,8 @@ from repro.collectives.ring import build_ring_schedule
 from repro.collectives.hring import build_hring_schedule
 from repro.collectives.btree import build_bt_schedule
 from repro.collectives.rd import build_rd_schedule
+from repro.collectives.scring import build_scring_schedule
+from repro.collectives.swing import build_swing_schedule
 from repro.collectives.wrht_schedule import build_wrht_schedule
 from repro.collectives.alltoall import build_alltoall_step
 from repro.collectives.dbtree import build_dbtree_schedule
@@ -29,6 +31,7 @@ from repro.collectives.grouped import (
     verify_grouped_allreduce,
 )
 from repro.collectives.degraded import (
+    build_shrunk_schedule,
     build_shrunk_wrht_schedule,
     shrunk_representatives,
 )
@@ -50,7 +53,10 @@ __all__ = [
     "build_rd_schedule",
     "build_ring_schedule",
     "build_schedule",
+    "build_scring_schedule",
+    "build_shrunk_schedule",
     "build_shrunk_wrht_schedule",
+    "build_swing_schedule",
     "build_wrht_schedule",
     "dump_schedule",
     "load_schedule",

@@ -11,8 +11,6 @@ why BT struggles on large models (Sec 5.5).
 
 from __future__ import annotations
 
-import math
-
 from repro.collectives.base import (
     CommStep,
     Schedule,
@@ -53,7 +51,10 @@ def build_bt_schedule(n_nodes: int, total_elems: int, materialize: bool | None =
     check_positive_int("total_elems", total_elems)
     if n_nodes == 1:
         return singleton_schedule("bt", total_elems)
-    n_levels = math.ceil(math.log2(n_nodes))
+    # ``(n-1).bit_length()`` is ⌈log₂ n⌉ computed exactly in integers —
+    # no float log2 that could misround near large powers of two, and no
+    # math domain error should the n_nodes guard above ever regress.
+    n_levels = (n_nodes - 1).bit_length()
     steps: list[CommStep] = []
     for k in range(1, n_levels + 1):
         steps.append(

@@ -19,8 +19,6 @@ node per step is at most one transfer per tree, each of ``d/2``.
 
 from __future__ import annotations
 
-import math
-
 from repro.collectives.base import (
     CommStep,
     Schedule,
@@ -34,7 +32,9 @@ from repro.util.validation import check_positive_int
 def _tree_steps(n: int, lo: int, hi: int, rotate: int) -> list[list[Transfer]]:
     """Binomial reduce+broadcast transfers over ``[lo, hi)`` with rank ids
     rotated by ``rotate``."""
-    n_levels = math.ceil(math.log2(n))
+    if n < 2:
+        raise ValueError(f"a binomial tree needs n >= 2 ranks, got {n!r}")
+    n_levels = (n - 1).bit_length()  # exact ⌈log₂ n⌉, no float rounding
     steps: list[list[Transfer]] = []
     for k in range(1, n_levels + 1):
         half = 1 << (k - 1)
@@ -84,7 +84,7 @@ def build_dbtree_schedule(
     tree_a = _tree_steps(n_nodes, 0, mid, rotate=0)
     tree_b = _tree_steps(n_nodes, mid, total_elems, rotate=rotate)
     steps = []
-    n_levels = math.ceil(math.log2(n_nodes))
+    n_levels = (n_nodes - 1).bit_length()
     for idx, (a, b) in enumerate(zip(tree_a, tree_b)):
         stage = "reduce" if idx < n_levels else "broadcast"
         transfers = tuple(

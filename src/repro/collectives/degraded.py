@@ -89,6 +89,44 @@ def build_shrunk_wrht_schedule(
     return schedule
 
 
+def build_shrunk_schedule(
+    algorithm: str,
+    n_nodes: int,
+    total_elems: int,
+    survivors: Sequence[int],
+    **kwargs,
+) -> Schedule:
+    """Any registered All-reduce over a subset of the ring's nodes.
+
+    The generic analogue of :func:`build_shrunk_wrht_schedule` used by the
+    rival-collectives fault sweep: build the algorithm's template over the
+    ``k`` survivors and remap logical rank ``i`` onto the ``i``-th smallest
+    surviving physical id (ring order preserved). The result carries
+    ``meta["participants"]`` so PLAN003 verifies the survivors' reduction
+    and PLAN004 checks the closed form against the survivor count.
+
+    Args:
+        algorithm: Any :func:`repro.collectives.registry.available_algorithms`
+            name (for ``"wrht"`` prefer :func:`build_shrunk_wrht_schedule`,
+            which replans the hierarchy).
+        n_nodes: Physical ring size N (the schedule's node-id space).
+        total_elems: Gradient vector length.
+        survivors: Physical ids participating (>= 2, distinct).
+        **kwargs: Forwarded to the builder (``pipeline``, ``m``, ...).
+    """
+    from repro.collectives.registry import build_schedule
+
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("total_elems", total_elems)
+    ordered = _check_survivors(survivors, n_nodes)
+    template = build_schedule(
+        algorithm, len(ordered), total_elems, materialize=True, **kwargs
+    )
+    schedule = remap_schedule(template, ordered, n_nodes)
+    schedule.meta["participants"] = ordered
+    return schedule
+
+
 def shrunk_representatives(
     plan: WrhtPlan, survivors: Sequence[int]
 ) -> tuple[tuple[int, ...], ...]:

@@ -124,6 +124,13 @@ def build_rd_schedule(
     floor_log = n_nodes.bit_length() - 1
     p = 1 << floor_log
     r = n_nodes - p
+    if p < 2:
+        # Unreachable today (n_nodes == 1 returned above, n_nodes < 1 was
+        # rejected), but the floor path must never emit an empty core: a
+        # regression surfaces as a typed error, not an ill-formed schedule.
+        raise ValueError(
+            f"recursive doubling needs a >= 2-rank core, got n_nodes={n_nodes}"
+        )
     steps: list[CommStep] = []
 
     if r > 0:  # pre-step: odd members of the first 2r nodes fold onto evens

@@ -2,7 +2,14 @@
 
 The experiment runner, CLI and training substrate all select algorithms by
 the short names used throughout the paper's figures: ``ring``, ``hring``,
-``bt``, ``rd`` and ``wrht``.
+``bt``, ``dbtree``, ``rd``, ``wrht`` — plus the rival collectives ``swing``
+(distance-doubling ring short-cuts) and ``scring`` (short-circuiting ring).
+
+Name resolution is an explicit alias table: every canonical key plus its
+display name (and nothing else) resolves, case-insensitively. The old
+``name.lower().replace("-", "")`` normalization silently accepted garbage
+spellings like ``"w-r-h-t"``; an unknown name now raises ``ValueError``
+listing every accepted spelling.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ from repro.collectives.dbtree import build_dbtree_schedule
 from repro.collectives.hring import build_hring_schedule
 from repro.collectives.rd import build_rd_schedule
 from repro.collectives.ring import build_ring_schedule
+from repro.collectives.scring import build_scring_schedule
+from repro.collectives.swing import build_swing_schedule
 from repro.collectives.wrht_schedule import build_wrht_schedule
 
 _BUILDERS: dict[str, Callable[..., Schedule]] = {
@@ -24,6 +33,8 @@ _BUILDERS: dict[str, Callable[..., Schedule]] = {
     "dbtree": build_dbtree_schedule,
     "rd": build_rd_schedule,
     "wrht": build_wrht_schedule,
+    "swing": build_swing_schedule,
+    "scring": build_scring_schedule,
 }
 
 # Pretty names as used in the paper's figures.
@@ -34,12 +45,31 @@ DISPLAY_NAMES = {
     "dbtree": "DBTree",
     "rd": "RD",
     "wrht": "WRHT",
+    "swing": "Swing",
+    "scring": "SCRing",
+}
+
+assert set(DISPLAY_NAMES) == set(_BUILDERS), (
+    "DISPLAY_NAMES and _BUILDERS must register the same algorithm keys: "
+    f"{sorted(set(DISPLAY_NAMES) ^ set(_BUILDERS))} differ"
+)
+
+#: Explicit spelling → canonical key table (lower-cased lookup): each
+#: canonical key plus its figure display name, and nothing else.
+_ALIASES: dict[str, str] = {
+    **{key: key for key in _BUILDERS},
+    **{display.lower(): key for key, display in DISPLAY_NAMES.items()},
 }
 
 
 def available_algorithms() -> list[str]:
     """Registered algorithm names, sorted."""
     return sorted(_BUILDERS)
+
+
+def accepted_spellings() -> list[str]:
+    """Every spelling :func:`build_schedule` resolves (canonical + display)."""
+    return sorted(set(_ALIASES) | {DISPLAY_NAMES[k] for k in _BUILDERS})
 
 
 def build_schedule(name: str, n_nodes: int, total_elems: int, **kwargs) -> Schedule:
@@ -51,11 +81,15 @@ def build_schedule(name: str, n_nodes: int, total_elems: int, **kwargs) -> Sched
         n_nodes: Participants.
         total_elems: Gradient vector length.
         **kwargs: Forwarded to the specific builder (``m``,
-            ``n_wavelengths``, ``materialize``, ...).
+            ``n_wavelengths``, ``materialize``, ``pipeline``, ...).
+
+    Raises:
+        ValueError: ``name`` is not an accepted spelling.
     """
-    key = name.lower().replace("-", "")
-    if key not in _BUILDERS:
-        raise KeyError(
-            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+    key = _ALIASES.get(name.lower() if isinstance(name, str) else name)
+    if key is None:
+        raise ValueError(
+            f"unknown algorithm {name!r}; accepted spellings: "
+            f"{accepted_spellings()}"
         )
     return _BUILDERS[key](n_nodes, total_elems, **kwargs)

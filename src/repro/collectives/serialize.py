@@ -22,19 +22,48 @@ FORMAT_VERSION = 1
 
 _JSON_SAFE = (str, int, float, bool, type(None))
 
+_DROPPED_KEY = "_dropped_meta"
+
+
+def _json_safe_value(value) -> tuple[bool, object]:
+    """``(keep, converted)``: scalars pass through, flat sequences of
+    scalars become lists (tuples like ``participants``/``mapping`` must
+    survive the round trip; they come back as lists)."""
+    if isinstance(value, _JSON_SAFE):
+        return True, value
+    if isinstance(value, (list, tuple)) and all(
+        isinstance(item, _JSON_SAFE) for item in value
+    ):
+        return True, list(value)
+    return False, None
+
 
 def schedule_to_dict(schedule: Schedule) -> dict:
-    """Convert a materialized schedule to a JSON-safe dict."""
+    """Convert a materialized schedule to a JSON-safe dict.
+
+    Rich ``meta`` values (plan objects, ...) are dropped and their keys
+    recorded under ``"_dropped_meta"``. The marker itself is excluded from
+    the drop computation and merged with any marker from a previous round
+    trip, so serialize → deserialize → serialize is idempotent (keys never
+    accumulate or nest).
+    """
     if schedule.steps is None:
         raise ValueError("only materialized schedules can be serialized")
-    meta = {
-        key: value
-        for key, value in schedule.meta.items()
-        if isinstance(value, _JSON_SAFE)
-    }
-    dropped = sorted(set(schedule.meta) - set(meta))
+    meta = {}
+    dropped = set()
+    for key, value in schedule.meta.items():
+        if key == _DROPPED_KEY:
+            continue
+        keep, converted = _json_safe_value(value)
+        if keep:
+            meta[key] = converted
+        else:
+            dropped.add(key)
+    prior = schedule.meta.get(_DROPPED_KEY)
+    if isinstance(prior, (list, tuple)):
+        dropped.update(str(key) for key in prior)
     if dropped:
-        meta["_dropped_meta"] = dropped
+        meta[_DROPPED_KEY] = sorted(dropped)
     return {
         "format_version": FORMAT_VERSION,
         "algorithm": schedule.algorithm,

@@ -67,6 +67,47 @@ def rd_steps(n_nodes: int, variant: str = "doubling") -> int:
     return core + 2
 
 
+def swing_steps(n_nodes: int) -> int:
+    """Swing All-reduce steps: ``2⌊log₂N⌋`` (+2 fold steps off powers of two).
+
+    The recursive-halving reduce-scatter and its mirrored all-gather each
+    take ``⌊log₂N⌋`` steps over the ``P = 2^⌊log₂N⌋`` core ranks; other N
+    pay the MPICH pre-fold and post-broadcast — the same fix-up shape as
+    :func:`rd_steps`, but with a halving (not full-vector) core.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    if n_nodes == 1:
+        return 0
+    floor_log = n_nodes.bit_length() - 1
+    core = 2 * floor_log
+    if n_nodes == 1 << floor_log:
+        return core
+    return core + 2
+
+
+def scring_arc_count(n_nodes: int, pipeline: int = 1) -> int:
+    """Arcs per chunk in the short-circuiting ring: ``min(2·pipeline, N−1)``."""
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("pipeline", pipeline)
+    if n_nodes == 1:
+        return 0
+    return min(2 * pipeline, n_nodes - 1)
+
+
+def scring_steps(n_nodes: int, pipeline: int = 1) -> int:
+    """Short-circuiting-ring steps: ``2⌈(N−1)/min(2·pipeline, N−1)⌉``.
+
+    ``pipeline=1`` (two arcs, one per ring direction) gives
+    ``2⌈(N−1)/2⌉ ≈ N−1`` — half of Ring's latency; the knob shrinks the
+    arcs down to the 2-step early-termination limit at ``2·pipeline >= N−1``.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("pipeline", pipeline)
+    if n_nodes == 1:
+        return 0
+    return 2 * math.ceil((n_nodes - 1) / scring_arc_count(n_nodes, pipeline))
+
+
 def hring_steps(n_nodes: int, m: int, w: int) -> int:
     """Hierarchical-Ring All-reduce steps (Ueno & Yokota [28], as in Table 1).
 

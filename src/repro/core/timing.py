@@ -23,7 +23,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.steps import bt_steps, hring_steps, rd_steps, ring_steps, wrht_steps
+from repro.core.steps import (
+    bt_steps,
+    hring_steps,
+    rd_steps,
+    ring_steps,
+    scring_arc_count,
+    wrht_steps,
+)
 from repro.util.validation import check_positive, check_positive_int
 
 
@@ -120,6 +127,48 @@ def rd_time(n_nodes: int, d_bytes: float, model: CostModel) -> float:
     return rd_steps(n_nodes) * model.step_time(d_bytes)
 
 
+def swing_time(n_nodes: int, d_bytes: float, model: CostModel) -> float:
+    """Swing All-reduce time: recursive-halving payloads, ``2⌊log₂N⌋`` steps.
+
+    Step ``s`` of the reduce-scatter (and its all-gather mirror) moves
+    ``d/2^s``, so the total is ``Σ_{s=1}^{⌊log₂N⌋} 2·(d/(2^s·B) + a)`` —
+    ≈2d of traffic like Ring, at logarithmically many reconfigurations.
+    Non-powers of two add the two full-vector MPICH fold steps.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    if n_nodes == 1:
+        return 0.0
+    floor_log = n_nodes.bit_length() - 1
+    total = 0.0
+    if n_nodes != 1 << floor_log:
+        total += 2 * model.step_time(d_bytes)
+    for s in range(1, floor_log + 1):
+        total += 2 * model.step_time(d_bytes / (1 << s))
+    return total
+
+
+def scring_time(
+    n_nodes: int, d_bytes: float, model: CostModel, w: int = 64, pipeline: int = 1
+) -> float:
+    """Short-circuiting-ring time: ``d/N`` chain hops plus hub chord steps.
+
+    With ``A = min(2·pipeline, N−1)`` arcs per chunk and longest arc
+    ``L = ⌈(N−1)/A⌉``, the ``2(L−1)`` chain steps move one ``d/N`` chunk
+    per link, and the two hub steps (chord delivery to the owner and its
+    multicast mirror) concentrate ``A`` chunks on one node — serialized
+    over the ``w`` wavelengths as ``(d/N)·⌈A/w⌉``.
+    """
+    check_positive_int("n_nodes", n_nodes)
+    check_positive_int("w", w)
+    if n_nodes == 1:
+        return 0.0
+    arcs = scring_arc_count(n_nodes, pipeline)
+    longest = math.ceil((n_nodes - 1) / arcs)
+    chunk = d_bytes / n_nodes
+    hub = chunk * math.ceil(arcs / w)
+    return 2 * (longest - 1) * model.step_time(chunk) + 2 * model.step_time(hub)
+
+
 def hring_time(n_nodes: int, d_bytes: float, model: CostModel, m: int, w: int) -> float:
     """H-Ring All-reduce time.
 
@@ -182,6 +231,7 @@ def analytic_profile(
     wrht_m: int | None = None,
     hring_m: int = 5,
     w: int = 64,
+    scring_pipeline: int = 1,
 ) -> tuple[AnalyticStepClass, ...]:
     """Step-class decomposition matching :func:`algorithm_time`.
 
@@ -200,6 +250,33 @@ def analytic_profile(
         return (AnalyticStepClass("reduce", bt_steps(n_nodes), d_bytes),)
     if name == "RD":
         return (AnalyticStepClass("exchange", rd_steps(n_nodes), d_bytes),)
+    if name == "Swing":
+        floor_log = n_nodes.bit_length() - 1
+        fold = n_nodes != 1 << floor_log
+        classes = []
+        if fold:
+            classes.append(AnalyticStepClass("reduce", 1, d_bytes))
+        for s in range(1, floor_log + 1):
+            classes.append(AnalyticStepClass("reduce", 1, d_bytes / (1 << s)))
+        for s in range(floor_log, 0, -1):
+            classes.append(AnalyticStepClass("broadcast", 1, d_bytes / (1 << s)))
+        if fold:
+            classes.append(AnalyticStepClass("broadcast", 1, d_bytes))
+        return tuple(classes)
+    if name == "SCRing":
+        check_positive_int("w", w)
+        arcs = scring_arc_count(n_nodes, scring_pipeline)
+        longest = math.ceil((n_nodes - 1) / arcs)
+        chunk = d_bytes / n_nodes
+        hub = chunk * math.ceil(arcs / w)
+        classes = []
+        if longest > 1:
+            classes.append(AnalyticStepClass("reduce", longest - 1, chunk))
+        classes.append(AnalyticStepClass("reduce", 1, hub))
+        classes.append(AnalyticStepClass("broadcast", 1, hub))
+        if longest > 1:
+            classes.append(AnalyticStepClass("broadcast", longest - 1, chunk))
+        return tuple(classes)
     if name == "WRHT":
         from repro.core.wavelengths import optimal_group_size
 
@@ -241,17 +318,20 @@ def algorithm_time(
     wrht_m: int | None = None,
     hring_m: int = 5,
     w: int = 64,
+    scring_pipeline: int = 1,
 ) -> float:
     """Dispatch helper used by the experiment runner.
 
     Args:
-        name: One of ``"Ring"``, ``"H-Ring"``, ``"BT"``, ``"RD"``, ``"WRHT"``.
+        name: One of ``"Ring"``, ``"H-Ring"``, ``"BT"``, ``"RD"``, ``"WRHT"``,
+            ``"Swing"``, ``"SCRing"``.
         n_nodes: N.
         d_bytes: Gradient bytes per node.
         model: Cost parameters.
         wrht_m: WRHT group size (defaults to Lemma 1's ``min(2w+1, N)``).
         hring_m: H-Ring intra-group size.
         w: Wavelengths available.
+        scring_pipeline: SCRing arc-count knob (``A = min(2·pipeline, N−1)``).
     """
     if name == "Ring":
         return ring_time(n_nodes, d_bytes, model)
@@ -259,6 +339,10 @@ def algorithm_time(
         return bt_time(n_nodes, d_bytes, model)
     if name == "RD":
         return rd_time(n_nodes, d_bytes, model)
+    if name == "Swing":
+        return swing_time(n_nodes, d_bytes, model)
+    if name == "SCRing":
+        return scring_time(n_nodes, d_bytes, model, w, scring_pipeline)
     if name == "H-Ring":
         return hring_time(n_nodes, d_bytes, model, hring_m, w)
     if name == "WRHT":

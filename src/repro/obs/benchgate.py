@@ -273,6 +273,65 @@ def compare_service(
     return report
 
 
+def compare_collectives(
+    current: dict,
+    baseline: dict | None,
+    *,
+    rel_tol: float = DEFAULT_SIM_REL_TOL,
+) -> GateReport:
+    """Gate re-measured bake-off rows against a ``BENCH_collectives.json`` dict.
+
+    ``current`` carries the two sections the bench emits: ``curves``
+    (algorithm x backend x N x payload completion times) and ``faults``
+    (algorithm x canonical fault scenario on the optical substrate). Both
+    are deterministic simulated quantities: step and survivor counts are
+    structural and gated exactly, times and availability with the tight
+    relative tolerance. Fault rows must additionally verify clean
+    (``n_errors == 0``) — the same contract as :func:`compare_faults`.
+    """
+    report = GateReport()
+    if baseline is None:
+        baseline = {}
+    base_curves = {
+        (row["algorithm"], row["backend"], row["n_nodes"], row["elems"]): row
+        for row in baseline.get("curves", [])
+    }
+    for row in current.get("curves", []):
+        key = (row["algorithm"], row["backend"], row["n_nodes"], row["elems"])
+        label = (
+            f"collectives.{row['algorithm']}.{row['backend']}"
+            f".n{row['n_nodes']}.e{row['elems']}"
+        )
+        base = base_curves.get(key)
+        _check_exact(
+            report, f"{label}.n_steps", row["n_steps"],
+            None if base is None else base.get("n_steps"),
+        )
+        _check_rel(
+            report, f"{label}.total_time_s", row["total_time_s"],
+            None if base is None else base.get("total_time_s"), rel_tol,
+        )
+    base_faults = {
+        (row["algorithm"], row["scenario"]): row
+        for row in baseline.get("faults", [])
+    }
+    for row in current.get("faults", []):
+        key = (row["algorithm"], row["scenario"])
+        label = f"collectives.{row['algorithm']}.{row['scenario']}"
+        base = base_faults.get(key)
+        _check_exact(report, f"{label}.n_errors", row["n_errors"], 0)
+        _check_exact(
+            report, f"{label}.n_survivors", row["n_survivors"],
+            None if base is None else base.get("n_survivors"),
+        )
+        for field_name in ("healthy_s", "degraded_s", "availability"):
+            _check_rel(
+                report, f"{label}.{field_name}", row[field_name],
+                None if base is None else base.get(field_name), rel_tol,
+            )
+    return report
+
+
 #: Deterministic per-cell fields of a fault-sweep row, gated with the tight
 #: relative tolerance (``n_survivors``/``n_errors`` are gated exactly).
 _FAULT_REL_FIELDS = ("healthy_s", "degraded_s", "slowdown_pct", "availability")

@@ -227,14 +227,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--phy", action="store_true", help="apply Sec 4.4 constraints")
     p.set_defaults(fn=_cmd_plan)
 
+    from repro.collectives.registry import available_algorithms
+
     p = sub.add_parser("verify", help="numerically verify a schedule")
-    p.add_argument("algorithm", choices=("ring", "hring", "bt", "rd", "wrht"))
+    p.add_argument("algorithm", choices=available_algorithms())
     p.add_argument("--nodes", type=int, default=32)
     p.add_argument("--wavelengths", type=int, default=8)
     p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("show", help="render a schedule's activity grid")
-    p.add_argument("algorithm", choices=("ring", "hring", "bt", "rd", "wrht"))
+    p.add_argument("algorithm", choices=available_algorithms())
     p.add_argument("--nodes", type=int, default=15)
     p.add_argument("--wavelengths", type=int, default=2)
     p.set_defaults(fn=_cmd_show)

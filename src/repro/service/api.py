@@ -48,7 +48,7 @@ from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.service.errors import ServiceRequestError
 
 #: Algorithms a request may name (the experiment display names).
-ALGORITHMS = ("Ring", "H-Ring", "BT", "RD", "WRHT")
+ALGORITHMS = ("Ring", "H-Ring", "BT", "RD", "WRHT", "Swing", "SCRing")
 
 _DEFAULT_HRING_M = 5
 

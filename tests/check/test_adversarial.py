@@ -126,6 +126,71 @@ class TestSwappedTransfer:
         )
 
 
+class TestRivalCollectiveCorruption:
+    """The same soundness contract for the non-paper rivals (Swing/SCRing)."""
+
+    def test_swing_dropped_sum_transfer_trips_plan003(self):
+        sched = build_schedule("swing", 8, 64, materialize=True)
+        steps = list(sched.steps)
+        victim_idx = next(
+            i for i, s in enumerate(steps)
+            if any(t.op == "sum" for t in s.transfers)
+        )
+        victim = steps[victim_idx]
+        kept = tuple(t for t in victim.transfers if t.op == "sum")[1:]
+        copies = tuple(t for t in victim.transfers if t.op != "sum")
+        steps[victim_idx] = CommStep(
+            transfers=copies + kept, stage=victim.stage, level=victim.level
+        )
+        findings = verify_plan(schedule=_rebuilt(sched, steps))
+        assert "PLAN003" in _error_ids(findings)
+
+    def test_swing_dropped_step_trips_plan004(self):
+        sched = build_schedule("swing", 16, 64, materialize=True)
+        mutated = _rebuilt(sched, list(sched.steps)[:-1])
+        findings = verify_plan(schedule=mutated)
+        assert "PLAN004" in _error_ids(findings)
+
+    def test_scring_swapped_src_dst_trips_plan003(self):
+        sched = build_schedule("scring", 16, 64, materialize=True, pipeline=2)
+        steps = list(sched.steps)
+        victim = steps[0]
+        t = victim.transfers[0]
+        swapped = Transfer(src=t.dst, dst=t.src, lo=t.lo, hi=t.hi, op=t.op)
+        steps[0] = CommStep(
+            transfers=(swapped, *victim.transfers[1:]),
+            stage=victim.stage,
+            level=victim.level,
+        )
+        findings = verify_plan(schedule=_rebuilt(sched, steps))
+        assert "PLAN003" in _error_ids(findings)
+
+    def test_scring_dropped_step_trips_plan004(self):
+        # The expected count depends on the pipeline knob carried in meta:
+        # the rule must read it from the schedule, not assume the default.
+        sched = build_schedule("scring", 16, 64, materialize=True, pipeline=2)
+        mutated = _rebuilt(sched, list(sched.steps)[:-1])
+        findings = verify_plan(schedule=mutated)
+        assert "PLAN004" in _error_ids(findings)
+
+    def test_scring_shifted_interval_trips_plan003(self):
+        sched = build_schedule("scring", 8, 64, materialize=True)
+        steps = list(sched.steps)
+        victim_idx = next(
+            i for i, s in enumerate(steps)
+            if any(t.hi - t.lo > 1 for t in s.transfers)
+        )
+        victim = steps[victim_idx]
+        t = next(t for t in victim.transfers if t.hi - t.lo > 1)
+        rest = tuple(u for u in victim.transfers if u is not t)
+        shifted = Transfer(src=t.src, dst=t.dst, lo=t.lo + 1, hi=t.hi, op=t.op)
+        steps[victim_idx] = CommStep(
+            transfers=(shifted, *rest), stage=victim.stage, level=victim.level
+        )
+        findings = verify_plan(schedule=_rebuilt(sched, steps))
+        assert "PLAN003" in _error_ids(findings)
+
+
 class TestPortBudgetExhaustion:
     def test_tiny_mrr_budget_trips_plan002(self):
         net = _net()

@@ -15,7 +15,7 @@ from repro.collectives.base import CommStep, Schedule, Transfer
 from repro.collectives.registry import build_schedule
 from repro.collectives.verify import ScheduleConflictError, verify_allreduce
 
-ALGORITHMS = ["ring", "bt", "rd", "hring", "wrht"]
+ALGORITHMS = ["ring", "bt", "rd", "hring", "wrht", "swing", "scring"]
 
 
 def _build(algo: str, n: int = 12, elems: int = 24) -> Schedule:
@@ -24,6 +24,8 @@ def _build(algo: str, n: int = 12, elems: int = 24) -> Schedule:
         kwargs["m"] = 4
     if algo == "wrht":
         kwargs["n_wavelengths"] = 3
+    if algo == "scring":
+        kwargs["pipeline"] = 2
     return build_schedule(algo, n, elems, materialize=True, **kwargs)
 
 

@@ -23,17 +23,24 @@ from repro.collectives.verify import (
     run_schedule,
     verify_allreduce,
 )
-from repro.core.steps import bt_steps, rd_steps, ring_steps, wrht_steps
+from repro.core.steps import (
+    bt_steps,
+    rd_steps,
+    ring_steps,
+    scring_steps,
+    swing_steps,
+    wrht_steps,
+)
 
-ALGORITHMS = ["ring", "bt", "rd", "hring", "wrht"]
+ALGORITHMS = ["ring", "bt", "rd", "hring", "wrht", "swing", "scring"]
 
 
-def _build(algo: str, n: int, elems: int) -> Schedule:
+def _build(algo: str, n: int, elems: int, **kwargs) -> Schedule:
     if algo == "hring":
-        return build_schedule(algo, n, elems, m=min(5, n), materialize=True)
+        kwargs.setdefault("m", min(5, n))
     if algo == "wrht":
-        return build_schedule(algo, n, elems, n_wavelengths=8, materialize=True)
-    return build_schedule(algo, n, elems, materialize=True)
+        kwargs.setdefault("n_wavelengths", 8)
+    return build_schedule(algo, n, elems, materialize=True, **kwargs)
 
 
 @settings(max_examples=60, deadline=None)
@@ -61,6 +68,8 @@ def test_closed_form_step_counts(n):
     assert _build("bt", n, 8).n_steps == bt_steps(n)
     assert _build("rd", n, 8).n_steps == rd_steps(n)
     assert _build("wrht", n, 8).n_steps == wrht_steps(n, min(17, n), 8)
+    assert _build("swing", n, 8).n_steps == swing_steps(n)
+    assert _build("scring", n, 8).n_steps == scring_steps(n)
 
 
 @settings(max_examples=20, deadline=None)
@@ -80,8 +89,43 @@ def test_profile_step_totals_match_materialized(algo, n):
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.sampled_from(["bt", "rd", "wrht"]), st.integers(2, 32), st.integers(1, 50))
+@given(
+    st.sampled_from(["bt", "rd", "wrht", "swing", "scring"]),
+    st.integers(2, 32),
+    st.integers(1, 50),
+)
 def test_exact_profiles_validate(algo, n, elems):
     sched = _build(algo, n, elems)
     if sched.meta.get("profile_exact"):
         sched.validate_against_profile()
+
+
+# -- tentpole-specific closed-form bounds -------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 300))
+def test_swing_step_bound(n):
+    # Swing never exceeds RD's halving-doubling bound 2⌈log2 N⌉ (+2 fold),
+    # and materialized schedules match the closed form exactly.
+    assert swing_steps(n) <= 2 * ((n - 1).bit_length()) + 2
+    assert swing_steps(n) == rd_steps(n, variant="halving_doubling")
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 300), st.integers(1, 200))
+def test_scring_step_interpolation(n, pipeline):
+    # The pipeline knob interpolates between half-of-Ring and the 2-step
+    # early-termination limit, monotonically non-increasing in depth.
+    steps = scring_steps(n, pipeline)
+    assert 2 <= steps <= ring_steps(n) // 2 + 2
+    assert steps >= scring_steps(n, pipeline + 1)
+    if 2 * pipeline >= n - 1:
+        assert steps == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 48), st.integers(1, 6), st.integers(1, 100))
+def test_scring_postcondition_across_pipeline_depths(n, pipeline, elems):
+    sched = _build("scring", n, elems, pipeline=pipeline)
+    assert sched.n_steps == scring_steps(n, pipeline)
+    verify_allreduce(sched)

@@ -2,26 +2,60 @@
 
 import pytest
 
-from repro.collectives.registry import available_algorithms, build_schedule
+from repro.collectives.registry import (
+    DISPLAY_NAMES,
+    accepted_spellings,
+    available_algorithms,
+    build_schedule,
+)
 
 
 class TestRegistry:
     def test_all_registered(self):
         assert available_algorithms() == [
-            "bt", "dbtree", "hring", "rd", "ring", "wrht",
+            "bt", "dbtree", "hring", "rd", "ring", "scring", "swing", "wrht",
         ]
 
+    def test_display_name_parity(self):
+        assert set(DISPLAY_NAMES) == set(available_algorithms())
+
     def test_display_names_accepted(self):
-        for name in ("Ring", "H-Ring", "BT", "DBTree", "RD", "WRHT"):
+        for name in (
+            "Ring", "H-Ring", "BT", "DBTree", "RD", "WRHT", "Swing", "SCRing"
+        ):
             sched = build_schedule(name, 4, 8)
             assert sched.n_nodes == 4
+
+    def test_round_trip_every_algorithm(self):
+        # Canonical name, display name, and their case variants all resolve
+        # to the same builder.
+        for key in available_algorithms():
+            display = DISPLAY_NAMES[key]
+            for spelling in (key, key.upper(), display, display.lower()):
+                sched = build_schedule(spelling, 4, 8)
+                assert sched.algorithm == key, (spelling, sched.algorithm)
+
+    def test_accepted_spellings_cover_both_namespaces(self):
+        spellings = accepted_spellings()
+        assert "swing" in spellings and "scring" in spellings
+        assert "h-ring" in spellings  # lowercased display name
 
     def test_kwargs_forwarded(self):
         sched = build_schedule("wrht", 64, 8, n_wavelengths=4)
         assert sched.meta["plan"].n_wavelengths == 4
         sched = build_schedule("hring", 20, 8, m=4)
         assert sched.meta["m"] == 4
+        sched = build_schedule("scring", 16, 32, pipeline=3)
+        assert sched.meta["pipeline"] == 3
 
-    def test_unknown_rejected(self):
-        with pytest.raises(KeyError, match="unknown algorithm"):
+    def test_unknown_rejected_with_value_error(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
             build_schedule("allgatherv", 4, 8)
+
+    def test_near_miss_spelling_rejected(self):
+        with pytest.raises(ValueError, match="accepted spellings"):
+            build_schedule("w-r-h-t", 4, 8)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            build_schedule(None, 4, 8)

@@ -1,0 +1,114 @@
+"""Swing All-reduce schedule tests (arXiv 2401.09356 construction)."""
+
+import pytest
+
+from repro.collectives.degraded import build_shrunk_schedule
+from repro.collectives.registry import build_schedule
+from repro.collectives.serialize import schedule_from_dict, schedule_to_dict
+from repro.collectives.swing import (
+    build_swing_schedule,
+    swing_distance,
+    swing_peer,
+)
+from repro.collectives.verify import verify_allreduce
+from repro.core.steps import swing_steps
+
+
+class TestPeerFunction:
+    def test_distance_sequence(self):
+        # ρ(s) = (1 − (−2)^{s+1})/3: 1, −1, 3, −5, 11, −21, ...
+        assert [swing_distance(s) for s in range(6)] == [1, -1, 3, -5, 11, -21]
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32, 64])
+    def test_peer_is_involution_and_parity_flipping(self, p):
+        for s in range(p.bit_length() - 1):
+            for rank in range(p):
+                peer = swing_peer(rank, s, p)
+                assert peer != rank
+                assert peer % 2 != rank % 2  # even↔odd pairing
+                assert swing_peer(peer, s, p) == rank
+
+    @pytest.mark.parametrize("p", [4, 8, 16, 32])
+    def test_each_rank_meets_distinct_peers(self, p):
+        k = p.bit_length() - 1
+        for rank in range(p):
+            peers = {swing_peer(rank, s, p) for s in range(k)}
+            assert len(peers) == k
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8, 15, 16, 31, 32, 64, 100])
+    def test_postcondition_and_closed_form(self, n):
+        sched = build_swing_schedule(n, 64, materialize=True)
+        assert sched.n_steps == swing_steps(n)
+        verify_allreduce(sched)
+
+    def test_singleton(self):
+        assert build_swing_schedule(1, 8).n_steps == 0
+
+    def test_meta_tags(self):
+        pow2 = build_swing_schedule(16, 64, materialize=True)
+        assert pow2.meta["power_of_two"] is True
+        assert pow2.meta["profile_exact"] is True
+        odd = build_swing_schedule(15, 64, materialize=True)
+        assert odd.meta["power_of_two"] is False
+
+    def test_materialized_profile_validates(self):
+        for n in (8, 15, 24):
+            build_swing_schedule(n, 50, materialize=True).validate_against_profile()
+
+    def test_synthetic_profile_keeps_step_count(self):
+        for n in (256, 1000, 1024):
+            sched = build_swing_schedule(n, 10_000, materialize=False)
+            assert sched.n_steps == swing_steps(n)
+            assert sched.meta["profile_exact"] is False
+
+    def test_registry_spellings(self):
+        assert build_schedule("swing", 8, 16).algorithm == "swing"
+        assert build_schedule("Swing", 8, 16).algorithm == "swing"
+
+    def test_degenerate_total_elems(self):
+        # Fewer elements than ranks: zero-size chunks are legal, the sum
+        # must still land everywhere.
+        verify_allreduce(build_swing_schedule(16, 3, materialize=True))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            build_swing_schedule(0, 8)
+        with pytest.raises(ValueError):
+            build_swing_schedule(8, 0)
+
+
+class TestDegraded:
+    def test_shrunk_schedule_covers_survivors(self):
+        survivors = (0, 1, 2, 4, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15)
+        sched = build_shrunk_schedule("swing", 16, 64, survivors)
+        assert sched.meta["participants"] == survivors
+        assert sched.n_steps == swing_steps(len(survivors))
+        touched = {
+            node
+            for step in sched.iter_steps()
+            for t in step.transfers
+            for node in (t.src, t.dst)
+        }
+        assert touched <= set(survivors)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        original = build_swing_schedule(15, 48, materialize=True)
+        restored = schedule_from_dict(schedule_to_dict(original))
+        verify_allreduce(restored)
+        assert restored.meta["power_of_two"] is False
+        assert restored.meta["profile_exact"] is True
+
+    def test_dropped_meta_marker_is_idempotent(self):
+        sched = build_shrunk_schedule("swing", 16, 64, tuple(range(1, 16)))
+        once = schedule_to_dict(sched)
+        # participants/mapping are flat int tuples — they must survive as
+        # JSON lists, not be dropped.
+        assert once["meta"]["participants"] == list(range(1, 16))
+        twice = schedule_to_dict(schedule_from_dict(once))
+        assert once["meta"].get("_dropped_meta", []) == twice["meta"].get(
+            "_dropped_meta", []
+        )

@@ -8,6 +8,7 @@ from pathlib import Path
 from repro.obs.benchgate import (
     GateReport,
     GateViolation,
+    compare_collectives,
     compare_faults,
     compare_repair,
     compare_rwa,
@@ -150,6 +151,81 @@ class TestCompareFaults:
         assert {v.kind for v in report.violations} == {"missing-baseline"}
 
 
+_CURVE_ROW = {
+    "algorithm": "swing", "backend": "analytic", "n_nodes": 64,
+    "elems": 100_000, "n_steps": 12, "total_time_s": 1e-3,
+}
+_COLLECTIVE_FAULT_ROW = {
+    "algorithm": "scring-p4", "scenario": "cut-fiber", "n_survivors": 15,
+    "healthy_s": 1e-4, "degraded_s": 2e-4, "availability": 0.5, "n_errors": 0,
+}
+_COLLECTIVES_BASELINE = {
+    "curves": [dict(_CURVE_ROW)],
+    "faults": [dict(_COLLECTIVE_FAULT_ROW)],
+}
+
+
+class TestCompareCollectives:
+    def _current(self, curve_over=None, fault_over=None):
+        return {
+            "curves": [dict(_CURVE_ROW, **(curve_over or {}))],
+            "faults": [dict(_COLLECTIVE_FAULT_ROW, **(fault_over or {}))],
+        }
+
+    def test_pass(self):
+        report = compare_collectives(self._current(), _COLLECTIVES_BASELINE)
+        assert report.ok
+        # 2 curve fields + 5 fault fields.
+        assert len(report.checked) == 7
+
+    def test_step_count_exact(self):
+        report = compare_collectives(
+            self._current(curve_over={"n_steps": 13}), _COLLECTIVES_BASELINE
+        )
+        assert [v.metric for v in report.violations] == [
+            "collectives.swing.analytic.n64.e100000.n_steps"
+        ]
+        assert report.violations[0].kind == "exact"
+
+    def test_time_drift_fails_at_tight_tol(self):
+        report = compare_collectives(
+            self._current(curve_over={"total_time_s": 1.00001e-3}),
+            _COLLECTIVES_BASELINE,
+            rel_tol=1e-6,
+        )
+        assert [v.kind for v in report.violations] == ["rel"]
+        assert compare_collectives(
+            self._current(curve_over={"total_time_s": 1.00001e-3}),
+            _COLLECTIVES_BASELINE,
+            rel_tol=1e-3,
+        ).ok
+
+    def test_fault_row_must_verify_clean(self):
+        # n_errors is gated against the constant 0, baseline or not.
+        report = compare_collectives(
+            self._current(fault_over={"n_errors": 3}), _COLLECTIVES_BASELINE
+        )
+        assert [v.metric for v in report.violations] == [
+            "collectives.scring-p4.cut-fiber.n_errors"
+        ]
+        assert report.violations[0].kind == "exact"
+        # Even without any baseline, a dirty row still fails.
+        bare = compare_collectives(
+            {"faults": [dict(_COLLECTIVE_FAULT_ROW, n_errors=3)]}, None
+        )
+        assert any(
+            v.metric.endswith(".n_errors") and v.kind == "exact"
+            for v in bare.violations
+        )
+
+    def test_missing_baseline_row(self):
+        report = compare_collectives(
+            self._current(curve_over={"n_nodes": 256}), _COLLECTIVES_BASELINE
+        )
+        assert {v.kind for v in report.violations} == {"missing-baseline"}
+        assert len(report.violations) == 2  # n_steps and total_time_s
+
+
 _SERVICE_BASELINE = {
     "service": [
         {"case": "service-micro", "tenants": 4, "requests": 400,
@@ -275,7 +351,12 @@ class TestBenchGateScript:
         baseline["scenarios"][0]["availability"] *= 0.9  # stale cell
         path = tmp_path / "stale.json"
         path.write_text(json.dumps(baseline))
-        proc = _run_gate("--update-baseline", "--baseline-faults", str(path))
+        # Redirect the collectives baseline too so the test never rewrites
+        # the committed BENCH_collectives.json.
+        proc = _run_gate(
+            "--update-baseline", "--baseline-faults", str(path),
+            "--baseline-collectives", str(tmp_path / "collectives.json"),
+        )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         updated = json.loads(path.read_text())
         committed = json.loads((REPO_ROOT / "BENCH_faults.json").read_text())
@@ -283,6 +364,12 @@ class TestBenchGateScript:
 
     def test_update_baseline_creates_missing_file(self, tmp_path):
         path = tmp_path / "fresh.json"
-        proc = _run_gate("--update-baseline", "--baseline-faults", str(path))
+        collectives = tmp_path / "collectives.json"
+        proc = _run_gate(
+            "--update-baseline", "--baseline-faults", str(path),
+            "--baseline-collectives", str(collectives),
+        )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert json.loads(path.read_text())["scenarios"]
+        fresh = json.loads(collectives.read_text())
+        assert fresh["curves"] and fresh["faults"]
