@@ -24,6 +24,7 @@ step count and are covered by the BT rows).
 """
 
 import json
+import os
 from pathlib import Path
 
 from repro.backend.analytic import AnalyticBackend
@@ -59,7 +60,11 @@ ALGORITHMS = (
 #: Node sizes on the closed-form (analytic) backend — reaches Table 1's N.
 ANALYTIC_NODES = (16, 64, 256, 1024)
 #: Node sizes on the simulated backends (see module docstring for the cap).
-SIMULATED_NODES = (16, 64)
+#: The scheduled full-grid CI lane (WRHT_BENCH_FULL=1) lifts the per-push
+#: cap and runs the slow N=256 RWA cells too — artifacts only, not gated.
+SIMULATED_NODES = (
+    (16, 64, 256) if os.environ.get("WRHT_BENCH_FULL") == "1" else (16, 64)
+)
 #: Payload grid: the Fig-5 small-model scale and a Fig-6/7 large-model
 #: scale (elements; x4 bytes).
 PAYLOAD_ELEMS = (100_000, 25_000_000)

@@ -27,6 +27,12 @@ numbers against the committed baselines via :mod:`repro.obs.benchgate`:
   -time curve grid and the canonical fault scenarios. All deterministic:
   step/survivor counts exact, times and availability at the tight
   relative tolerance, zero verification errors required.
+- **Reconfiguration-overlap grid** (``BENCH_reconfig.json``): serial vs
+  overlapped MRR tuning exposure and the reconfigure-vs-hold decision per
+  (algorithm, backend, N, payload) cell, all deterministic: times at the
+  tight relative tolerance, decisions and verification-error counts
+  exact, plus the baseline-independent requirement that overlap strictly
+  beats serial tuning on at least one optical cell.
 
 Exit status: 0 when every comparison passes, 1 on any regression, 2 when
 a baseline file is missing or unreadable. ``--json`` writes the full diff
@@ -35,6 +41,8 @@ wall-clock RWA/repair measurements for a fast deterministic-only run.
 ``--update-baseline`` rewrites the measured cells back into the pinned
 baseline JSONs (leaving unmeasured cells untouched) instead of gating —
 for intentional perf/behavior changes; review the resulting diff.
+``--summary PATH`` appends a markdown gate summary to PATH (pointed at
+``$GITHUB_STEP_SUMMARY`` in CI so every run reports its comparisons).
 
 Usage::
 
@@ -60,6 +68,7 @@ from repro.obs.benchgate import (  # noqa: E402
     GateReport,
     compare_collectives,
     compare_faults,
+    compare_reconfig,
     compare_repair,
     compare_rwa,
     compare_service,
@@ -129,6 +138,18 @@ def measure_service() -> list[dict]:
     return _run_service_micro()
 
 
+def measure_reconfig() -> list[dict]:
+    """Fresh reconfiguration rows, same shape as ``BENCH_reconfig.json``.
+
+    The whole pinned grid (N=8, three backends) re-measures in well under
+    a second, so nothing is excluded from the gate. The scheduled
+    full-grid lane sets ``WRHT_BENCH_FULL=1`` for the larger N=16 cells.
+    """
+    from benchmarks.bench_reconfig import _run_reconfig
+
+    return _run_reconfig()
+
+
 def measure_collectives() -> dict:
     """Fresh bake-off sections, same shape as ``BENCH_collectives.json``.
 
@@ -170,6 +191,37 @@ def update_baseline(
     baseline[section] = merged
     path.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"updated {len(rows)} {section} row(s) in {path}")
+
+
+def write_summary(path: Path, report: GateReport) -> None:
+    """Append a markdown summary of ``report`` to ``path``.
+
+    CI points this at ``$GITHUB_STEP_SUMMARY`` so every bench-gate run —
+    pass or fail — shows its comparison counts (and any violations) on
+    the workflow summary page.
+    """
+    lines = [
+        "## Bench gate",
+        "",
+        f"**{'PASS' if report.ok else 'FAIL'}** — "
+        f"{len(report.checked)} comparison(s), "
+        f"{len(report.violations)} violation(s)",
+        "",
+    ]
+    if report.violations:
+        lines += [
+            "| metric | kind | current | baseline | allowed |",
+            "| --- | --- | --- | --- | --- |",
+        ]
+        lines += [
+            f"| `{v.metric}` | {v.kind} | {v.current!r} | {v.baseline!r} "
+            f"| {v.allowed} |"
+            for v in report.violations
+        ]
+        lines.append("")
+    with path.open("a") as handle:
+        handle.write("\n".join(lines) + "\n")
+    print(f"appended gate summary to {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -227,6 +279,16 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_collectives.json",
         help="override the collectives bake-off baseline path (tests)",
     )
+    parser.add_argument(
+        "--baseline-reconfig", type=Path,
+        default=REPO_ROOT / "BENCH_reconfig.json",
+        help="override the reconfiguration-overlap baseline path (tests)",
+    )
+    parser.add_argument(
+        "--summary", metavar="PATH", default=None,
+        help="append a markdown gate summary to PATH "
+        "(CI points this at $GITHUB_STEP_SUMMARY)",
+    )
     args = parser.parse_args(argv)
 
     perf_baselines = (
@@ -237,7 +299,8 @@ def main(argv: list[str] | None = None) -> int:
     missing = [
         path
         for path in perf_baselines
-        + [args.baseline_faults, args.baseline_collectives]
+        + [args.baseline_faults, args.baseline_collectives,
+           args.baseline_reconfig]
         if load_baseline(path) is None
     ]
     if missing and not args.update_baseline:
@@ -300,6 +363,8 @@ def main(argv: list[str] | None = None) -> int:
     fault_rows = measure_faults()
     print("measuring collectives bake-off grids ...")
     collectives = measure_collectives()
+    print("measuring reconfiguration-overlap grid ...")
+    reconfig_rows = measure_reconfig()
     if args.update_baseline:
         update_baseline(
             args.baseline_faults, "scenarios", fault_rows,
@@ -312,6 +377,10 @@ def main(argv: list[str] | None = None) -> int:
         update_baseline(
             args.baseline_collectives, "faults", collectives["faults"],
             ("algorithm", "scenario"),
+        )
+        update_baseline(
+            args.baseline_reconfig, "reconfig", reconfig_rows,
+            ("algorithm", "backend", "n_nodes", "elems"),
         )
         return 0
     report.merge(
@@ -326,12 +395,20 @@ def main(argv: list[str] | None = None) -> int:
             rel_tol=args.sim_rel_tol,
         )
     )
+    report.merge(
+        compare_reconfig(
+            reconfig_rows, load_baseline(args.baseline_reconfig),
+            rel_tol=args.sim_rel_tol,
+        )
+    )
 
     print(report.render())
     if args.json:
         out = Path(args.json)
         out.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
         print(f"wrote diff record to {out}")
+    if args.summary:
+        write_summary(Path(args.summary), report)
     return 0 if report.ok else 1
 
 

@@ -11,14 +11,18 @@
 #   4. repro.check plan verifier over the figure golden plans
 #   --fast stops here (lint + flow + verifier only — the seconds-scale
 #   pre-commit loop; see docs/TESTING.md). The full gate continues with:
-#   5. fault-injection smoke (seeded degraded scenarios per backend,
+#   5. reconfiguration smoke (one overlapped cell per backend under a
+#      25 us MRR tuning model: optical plans PLAN-clean with the
+#      reconfigure-vs-hold decision logged, analytic overlap beating
+#      serial, electrical untouched)
+#   6. fault-injection smoke (seeded degraded scenarios per backend,
 #      verified by repro.check; live fault runs checked for determinism;
 #      incremental repair cross-checked against from-scratch recoloring
 #      via --paranoid-repair)
-#   6. planning-service smoke (daemon on a temp socket; every backend's
+#   7. planning-service smoke (daemon on a temp socket; every backend's
 #      served answer asserted bit-identical to the in-process path, plus
 #      a faulted request through the repair seam)
-#   7. tier-1 tests (which also auto-verify every lowered plan via the
+#   8. tier-1 tests (which also auto-verify every lowered plan via the
 #      repro.check pytest plugin)
 set -euo pipefail
 
@@ -80,6 +84,61 @@ for algo in available_algorithms():
                 algo, n, result.n_steps, schedule.n_steps
             )
     print(f"  {algo}: verified at N=8/15/64")
+PY
+
+echo "== reconfiguration smoke (tuning model + overlap, per backend) =="
+python - <<'PY'
+from repro.backend.analytic import AnalyticBackend
+from repro.backend.electrical import ElectricalBackend
+from repro.backend.optical import OpticalBackend
+from repro.check.context import optical_context
+from repro.check.engine import verify_plan
+from repro.check.findings import errors
+from repro.collectives import build_schedule
+from repro.core.timing import CostModel
+from repro.electrical.config import ElectricalSystemConfig
+from repro.optical.config import OpticalSystemConfig
+from repro.optical.reconfig import ReconfigModel
+
+T_TUNE = 25e-6
+model = CostModel(line_rate=40e9 / 8, step_overhead=25e-6)
+
+# Optical: lower one overlapped cell through the reconfigure-vs-hold
+# estimator and verify the chosen plan against PLAN000-PLAN008.
+cfg = OpticalSystemConfig(n_nodes=8, n_wavelengths=32, t_tune=T_TUNE)
+for algo, elems in (("swing", 4096), ("rd", 1_000_000)):
+    schedule = build_schedule(algo, 8, elems)
+    backend = OpticalBackend(cfg)
+    plan = backend.lower(schedule)
+    decision = plan.meta["reconfig"]["decision"]
+    context = optical_context(backend, schedule, plan)
+    errs = errors(verify_plan(context=context))
+    assert not errs, (algo, errs)
+    print(
+        f"  optical {algo}/{elems}: decision={decision['chosen']} "
+        f"(reconfigure={decision['reconfigure_s']:.3e}s "
+        f"hold={decision['hold_s']}) PLAN-clean"
+    )
+
+# Analytic: the overlap recurrence must never lose to serial tuning.
+schedule = build_schedule("swing", 8, 1_000_000, materialize=False)
+times = {}
+for overlap in (True, False):
+    backend = AnalyticBackend(
+        model, w=32, reconfig=ReconfigModel(t_tune=T_TUNE), overlap=overlap
+    )
+    times[overlap] = backend.run(schedule).total_time
+assert times[True] < times[False], times
+print(f"  analytic swing: overlap {times[True]:.3e}s < serial {times[False]:.3e}s")
+
+# Electrical: packet switching pays no reconfiguration tax.
+schedule = build_schedule("swing", 8, 4096)
+base = ElectricalBackend(ElectricalSystemConfig(n_nodes=8)).run(schedule)
+taxed = ElectricalBackend(
+    ElectricalSystemConfig(n_nodes=8), reconfig=ReconfigModel(t_tune=T_TUNE)
+).run(schedule)
+assert base.total_time == taxed.total_time
+print(f"  electrical swing: zero tuning tax ({base.total_time:.3e}s)")
 PY
 
 echo "== fault-injection smoke =="

@@ -24,9 +24,15 @@ from repro.backend.errors import BackendConfigError
 from repro.backend.plancache import PlanCache, PlanCacheCounters, default_plan_cache
 from repro.collectives.base import Schedule
 from repro.collectives.registry import DISPLAY_NAMES
-from repro.core.timing import CostModel, algorithm_time, analytic_profile
+from repro.core.timing import (
+    CostModel,
+    algorithm_time,
+    analytic_profile,
+    reconfig_exposed_time,
+)
 from repro.faults.models import FaultSet
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.optical.reconfig import ReconfigModel
 
 _DEFAULT_HRING_M = 5
 
@@ -44,6 +50,8 @@ class AnalyticBackend(Backend):
         plan_cache: PlanCache | None = None,
         faults: FaultSet | None = None,
         metrics: MetricsRegistry = NULL_METRICS,
+        reconfig: ReconfigModel | None = None,
+        overlap: bool = True,
     ) -> None:
         """Args:
         model: Cost parameters (line rate, step overhead, O/E/O).
@@ -55,10 +63,20 @@ class AnalyticBackend(Backend):
             degraded and healthy prices can never alias.
         metrics: Observability registry (default disabled); cache tallies
             are recorded and a snapshot is attached to results.
+        reconfig: Optional MRR tuning model; when enabled, the exposed
+            tuning of :func:`repro.core.timing.reconfig_exposed_time` is
+            added on top of the closed form (the base ``t_tune`` only —
+            closed forms carry no concrete wavelength assignments, so the
+            per-wavelength-distance term and claim holding are priced by
+            the optical backend alone). Also salts the plan-cache key.
+        overlap: Overlap each step's tuning with the previous step's
+            transmission (the recurrence) instead of paying it serially.
         """
         self.model = model
         self.w = w
         self.metrics = metrics
+        self.reconfig = ReconfigModel() if reconfig is None else reconfig
+        self.overlap = overlap
         self.faults = FaultSet() if faults is None else faults
         self.effective_w = w - len(self.faults.dead_wavelengths & frozenset(range(w)))
         if self.effective_w < 1:
@@ -70,6 +88,8 @@ class AnalyticBackend(Backend):
         base: tuple = (model, w, "analytic")
         if self.faults:
             base = base + (self.faults,)
+        if self.reconfig.enabled:
+            base = base + (self.reconfig, overlap)
         self._plan_key_base = base
 
     def lower(self, schedule: Schedule, *, bytes_per_elem: float = 4.0) -> LoweredPlan:
@@ -142,6 +162,13 @@ class AnalyticBackend(Backend):
                 wrht_m=wrht_m, hring_m=hring_m, w=self.effective_w,
                 scring_pipeline=scring_pipeline,
             )
+            if self.reconfig.enabled:
+                # Tuning is additive on top of the untouched closed form,
+                # so the t_tune=0 total stays bit-identical by structure.
+                exposed = reconfig_exposed_time(
+                    classes, self.model, self.reconfig.t_tune, self.overlap
+                )
+                total += exposed
             priced = (
                 total,
                 tuple((c, self.model.step_time(c.payload_bytes)) for c in classes),
@@ -153,6 +180,20 @@ class AnalyticBackend(Backend):
             self.metrics.inc("plan_cache.misses", counters.misses)
             self.metrics.inc("plan_cache.evictions", counters.evictions)
         total, priced_classes = priced
+        meta = {
+            "total_time": total, "wrht_m": wrht_m, "hring_m": hring_m,
+            "w": self.effective_w,
+        }
+        if self.reconfig.enabled:
+            meta["reconfig"] = {
+                "t_tune": self.reconfig.t_tune,
+                "tune_per_channel": 0.0,
+                "overlap": self.overlap,
+                "exposed_tune_s": reconfig_exposed_time(
+                    tuple(c for c, _ in priced_classes),
+                    self.model, self.reconfig.t_tune, self.overlap,
+                ),
+            }
         entries = tuple(
             LoweredStep(
                 stage=cls.stage,
@@ -170,10 +211,7 @@ class AnalyticBackend(Backend):
             bytes_per_elem=bytes_per_elem,
             entries=entries,
             cache=counters,
-            meta={
-                "total_time": total, "wrht_m": wrht_m, "hring_m": hring_m,
-                "w": self.effective_w,
-            },
+            meta=meta,
         )
 
     def execute(self, plan: LoweredPlan) -> ExecutionResult:

@@ -27,14 +27,26 @@ class ElectricalBackend(Backend):
         plan_cache: PlanCache | None = None,
         collect_events: bool = False,
         metrics: MetricsRegistry = NULL_METRICS,
+        reconfig=None,
+        overlap: bool = True,
     ) -> None:
         """Args mirror :class:`~repro.electrical.network.ElectricalNetwork`;
         ``collect_events`` harvests the executor's trace into
         ``ExecutionResult.events``; ``metrics`` (default disabled) collects
-        observability data and attaches a snapshot to results."""
+        observability data and attaches a snapshot to results.
+
+        ``reconfig``/``overlap`` are accepted for interface parity with the
+        optical backends: the fat-tree is packet-switched — there are no
+        MRRs and no circuit setup, so reconfiguration is physically zero
+        here. When a (non-``None``) model is supplied, lowered plans carry
+        a zero-cost ``meta["reconfig"]`` block so bench rows can report
+        the electrical substrate as the tuning-free comparison point.
+        """
         self.config = config
         self.collect_events = collect_events
         self.metrics = metrics
+        self.reconfig = reconfig
+        self.overlap = overlap
         self._tracer = Tracer(enabled=True) if collect_events else None
         self._net = ElectricalNetwork(
             config, tracer=self._tracer, plan_cache=plan_cache, metrics=metrics
@@ -46,8 +58,23 @@ class ElectricalBackend(Backend):
         return self._net
 
     def lower(self, schedule, *, bytes_per_elem: float = 4.0) -> LoweredPlan:
-        """Route and fluid-price each distinct pattern (cross-run cached)."""
-        return self._net.lower(schedule, bytes_per_elem)
+        """Route and fluid-price each distinct pattern (cross-run cached).
+
+        Timings never depend on any reconfiguration model — packet
+        switching pays no circuit setup — but a supplied model is recorded
+        (at zero cost) in the plan meta for observability.
+        """
+        plan = self._net.lower(schedule, bytes_per_elem)
+        if self.reconfig is not None and getattr(self.reconfig, "enabled", False):
+            plan.meta["reconfig"] = {
+                "t_tune": 0.0,
+                "tune_per_channel": 0.0,
+                "overlap": self.overlap,
+                "exposed_tune_s": 0.0,
+                "raw_tune_s": 0.0,
+                "substrate": "packet-switched (no circuit setup)",
+            }
+        return plan
 
     def execute(self, plan: LoweredPlan) -> ExecutionResult:
         """Fold the lowered plan into the uniform execution result."""

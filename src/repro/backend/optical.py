@@ -33,11 +33,14 @@ class OpticalBackend(Backend):
         plan_cache: PlanCache | None = None,
         collect_events: bool = False,
         metrics: MetricsRegistry = NULL_METRICS,
+        overlap: bool = True,
     ) -> None:
         """Args mirror :class:`~repro.optical.network.OpticalRingNetwork`;
         ``collect_events`` additionally harvests the executor's trace into
         ``ExecutionResult.events``; ``metrics`` (default disabled) collects
-        observability data and attaches a snapshot to results."""
+        observability data and attaches a snapshot to results; ``overlap``
+        (default on) lets MRR tuning race the previous round's
+        transmission when the config's reconfiguration model is enabled."""
         self.config = config
         self.collect_events = collect_events
         self.metrics = metrics
@@ -50,6 +53,7 @@ class OpticalBackend(Backend):
             validate=validate,
             plan_cache=plan_cache,
             metrics=metrics,
+            overlap=overlap,
         )
 
     @property
@@ -58,8 +62,18 @@ class OpticalBackend(Backend):
         return self._net
 
     def lower(self, schedule, *, bytes_per_elem: float = 4.0) -> LoweredPlan:
-        """Route/RWA/price each distinct pattern (cross-run cached)."""
-        return self._net.lower(schedule, bytes_per_elem)
+        """Route/RWA/price each distinct pattern (cross-run cached).
+
+        With the config's reconfiguration model enabled (``t_tune > 0``)
+        this runs the reconfigure-vs-hold estimator
+        (:func:`repro.optical.reconfig.choose_plan`) and returns the
+        faster plan, decision recorded in ``meta["reconfig"]["decision"]``.
+        With the model disabled (the default) it is exactly the network's
+        ``lower`` — bit-identical to every pre-reconfig release.
+        """
+        from repro.optical.reconfig import choose_plan
+
+        return choose_plan(self._net, schedule, bytes_per_elem)
 
     def verify(self, plan: LoweredPlan, schedule=None) -> list:
         """Verify with full optical evidence (circuits re-derived).

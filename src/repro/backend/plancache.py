@@ -94,12 +94,22 @@ class CachedRound:
         max_payload_s: The round's slowest payload serialization (seconds).
         peak_wavelength: Highest wavelength index used in the round, plus 1.
         payload_bytes: Total payload bytes the round moves.
+        claims: MRR endpoint claims ``(node, direction, fiber, wavelength)``
+            of the round's circuits, sorted — captured only when the
+            network's reconfiguration model is enabled (empty otherwise, so
+            legacy summaries and on-disk cache entries compare equal).
+        tune_s: Exposed (non-overlapped) MRR tuning seconds charged before
+            this round. Written by the reconfiguration pass
+            (:func:`repro.optical.reconfig.apply_reconfig`); 0.0 keeps the
+            pre-reconfig timings bit-identical.
     """
 
     n_circuits: int
     max_payload_s: float
     peak_wavelength: int
     payload_bytes: float
+    claims: tuple = ()
+    tune_s: float = 0.0
 
 
 class PlanCache:

@@ -175,12 +175,32 @@ def optical_context(
         plan = network.lower(schedule, bytes_per_elem)
     circuit_rounds: dict[int, list[list[Circuit]]] | None = None
     if derive_circuits and network.strategy != "random_fit":
+        # A hold plan (choose_plan's wavelength-partition variant) was
+        # lowered with alternating halves of the budget blocked; re-derive
+        # with the same mask so the circuit rules audit the circuits the
+        # plan actually priced.
+        partitioned = bool(
+            plan is not None
+            and (plan.meta.get("reconfig") or {}).get("partition")
+        )
+        half = network.config.n_wavelengths // 2
+        halves = (
+            frozenset(range(half, network.config.n_wavelengths)),
+            frozenset(range(half)),
+        )
         circuit_rounds = {}
         priced: dict[tuple, list[list[Circuit]]] = {}
         for index, (step, _count, key) in enumerate(schedule.lowering_profile()):
+            extra_blocked = None
+            if partitioned:
+                extra_blocked = halves[index % 2]
+                key = (key, ("partition", index % 2))
             rounds = priced.get(key)
             if rounds is None:
-                rounds = network.plan_step_rounds(step, bytes_per_elem, validate=False)
+                rounds = network.plan_step_rounds(
+                    step, bytes_per_elem, validate=False,
+                    extra_blocked=extra_blocked,
+                )
                 priced[key] = rounds
             circuit_rounds[index] = rounds
     return CheckContext(

@@ -1,4 +1,4 @@
-"""The plan-verifier rule catalog (PLAN000–PLAN007).
+"""The plan-verifier rule catalog (PLAN000–PLAN008).
 
 Every rule here audits a lowered plan *statically* — no simulated clock
 ever advances. The catalog:
@@ -27,6 +27,11 @@ PLAN006    Write conflicts: no order-dependent writes within any step
 PLAN007    No failed resource used: no circuit rides a dead wavelength,
            a banned MRR endpoint port, a quarantined or cut segment, and
            no transfer touches a dropped node (inert without faults).
+PLAN008    Reconfiguration overlap: no circuit transmits on a resource
+           still being tuned — re-derives each round's required exposed
+           MRR tuning from its recorded claims, enforcing wavelength
+           exclusivity across the step k/k+1 boundary (inert without a
+           tuning model).
 =========  ==============================================================
 
 The rules reuse the substrate models as their backends — circuit conflict
@@ -145,13 +150,28 @@ def rule_plan_structure(ctx: CheckContext) -> Iterator[Finding]:
             )
         # Per-entry profile correspondence holds for the pattern-lowering
         # backends; the analytic backend legitimately re-compresses the
-        # profile into closed-form step classes.
-        if plan.backend != "analytic" and len(schedule.timing_profile) != len(
-            plan.entries
+        # profile into closed-form step classes, and the reconfiguration
+        # pass (repro.optical.reconfig) may split an entry whose first
+        # occurrence faces a different tuning boundary than its repeats —
+        # it records the pre-split entry count for this check.
+        n_entries = len(plan.entries)
+        reconfig_info = plan.meta.get("reconfig")
+        if isinstance(reconfig_info, dict):
+            declared = reconfig_info.get("n_profile_entries", n_entries)
+            if n_entries < declared:
+                yield Finding(
+                    "PLAN000", Severity.ERROR,
+                    f"plan has {n_entries} entries but its reconfiguration "
+                    f"meta declares {declared} pre-split profile entries "
+                    "(splitting can only add entries)",
+                )
+            n_entries = declared
+        if plan.backend != "analytic" and len(schedule.timing_profile) != (
+            n_entries
         ):
             yield Finding(
                 "PLAN000", Severity.ERROR,
-                f"plan has {len(plan.entries)} entries but the schedule "
+                f"plan has {n_entries} profile entries but the schedule "
                 f"profile has {len(schedule.timing_profile)}",
             )
 
@@ -530,6 +550,104 @@ def rule_no_failed_resources(ctx: CheckContext) -> Iterator[Finding]:
                         step_index=index,
                         details={"round": round_no},
                     )
+
+
+@register_rule(
+    "PLAN008",
+    "no circuit transmits on a resource still being tuned",
+    needs=("plan",),
+)
+def rule_reconfig_tuning(ctx: CheckContext) -> Iterator[Finding]:
+    """Reconfiguration-overlap audit (:mod:`repro.optical.reconfig`).
+
+    Inert unless the plan carries reconfiguration meta with a live tuning
+    model. For optical plans the rule re-derives, from the recorded MRR
+    claims alone, the tuning every round must expose: held claims cost
+    nothing, claims whose channel was active in the previous round are
+    *blocked* (wavelength exclusivity across the k/k+1 boundary forbids
+    tuning onto a transmitting channel) and must be fully serial, and
+    disjoint claims may hide behind the previous round's transmission
+    window. A recorded exposure below that requirement means a circuit
+    would transmit on a resource still being tuned. The plan's declared
+    tuning total is cross-checked against the recorded per-round values.
+    """
+    plan = ctx.plan
+    info = plan.meta.get("reconfig")
+    if not isinstance(info, dict):
+        return
+    if plan.backend != "optical":
+        # The analytic backend prices a claim-free closed-form exposure;
+        # there is no per-round tuning schedule to audit.
+        return
+    from repro.optical.reconfig import ReconfigModel, split_tuning
+
+    model = ReconfigModel(
+        t_tune=info.get("t_tune", 0.0),
+        tune_per_channel=info.get("tune_per_channel", 0.0),
+    )
+    if not model.enabled:
+        return
+    overlap = bool(info.get("overlap", True))
+    prev_claims: tuple = ()
+    prev_payload = 0.0
+    recorded_total = 0.0
+    for index, entry in enumerate(plan.entries):
+        rounds = entry.payload if isinstance(entry.payload, tuple) else ()
+        # Occurrence 0 audits the boundary inherited from the previous
+        # entry; occurrence 1 (when the entry repeats) the self-repeat
+        # boundary. Occurrences 2.. see the identical boundary as 1, so
+        # two passes cover every boundary the fold charges.
+        for occurrence in range(min(entry.count, 2)):
+            weight = 1 if occurrence == 0 else entry.count - 1
+            for round_no, rnd in enumerate(rounds):
+                claims = getattr(rnd, "claims", ())
+                if getattr(rnd, "n_circuits", 0) and not claims:
+                    yield Finding(
+                        "PLAN008", Severity.ERROR,
+                        f"round {round_no} has circuits but no recorded MRR "
+                        "claims — the tuning schedule cannot be audited",
+                        step_index=index,
+                        details={"round": round_no},
+                    )
+                    return
+                blocked, free = split_tuning(model, prev_claims, claims)
+                if overlap:
+                    required = max(blocked, max(0.0, free - prev_payload))
+                else:
+                    required = max(blocked, free)
+                recorded = getattr(rnd, "tune_s", 0.0)
+                recorded_total += recorded * weight
+                if recorded + 1e-12 * max(1.0, required) < required:
+                    if recorded < blocked:
+                        message = (
+                            f"round {round_no}: circuits transmit on a "
+                            "channel still being tuned — "
+                            f"{blocked:.3e}s of tuning is blocked by the "
+                            "previous round's active circuits but only "
+                            f"{recorded:.3e}s is exposed"
+                        )
+                    else:
+                        message = (
+                            f"round {round_no}: exposed tuning "
+                            f"{recorded:.3e}s under-prices the required "
+                            f"{required:.3e}s"
+                        )
+                    yield Finding(
+                        "PLAN008", Severity.ERROR, message,
+                        step_index=index,
+                        details={"round": round_no, "occurrence": occurrence},
+                    )
+                prev_claims = claims
+                prev_payload = getattr(rnd, "max_payload_s", 0.0)
+    declared = info.get("exposed_tune_s")
+    if declared is not None and abs(declared - recorded_total) > 1e-9 * max(
+        1.0, abs(declared)
+    ):
+        yield Finding(
+            "PLAN008", Severity.ERROR,
+            f"plan meta declares {declared:.6e}s of exposed tuning but the "
+            f"recorded per-round values sum to {recorded_total:.6e}s",
+        )
 
 
 def iter_rule_docs() -> Iterable[tuple[str, str]]:

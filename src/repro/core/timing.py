@@ -309,6 +309,48 @@ def analytic_profile(
     raise ValueError(f"unknown algorithm {name!r}")
 
 
+def reconfig_exposed_time(
+    classes: tuple[AnalyticStepClass, ...],
+    model: CostModel,
+    tune_s: float,
+    overlap: bool = True,
+) -> float:
+    """Exposed MRR tuning over an analytic step-class decomposition.
+
+    The closed-form counterpart of the optical backend's per-claim pass
+    (:mod:`repro.optical.reconfig`): the first step pays the full retune
+    ``tune_s``; every later step's tuning races the previous step's
+    transmission, exposing ``max(0, tune_s − prev_payload_time)`` — the
+    ``max(transmission, exposed-tuning)`` recurrence, collapsed per class
+    into a boundary term plus ``(count−1)`` identical intra-class terms.
+    Without ``overlap`` every step pays ``tune_s`` serially.
+
+    The closed form has no concrete wavelength assignments, so it prices
+    the base per-MRR retune only (no per-wavelength-distance term and no
+    claim holding) — a conservative upper bound on the simulated backend's
+    claim-aware exposure.
+    """
+    if tune_s < 0:
+        raise ValueError(f"tune_s must be >= 0, got {tune_s!r}")
+    if tune_s == 0 or not classes:
+        return 0.0
+    total = 0.0
+    prev_payload: float | None = None
+    for cls in classes:
+        payload = model.payload_time(cls.payload_bytes)
+        if prev_payload is None:
+            total += tune_s  # nothing to overlap before the first step
+        elif overlap:
+            total += max(0.0, tune_s - prev_payload)
+        else:
+            total += tune_s
+        if cls.count > 1:
+            intra = max(0.0, tune_s - payload) if overlap else tune_s
+            total += (cls.count - 1) * intra
+        prev_payload = payload
+    return total
+
+
 def algorithm_time(
     name: str,
     n_nodes: int,
@@ -319,6 +361,8 @@ def algorithm_time(
     hring_m: int = 5,
     w: int = 64,
     scring_pipeline: int = 1,
+    tune_s: float = 0.0,
+    overlap_tuning: bool = True,
 ) -> float:
     """Dispatch helper used by the experiment runner.
 
@@ -332,22 +376,36 @@ def algorithm_time(
         hring_m: H-Ring intra-group size.
         w: Wavelengths available.
         scring_pipeline: SCRing arc-count knob (``A = min(2·pipeline, N−1)``).
+        tune_s: Per-MRR wavelength tuning time; when positive, the exposed
+            tuning of :func:`reconfig_exposed_time` is added to the closed
+            form. 0 (the default) leaves every total bit-identical.
+        overlap_tuning: Overlap each step's tuning with the previous
+            step's transmission (the recurrence above) instead of paying
+            it serially.
     """
     if name == "Ring":
-        return ring_time(n_nodes, d_bytes, model)
-    if name == "BT":
-        return bt_time(n_nodes, d_bytes, model)
-    if name == "RD":
-        return rd_time(n_nodes, d_bytes, model)
-    if name == "Swing":
-        return swing_time(n_nodes, d_bytes, model)
-    if name == "SCRing":
-        return scring_time(n_nodes, d_bytes, model, w, scring_pipeline)
-    if name == "H-Ring":
-        return hring_time(n_nodes, d_bytes, model, hring_m, w)
-    if name == "WRHT":
+        total = ring_time(n_nodes, d_bytes, model)
+    elif name == "BT":
+        total = bt_time(n_nodes, d_bytes, model)
+    elif name == "RD":
+        total = rd_time(n_nodes, d_bytes, model)
+    elif name == "Swing":
+        total = swing_time(n_nodes, d_bytes, model)
+    elif name == "SCRing":
+        total = scring_time(n_nodes, d_bytes, model, w, scring_pipeline)
+    elif name == "H-Ring":
+        total = hring_time(n_nodes, d_bytes, model, hring_m, w)
+    elif name == "WRHT":
         from repro.core.wavelengths import optimal_group_size
 
         m = wrht_m if wrht_m is not None else min(optimal_group_size(w), n_nodes)
-        return wrht_time(n_nodes, d_bytes, model, m, w)
-    raise ValueError(f"unknown algorithm {name!r}")
+        total = wrht_time(n_nodes, d_bytes, model, m, w)
+    else:
+        raise ValueError(f"unknown algorithm {name!r}")
+    if tune_s > 0 and n_nodes > 1:
+        classes = analytic_profile(
+            name, n_nodes, d_bytes,
+            wrht_m=wrht_m, hring_m=hring_m, w=w, scring_pipeline=scring_pipeline,
+        )
+        total += reconfig_exposed_time(classes, model, tune_s, overlap_tuning)
+    return total

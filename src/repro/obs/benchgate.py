@@ -332,6 +332,90 @@ def compare_collectives(
     return report
 
 
+def compare_reconfig(
+    current_rows: list[dict],
+    baseline: dict | None,
+    *,
+    rel_tol: float = DEFAULT_SIM_REL_TOL,
+) -> GateReport:
+    """Gate re-measured reconfiguration rows against ``BENCH_reconfig.json``.
+
+    Per (algorithm, backend, N, payload) row: the serial/overlapped/chosen
+    tuning exposures are deterministic simulated quantities gated at the
+    tight relative tolerance; the estimator's ``decision`` label and the
+    static-verification error count are structural and gated exactly
+    (``n_errors`` must be zero — an overlapped plan that fails PLAN008 is
+    a correctness bug, not a perf number). ``hold_s`` is ``None``-aware:
+    feasibility of the wavelength-partition plan is itself structural, so
+    a ``None``/number flip between baseline and current fails exactly.
+
+    One baseline-independent invariant rides along: at least one optical
+    row must show overlap strictly beating serial tuning — a gate run in
+    which the overlap machinery silently stopped overlapping should fail
+    even if someone regenerates the baseline around it.
+    """
+    report = GateReport()
+    if baseline is None:
+        baseline = {}
+    base_rows = {
+        (row["algorithm"], row["backend"], row["n_nodes"], row["elems"]): row
+        for row in baseline.get("reconfig", [])
+    }
+    for row in current_rows:
+        key = (row["algorithm"], row["backend"], row["n_nodes"], row["elems"])
+        label = (
+            f"reconfig.{row['algorithm']}.{row['backend']}"
+            f".n{row['n_nodes']}.e{row['elems']}"
+        )
+        base = base_rows.get(key)
+        _check_exact(report, f"{label}.n_errors", row["n_errors"], 0)
+        _check_exact(
+            report, f"{label}.decision", row["decision"],
+            None if base is None else base.get("decision"),
+        )
+        for field_name in ("no_overlap_s", "overlap_s", "chosen_s"):
+            _check_rel(
+                report, f"{label}.{field_name}", row[field_name],
+                None if base is None else base.get(field_name), rel_tol,
+            )
+        hold = row["hold_s"]
+        base_hold = None if base is None else base.get("hold_s")
+        metric = f"{label}.hold_s"
+        if base is None:
+            report.checked.append(metric)
+            report.violations.append(
+                GateViolation(
+                    metric, "missing-baseline", hold, None, "baseline present"
+                )
+            )
+        elif hold is None or base_hold is None:
+            # ``None`` means the wavelength-partition plan was infeasible
+            # (or the backend has no hold path at all) — a feasibility
+            # flip in either direction is a structural change.
+            report.checked.append(metric)
+            if hold is not None or base_hold is not None:
+                report.violations.append(
+                    GateViolation(
+                        metric, "exact", hold, base_hold,
+                        "hold feasibility (None-ness) must match",
+                    )
+                )
+        else:
+            _check_rel(report, metric, hold, base_hold, rel_tol)
+    report.checked.append("reconfig.overlap_wins")
+    optical = [r for r in current_rows if r["backend"] == "optical"]
+    if optical and not any(
+        r["overlap_s"] < r["no_overlap_s"] for r in optical
+    ):
+        report.violations.append(
+            GateViolation(
+                "reconfig.overlap_wins", "floor", 0, 1,
+                "at least one optical cell with overlap_s < no_overlap_s",
+            )
+        )
+    return report
+
+
 #: Deterministic per-cell fields of a fault-sweep row, gated with the tight
 #: relative tolerance (``n_survivors``/``n_errors`` are gated exactly).
 _FAULT_REL_FIELDS = ("healthy_s", "degraded_s", "slowdown_pct", "availability")

@@ -16,6 +16,10 @@ Modules:
 - :mod:`~repro.optical.rwa` — routing and wavelength assignment
   (First-Fit / Random-Fit) over integer segment bitmasks, with exact
   segment-conflict checking.
+- :mod:`~repro.optical.reconfig` — MRR wavelength-tuning cost model
+  and the tuning/transmission overlap planning pass (held/blocked/free
+  claim classification, the reconfigure-vs-hold estimator); disabled —
+  bit-identical — unless the config sets ``t_tune``.
 - :mod:`~repro.optical.repair` — incremental DSATUR repair: splice a
   fault/constraint delta into a previously solved coloring instead of
   recoloring from scratch (untouched claims pinned, validated, falls back
@@ -45,6 +49,15 @@ from repro.backend.plancache import (
     PlanCacheCounters,
     default_plan_cache,
 )
+from repro.optical.reconfig import (
+    ReconfigModel,
+    apply_reconfig,
+    choose_plan,
+    exposed_tuning,
+    plan_total_time,
+    round_claims,
+    split_tuning,
+)
 from repro.optical.repair import (
     RwaContext,
     RwaSolution,
@@ -71,6 +84,7 @@ __all__ = [
     "OpticalSystemConfig",
     "PlanCache",
     "PlanCacheCounters",
+    "ReconfigModel",
     "RingTopology",
     "Route",
     "RwaContext",
@@ -81,12 +95,18 @@ __all__ = [
     "TorusOpticalNetwork",
     "TorusRunResult",
     "TorusTopology",
+    "apply_reconfig",
     "assign_wavelengths",
     "capture_solution",
+    "choose_plan",
     "default_plan_cache",
+    "exposed_tuning",
     "path_feasible",
     "plan_rounds",
+    "plan_total_time",
     "repair_rounds",
+    "round_claims",
+    "split_tuning",
     "validate_no_conflicts",
     "validate_node_constraints",
     "validate_rounds",

@@ -40,6 +40,16 @@ class OpticalSystemConfig:
         line_rate_value: Numeric line rate per wavelength (40 in Table 2).
         interpretation: ``"calibrated"`` (GB/s) or ``"strict"`` (Gbit/s).
         mrr_reconfig_delay: Seconds of MRR reconfiguration before each step.
+        t_tune: Per-MRR wavelength tuning time (seconds). The paper's model
+            treats circuit setup as free; a positive ``t_tune`` prices the
+            thermal retune an MRR pays when its claimed wavelength changes
+            between rounds (see :mod:`repro.optical.reconfig`). 0 (the
+            default) keeps every timing bit-identical to the tuning-free
+            model.
+        tune_per_channel: Optional extra tuning seconds per unit of
+            spectral distance from the parked resonance (index 0) — the
+            linear thermo-optic sweep term of
+            :func:`repro.optical.phy.mrr_tuning_time`.
         oeo_delay_per_packet: O/E/O conversion delay per packet (seconds).
         packet_bytes: Packet size for the O/E/O term.
         phy: Optional physical-layer parameters enabling Sec 4.4 checks.
@@ -61,6 +71,8 @@ class OpticalSystemConfig:
     line_rate_value: float = 40.0
     interpretation: str = "calibrated"
     mrr_reconfig_delay: float = usec(25)
+    t_tune: float = 0.0
+    tune_per_channel: float = 0.0
     oeo_delay_per_packet: float = 497e-15
     packet_bytes: int = 72
     phy: OpticalPhyParams | None = field(default=None)
@@ -80,6 +92,8 @@ class OpticalSystemConfig:
             )
         if self.mrr_reconfig_delay < 0 or self.oeo_delay_per_packet < 0:
             raise ValueError("delays must be >= 0")
+        if self.t_tune < 0 or self.tune_per_channel < 0:
+            raise ValueError("tuning times must be >= 0")
         object.__setattr__(
             self, "failed_wavelengths", frozenset(self.failed_wavelengths)
         )
@@ -112,6 +126,17 @@ class OpticalSystemConfig:
     def usable_wavelengths(self) -> int:
         """Wavelengths per fiber after failures — the planning budget."""
         return self.n_wavelengths - len(self.dead_wavelengths)
+
+    @property
+    def reconfig(self):
+        """The :class:`~repro.optical.reconfig.ReconfigModel` this config
+        implies (disabled — zero-cost — unless ``t_tune`` or
+        ``tune_per_channel`` is positive)."""
+        from repro.optical.reconfig import ReconfigModel
+
+        return ReconfigModel(
+            t_tune=self.t_tune, tune_per_channel=self.tune_per_channel
+        )
 
     @property
     def line_rate(self) -> float:

@@ -39,6 +39,23 @@ two runs with the same seed produce identical retry counts and total time.
 This is intentionally the expensive path (one process per transfer): use it
 for validation and for tracing at small/medium scale, and the step-timing
 executor for paper-scale sweeps.
+
+Reconfiguration-aware control plane
+-----------------------------------
+
+When the config's MRR tuning model is enabled (``t_tune > 0``, see
+:mod:`repro.optical.reconfig`) the live run prices tuning with real
+simulation processes. In the fault-free overlapped mode the coordinator
+plans every round up front and, while round *k* transmits, spawns a
+control-plane tuning process for round *k+1*'s **free** claims (channels
+round *k* never drives) — the data plane and the control plane race, and
+only the leftover ``max(0, free − payload)`` plus the serial **blocked**
+tuning is exposed, exactly the static ``apply_reconfig`` charge. With
+mid-flight faults (round structure can change under retry/replan, so
+lookahead would be wrong) or ``overlap=False`` the coordinator charges the
+conservative serial exposure before each round instead. With the model
+disabled (the default) the event stream is byte-identical to earlier
+releases — same events, same ``n_events`` fingerprint.
 """
 
 from __future__ import annotations
@@ -53,6 +70,7 @@ from repro.obs.metrics import NULL_METRICS, MetricsRegistry, MetricsSnapshot
 from repro.optical.circuit import Circuit
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.network import OpticalRingNetwork
+from repro.optical.reconfig import exposed_tuning, round_claims, split_tuning
 from repro.sim import Resource, Simulator
 from repro.sim.events import Interrupted
 from repro.sim.rng import SeededRng
@@ -123,6 +141,11 @@ class LiveOpticalSimulation:
             Requires ``first_fit``.
         paranoid_repair: With ``repair``, cross-check every repair against
             a from-scratch recolor (the ``--paranoid-repair`` oracle).
+        overlap: With the config's MRR tuning model enabled and no fault
+            events, tune round k+1's free claims concurrently with round
+            k's transmission (control plane racing the data plane). Off,
+            or with fault events, tuning is charged serially before each
+            round. Irrelevant while the model is disabled.
     """
 
     def __init__(
@@ -138,8 +161,10 @@ class LiveOpticalSimulation:
         metrics: MetricsRegistry = NULL_METRICS,
         repair: bool = False,
         paranoid_repair: bool = False,
+        overlap: bool = True,
     ) -> None:
         self.config = config
+        self.overlap = overlap
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self._strategy = strategy
@@ -207,6 +232,11 @@ class LiveOpticalSimulation:
                 f"{self.config.n_nodes}"
             )
         sim = Simulator(metrics=self.metrics)
+        model = self.config.reconfig
+        # Lookahead across rounds is only sound when the round structure is
+        # fixed up front — faults replan mid-flight, so they force the
+        # conservative serial charge.
+        use_overlap = model.enabled and self.overlap and not self.fault_events
         channels: dict[tuple, Resource] = {}
         stats = {
             "rounds": 0, "circuits": 0, "steps": 0,
@@ -304,6 +334,10 @@ class LiveOpticalSimulation:
                 )
 
         def coordinator():
+            # Serial tuning state: claims of the last executed round. With
+            # the model disabled no tuning branch fires, so the event
+            # stream (and n_events) is byte-identical to earlier releases.
+            prev_claims: tuple = ()
             for step in schedule.iter_steps():
                 stats["steps"] += 1
                 step_start = sim.now
@@ -316,6 +350,14 @@ class LiveOpticalSimulation:
                     unfinished = []
                     for circuits in rounds:
                         stats["rounds"] += 1
+                        if model.enabled:
+                            claims = round_claims(circuits)
+                            tune = exposed_tuning(
+                                model, prev_claims, claims, 0.0, overlap=False
+                            )
+                            prev_claims = claims
+                            if tune:
+                                yield sim.timeout(tune)
                         yield sim.timeout(self.config.mrr_reconfig_delay)
                         processes = {
                             sim.process(circuit_process(c), name="circuit"): c
@@ -370,9 +412,90 @@ class LiveOpticalSimulation:
             state["done"] = True
             return sim.now
 
+        def tune_process(duration: float):
+            # Control-plane thermal settling of one round's free claims.
+            yield sim.timeout(duration)
+            return ("tuned", duration)
+
+        def overlap_coordinator():
+            # Fault-free overlapped mode: the planner is static, so every
+            # round is known up front and round k+1's free-claim tuning can
+            # be spawned the moment round k's circuits start transmitting.
+            plans = [
+                (step, state["planner"].plan_step_rounds(step, bytes_per_elem))
+                for step in schedule.iter_steps()
+            ]
+            flat = [
+                round_claims(circuits)
+                for _, rounds in plans
+                for circuits in rounds
+            ]
+            idx = 0
+            free_proc = None  # tuning spawned during the previous round
+            for step, rounds in plans:
+                stats["steps"] += 1
+                step_start = sim.now
+                for circuits in rounds:
+                    stats["rounds"] += 1
+                    blocked, free = split_tuning(
+                        model, flat[idx - 1] if idx else (), flat[idx]
+                    )
+                    if idx == 0:
+                        # No previous transmission to hide behind.
+                        tune = max(blocked, free)
+                        if tune:
+                            yield sim.timeout(tune)
+                    else:
+                        # Blocked claims wait for the previous round's
+                        # teardown (this point) before tuning; the free
+                        # tuning process has been racing that round's
+                        # transmission — only its leftover is exposed.
+                        waits = []
+                        if free_proc is not None and not free_proc.done:
+                            waits.append(free_proc)
+                        if blocked:
+                            waits.append(sim.timeout(blocked))
+                        if waits:
+                            yield sim.all_of(waits)
+                    free_proc = None
+                    yield sim.timeout(self.config.mrr_reconfig_delay)
+                    if idx + 1 < len(flat):
+                        _, next_free = split_tuning(model, flat[idx], flat[idx + 1])
+                        if next_free:
+                            free_proc = sim.process(
+                                tune_process(next_free), name="tune"
+                            )
+                    processes = {
+                        sim.process(circuit_process(c), name="circuit"): c
+                        for c in circuits
+                    }
+                    stats["circuits"] += len(processes)
+                    state["inflight"] = processes
+                    yield sim.all_of(list(processes))
+                    state["inflight"] = {}
+                    self.tracer.emit(
+                        sim.now, "optical.live.round",
+                        stage=step.stage, n_circuits=len(processes),
+                    )
+                    idx += 1
+                self.tracer.emit(
+                    sim.now, "optical.live.step",
+                    stage=step.stage, duration=sim.now - step_start,
+                    attempts=0,
+                )
+                if self.metrics.enabled:
+                    self.metrics.observe(
+                        "optical.live.step_s", sim.now - step_start
+                    )
+            state["done"] = True
+            return sim.now
+
         if self.fault_events:
             sim.process(fault_driver(), name="faults")
-        total = sim.run_process(coordinator(), name="schedule")
+        total = sim.run_process(
+            overlap_coordinator() if use_overlap else coordinator(),
+            name="schedule",
+        )
         if self.metrics.enabled:
             self.metrics.inc("optical.live.circuits", stats["circuits"])
             self.metrics.inc("optical.live.rounds", stats["rounds"])

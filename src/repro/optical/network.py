@@ -46,6 +46,7 @@ from repro.optical.circuit import Circuit, validate_no_conflicts
 from repro.optical.config import OpticalSystemConfig
 from repro.optical.node import validate_node_constraints
 from repro.optical.phy import validate_route_phy
+from repro.optical.reconfig import apply_reconfig, round_claims
 from repro.optical.repair import RwaContext, capture_solution, repair_rounds
 from repro.optical.rwa import plan_rounds
 from repro.optical.topology import RingTopology
@@ -123,6 +124,8 @@ class OpticalRingNetwork:
         keep_solutions: bool = False,
         repair_from: "OpticalRingNetwork | None" = None,
         paranoid_repair: bool = False,
+        overlap: bool = True,
+        capture_claims: bool | None = None,
     ) -> None:
         self.config = config
         self.topology = RingTopology(config.n_nodes)
@@ -175,24 +178,58 @@ class OpticalRingNetwork:
         self._quarantine = faults.segment_quarantine_masks(config.n_nodes) or None
         self._has_cuts = bool(faults.cut_segments)
         self._phy = config.effective_phy
+        # Reconfiguration model (repro.optical.reconfig). Claims are only
+        # captured when the model is enabled (or explicitly requested for
+        # tests), so the disabled path produces byte-identical CachedRound
+        # summaries; a claims-bearing summary under a tuning-free config
+        # gets its own cache namespace.
+        self._reconfig = config.reconfig
+        self.overlap = overlap
+        self._capture_claims = (
+            self._reconfig.enabled if capture_claims is None else capture_claims
+        )
+        if self._capture_claims and not self._reconfig.enabled:
+            self._plan_key_base = (self._plan_key_base, "claims")
 
     @property
     def cost_model(self) -> CostModel:
         """The analytical cost model this substrate is consistent with."""
         return self._cost
 
-    def lower(self, schedule: Schedule, bytes_per_elem: float = 4.0) -> LoweredPlan:
+    def lower(
+        self,
+        schedule: Schedule,
+        bytes_per_elem: float = 4.0,
+        *,
+        partition: bool = False,
+    ) -> LoweredPlan:
         """Route, wavelength-assign and price every distinct step pattern.
 
         Patterns are priced once per call (per-plan dedup) and memoized in
         the cross-run plan cache for deterministic strategies; repeats are
         marked ``replay`` so execution can trace them compactly.
 
+        With ``partition=True`` (the reconfigure-vs-hold estimator's *hold*
+        variant) adjacent profile entries are confined to alternating
+        halves of the wavelength budget, making their MRR claims channel-
+        disjoint — every retune overlaps the previous step's transmission —
+        at the cost of extra rounds when a step no longer fits its half.
+
+        When the config's reconfiguration model is enabled
+        (``t_tune > 0``), the plan is annotated by
+        :func:`repro.optical.reconfig.apply_reconfig` before returning.
+
         Raises:
             BackendConfigError: On a schedule/width mismatch at entry.
-            BackendError: From RWA infeasibility, annotated with the
+            BackendError: From RWA infeasibility (including a partition
+                that leaves a half-budget empty), annotated with the
                 backend name and failing profile-entry index.
         """
+        if partition and self.config.n_wavelengths < 2:
+            raise BackendError(
+                "wavelength partition needs at least 2 wavelengths",
+                backend=BACKEND_NAME,
+            )
         if schedule.n_nodes > self.config.n_nodes:
             raise BackendConfigError(
                 f"schedule spans {schedule.n_nodes} nodes but the ring has "
@@ -209,15 +246,26 @@ class OpticalRingNetwork:
         # RNG draws an uncached run performs, changing every later
         # assignment in the stream).
         use_cache = self.plan_cache.enabled and self.strategy != "random_fit"
+        half = self.config.n_wavelengths // 2
+        lower_half = frozenset(range(half))
+        upper_half = frozenset(range(half, self.config.n_wavelengths))
         priced: dict[tuple, tuple[CachedRound, ...]] = {}
         entries: list[LoweredStep] = []
         for index, (step, count, key) in enumerate(schedule.lowering_profile()):
+            extra_blocked = None
+            if partition:
+                # Even entries use the lower half, odd entries the upper —
+                # adjacent steps can never claim the same channel.
+                parity = index % 2
+                extra_blocked = upper_half if parity == 0 else lower_half
+                key = (key, ("partition", parity))
             rounds = priced.get(key)
             replay = rounds is not None
             if rounds is None:
                 try:
                     rounds = self._price_pattern(
-                        step, key, bytes_per_elem, use_cache, counters
+                        step, key, bytes_per_elem, use_cache, counters,
+                        extra_blocked=extra_blocked,
                     )
                 except BackendError as exc:
                     if exc.backend is None:
@@ -249,7 +297,7 @@ class OpticalRingNetwork:
             # than the ring has; the verifier needs the participant set to
             # audit dataflow and step counts against the survivor count.
             meta["participants"] = schedule.meta["participants"]
-        return LoweredPlan(
+        plan = LoweredPlan(
             backend=BACKEND_NAME,
             algorithm=schedule.algorithm,
             n_nodes=schedule.n_nodes,
@@ -259,6 +307,16 @@ class OpticalRingNetwork:
             cache=counters,
             meta=meta,
         )
+        if self._reconfig.enabled:
+            plan = apply_reconfig(plan, self._reconfig, overlap=self.overlap)
+            if partition:
+                plan.meta["reconfig"]["partition"] = True
+            if self.metrics.enabled:
+                self.metrics.gauge(
+                    "optical.reconfig.exposed_tune_s",
+                    plan.meta["reconfig"]["exposed_tune_s"],
+                )
+        return plan
 
     def execute_plan(self, plan: LoweredPlan) -> OpticalRunResult:
         """Fold a lowered plan into the run timeline (no RWA, no cache).
@@ -372,7 +430,11 @@ class OpticalRingNetwork:
         return alt
 
     def plan_step_rounds(
-        self, step: CommStep, bytes_per_elem: float, validate: bool | None = None
+        self,
+        step: CommStep,
+        bytes_per_elem: float,
+        validate: bool | None = None,
+        extra_blocked: frozenset[int] | None = None,
     ) -> list[list[Circuit]]:
         """Route, wavelength-assign and circuit-ify one step's rounds.
 
@@ -381,7 +443,9 @@ class OpticalRingNetwork:
         (:mod:`repro.check`), so every view of a step has the identical
         round structure. ``validate`` overrides the instance-level runtime
         validation flag — the verifier passes ``False`` so that defects
-        surface as findings instead of exceptions.
+        surface as findings instead of exceptions. ``extra_blocked`` bans
+        additional wavelength indices for this step only (the hold
+        variant's alternating partition).
         """
         if validate is None:
             validate = self.validate
@@ -410,7 +474,7 @@ class OpticalRingNetwork:
                 | faults.endpoint_blocked(t.dst, r.direction)
                 for t, r in zip(transfers, routes)
             ]
-        rounds = self._solve_rounds(step, routes, route_blocked)
+        rounds = self._solve_rounds(step, routes, route_blocked, extra_blocked)
         # Vectorized pricing: payloads and durations for the whole step in
         # one numpy pass, bit-identical element-wise to the scalar
         # CostModel.payload_time path (see payload_times).
@@ -439,14 +503,19 @@ class OpticalRingNetwork:
         return circuit_rounds
 
     def _rwa_context(
-        self, route_blocked: list[frozenset[int]] | None
+        self,
+        route_blocked: list[frozenset[int]] | None,
+        extra_blocked: frozenset[int] | None = None,
     ) -> RwaContext:
         """This network's channel-space constraints for one routed step."""
+        blocked = self.config.dead_wavelengths
+        if extra_blocked:
+            blocked = blocked | extra_blocked
         return RwaContext(
             n_segments=self.config.n_nodes,
             n_wavelengths=self.config.n_wavelengths,
             fibers_per_direction=self.config.fibers_per_direction,
-            blocked=self.config.dead_wavelengths,
+            blocked=blocked,
             route_blocked=tuple(route_blocked) if route_blocked else None,
             preoccupied=self._quarantine,
         )
@@ -456,11 +525,35 @@ class OpticalRingNetwork:
         step: CommStep,
         routes: list,
         route_blocked: list[frozenset[int]] | None,
+        extra_blocked: frozenset[int] | None = None,
     ) -> list[dict[int, tuple[int, int]]]:
         """RWA for one routed step: incremental repair when chained to a
         base network that has a cached solution for this pattern, full
         ``plan_rounds`` otherwise. Captures the solution for downstream
-        repair when ``keep_solutions`` is set."""
+        repair when ``keep_solutions`` is set. Partitioned steps
+        (``extra_blocked``) always solve from scratch and are never
+        captured — their colorings live in a different channel space than
+        the repairable full-budget ones."""
+        if extra_blocked:
+            if len(extra_blocked | self.config.dead_wavelengths) >= (
+                self.config.n_wavelengths
+            ):
+                raise BackendError(
+                    "wavelength partition leaves no usable wavelengths",
+                    backend=BACKEND_NAME,
+                )
+            return plan_rounds(
+                routes,
+                n_segments=self.config.n_nodes,
+                n_wavelengths=self.config.n_wavelengths,
+                fibers_per_direction=self.config.fibers_per_direction,
+                strategy=self.strategy,
+                rng=self.rng,
+                blocked=self.config.dead_wavelengths | extra_blocked,
+                route_blocked=route_blocked,
+                preoccupied=self._quarantine,
+                metrics=self.metrics,
+            )
         ctx = self._rwa_context(route_blocked)
         rounds = None
         if self._repair_base is not None:
@@ -569,8 +662,13 @@ class OpticalRingNetwork:
         bytes_per_elem: float,
         use_cache: bool,
         counters: PlanCacheCounters,
+        extra_blocked: frozenset[int] | None = None,
     ) -> tuple[CachedRound, ...]:
-        """Priced round summary for one pattern, via the cross-run cache."""
+        """Priced round summary for one pattern, via the cross-run cache.
+
+        ``pattern_key`` already encodes any partition parity, so a
+        partitioned summary can never alias a full-budget one.
+        """
         if use_cache:
             key = (pattern_key, self._plan_key_base, bytes_per_elem)
             cached = self.plan_cache.get(key)
@@ -579,13 +677,17 @@ class OpticalRingNetwork:
                 return cached
             counters.misses += 1
         with self.metrics.span("optical.price_pattern"):
-            circuit_rounds = self.plan_step_rounds(step, bytes_per_elem)
+            circuit_rounds = self.plan_step_rounds(
+                step, bytes_per_elem, extra_blocked=extra_blocked
+            )
+        capture = self._capture_claims
         summary = tuple(
             CachedRound(
                 n_circuits=len(circuits),
                 max_payload_s=max(c.duration for c in circuits),
                 peak_wavelength=max(c.wavelength for c in circuits) + 1,
                 payload_bytes=sum(c.payload_bytes for c in circuits),
+                claims=round_claims(circuits) if capture else (),
             )
             for circuits in circuit_rounds
         )
@@ -610,6 +712,13 @@ class OpticalRingNetwork:
         for round_no, rnd in enumerate(rounds, start=1):
             peak = max(peak, rnd.peak_wavelength)
             step_bytes += rnd.payload_bytes
+            # Exposed MRR tuning (repro.optical.reconfig) precedes the
+            # round's reconfiguration window. getattr: summaries unpickled
+            # from a pre-reconfig on-disk store lack the field. The branch
+            # (not `+= 0.0`) keeps the tuning-free fold bit-identical.
+            tune = getattr(rnd, "tune_s", 0.0)
+            if tune:
+                duration += tune
             duration += self.config.mrr_reconfig_delay + rnd.max_payload_s
             if emit_rounds:
                 self.tracer.emit(

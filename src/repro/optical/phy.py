@@ -62,6 +62,24 @@ def max_feasible_hops(params: OpticalPhyParams, upper: int = 1 << 20) -> int:
     return lo
 
 
+def mrr_tuning_time(
+    wavelength: int, t_tune: float, tune_per_channel: float = 0.0
+) -> float:
+    """Seconds to retune one MRR onto ``wavelength``.
+
+    The physical model behind :class:`repro.optical.reconfig.ReconfigModel`:
+    a fixed thermal settling time ``t_tune`` per MRR, plus an optional term
+    linear in the spectral distance from the parked resonance (index 0) —
+    thermo-optic tuning sweeps the resonance across the comb, so distant
+    channels take proportionally longer to lock.
+    """
+    if wavelength < 0:
+        raise ValueError(f"wavelength must be >= 0, got {wavelength!r}")
+    if t_tune < 0 or tune_per_channel < 0:
+        raise ValueError("tuning times must be >= 0")
+    return t_tune + tune_per_channel * wavelength
+
+
 def validate_route_phy(route: Route, params: OpticalPhyParams) -> None:
     """Raise :class:`PhyViolationError` if ``route`` exceeds the budget.
 

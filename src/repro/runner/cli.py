@@ -45,6 +45,17 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         "socket (see 'wrht-repro serve'; answers are bit-identical to "
         "in-process evaluation)",
     )
+    p.add_argument(
+        "--t-tune", type=float, default=0.0, metavar="SECONDS",
+        help="per-MRR thermal tuning time; enables the reconfiguration "
+        "model (repro.optical.reconfig) on the optical/analytic backends "
+        "(default 0 — disabled, timings bit-identical)",
+    )
+    p.add_argument(
+        "--overlap", action=argparse.BooleanOptionalAction, default=True,
+        help="overlap MRR tuning with the previous round's transmission "
+        "(--no-overlap charges it serially; only meaningful with --t-tune)",
+    )
 
 
 def _cmd_table1(args) -> int:
@@ -63,6 +74,8 @@ def _figure(runner, args, reductions: list[tuple[str, str]]) -> int:
         mode=args.mode, interpretation=args.interpretation,
         backend=getattr(args, "backend", None),
         service=getattr(args, "service", None),
+        t_tune=getattr(args, "t_tune", 0.0),
+        overlap=getattr(args, "overlap", True),
     )
     print(result.render())
     summary = AsciiTable(["comparison", "avg reduction (%)"])
@@ -80,6 +93,8 @@ def _cmd_fig4(args) -> int:
         mode=args.mode, interpretation=args.interpretation,
         backend=getattr(args, "backend", None),
         service=getattr(args, "service", None),
+        t_tune=getattr(args, "t_tune", 0.0),
+        overlap=getattr(args, "overlap", True),
     )
     print(result.render())
     ref_algo, ref_m = result.meta["reference"]

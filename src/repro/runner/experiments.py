@@ -66,14 +66,20 @@ def _resolve_backend(mode: str, backend: str | None, simulated: str = "optical")
     return "analytic" if mode == "analytical" else simulated
 
 
-def get_backend(name: str, n: int, w: int, interpretation: str) -> Backend:
-    """A cached backend instance for one ``(backend, N, w, interpretation)``.
+def get_backend(
+    name: str, n: int, w: int, interpretation: str,
+    t_tune: float = 0.0, overlap: bool = True,
+) -> Backend:
+    """A cached backend instance for one
+    ``(backend, N, w, interpretation, t_tune, overlap)``.
 
     Instances (and the process-wide plan cache behind their ``lower()``)
     are reused across experiment calls; :func:`clear_network_caches` drops
-    them.
+    them. ``t_tune``/``overlap`` configure the MRR reconfiguration model
+    (:mod:`repro.optical.reconfig`); the defaults leave it disabled, so
+    every historical cell stays bit-identical.
     """
-    key = (name, n, w, interpretation)
+    key = (name, n, w, interpretation, t_tune, overlap)
     be = _BACKENDS.get(key)
     if be is not None:
         return be
@@ -81,8 +87,10 @@ def get_backend(name: str, n: int, w: int, interpretation: str) -> Backend:
         be = registry.create(
             "optical",
             config=OpticalSystemConfig(
-                n_nodes=n, n_wavelengths=w, interpretation=interpretation
+                n_nodes=n, n_wavelengths=w, interpretation=interpretation,
+                t_tune=t_tune,
             ),
+            overlap=overlap,
         )
     elif name == "electrical":
         be = registry.create(
@@ -90,10 +98,15 @@ def get_backend(name: str, n: int, w: int, interpretation: str) -> Backend:
             config=ElectricalSystemConfig(n_nodes=n, interpretation=interpretation),
         )
     elif name == "analytic":
+        from repro.optical.reconfig import ReconfigModel
+
         cfg = OpticalSystemConfig(
             n_nodes=n, n_wavelengths=w, interpretation=interpretation
         )
-        be = registry.create("analytic", model=cfg.cost_model(), w=w)
+        be = registry.create(
+            "analytic", model=cfg.cost_model(), w=w,
+            reconfig=ReconfigModel(t_tune=t_tune), overlap=overlap,
+        )
     else:
         raise ValueError(
             f"the experiment runner cannot construct backend {name!r}; "
@@ -164,14 +177,21 @@ def _optical_time(
     hring_m: int = HRING_M,
     backend: str | None = None,
     service: str | None = None,
+    t_tune: float = 0.0,
+    overlap: bool = True,
 ) -> float:
     """Seconds for one algorithm on the mode- or flag-selected backend."""
     name = _resolve_backend(mode, backend)
     if service is not None:
+        if t_tune > 0:
+            raise ValueError(
+                "--t-tune is evaluated in-process; the planning daemon "
+                "protocol does not carry a reconfiguration model"
+            )
         return _service_time(
             service, name, algo, n, w, workload, interpretation, wrht_m, hring_m
         )
-    be = get_backend(name, n, w, interpretation)
+    be = get_backend(name, n, w, interpretation, t_tune, overlap)
     schedule = _build_cell_schedule(
         algo, n, w, workload, wrht_m=wrht_m, hring_m=hring_m
     )
@@ -214,35 +234,38 @@ def clear_network_caches() -> None:
 def _fig4_cell(
     workload: DnnWorkload, m: int, mode: str, interpretation: str,
     n_nodes: int, n_wavelengths: int, backend: str | None = None,
-    service: str | None = None,
+    service: str | None = None, t_tune: float = 0.0, overlap: bool = True,
 ) -> float:
     """One Fig 4 grid cell: WRHT at group size ``m`` on one workload."""
     return _optical_time(
         "WRHT", n_nodes, n_wavelengths, workload, mode, interpretation,
-        wrht_m=m, backend=backend, service=service,
+        wrht_m=m, backend=backend, service=service, t_tune=t_tune,
+        overlap=overlap,
     )
 
 
 def _fig5_cell(
     workload: DnnWorkload, algo: str, w: int, mode: str, interpretation: str,
     n_nodes: int, backend: str | None = None, service: str | None = None,
+    t_tune: float = 0.0, overlap: bool = True,
 ) -> float:
     """One Fig 5 grid cell: ``algo`` under wavelength count ``w``."""
     return _optical_time(
         algo, n_nodes, w, workload, mode, interpretation,
         wrht_m=min(optimal_group_size(w), n_nodes), backend=backend,
-        service=service,
+        service=service, t_tune=t_tune, overlap=overlap,
     )
 
 
 def _fig6_cell(
     workload: DnnWorkload, algo: str, n: int, mode: str, interpretation: str,
     n_wavelengths: int, backend: str | None = None, service: str | None = None,
+    t_tune: float = 0.0, overlap: bool = True,
 ) -> float:
     """One Fig 6 grid cell: ``algo`` at cluster size ``n``."""
     return _optical_time(
         algo, n, n_wavelengths, workload, mode, interpretation, backend=backend,
-        service=service,
+        service=service, t_tune=t_tune, overlap=overlap,
     )
 
 
@@ -253,23 +276,27 @@ _FIG7_BASE = {"E-Ring": "Ring", "O-Ring": "Ring", "RD": "RD", "WRHT": "WRHT"}
 def _fig7_cell(
     workload: DnnWorkload, algo: str, n: int, mode: str, interpretation: str,
     n_wavelengths: int, backend: str | None = None, service: str | None = None,
+    t_tune: float = 0.0, overlap: bool = True,
 ) -> float:
     """One Fig 7 grid cell: electrical or optical flavor by algorithm.
 
     An explicit ``backend`` forces every flavor through that backend
     (useful for like-for-like ablations); the default keeps the paper's
     split — E-Ring/RD on the fat-tree, O-Ring/WRHT on the optical ring.
+    The tuning tax only applies to the optical flavors: the fat-tree has
+    no MRRs, which is exactly the comparison Fig 7 makes.
     """
     base = _FIG7_BASE[algo]
     if backend is not None:
         return _optical_time(
             base, n, n_wavelengths, workload, mode, interpretation,
-            backend=backend, service=service,
+            backend=backend, service=service, t_tune=t_tune, overlap=overlap,
         )
     if algo in ("E-Ring", "RD"):
         return _electrical_time(base, n, workload, interpretation, service=service)
     return _optical_time(
-        base, n, n_wavelengths, workload, mode, interpretation, service=service
+        base, n, n_wavelengths, workload, mode, interpretation, service=service,
+        t_tune=t_tune, overlap=overlap,
     )
 
 
@@ -317,6 +344,8 @@ def run_fig4(
     workers: int | None = None,
     backend: str | None = None,
     service: str | None = None,
+    t_tune: float = 0.0,
+    overlap: bool = True,
 ) -> ExperimentResult:
     """Fig 4: WRHT with different numbers of grouped nodes.
 
@@ -325,6 +354,8 @@ def run_fig4(
     reference: WRHT at the largest group size, per workload.
     ``workers`` parallelizes the grid over a process pool (see
     :func:`repro.runner.sweep.sweep`); results are identical either way.
+    ``t_tune``/``overlap`` enable the MRR reconfiguration model on the
+    optical/analytic backends (disabled by default — bit-identical).
     """
     _check_mode(mode)
     result = ExperimentResult(
@@ -335,7 +366,7 @@ def run_fig4(
     cell = functools.partial(
         _fig4_cell, mode=mode, interpretation=interpretation,
         n_nodes=n_nodes, n_wavelengths=n_wavelengths, backend=backend,
-        service=service,
+        service=service, t_tune=t_tune, overlap=overlap,
     )
     grid = sweep(cell, {"workload": workloads, "m": group_sizes}, workers=workers)
     for wl in workloads:
@@ -353,6 +384,8 @@ def run_fig5(
     workers: int | None = None,
     backend: str | None = None,
     service: str | None = None,
+    t_tune: float = 0.0,
+    overlap: bool = True,
 ) -> ExperimentResult:
     """Fig 5: four algorithms under different wavelength counts.
 
@@ -360,6 +393,7 @@ def run_fig5(
     single wavelength regardless of w (their defining limitation); H-Ring's
     analytical step count reacts to w via the ``⌈m/w⌉`` term.
     ``workers`` parallelizes the grid over a process pool.
+    ``t_tune``/``overlap`` enable the MRR reconfiguration model.
     """
     _check_mode(mode)
     result = ExperimentResult(
@@ -370,7 +404,7 @@ def run_fig5(
     algos = ("Ring", "H-Ring", "BT", "WRHT")
     cell = functools.partial(
         _fig5_cell, mode=mode, interpretation=interpretation, n_nodes=n_nodes,
-        backend=backend, service=service,
+        backend=backend, service=service, t_tune=t_tune, overlap=overlap,
     )
     grid = sweep(
         cell, {"workload": workloads, "algo": algos, "w": wavelengths},
@@ -394,10 +428,13 @@ def run_fig6(
     workers: int | None = None,
     backend: str | None = None,
     service: str | None = None,
+    t_tune: float = 0.0,
+    overlap: bool = True,
 ) -> ExperimentResult:
     """Fig 6: four algorithms on the optical system across cluster sizes.
 
     ``workers`` parallelizes the grid over a process pool.
+    ``t_tune``/``overlap`` enable the MRR reconfiguration model.
     """
     _check_mode(mode)
     result = ExperimentResult(
@@ -409,6 +446,7 @@ def run_fig6(
     cell = functools.partial(
         _fig6_cell, mode=mode, interpretation=interpretation,
         n_wavelengths=n_wavelengths, backend=backend, service=service,
+        t_tune=t_tune, overlap=overlap,
     )
     grid = sweep(
         cell, {"workload": workloads, "algo": algos, "n": nodes}, workers=workers
@@ -429,12 +467,15 @@ def run_fig7(
     workers: int | None = None,
     backend: str | None = None,
     service: str | None = None,
+    t_tune: float = 0.0,
+    overlap: bool = True,
 ) -> ExperimentResult:
     """Fig 7: electrical fat-tree (E-Ring, RD) vs optical ring (O-Ring, WRHT).
 
     The electrical side is always the fluid simulation; ``mode`` selects how
     the optical side is priced. ``workers`` parallelizes the grid over a
-    process pool.
+    process pool. ``t_tune``/``overlap`` enable the MRR reconfiguration
+    model on the optical flavors (the fat-tree pays no tuning).
     """
     _check_mode(mode)
     result = ExperimentResult(
@@ -446,6 +487,7 @@ def run_fig7(
     cell = functools.partial(
         _fig7_cell, mode=mode, interpretation=interpretation,
         n_wavelengths=n_wavelengths, backend=backend, service=service,
+        t_tune=t_tune, overlap=overlap,
     )
     grid = sweep(
         cell, {"workload": workloads, "algo": algos, "n": nodes}, workers=workers

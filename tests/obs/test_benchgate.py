@@ -10,6 +10,7 @@ from repro.obs.benchgate import (
     GateViolation,
     compare_collectives,
     compare_faults,
+    compare_reconfig,
     compare_repair,
     compare_rwa,
     compare_service,
@@ -224,6 +225,93 @@ class TestCompareCollectives:
         )
         assert {v.kind for v in report.violations} == {"missing-baseline"}
         assert len(report.violations) == 2  # n_steps and total_time_s
+
+
+_RECONFIG_ROW = {
+    "algorithm": "rd", "backend": "optical", "n_nodes": 8, "elems": 1_000_000,
+    "t_tune_us": 25.0, "no_overlap_s": 2e-3, "overlap_s": 1.5e-3,
+    "hold_s": 1.2e-3, "decision": "hold", "chosen_s": 1.2e-3, "n_errors": 0,
+}
+_RECONFIG_BASELINE = {"reconfig": [dict(_RECONFIG_ROW)]}
+
+
+class TestCompareReconfig:
+    def _row(self, **over):
+        row = dict(_RECONFIG_ROW)
+        row.update(over)
+        return row
+
+    def test_pass(self):
+        report = compare_reconfig([self._row()], _RECONFIG_BASELINE)
+        assert report.ok
+        # 6 per-row fields + the baseline-independent overlap_wins check.
+        assert len(report.checked) == 7
+
+    def test_decision_flip_exact(self):
+        report = compare_reconfig(
+            [self._row(decision="reconfigure")], _RECONFIG_BASELINE
+        )
+        assert [v.metric for v in report.violations] == [
+            "reconfig.rd.optical.n8.e1000000.decision"
+        ]
+        assert report.violations[0].kind == "exact"
+
+    def test_time_drift_fails_at_tight_tol(self):
+        report = compare_reconfig(
+            [self._row(chosen_s=1.20001e-3)], _RECONFIG_BASELINE, rel_tol=1e-6
+        )
+        assert [v.kind for v in report.violations] == ["rel"]
+        assert compare_reconfig(
+            [self._row(chosen_s=1.20001e-3)], _RECONFIG_BASELINE, rel_tol=1e-3
+        ).ok
+
+    def test_row_must_verify_clean(self):
+        # n_errors gates against the constant 0 even without a baseline.
+        report = compare_reconfig([self._row(n_errors=2)], None)
+        assert any(
+            v.metric.endswith(".n_errors") and v.kind == "exact"
+            for v in report.violations
+        )
+
+    def test_hold_feasibility_flip_is_exact(self):
+        report = compare_reconfig([self._row(hold_s=None)], _RECONFIG_BASELINE)
+        violations = [
+            v for v in report.violations if v.metric.endswith(".hold_s")
+        ]
+        assert [v.kind for v in violations] == ["exact"]
+        assert "None-ness" in violations[0].allowed
+
+    def test_both_hold_none_passes(self):
+        baseline = {
+            "reconfig": [dict(_RECONFIG_ROW, hold_s=None, decision="hold-infeasible")]
+        }
+        current = [self._row(hold_s=None, decision="hold-infeasible")]
+        assert compare_reconfig(current, baseline).ok
+
+    def test_missing_baseline_row(self):
+        report = compare_reconfig(
+            [self._row(n_nodes=16)], _RECONFIG_BASELINE
+        )
+        # decision + 3 rel fields + hold_s; n_errors/overlap_wins still pass.
+        assert {v.kind for v in report.violations} == {"missing-baseline"}
+        assert len(report.violations) == 5
+
+    def test_overlap_must_win_somewhere(self):
+        stuck = self._row(overlap_s=_RECONFIG_ROW["no_overlap_s"])
+        report = compare_reconfig(
+            [stuck], {"reconfig": [dict(stuck)]}
+        )
+        assert [v.metric for v in report.violations] == ["reconfig.overlap_wins"]
+        assert report.violations[0].kind == "floor"
+        # Electrical-only rows carry no overlap machinery — no floor check.
+        electric = self._row(
+            backend="electrical", overlap_s=2e-3, chosen_s=2e-3,
+            hold_s=None, decision="n/a",
+        )
+        assert compare_reconfig(
+            [electric],
+            {"reconfig": [dict(electric)]},
+        ).ok
 
 
 _SERVICE_BASELINE = {
